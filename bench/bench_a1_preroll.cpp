@@ -1,0 +1,87 @@
+// Ablation A1 — the preroll (client buffer) design choice.
+//
+// §2.1's ASF carries a preroll ("how much content a player should buffer
+// before starting to render"); DESIGN.md fixes it at 3 s. This bench sweeps
+// it on a jittery, slightly lossy DSL link and shows the startup-delay /
+// rebuffer trade-off that motivates the default.
+
+#include <cstdio>
+
+#include "lod/lod/wmps.hpp"
+#include "lod/streaming/player.hpp"
+
+using namespace lod;
+namespace app = ::lod::lod;
+
+struct Row {
+  double preroll_s;
+  double startup_s;
+  std::size_t stalls;
+  double stalled_s;
+};
+
+static Row run(net::SimDuration preroll, std::uint64_t seed) {
+  net::Simulator sim;
+  net::Network network(sim, seed);
+  const net::HostId server = network.add_host("server");
+  const net::HostId pc = network.add_host("pc");
+  net::LinkConfig dsl;
+  dsl.bandwidth_bps = 384'000;  // tight for the 250k profile + overhead
+  dsl.latency = net::msec(25);
+  dsl.jitter = net::msec(8);
+  dsl.loss_rate = 0.005;
+  network.add_link(server, pc, dsl);
+
+  app::WmpsNode wmps(network, server);
+  app::VideoAsset video;
+  video.duration = net::sec(120);
+  wmps.register_video("lec.mp4", video);
+  wmps.register_slides("slides", app::SlideAsset{2, 13});
+  app::PublishForm form;
+  form.video_path = "lec.mp4";
+  form.slide_dir = "slides";
+  form.profile = "Video 250k DSL/cable";
+  form.publish_name = "lec";
+  wmps.publish(form);
+
+  streaming::PlayerConfig cfg;
+  cfg.model = streaming::SyncModel::kOcpn;  // plain transport: buffer-bound
+  cfg.web_server = server;
+  cfg.preroll_override = preroll;
+  streaming::Player player(network, pc, cfg);
+  player.open_and_play(server, "lec");
+  sim.run_until(net::SimTime{net::sec(600).us});
+
+  Row r;
+  r.preroll_s = preroll.seconds();
+  r.startup_s = player.startup_delay().seconds();
+  r.stalls = player.stalls().size();
+  double stalled = 0;
+  for (const auto& st : player.stalls()) stalled += st.duration.seconds();
+  r.stalled_s = stalled;
+  return r;
+}
+
+int main() {
+  std::printf("=== A1: preroll sweep (250 kb/s on jittery 384 kb/s DSL) ===\n\n");
+  std::printf("%10s %12s %9s %14s\n", "preroll", "startup", "stalls",
+              "time stalled");
+  // Averages over 3 seeds smooth the loss draws.
+  for (const std::int64_t ms : {250LL, 500LL, 1000LL, 2000LL, 3000LL, 5000LL,
+                                8000LL}) {
+    double startup = 0, stalled = 0;
+    std::size_t stalls = 0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const Row r = run(net::msec(ms), seed * 37);
+      startup += r.startup_s;
+      stalls += r.stalls;
+      stalled += r.stalled_s;
+    }
+    std::printf("%8.2fs %10.2fs %9.1f %12.2fs\n", ms / 1000.0, startup / 3,
+                static_cast<double>(stalls) / 3, stalled / 3);
+  }
+  std::printf(
+      "\nReading: short prerolls start fast but rebuffer under jitter and\n"
+      "VBR spikes; past ~3s extra buffering only delays the start.\n");
+  return 0;
+}

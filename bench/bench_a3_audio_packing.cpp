@@ -1,0 +1,57 @@
+// Ablation A3 — audio superframe grouping.
+//
+// A 16 kb/s ACELP frame is 40 bytes; shipped one per container payload it
+// drowns in per-payload framing (~23 modeled bytes each) and the fixed-size
+// packets padding. Grouping frames into superframes amortizes the overhead —
+// at the cost of superframe-sized loss granularity and latency. This bench
+// sweeps the grouping window on the voice profile and reports container
+// efficiency, which is what made the 28.8k modem tier feasible at all.
+
+#include <cstdio>
+
+#include "lod/streaming/encoder.hpp"
+
+using namespace lod;
+
+int main() {
+  std::printf("=== A3: audio superframe grouping (22 kb/s voice profile) ===\n\n");
+  std::printf("%12s %9s %11s %12s %10s\n", "superframe", "packets",
+              "wire kb/s", "overhead", "loss unit");
+
+  const auto media_seconds = 120;
+  bool monotone = true;
+  double prev_rate = 1e18;
+  for (const std::int64_t ms : {0LL, 20LL, 60LL, 200LL, 500LL, 1000LL}) {
+    streaming::EncodeJob job;
+    job.profile = *media::find_profile("Audio 28.8k (voice)");
+    job.audio_superframe = net::msec(ms);
+    media::LectureVideoSource v(net::sec(0), 1, 16, 16);
+    media::LectureAudioSource a(net::sec(media_seconds), 8000);
+    const auto enc = streaming::encode_lecture(job, v, a, {});
+
+    // Payload (codec) bytes vs what actually crosses the wire: fixed-size
+    // packets + per-packet session/UDP framing.
+    std::uint64_t media_bytes = 0;
+    for (const auto& p : enc.file.packets) {
+      for (const auto& pl : p.payloads) media_bytes += pl.data.size();
+    }
+    const double wire_bytes =
+        static_cast<double>(enc.file.packets.size()) * (1400.0 + 20.0 + 28.0);
+    const double wire_rate_kbps = wire_bytes * 8.0 / media_seconds / 1000.0;
+    const double overhead =
+        (wire_bytes - static_cast<double>(media_bytes)) / wire_bytes * 100.0;
+    std::printf("%10lldms %9zu %9.1f %11.1f%% %8lldms\n",
+                static_cast<long long>(ms), enc.file.packets.size(),
+                wire_rate_kbps, overhead,
+                static_cast<long long>(ms == 0 ? 20 : ms));
+    if (ms > 0) monotone = monotone && wire_rate_kbps <= prev_rate + 0.01;
+    prev_rate = wire_rate_kbps;
+  }
+  std::printf(
+      "\nReading: without grouping the voice stream needs >2x its codec\n"
+      "rate on the wire; the 200 ms default brings overhead near the\n"
+      "floor while keeping a loss to one fifth of a second of speech.\n");
+  std::printf("shape check (grouping monotonically cuts wire rate): %s\n",
+              monotone ? "holds" : "VIOLATED");
+  return monotone ? 0 : 1;
+}

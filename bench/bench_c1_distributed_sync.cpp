@@ -1,0 +1,73 @@
+// Claim C1 (§1) — OCPN/XOCPN "lack methods to describe the details of
+// synchronization across distributed platforms"; the extended timed Petri
+// net handles it.
+//
+// Scenario: an absolutely scheduled classroom presentation (pts p renders at
+// master time T0 + p on every screen). Students' PC clocks are offset and
+// drifting. We sweep the clock-offset range and report, per sync model, the
+// cross-student render skew. The shape to observe: OCPN/XOCPN skew grows
+// linearly with the clock error (they trust the local clock), ETPN stays
+// flat at network-asymmetry level (it synchronizes clocks over the net).
+
+#include <cstdio>
+
+#include "lod/lod/classroom.hpp"
+
+using namespace lod;
+namespace app = ::lod::lod;
+
+static app::Classroom::SkewReport run(streaming::SyncModel model,
+                                      net::SimDuration offset_range,
+                                      std::uint64_t seed) {
+  net::Simulator sim;
+  app::ClassroomConfig cfg;
+  cfg.students = 4;
+  cfg.model = model;
+  cfg.clock_offset_range = offset_range;
+  cfg.drift_ppm_range = 50.0;
+  cfg.seed = seed;
+  cfg.clock_sync_interval = net::sec(10);
+  app::Classroom room(sim, cfg);
+
+  app::PublishForm form;
+  form.video_path = "lec.mp4";
+  form.slide_dir = "slides";
+  form.profile = "Video 250k DSL/cable";
+  form.publish_name = "lec";
+  app::VideoAsset video;
+  video.duration = net::sec(60);
+  if (!room.publish(form, video, app::SlideAsset{4, 13}).ok) return {};
+  room.start_watching("lec", {}, net::sec(5));
+  sim.run();
+  return room.skew_report();
+}
+
+int main() {
+  std::printf(
+      "=== C1: cross-platform synchronization, scheduled presentation ===\n\n");
+  std::printf("4 students, 60 s lecture, drift +-50 ppm, sync every 10 s\n\n");
+  std::printf("%-18s %14s %14s %14s\n", "clock offset +-", "OCPN max skew",
+              "XOCPN max skew", "ETPN max skew");
+
+  bool shape_ok = true;
+  for (const std::int64_t ms : {0LL, 50LL, 150LL, 300LL, 600LL}) {
+    const auto range = net::msec(ms);
+    const auto ocpn = run(streaming::SyncModel::kOcpn, range, 1000 + ms);
+    const auto xocpn = run(streaming::SyncModel::kXocpn, range, 1000 + ms);
+    const auto etpn = run(streaming::SyncModel::kEtpn, range, 1000 + ms);
+    std::printf("%15lldms %13.1fms %13.1fms %13.1fms\n",
+                static_cast<long long>(ms), ocpn.max_skew.millis(),
+                xocpn.max_skew.millis(), etpn.max_skew.millis());
+    // The paper's shape: the unsynchronized models track the clock error;
+    // the extended model stays bounded regardless.
+    if (ms >= 150) {
+      shape_ok = shape_ok && ocpn.max_skew.us > etpn.max_skew.us * 3 &&
+                 xocpn.max_skew.us > etpn.max_skew.us * 3;
+    }
+  }
+
+  std::printf(
+      "\nshape check (OCPN/XOCPN skew >> ETPN skew once clocks err): %s\n",
+      shape_ok ? "holds" : "VIOLATED");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Fig. 3 — "Action of insert a node S5 (level 1) into the content tree."
+//
+// Starting from the §2.3 tree (LevelNodes = {20, 60, 100}), inserting S5
+// (20 s) at level 1 splices it above the leaf S3, pushing S3 one level down.
+// The paper reports afterwards:
+//   highestLevel = 2;
+//   LevelNodes[0]->value = 20; LevelNodes[1]->value = 60;
+//   LevelNodes[2]->value = 120;
+
+#include <cstdio>
+
+#include "lod/contenttree/content_tree.hpp"
+
+using namespace lod::contenttree;
+using lod::net::sec;
+
+static int failures = 0;
+static void check(const char* what, long long paper, long long measured) {
+  const bool ok = paper == measured;
+  if (!ok) ++failures;
+  std::printf("  %-26s paper=%-6lld measured=%-6lld %s\n", what, paper,
+              measured, ok ? "ok" : "MISMATCH");
+}
+
+int main() {
+  std::printf("=== Fig. 3: insert S5 (level 1) ===\n\n");
+
+  // (a) the original tree from Sec. 2.3.
+  ContentTree t;
+  t.add({"S0", sec(20), ""}, 0);
+  const NodeId s1 = t.add({"S1", sec(40), ""}, 1);
+  t.add({"S2", sec(60), ""}, 2);
+  t.attach_child(s1, {"S4", sec(40), ""});
+  const NodeId s3 = t.add({"S3", sec(20), ""}, 1);
+  std::printf("(a) original:\n%s\n", t.to_string().c_str());
+
+  // (b) insert S5 at level 1, above S3.
+  const NodeId s5 = t.insert_above(s3, {"S5", sec(20), ""});
+  std::printf("(b) after inserting S5:\n%s\n", t.to_string().c_str());
+
+  check("highestLevel", 2, t.highest_level());
+  check("LevelNodes[0]->value", 20,
+        static_cast<long long>(t.level_value(0).seconds()));
+  check("LevelNodes[1]->value", 60,
+        static_cast<long long>(t.level_value(1).seconds()));
+  check("LevelNodes[2]->value", 120,
+        static_cast<long long>(t.level_value(2).seconds()));
+  check("S5 level", 1, t.level(s5));
+  check("S3 level (pushed down)", 2, t.level(s3));
+
+  std::printf("\n%d mismatches against the paper's reported values\n",
+              failures);
+  return failures == 0 ? 0 : 1;
+}

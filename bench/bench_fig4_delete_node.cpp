@@ -1,0 +1,53 @@
+// Fig. 4 — "Action of deleting a node S5 (level 1)."
+//
+// "When we perform the operation with 'deleting the S5 node', the S5's
+// children will be adopted by S5's siblings S1." Starting from the Fig. 3
+// result, deleting S5 hands S3 to S1 and the level accounting follows.
+
+#include <cstdio>
+
+#include "lod/contenttree/content_tree.hpp"
+
+using namespace lod::contenttree;
+using lod::net::sec;
+
+static int failures = 0;
+static void check(const char* what, long long paper, long long measured) {
+  const bool ok = paper == measured;
+  if (!ok) ++failures;
+  std::printf("  %-30s expected=%-6lld measured=%-6lld %s\n", what, paper,
+              measured, ok ? "ok" : "MISMATCH");
+}
+
+int main() {
+  std::printf("=== Fig. 4: delete S5 (level 1) ===\n\n");
+
+  // (a) the tree after Fig. 3's insert.
+  ContentTree t;
+  t.add({"S0", sec(20), ""}, 0);
+  const NodeId s1 = t.add({"S1", sec(40), ""}, 1);
+  t.add({"S2", sec(60), ""}, 2);
+  t.attach_child(s1, {"S4", sec(40), ""});
+  const NodeId s3 = t.add({"S3", sec(20), ""}, 1);
+  const NodeId s5 = t.insert_above(s3, {"S5", sec(20), ""});
+  std::printf("(a) original:\n%s\n", t.to_string().c_str());
+
+  // (b) delete S5: its child S3 is adopted by its sibling S1.
+  t.remove(s5);
+  std::printf("(b) after deleting S5:\n%s\n", t.to_string().c_str());
+
+  check("S3 adopted by sibling S1", 1,
+        t.parent(s3) == s1 ? 1 : 0);
+  check("S3 keeps its level (2)", 2, t.level(s3));
+  check("highestLevel", 2, t.highest_level());
+  check("LevelNodes[0]->value", 20,
+        static_cast<long long>(t.level_value(0).seconds()));
+  check("LevelNodes[1]->value", 40,
+        static_cast<long long>(t.level_value(1).seconds()));
+  check("LevelNodes[2]->value", 120,
+        static_cast<long long>(t.level_value(2).seconds()));
+  check("tree invariants hold", 1, t.check_invariants() ? 1 : 0);
+
+  std::printf("\n%d mismatches\n", failures);
+  return failures == 0 ? 0 : 1;
+}

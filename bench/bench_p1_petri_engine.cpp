@@ -1,0 +1,122 @@
+// P1 — Petri net engine throughput.
+//
+// Scaling of the kernel (enabling/firing), the timed playout engine, and
+// reachability analysis with net size. Nets are meets-chains and parallel
+// fans shaped like compiled presentations.
+
+#include <benchmark/benchmark.h>
+
+#include "lod/core/analysis.hpp"
+#include "lod/core/ocpn.hpp"
+
+using namespace lod::core;
+using lod::net::sec;
+
+namespace {
+
+TemporalSpec chain_spec(int n) {
+  TemporalSpec s = TemporalSpec::object("o0", 0, sec(1));
+  for (int i = 1; i < n; ++i) {
+    s = TemporalSpec::relate(Relation::kMeets, std::move(s),
+                             TemporalSpec::object("o" + std::to_string(i), 0,
+                                                  sec(1)));
+  }
+  return s;
+}
+
+TemporalSpec fan_spec(int n) {
+  // A balanced tree of `starts` relations: everything parallel.
+  if (n <= 1) return TemporalSpec::object("f", 0, sec(1));
+  std::vector<TemporalSpec> layer;
+  for (int i = 0; i < n; ++i) {
+    layer.push_back(TemporalSpec::object("f" + std::to_string(i), 0, sec(1)));
+  }
+  while (layer.size() > 1) {
+    std::vector<TemporalSpec> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(TemporalSpec::relate(Relation::kStarts,
+                                          std::move(layer[i]),
+                                          std::move(layer[i + 1])));
+    }
+    if (layer.size() % 2 == 1) next.push_back(std::move(layer.back()));
+    layer = std::move(next);
+  }
+  return std::move(layer[0]);
+}
+
+void BM_KernelFireCycle(benchmark::State& state) {
+  // A marked-graph ring: fire transitions round-robin.
+  const int n = static_cast<int>(state.range(0));
+  PetriNet net;
+  std::vector<PlaceId> places;
+  std::vector<TransitionId> trans;
+  for (int i = 0; i < n; ++i) {
+    places.push_back(net.add_place("p" + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    const TransitionId t = net.add_transition("t" + std::to_string(i));
+    net.add_input(places[static_cast<std::size_t>(i)], t);
+    net.add_output(t, places[static_cast<std::size_t>((i + 1) % n)]);
+    trans.push_back(t);
+  }
+  Marking m = net.empty_marking();
+  m[places[0]] = 1;
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    net.fire_in_place(trans[cursor], m);
+    cursor = (cursor + 1) % trans.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KernelFireCycle)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CompileOcpn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto spec = chain_spec(n);
+  for (auto _ : state) {
+    auto compiled = build_ocpn(spec);
+    benchmark::DoNotOptimize(compiled.net.place_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CompileOcpn)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PlayoutChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto compiled = build_ocpn(chain_spec(n));
+  const Marking m0 = compiled.initial_marking();
+  for (auto _ : state) {
+    auto trace = play(compiled.net, m0);
+    benchmark::DoNotOptimize(trace.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PlayoutChain)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PlayoutFan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto compiled = build_ocpn(fan_spec(n));
+  const Marking m0 = compiled.initial_marking();
+  for (auto _ : state) {
+    auto trace = play(compiled.net, m0);
+    benchmark::DoNotOptimize(trace.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PlayoutFan)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_Reachability(benchmark::State& state) {
+  // Exploration of a parallel fan's interleavings, capped.
+  const int n = static_cast<int>(state.range(0));
+  const auto compiled = build_ocpn(fan_spec(n));
+  const Marking m0 = compiled.initial_marking();
+  for (auto _ : state) {
+    auto res = explore(compiled.net, m0, 20'000);
+    benchmark::DoNotOptimize(res.markings.size());
+  }
+}
+BENCHMARK(BM_Reachability)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

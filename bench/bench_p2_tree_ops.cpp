@@ -1,0 +1,105 @@
+// P2 — content tree operation latency at scale.
+//
+// attach / insert / delete / level accounting on trees from 100 to 1M nodes.
+
+#include <benchmark/benchmark.h>
+
+#include "lod/contenttree/content_tree.hpp"
+#include "lod/net/rng.hpp"
+
+using namespace lod::contenttree;
+using lod::net::Rng;
+using lod::net::sec;
+
+namespace {
+
+/// A random tree with n nodes, bounded depth.
+ContentTree random_tree(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  ContentTree t;
+  std::vector<NodeId> nodes;
+  nodes.push_back(t.add({"n0", sec(1), ""}, 0));
+  for (int i = 1; i < n; ++i) {
+    const NodeId parent = nodes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
+    nodes.push_back(
+        t.attach_child(parent, {"n" + std::to_string(i), sec(1), ""}));
+  }
+  return t;
+}
+
+void BM_Attach(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ContentTree t = random_tree(n, 1);
+  const NodeId root = t.root();
+  int i = 0;
+  for (auto _ : state) {
+    t.attach_child(root, {"x" + std::to_string(i++), sec(1), ""});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Attach)->Arg(100)->Arg(10'000)->Arg(1'000'000);
+
+void BM_InsertAbove(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ContentTree t = random_tree(n, 2);
+  const auto seq = t.sequence(t.highest_level());
+  std::size_t cursor = 1;  // skip root
+  int i = 0;
+  for (auto _ : state) {
+    t.insert_above(seq[cursor], {"i" + std::to_string(i++), sec(1), ""});
+    cursor = 1 + (cursor % (seq.size() - 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InsertAbove)->Arg(100)->Arg(10'000)->Arg(100'000);
+
+void BM_AttachDeleteCycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ContentTree t = random_tree(n, 3);
+  const NodeId root = t.root();
+  for (auto _ : state) {
+    const NodeId x = t.attach_child(root, {"tmp", sec(1), ""});
+    t.remove(x);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AttachDeleteCycle)->Arg(100)->Arg(10'000)->Arg(1'000'000);
+
+void BM_LevelValue(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ContentTree t = random_tree(n, 4);
+  const int lvl = std::max(1, t.highest_level() / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.level_value(lvl));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LevelValue)->Arg(100)->Arg(10'000)->Arg(1'000'000);
+
+void BM_PresentationTime(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ContentTree t = random_tree(n, 5);
+  const int lvl = t.highest_level();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.presentation_time(lvl));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PresentationTime)->Arg(100)->Arg(10'000)->Arg(100'000);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ContentTree t = random_tree(n, 6);
+  for (auto _ : state) {
+    auto bytes = t.serialize();
+    auto u = ContentTree::deserialize(bytes);
+    benchmark::DoNotOptimize(u.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SerializeRoundTrip)->Arg(100)->Arg(10'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,286 @@
+#include "lod/contenttree/content_tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "lod/net/bytes.hpp"
+
+namespace lod::contenttree {
+
+ContentTree::Node& ContentTree::checked(NodeId n) {
+  if (!valid(n)) throw std::invalid_argument("ContentTree: bad node id");
+  return nodes_[n];
+}
+const ContentTree::Node& ContentTree::checked(NodeId n) const {
+  if (!valid(n)) throw std::invalid_argument("ContentTree: bad node id");
+  return nodes_[n];
+}
+
+NodeId ContentTree::new_node(Segment seg, NodeId parent) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(seg), parent, {}, true});
+  ++live_count_;
+  return id;
+}
+
+int ContentTree::level(NodeId n) const {
+  const Node* cur = &checked(n);
+  int lvl = 0;
+  while (cur->parent != kNoNode) {
+    cur = &nodes_[cur->parent];
+    ++lvl;
+  }
+  return lvl;
+}
+
+NodeId ContentTree::rightmost_at(int lvl) const {
+  if (root_ == kNoNode || lvl < 0) return kNoNode;
+  NodeId cur = root_;
+  for (int i = 0; i < lvl; ++i) {
+    const auto& ch = nodes_[cur].children;
+    if (ch.empty()) return kNoNode;
+    cur = ch.back();
+  }
+  return cur;
+}
+
+NodeId ContentTree::add(Segment seg, int lvl) {
+  if (lvl < 0) throw std::invalid_argument("add: negative level");
+  if (lvl == 0) {
+    if (root_ != kNoNode) {
+      throw std::invalid_argument("add: tree already has a root");
+    }
+    root_ = new_node(std::move(seg), kNoNode);
+    return root_;
+  }
+  const NodeId parent = rightmost_at(lvl - 1);
+  if (parent == kNoNode) {
+    throw std::invalid_argument("add: no node at level " +
+                                std::to_string(lvl - 1) + " to attach under");
+  }
+  return attach_child(parent, std::move(seg));
+}
+
+NodeId ContentTree::attach_child(NodeId parent, Segment seg) {
+  checked(parent);  // validate before mutating
+  // NB: new_node may reallocate nodes_, so re-index the parent afterwards.
+  const NodeId id = new_node(std::move(seg), parent);
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+NodeId ContentTree::insert_above(NodeId existing, Segment seg) {
+  Node& old = checked(existing);
+  const NodeId parent = old.parent;
+  const NodeId id = new_node(std::move(seg), parent);
+  nodes_[id].children.push_back(existing);
+  nodes_[existing].parent = id;
+  if (parent == kNoNode) {
+    root_ = id;
+  } else {
+    auto& siblings = nodes_[parent].children;
+    *std::find(siblings.begin(), siblings.end(), existing) = id;
+  }
+  return id;
+}
+
+void ContentTree::remove(NodeId node) {
+  Node& n = checked(node);
+
+  if (n.parent == kNoNode) {
+    // Root: legal only if it leaves a single new root (or nothing).
+    if (n.children.size() > 1) {
+      throw std::invalid_argument("remove: deleting root would leave a forest");
+    }
+    root_ = n.children.empty() ? kNoNode : n.children.front();
+    if (root_ != kNoNode) nodes_[root_].parent = kNoNode;
+    n.alive = false;
+    n.children.clear();
+    --live_count_;
+    return;
+  }
+
+  auto& siblings = nodes_[n.parent].children;
+  const auto it = std::find(siblings.begin(), siblings.end(), node);
+  const std::size_t pos = static_cast<std::size_t>(it - siblings.begin());
+
+  // Fig. 4: children adopted by the (left) sibling; right if leftmost.
+  if (!n.children.empty()) {
+    NodeId foster = kNoNode;
+    if (pos > 0) {
+      foster = siblings[pos - 1];
+    } else if (pos + 1 < siblings.size()) {
+      foster = siblings[pos + 1];
+    }
+    if (foster == kNoNode) {
+      // No sibling at all: the grandparent inherits them in place, which
+      // RAISES their level by one — the only consistent option left.
+      auto& gp = nodes_[n.parent].children;
+      const auto at = std::find(gp.begin(), gp.end(), node);
+      const std::size_t gpos = static_cast<std::size_t>(at - gp.begin());
+      gp.insert(gp.begin() + static_cast<std::ptrdiff_t>(gpos) + 1,
+                n.children.begin(), n.children.end());
+      for (NodeId c : n.children) nodes_[c].parent = n.parent;
+    } else if (pos > 0) {
+      auto& fc = nodes_[foster].children;
+      fc.insert(fc.end(), n.children.begin(), n.children.end());
+      for (NodeId c : n.children) nodes_[c].parent = foster;
+    } else {
+      auto& fc = nodes_[foster].children;
+      fc.insert(fc.begin(), n.children.begin(), n.children.end());
+      for (NodeId c : n.children) nodes_[c].parent = foster;
+    }
+  }
+
+  siblings.erase(std::find(siblings.begin(), siblings.end(), node));
+  n.alive = false;
+  n.children.clear();
+  --live_count_;
+}
+
+int ContentTree::highest_level() const {
+  if (root_ == kNoNode) return -1;
+  int best = 0;
+  // Iterative DFS to avoid recursion depth limits on degenerate trees.
+  std::vector<std::pair<NodeId, int>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    auto [n, lvl] = stack.back();
+    stack.pop_back();
+    best = std::max(best, lvl);
+    for (NodeId c : nodes_[n].children) stack.emplace_back(c, lvl + 1);
+  }
+  return best;
+}
+
+SimDuration ContentTree::level_value(int lvl) const {
+  SimDuration total{};
+  if (root_ == kNoNode || lvl < 0) return total;
+  std::vector<std::pair<NodeId, int>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    auto [n, l] = stack.back();
+    stack.pop_back();
+    if (l == lvl) {
+      total += nodes_[n].seg.duration;
+      continue;  // children are deeper; no need to descend
+    }
+    for (NodeId c : nodes_[n].children) stack.emplace_back(c, l + 1);
+  }
+  return total;
+}
+
+SimDuration ContentTree::presentation_time(int lvl) const {
+  SimDuration total{};
+  for (NodeId n : sequence(lvl)) total += nodes_[n].seg.duration;
+  return total;
+}
+
+void ContentTree::preorder(NodeId n, int lvl, int max_level,
+                           std::vector<NodeId>& out) const {
+  if (lvl > max_level) return;
+  out.push_back(n);
+  for (NodeId c : nodes_[n].children) preorder(c, lvl + 1, max_level, out);
+}
+
+std::vector<NodeId> ContentTree::sequence(int lvl) const {
+  std::vector<NodeId> out;
+  if (root_ != kNoNode && lvl >= 0) preorder(root_, 0, lvl, out);
+  return out;
+}
+
+std::optional<NodeId> ContentTree::find(std::string_view name) const {
+  for (NodeId n : sequence(highest_level())) {
+    if (nodes_[n].seg.name == name) return n;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::byte> ContentTree::serialize() const {
+  net::ByteWriter w;
+  w.u32(0x434f4e54);  // "CONT"
+  // Pre-order with levels lets deserialize rebuild parents from a stack.
+  const auto seq = sequence(highest_level());
+  w.u32(static_cast<std::uint32_t>(seq.size()));
+  for (NodeId n : seq) {
+    w.u32(static_cast<std::uint32_t>(level(n)));
+    w.str(nodes_[n].seg.name);
+    w.i64(nodes_[n].seg.duration.us);
+    w.str(nodes_[n].seg.media_ref);
+  }
+  return std::move(w).take();
+}
+
+ContentTree ContentTree::deserialize(std::span<const std::byte> bytes) {
+  net::ByteReader r(bytes);
+  if (r.u32() != 0x434f4e54) {
+    throw std::runtime_error("ContentTree: bad magic");
+  }
+  ContentTree t;
+  const std::uint32_t count = r.u32();
+  std::vector<NodeId> spine;  // spine[l] = last node seen at level l
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const int lvl = static_cast<int>(r.u32());
+    Segment seg;
+    seg.name = r.str();
+    seg.duration = {r.i64()};
+    seg.media_ref = r.str();
+    NodeId id;
+    if (lvl == 0) {
+      id = t.add(std::move(seg), 0);
+    } else {
+      if (static_cast<std::size_t>(lvl) > spine.size()) {
+        throw std::runtime_error("ContentTree: level jump in stream");
+      }
+      id = t.attach_child(spine[static_cast<std::size_t>(lvl) - 1],
+                          std::move(seg));
+    }
+    spine.resize(static_cast<std::size_t>(lvl));
+    spine.push_back(id);
+  }
+  return t;
+}
+
+std::string ContentTree::to_string() const {
+  std::ostringstream os;
+  for (NodeId n : sequence(highest_level())) {
+    const int lvl = level(n);
+    for (int i = 0; i < lvl; ++i) os << "  ";
+    os << nodes_[n].seg.name << " (" << net::to_string(nodes_[n].seg.duration)
+       << ")\n";
+  }
+  return os.str();
+}
+
+bool ContentTree::check_invariants(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (root_ == kNoNode) {
+    return live_count_ == 0 ? true : fail("no root but live nodes");
+  }
+  if (!valid(root_) || nodes_[root_].parent != kNoNode) {
+    return fail("root invalid or has a parent");
+  }
+  // Every live node reachable exactly once from the root.
+  std::size_t seen = 0;
+  std::vector<NodeId> stack{root_};
+  std::vector<bool> visited(nodes_.size(), false);
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (!valid(n)) return fail("dead node in tree");
+    if (visited[n]) return fail("node visited twice (cycle or shared child)");
+    visited[n] = true;
+    ++seen;
+    for (NodeId c : nodes_[n].children) {
+      if (!valid(c)) return fail("dead child");
+      if (nodes_[c].parent != n) return fail("parent/child asymmetry");
+      stack.push_back(c);
+    }
+  }
+  if (seen != live_count_) return fail("live count mismatch");
+  return true;
+}
+
+}  // namespace lod::contenttree

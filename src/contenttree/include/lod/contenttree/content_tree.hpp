@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lod/net/time.hpp"
+
+/// \file content_tree.hpp
+/// The multiple-level content tree (§2.2–2.4).
+///
+/// "A content tree is a finite set of one or more nodes such that there is a
+/// particularly designated node called the root. The level of a node is
+/// defined by initially letting the root be at level 0. If a node is at level
+/// q, then its children are at level q+1. Since a node is composed of a
+/// presentation segment, the siblings with the order from left to right
+/// represent a presentation with some sequence fashion. The higher level
+/// gives the longer presentation."
+///
+/// The tree is the Abstractor's data structure: playing the presentation "at
+/// level q" plays every segment of level <= q in document (pre-order) order,
+/// so deeper levels insert more detail and lengthen the playout. The paper's
+/// primitive operations are all here:
+///
+///   - initialize            — default-constructed tree,
+///   - attach a node         — `add` / `attach_child`,
+///   - insert a node         — `insert_above` (splices a new segment in at a
+///                             level; the displaced subtree is pushed one
+///                             level deeper, which is how Fig. 3's insert
+///                             changes LevelNodes of deeper levels),
+///   - detach/delete a node  — `remove` (children adopted by the left
+///                             sibling, or right if none — Fig. 4),
+///   - presentation time     — `level_value` (the paper's
+///                             LevelNodes[q]->value) and `presentation_time`
+///                             (the level-q playout length).
+
+namespace lod::contenttree {
+
+using net::SimDuration;
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// One presentation segment in the tree.
+struct Segment {
+  std::string name;
+  SimDuration duration{};
+  /// Optional reference into the media world (e.g. "video[120s,180s]").
+  std::string media_ref;
+};
+
+/// The multiple-level content tree.
+class ContentTree {
+ public:
+  ContentTree() = default;
+
+  // --- construction ---------------------------------------------------------
+
+  /// The paper's "attach": add a segment at \p level, as the rightmost child
+  /// of the current rightmost node at level-1 (growing the right spine, which
+  /// is exactly how the §2.3 build example proceeds). Level 0 creates the
+  /// root; adding a second root or skipping levels throws.
+  NodeId add(Segment seg, int level);
+
+  /// Attach a segment as the last child of \p parent.
+  NodeId attach_child(NodeId parent, Segment seg);
+
+  /// The paper's "insert" (Fig. 3): splice \p seg into \p existing's position.
+  /// The new node takes the old node's place among its siblings and adopts
+  /// the old node as its only child — the displaced subtree moves one level
+  /// deeper. Inserting above the root creates a new root.
+  NodeId insert_above(NodeId existing, Segment seg);
+
+  /// The paper's "delete" (Fig. 4): remove \p node; its children are adopted
+  /// by its left sibling (or right sibling if it has none), keeping their
+  /// level. Deleting a root that has more than one child would leave a
+  /// forest, so it throws; a root with one child hands the root role over.
+  void remove(NodeId node);
+
+  // --- the paper's level accounting ------------------------------------------
+
+  /// Highest (deepest) level currently present; -1 for an empty tree.
+  int highest_level() const;
+
+  /// LevelNodes[q]->value: total duration of the segments at exactly level q.
+  SimDuration level_value(int level) const;
+
+  /// Length of the level-q presentation: all segments of level <= q.
+  SimDuration presentation_time(int level) const;
+
+  /// The level-q presentation sequence: pre-order traversal restricted to
+  /// nodes of level <= q ("siblings left to right ... sequence fashion").
+  std::vector<NodeId> sequence(int level) const;
+
+  // --- node access -------------------------------------------------------------
+
+  std::size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+  NodeId root() const { return root_; }
+  bool valid(NodeId n) const {
+    return n < nodes_.size() && nodes_[n].alive;
+  }
+
+  const Segment& segment(NodeId n) const { return checked(n).seg; }
+  Segment& segment(NodeId n) { return checked(n).seg; }
+  int level(NodeId n) const;
+  NodeId parent(NodeId n) const { return checked(n).parent; }
+  const std::vector<NodeId>& children(NodeId n) const {
+    return checked(n).children;
+  }
+  /// First node whose segment name matches, pre-order; nullopt if absent.
+  std::optional<NodeId> find(std::string_view name) const;
+
+  // --- persistence / debugging ---------------------------------------------------
+
+  /// Serialize to bytes (round-trips through deserialize).
+  std::vector<std::byte> serialize() const;
+  static ContentTree deserialize(std::span<const std::byte> bytes);
+
+  /// Multi-line ASCII rendering, one node per line, indented by level.
+  std::string to_string() const;
+
+  /// Internal consistency check (parent/child symmetry, level law, counts);
+  /// used by property tests. Returns false with diagnostics via \p why.
+  bool check_invariants(std::string* why = nullptr) const;
+
+ private:
+  struct Node {
+    Segment seg;
+    NodeId parent{kNoNode};
+    std::vector<NodeId> children;
+    bool alive{false};
+  };
+
+  Node& checked(NodeId n);
+  const Node& checked(NodeId n) const;
+  NodeId new_node(Segment seg, NodeId parent);
+  /// Rightmost node at \p level following last children; kNoNode if the level
+  /// doesn't exist.
+  NodeId rightmost_at(int level) const;
+  void preorder(NodeId n, int lvl, int max_level,
+                std::vector<NodeId>& out) const;
+
+  std::vector<Node> nodes_;
+  NodeId root_{kNoNode};
+  std::size_t live_count_{0};
+};
+
+}  // namespace lod::contenttree

@@ -1,0 +1,206 @@
+#include "lod/core/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lod::core {
+
+namespace {
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (std::uint32_t v : m) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+/// True if b >= a in every place and > in at least one (strict covering).
+bool strictly_covers(const Marking& b, const Marking& a) {
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (b[i] < a[i]) return false;
+    if (b[i] > a[i]) strict = true;
+  }
+  return strict;
+}
+
+}  // namespace
+
+ReachabilityResult explore(const PetriNet& net, const Marking& initial,
+                           std::size_t max_states) {
+  ReachabilityResult res;
+  res.fireable.assign(net.transition_count(), false);
+
+  // The strictly-covering unboundedness witness is only sound for ordinary
+  // nets: capacities and inhibitor arcs break firing monotonicity (a larger
+  // marking can DISABLE a transition), so a covering marking is no longer
+  // pumpable. For such nets we rely on exhaustive exploration instead.
+  bool monotone = true;
+  for (PlaceId p = 0; p < net.place_count() && monotone; ++p) {
+    if (net.place_capacity(p) != 0) monotone = false;
+  }
+  for (TransitionId t = 0; t < net.transition_count() && monotone; ++t) {
+    for (const auto& a : net.inputs(t)) {
+      if (a.kind == ArcKind::kInhibitor) {
+        monotone = false;
+        break;
+      }
+    }
+  }
+
+  // parent chain for the covering check: index of predecessor marking.
+  std::unordered_map<Marking, std::size_t, MarkingHash> seen;
+  std::vector<std::size_t> parent;
+  std::deque<std::size_t> frontier;
+
+  seen.emplace(initial, 0);
+  res.markings.push_back(initial);
+  parent.push_back(static_cast<std::size_t>(-1));
+  frontier.push_back(0);
+
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    const Marking m = res.markings[cur];  // copy: vector may reallocate
+
+    const auto enabled = net.enabled_transitions(m);
+    if (enabled.empty()) res.deadlocks.push_back(m);
+
+    for (TransitionId t : enabled) {
+      res.fireable[t] = true;
+      Marking next = net.fire(t, m);
+
+      auto it = seen.find(next);
+      if (it != seen.end()) continue;
+
+      // Unboundedness witness: next strictly covers an ancestor.
+      if (monotone) {
+        for (std::size_t a = cur; a != static_cast<std::size_t>(-1);
+             a = parent[a]) {
+          if (strictly_covers(next, res.markings[a])) {
+            res.unbounded = true;
+            break;
+          }
+        }
+      }
+
+      if (res.markings.size() >= max_states) {
+        res.truncated = true;
+        return res;
+      }
+      seen.emplace(next, res.markings.size());
+      res.markings.push_back(std::move(next));
+      parent.push_back(cur);
+      frontier.push_back(res.markings.size() - 1);
+      if (res.unbounded) {
+        // One witness is enough; keep exploring a little is pointless.
+        return res;
+      }
+    }
+  }
+  return res;
+}
+
+std::optional<std::uint32_t> boundedness(const PetriNet& net,
+                                         const Marking& initial,
+                                         std::size_t max_states) {
+  const auto res = explore(net, initial, max_states);
+  if (res.unbounded || res.truncated) return std::nullopt;
+  std::uint32_t k = 0;
+  for (const Marking& m : res.markings) {
+    for (std::uint32_t v : m) k = std::max(k, v);
+  }
+  return k;
+}
+
+bool has_unexpected_deadlock(const PetriNet& net, const Marking& initial,
+                             const Marking* expected_final,
+                             std::size_t max_states) {
+  const auto res = explore(net, initial, max_states);
+  for (const Marking& d : res.deadlocks) {
+    if (expected_final && d == *expected_final) continue;
+    return true;
+  }
+  return false;
+}
+
+std::vector<TransitionId> dead_transitions(const PetriNet& net,
+                                           const Marking& initial,
+                                           std::size_t max_states) {
+  const auto res = explore(net, initial, max_states);
+  std::vector<TransitionId> dead;
+  for (TransitionId t = 0; t < res.fireable.size(); ++t) {
+    if (!res.fireable[t]) dead.push_back(t);
+  }
+  return dead;
+}
+
+bool holds_p_invariant(const PetriNet& net, const Marking& initial,
+                       const std::vector<std::int64_t>& weights,
+                       std::size_t max_states) {
+  if (weights.size() != net.place_count()) return false;
+  const auto res = explore(net, initial, max_states);
+  auto dot = [&](const Marking& m) {
+    std::int64_t s = 0;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      s += weights[i] * static_cast<std::int64_t>(m[i]);
+    }
+    return s;
+  };
+  const std::int64_t expected = dot(initial);
+  return std::all_of(res.markings.begin(), res.markings.end(),
+                     [&](const Marking& m) { return dot(m) == expected; });
+}
+
+bool is_structural_p_invariant(const PetriNet& net,
+                               const std::vector<std::int64_t>& weights) {
+  if (weights.size() != net.place_count()) return false;
+  // For every transition, the weighted token change must be zero.
+  for (TransitionId t = 0; t < net.transition_count(); ++t) {
+    std::int64_t delta = 0;
+    for (const auto& a : net.inputs(t)) {
+      if (a.kind == ArcKind::kNormal) {
+        delta -= weights[a.place] * static_cast<std::int64_t>(a.weight);
+      }
+    }
+    for (const auto& a : net.outputs(t)) {
+      delta += weights[a.place] * static_cast<std::int64_t>(a.weight);
+    }
+    if (delta != 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::int64_t> marking_delta(
+    const PetriNet& net, const std::vector<std::int64_t>& counts) {
+  std::vector<std::int64_t> delta(net.place_count(), 0);
+  const std::size_t n = std::min(counts.size(), net.transition_count());
+  for (TransitionId t = 0; t < n; ++t) {
+    if (counts[t] == 0) continue;
+    for (const auto& a : net.inputs(t)) {
+      if (a.kind == ArcKind::kNormal) {
+        delta[a.place] -= counts[t] * static_cast<std::int64_t>(a.weight);
+      }
+    }
+    for (const auto& a : net.outputs(t)) {
+      delta[a.place] += counts[t] * static_cast<std::int64_t>(a.weight);
+    }
+  }
+  return delta;
+}
+
+bool is_structural_t_invariant(const PetriNet& net,
+                               const std::vector<std::int64_t>& counts) {
+  if (counts.size() != net.transition_count()) return false;
+  const auto delta = marking_delta(net, counts);
+  return std::all_of(delta.begin(), delta.end(),
+                     [](std::int64_t d) { return d == 0; });
+}
+
+}  // namespace lod::core

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lod/core/petri.hpp"
+
+/// \file analysis.hpp
+/// Structural and behavioural analysis of Petri nets.
+///
+/// The paper leans on the Petri net literature (Murata [1], Peterson [2]) for
+/// "both practice and theory": a synchronization model is only trustworthy if
+/// its net is bounded (buffers cannot blow up), deadlock-free along intended
+/// runs, and free of dead transitions (every media object can actually be
+/// presented). These checks run in tests over every net the builders emit.
+
+namespace lod::core {
+
+/// Result of exploring the reachability set from an initial marking.
+struct ReachabilityResult {
+  /// All distinct markings found (bounded exploration).
+  std::vector<Marking> markings;
+  /// True if exploration was cut off by the state limit.
+  bool truncated{false};
+  /// True if a strictly-covering marking was found on a path — the classic
+  /// witness that the net is UNbounded.
+  bool unbounded{false};
+  /// Reachable markings in which no transition is enabled.
+  std::vector<Marking> deadlocks;
+  /// transition -> fired at least once somewhere in the explored graph.
+  std::vector<bool> fireable;
+};
+
+/// Explore reachable markings by BFS.
+/// \param max_states  exploration cap; `truncated` reports if it was hit.
+ReachabilityResult explore(const PetriNet& net, const Marking& initial,
+                           std::size_t max_states = 100'000);
+
+/// Is the net k-bounded from \p initial? Returns the smallest bound found,
+/// or nullopt if the net is unbounded / exploration truncated.
+std::optional<std::uint32_t> boundedness(const PetriNet& net,
+                                         const Marking& initial,
+                                         std::size_t max_states = 100'000);
+
+/// Does some reachable marking deadlock (no transition enabled)?
+/// Note: for presentation nets the FINAL marking is an intended deadlock;
+/// callers pass it via \p expected_final so it is not reported.
+bool has_unexpected_deadlock(const PetriNet& net, const Marking& initial,
+                             const Marking* expected_final = nullptr,
+                             std::size_t max_states = 100'000);
+
+/// Transitions that can never fire from \p initial (dead transitions, L0).
+std::vector<TransitionId> dead_transitions(const PetriNet& net,
+                                           const Marking& initial,
+                                           std::size_t max_states = 100'000);
+
+/// Verify a P-invariant: weights . marking is constant over the reachability
+/// set. \p weights has one entry per place.
+bool holds_p_invariant(const PetriNet& net, const Marking& initial,
+                       const std::vector<std::int64_t>& weights,
+                       std::size_t max_states = 100'000);
+
+/// Check a structural P-invariant candidate against the incidence matrix
+/// (weights^T * C == 0); does not require exploration.
+bool is_structural_p_invariant(const PetriNet& net,
+                               const std::vector<std::int64_t>& weights);
+
+/// Check a T-invariant candidate: firing each transition x[t] times returns
+/// the net to its starting marking (C * x == 0). One entry per transition.
+/// T-invariants certify reproducible presentation cycles (e.g. a looping
+/// kiosk playout, or the floor acquire/release cycle).
+bool is_structural_t_invariant(const PetriNet& net,
+                               const std::vector<std::int64_t>& counts);
+
+/// Compute the marking change of firing each transition `counts[t]` times
+/// (C * x); zero everywhere iff `counts` is a T-invariant.
+std::vector<std::int64_t> marking_delta(const PetriNet& net,
+                                        const std::vector<std::int64_t>& counts);
+
+}  // namespace lod::core

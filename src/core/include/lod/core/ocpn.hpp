@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lod/core/timed.hpp"
+
+/// \file ocpn.hpp
+/// Object Composition Petri Nets from temporal specifications.
+///
+/// OCPN [4] is "a comprehensive model for specifying timing relations among
+/// multimedia data": any multimedia presentation can be written as a tree of
+/// the 13 Allen interval relations (7 canonical forms + inverses) over media
+/// objects, and compiled into a timed Petri net whose playout realizes
+/// exactly those intervals. This header provides the specification tree and
+/// the compiler. The XOCPN and extended-timed-net layers decorate the result
+/// rather than rebuilding it.
+
+namespace lod::core {
+
+/// The seven canonical Allen relations (inverses are expressed by swapping
+/// operands). `kBefore` takes an explicit gap; `kOverlaps`, `kDuring` and
+/// `kFinishes` take/derive a lead offset for the second operand.
+enum class Relation : std::uint8_t {
+  kBefore,    ///< a then gap then b
+  kMeets,     ///< a then b, no gap
+  kOverlaps,  ///< b starts `offset` after a starts, while a is active
+  kDuring,    ///< b runs inside a, starting `offset` after a
+  kStarts,    ///< a and b start together
+  kFinishes,  ///< a and b end together
+  kEquals,    ///< a and b start together (and should end together)
+};
+
+std::string to_string(Relation r);
+
+/// A temporal specification: a leaf media object or a relation over two
+/// sub-specifications. Immutable once built; cheap to share.
+class TemporalSpec {
+ public:
+  /// Leaf: one media object presented for \p duration.
+  static TemporalSpec object(std::string name, std::uint8_t media_type,
+                             SimDuration duration,
+                             std::int64_t required_bps = 0);
+
+  /// Node: relation over two sub-specs. \p param is the gap (kBefore) or the
+  /// start offset of b (kOverlaps / kDuring); ignored for the others.
+  static TemporalSpec relate(Relation r, TemporalSpec a, TemporalSpec b,
+                             SimDuration param = {});
+
+  bool is_leaf() const { return node_ == nullptr; }
+  /// Total presentation duration of this (sub)spec.
+  SimDuration duration() const;
+
+  // Leaf accessors (valid only when is_leaf()).
+  const std::string& name() const { return leaf_.object_name; }
+  const MediaBinding& binding() const { return leaf_; }
+
+  // Node accessors (valid only when !is_leaf()); defined after Node below.
+  Relation relation() const;
+  const TemporalSpec& lhs() const;
+  const TemporalSpec& rhs() const;
+  SimDuration param() const;
+
+  /// Expected interval of every leaf object, per the definition of the
+  /// relations (independent of any Petri net) — the oracle tests and benches
+  /// validate playout against.
+  std::unordered_map<std::string, PlaceInterval> expected_intervals() const;
+
+  /// Count of leaf objects.
+  std::size_t object_count() const;
+
+ private:
+  struct Node;  // defined after the class: it holds TemporalSpec members
+
+  TemporalSpec() = default;
+
+  MediaBinding leaf_{};
+  SimDuration leaf_duration_{};
+  std::shared_ptr<const Node> node_;
+
+  void collect(SimDuration origin,
+               std::unordered_map<std::string, PlaceInterval>& out) const;
+  /// Start offsets of the two children relative to this node's origin.
+  std::pair<SimDuration, SimDuration> child_offsets() const;
+};
+
+struct TemporalSpec::Node {
+  Relation rel;
+  TemporalSpec a;
+  TemporalSpec b;
+  SimDuration param;
+};
+
+inline Relation TemporalSpec::relation() const { return node_->rel; }
+inline const TemporalSpec& TemporalSpec::lhs() const { return node_->a; }
+inline const TemporalSpec& TemporalSpec::rhs() const { return node_->b; }
+inline SimDuration TemporalSpec::param() const { return node_->param; }
+
+/// A compiled OCPN: the timed net plus its entry/exit interface.
+struct CompiledOcpn {
+  TimedPetriNet net;
+  /// Put one token here and play() to run the presentation.
+  PlaceId source{0};
+  /// Holds exactly one token when the presentation has completed.
+  PlaceId sink{0};
+  /// Leaf object name -> the timed place presenting it.
+  std::unordered_map<std::string, PlaceId> object_place;
+
+  Marking initial_marking() const {
+    Marking m(net.place_count(), 0);
+    m[source] = 1;
+    return m;
+  }
+};
+
+/// Compile a temporal specification to an OCPN.
+CompiledOcpn build_ocpn(const TemporalSpec& spec);
+
+}  // namespace lod::core

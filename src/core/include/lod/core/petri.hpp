@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file petri.hpp
+/// The place/transition Petri net kernel.
+///
+/// "The concept of our model is based on the Petri net" (§1). Everything the
+/// paper layers on — timed places (OCPN), communication channels (XOCPN) and
+/// its own extended timed net — shares this kernel: places, transitions,
+/// weighted arcs (plus inhibitor arcs, needed for floor-control arbitration),
+/// markings, the enabling rule and the firing rule.
+///
+/// The kernel is deliberately untimed and deterministic; timing semantics
+/// live in timed.hpp, and analysis (reachability, boundedness, liveness)
+/// in analysis.hpp.
+
+namespace lod::core {
+
+using PlaceId = std::uint32_t;
+using TransitionId = std::uint32_t;
+
+/// Arc polarity. An inhibitor arc enables its transition only when the source
+/// place is EMPTY (strictly: holds fewer tokens than the arc weight).
+enum class ArcKind : std::uint8_t { kNormal, kInhibitor };
+
+/// A marking: tokens per place, indexed by PlaceId.
+using Marking = std::vector<std::uint32_t>;
+
+/// A plain place/transition net. Structure is append-only: places,
+/// transitions and arcs can be added but not removed, which keeps ids stable
+/// for every layer built on top.
+class PetriNet {
+ public:
+  /// Add a place. \p capacity bounds tokens (0 = unbounded); firing a
+  /// transition that would overflow a bounded place is disabled.
+  PlaceId add_place(std::string name, std::uint32_t capacity = 0);
+
+  /// Add a transition.
+  TransitionId add_transition(std::string name);
+
+  /// Arc place -> transition (input arc). Inhibitor arcs are input-only.
+  void add_input(PlaceId p, TransitionId t, std::uint32_t weight = 1,
+                 ArcKind kind = ArcKind::kNormal);
+  /// Arc transition -> place (output arc).
+  void add_output(TransitionId t, PlaceId p, std::uint32_t weight = 1);
+
+  std::size_t place_count() const { return places_.size(); }
+  std::size_t transition_count() const { return transitions_.size(); }
+  const std::string& place_name(PlaceId p) const { return places_.at(p).name; }
+  const std::string& transition_name(TransitionId t) const {
+    return transitions_.at(t).name;
+  }
+  std::uint32_t place_capacity(PlaceId p) const {
+    return places_.at(p).capacity;
+  }
+
+  /// Look up by name (first match); nullopt if absent.
+  std::optional<PlaceId> find_place(std::string_view name) const;
+  std::optional<TransitionId> find_transition(std::string_view name) const;
+
+  /// Transition priority, after the prioritized Petri nets of Guan et al.
+  /// [13] that the paper cites for distributed multimedia: among enabled
+  /// transitions in conflict, HIGHER priority fires first (ties: lower id).
+  /// Default priority is 0; priorities only order conflicts — they never
+  /// enable or disable anything.
+  void set_priority(TransitionId t, std::int32_t priority);
+  std::int32_t priority(TransitionId t) const {
+    return transitions_.at(t).priority;
+  }
+
+  /// The enabled transitions that are maximal under the priority order —
+  /// i.e. the ones a prioritized firing rule allows to fire in \p m.
+  std::vector<TransitionId> prioritized_enabled(const Marking& m) const;
+
+  /// An all-zero marking of the right size.
+  Marking empty_marking() const { return Marking(places_.size(), 0); }
+
+  /// Is \p t enabled in \p m? (Input tokens present, inhibitors empty,
+  /// output capacities not exceeded.)
+  bool enabled(TransitionId t, const Marking& m) const;
+
+  /// All transitions enabled in \p m, in id order.
+  std::vector<TransitionId> enabled_transitions(const Marking& m) const;
+
+  /// Fire \p t in \p m, producing the successor marking.
+  /// \pre enabled(t, m) — checked; throws std::logic_error otherwise.
+  Marking fire(TransitionId t, const Marking& m) const;
+
+  /// Fire in place (faster for long runs). Same precondition.
+  void fire_in_place(TransitionId t, Marking& m) const;
+
+  struct Arc {
+    PlaceId place;
+    std::uint32_t weight;
+    ArcKind kind;
+  };
+  /// Input arcs of a transition (place -> t).
+  const std::vector<Arc>& inputs(TransitionId t) const {
+    return transitions_.at(t).inputs;
+  }
+  /// Output arcs of a transition (t -> place).
+  const std::vector<Arc>& outputs(TransitionId t) const {
+    return transitions_.at(t).outputs;
+  }
+  /// Transitions consuming from place \p p (useful for schedulers).
+  const std::vector<TransitionId>& consumers(PlaceId p) const {
+    return places_.at(p).consumers;
+  }
+  const std::vector<TransitionId>& producers(PlaceId p) const {
+    return places_.at(p).producers;
+  }
+
+  /// Render the net structure as a GraphViz dot string (debugging aid).
+  std::string to_dot(const Marking* marking = nullptr) const;
+
+ private:
+  struct PlaceRec {
+    std::string name;
+    std::uint32_t capacity;
+    std::vector<TransitionId> consumers;
+    std::vector<TransitionId> producers;
+  };
+  struct TransitionRec {
+    std::string name;
+    std::vector<Arc> inputs;
+    std::vector<Arc> outputs;
+    std::int32_t priority{0};
+  };
+
+  std::vector<PlaceRec> places_;
+  std::vector<TransitionRec> transitions_;
+};
+
+}  // namespace lod::core

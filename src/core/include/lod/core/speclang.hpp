@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "lod/core/ocpn.hpp"
+
+/// \file speclang.hpp
+/// The presentation specification language.
+///
+/// The paper's related-work section surveys authoring systems whose
+/// presentations are wired together "by a script language supporting
+/// functions, data, structure, and commands" (Authorware, Multimedia
+/// Viewer, ToolBook...). This is our equivalent: a small declarative text
+/// format that a presentation designer writes and the system compiles to a
+/// temporal specification (and from there to an OCPN / the extended net).
+///
+/// Grammar (whitespace-insensitive; `#` comments to end of line):
+///
+///   spec     := object | combo
+///   object   := TYPE NAME '(' DURATION [',' RATE] ')'
+///   combo    := 'seq'      '{' spec (spec | gap)* '}'        — meets/before
+///             | 'par'      '{' spec spec '}'                 — starts
+///             | 'equals'   '{' spec spec '}'
+///             | 'finishes' '{' spec spec '}'
+///             | 'during'   '(' DURATION ')' '{' spec spec '}'  — b inside a
+///             | 'overlaps' '(' DURATION ')' '{' spec spec '}'  — b lags a
+///   gap      := 'gap' '(' DURATION ')'
+///   TYPE     := 'video' | 'audio' | 'image' | 'text' | 'annotation'
+///   NAME     := [A-Za-z_][A-Za-z0-9_.-]*
+///   DURATION := number ('ms' | 's' | 'm' | 'h')   e.g. 90s, 1.5m, 250ms
+///   RATE     := number 'kbps'                     required channel rate
+///
+/// `seq` folds its children left-to-right with `meets` (or `before` when a
+/// gap() separates them); `par` folds with `starts`. Example:
+///
+///   seq {
+///     video intro (30s, 250kbps)
+///     gap (2s)
+///     par {
+///       video talk (10m, 250kbps)
+///       seq { image s1 (4m)  image s2 (6m) }
+///     }
+///   }
+
+namespace lod::core {
+
+/// Parse error with 1-based line/column of the offending token.
+class SpecParseError : public std::runtime_error {
+ public:
+  SpecParseError(std::string message, int line, int column);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Parse a specification text. Throws SpecParseError on malformed input and
+/// std::invalid_argument when the temporal constraints are unsatisfiable
+/// (e.g. `equals` over different durations).
+TemporalSpec parse_spec(std::string_view text);
+
+/// Render a specification back to canonical text (round-trips through
+/// parse_spec up to formatting).
+std::string format_spec(const TemporalSpec& spec, int indent = 0);
+
+}  // namespace lod::core

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lod/core/ocpn.hpp"
+
+/// \file xocpn.hpp
+/// The XOCPN decoration: resource channels for distributed presentation.
+///
+/// Woo, Qazi & Ghafoor's extended OCPN [5] "can specify temporal
+/// relationships for the presentation of pre-orchestrated multimedia data,
+/// and ... set up channels according to the required QoS of the data". We
+/// reproduce that as a decoration over a compiled OCPN:
+///
+///  1. media places are assigned to sites (which renderer shows them) and
+///     annotated with their required bandwidth, and
+///  2. a channel schedule is derived from the net's own playout: each remote
+///     object's channel must be reserved `setup_lead` before the object
+///     starts and may be released when it ends.
+///
+/// The streaming layer executes this schedule against the simulated
+/// network's admission control; the benches then compare OCPN (no
+/// reservations, best effort) against XOCPN (reserved channels).
+
+namespace lod::core {
+
+/// Per-object placement and bandwidth requirement.
+struct ObjectPlacement {
+  SiteId site{kLocalSite};
+  std::int64_t required_bps{0};
+};
+
+/// One channel the presentation needs, with its reserve/release instants in
+/// presentation time.
+struct ChannelRequirement {
+  std::string object;
+  PlaceId place{};
+  SiteId site{kLocalSite};
+  std::int64_t rate_bps{0};
+  SimDuration reserve_at{};  ///< presentation time to reserve by
+  SimDuration release_at{};  ///< presentation time the channel can drop
+};
+
+/// The full channel schedule, ordered by reserve_at.
+struct ChannelSchedule {
+  std::vector<ChannelRequirement> channels;
+  /// Peak simultaneous reserved bandwidth (for capacity planning).
+  std::int64_t peak_bps{0};
+};
+
+/// Apply placements to a compiled OCPN: sets each media place's site and
+/// required bandwidth. Objects absent from \p placement stay local.
+void apply_placement(
+    CompiledOcpn& ocpn,
+    const std::unordered_map<std::string, ObjectPlacement>& placement);
+
+/// Derive the channel schedule from the (annotated) net's deterministic
+/// playout. Only objects with site != kLocalSite and required_bps > 0 get
+/// channels. \p setup_lead is how far ahead of first use the channel must be
+/// up (clamped at presentation time 0).
+ChannelSchedule derive_channel_schedule(const CompiledOcpn& ocpn,
+                                        SimDuration setup_lead);
+
+}  // namespace lod::core

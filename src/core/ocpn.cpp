@@ -1,0 +1,239 @@
+#include "lod/core/ocpn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lod::core {
+
+std::string to_string(Relation r) {
+  switch (r) {
+    case Relation::kBefore: return "before";
+    case Relation::kMeets: return "meets";
+    case Relation::kOverlaps: return "overlaps";
+    case Relation::kDuring: return "during";
+    case Relation::kStarts: return "starts";
+    case Relation::kFinishes: return "finishes";
+    case Relation::kEquals: return "equals";
+  }
+  return "?";
+}
+
+TemporalSpec TemporalSpec::object(std::string name, std::uint8_t media_type,
+                                  SimDuration duration,
+                                  std::int64_t required_bps) {
+  TemporalSpec s;
+  s.leaf_.object_name = std::move(name);
+  s.leaf_.media_type = media_type;
+  s.leaf_.required_bps = required_bps;
+  s.leaf_duration_ = duration;
+  return s;
+}
+
+TemporalSpec TemporalSpec::relate(Relation r, TemporalSpec a, TemporalSpec b,
+                                  SimDuration param) {
+  // Validate relation-specific constraints eagerly: a spec that cannot be
+  // realized should fail at construction, not at playout.
+  const SimDuration da = a.duration();
+  const SimDuration db = b.duration();
+  switch (r) {
+    case Relation::kBefore:
+      if (param.us < 0) throw std::invalid_argument("before: negative gap");
+      break;
+    case Relation::kMeets:
+      param = {};
+      break;
+    case Relation::kOverlaps:
+      if (param.us <= 0 || param >= da) {
+        throw std::invalid_argument("overlaps: offset must fall inside a");
+      }
+      if (param + db <= da) {
+        throw std::invalid_argument("overlaps: b must outlast a");
+      }
+      break;
+    case Relation::kDuring:
+      if (param.us < 0 || param + db > da) {
+        throw std::invalid_argument("during: b must fit inside a");
+      }
+      break;
+    case Relation::kStarts:
+      param = {};
+      break;
+    case Relation::kFinishes:
+      if (db > da) throw std::invalid_argument("finishes: b longer than a");
+      param = da - db;
+      break;
+    case Relation::kEquals:
+      if (da != db) throw std::invalid_argument("equals: durations differ");
+      param = {};
+      break;
+  }
+  TemporalSpec s;
+  s.node_ = std::make_shared<Node>(Node{r, std::move(a), std::move(b), param});
+  return s;
+}
+
+SimDuration TemporalSpec::duration() const {
+  if (is_leaf()) return leaf_duration_;
+  const SimDuration da = node_->a.duration();
+  const SimDuration db = node_->b.duration();
+  switch (node_->rel) {
+    case Relation::kBefore:
+      return da + node_->param + db;
+    case Relation::kMeets:
+      return da + db;
+    case Relation::kOverlaps:
+    case Relation::kDuring:
+      return std::max(da, node_->param + db);
+    case Relation::kStarts:
+    case Relation::kEquals:
+      return std::max(da, db);
+    case Relation::kFinishes:
+      return da;  // param = da - db by construction
+  }
+  return da;
+}
+
+std::pair<SimDuration, SimDuration> TemporalSpec::child_offsets() const {
+  switch (node_->rel) {
+    case Relation::kBefore:
+      return {SimDuration{0}, node_->a.duration() + node_->param};
+    case Relation::kMeets:
+      return {SimDuration{0}, node_->a.duration()};
+    case Relation::kOverlaps:
+    case Relation::kDuring:
+    case Relation::kFinishes:
+      return {SimDuration{0}, node_->param};
+    case Relation::kStarts:
+    case Relation::kEquals:
+      return {SimDuration{0}, SimDuration{0}};
+  }
+  return {SimDuration{0}, SimDuration{0}};
+}
+
+void TemporalSpec::collect(
+    SimDuration origin,
+    std::unordered_map<std::string, PlaceInterval>& out) const {
+  if (is_leaf()) {
+    out[leaf_.object_name] =
+        PlaceInterval{0, origin, origin + leaf_duration_};
+    return;
+  }
+  const auto [oa, ob] = child_offsets();
+  node_->a.collect(origin + oa, out);
+  node_->b.collect(origin + ob, out);
+}
+
+std::unordered_map<std::string, PlaceInterval>
+TemporalSpec::expected_intervals() const {
+  std::unordered_map<std::string, PlaceInterval> out;
+  collect(SimDuration{0}, out);
+  return out;
+}
+
+std::size_t TemporalSpec::object_count() const {
+  if (is_leaf()) return 1;
+  return node_->a.object_count() + node_->b.object_count();
+}
+
+// --- compiler ---------------------------------------------------------------
+
+namespace {
+
+/// Recursive compilation: each (sub)spec becomes a subnet with an entry
+/// transition and an exit transition. Parallel relations join at the exit,
+/// which therefore fires at the slowest branch; delay places realize start
+/// offsets. Branch tails are padded with a slack place so the join never
+/// *shifts* a leaf's interval — the leaf timing is realized purely by leads,
+/// exactly as the relation defines.
+struct Compiler {
+  TimedPetriNet& net;
+  std::unordered_map<std::string, PlaceId>& object_place;
+  int fresh{0};
+
+  std::string gensym(const std::string& base) {
+    return base + "$" + std::to_string(fresh++);
+  }
+
+  /// Returns {entry transition, exit transition}.
+  std::pair<TransitionId, TransitionId> compile(const TemporalSpec& s) {
+    if (s.is_leaf()) {
+      const TransitionId tin = net.add_transition(gensym("start_" + s.name()));
+      const TransitionId tout = net.add_transition(gensym("end_" + s.name()));
+      const PlaceId p =
+          net.add_timed_place("obj_" + s.name(), s.duration(), s.binding());
+      net.add_input(p, tout);
+      net.add_output(tin, p);
+      object_place[s.name()] = p;
+      return {tin, tout};
+    }
+
+    const auto [off_a, off_b] = [&] {
+      switch (s.relation()) {
+        case Relation::kBefore:
+        case Relation::kMeets:
+          return std::pair<SimDuration, SimDuration>{{}, {}};
+        default:
+          break;
+      }
+      // parallel relations: leads relative to shared entry
+      const SimDuration da = s.lhs().duration();
+      const SimDuration db = s.rhs().duration();
+      switch (s.relation()) {
+        case Relation::kOverlaps:
+        case Relation::kDuring:
+          return std::pair<SimDuration, SimDuration>{{}, s.param()};
+        case Relation::kFinishes:
+          return std::pair<SimDuration, SimDuration>{{}, da - db};
+        default:
+          return std::pair<SimDuration, SimDuration>{{}, {}};
+      }
+    }();
+
+    const auto [a_in, a_out] = compile(s.lhs());
+    const auto [b_in, b_out] = compile(s.rhs());
+
+    if (s.relation() == Relation::kBefore || s.relation() == Relation::kMeets) {
+      // Sequential: a's exit feeds b's entry through a gap place.
+      const PlaceId gap = net.add_timed_place(gensym("gap"), s.param());
+      net.add_output(a_out, gap);
+      net.add_input(gap, b_in);
+      return {a_in, b_out};
+    }
+
+    // Parallel: shared entry/exit transitions around both branches.
+    const TransitionId tin = net.add_transition(gensym("fork"));
+    const TransitionId tout = net.add_transition(gensym("join"));
+
+    auto attach = [&](TransitionId child_in, TransitionId child_out,
+                      SimDuration lead, SimDuration slack) {
+      const PlaceId pl = net.add_timed_place(gensym("lead"), lead);
+      net.add_output(tin, pl);
+      net.add_input(pl, child_in);
+      const PlaceId ps = net.add_timed_place(gensym("slack"), slack);
+      net.add_output(child_out, ps);
+      net.add_input(ps, tout);
+    };
+
+    const SimDuration total = s.duration();
+    const SimDuration slack_a = total - (off_a + s.lhs().duration());
+    const SimDuration slack_b = total - (off_b + s.rhs().duration());
+    attach(a_in, a_out, off_a, slack_a);
+    attach(b_in, b_out, off_b, slack_b);
+    return {tin, tout};
+  }
+};
+
+}  // namespace
+
+CompiledOcpn build_ocpn(const TemporalSpec& spec) {
+  CompiledOcpn out;
+  Compiler c{out.net, out.object_place, 0};
+  const auto [tin, tout] = c.compile(spec);
+  out.source = out.net.add_timed_place("source", SimDuration{0});
+  out.sink = out.net.add_timed_place("sink", SimDuration{0});
+  out.net.add_input(out.source, tin);
+  out.net.add_output(tout, out.sink);
+  return out;
+}
+
+}  // namespace lod::core

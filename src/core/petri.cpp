@@ -1,0 +1,160 @@
+#include "lod/core/petri.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace lod::core {
+
+PlaceId PetriNet::add_place(std::string name, std::uint32_t capacity) {
+  const PlaceId id = static_cast<PlaceId>(places_.size());
+  places_.push_back(PlaceRec{std::move(name), capacity, {}, {}});
+  return id;
+}
+
+TransitionId PetriNet::add_transition(std::string name) {
+  const TransitionId id = static_cast<TransitionId>(transitions_.size());
+  transitions_.push_back(TransitionRec{std::move(name), {}, {}});
+  return id;
+}
+
+void PetriNet::add_input(PlaceId p, TransitionId t, std::uint32_t weight,
+                         ArcKind kind) {
+  if (p >= places_.size() || t >= transitions_.size() || weight == 0) {
+    throw std::invalid_argument("add_input: bad arc");
+  }
+  transitions_[t].inputs.push_back(Arc{p, weight, kind});
+  if (kind == ArcKind::kNormal) places_[p].consumers.push_back(t);
+}
+
+void PetriNet::add_output(TransitionId t, PlaceId p, std::uint32_t weight) {
+  if (p >= places_.size() || t >= transitions_.size() || weight == 0) {
+    throw std::invalid_argument("add_output: bad arc");
+  }
+  transitions_[t].outputs.push_back(Arc{p, weight, ArcKind::kNormal});
+  places_[p].producers.push_back(t);
+}
+
+std::optional<PlaceId> PetriNet::find_place(std::string_view name) const {
+  for (PlaceId i = 0; i < places_.size(); ++i) {
+    if (places_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<TransitionId> PetriNet::find_transition(
+    std::string_view name) const {
+  for (TransitionId i = 0; i < transitions_.size(); ++i) {
+    if (transitions_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool PetriNet::enabled(TransitionId t, const Marking& m) const {
+  if (t >= transitions_.size()) return false;
+  if (m.size() != places_.size()) {
+    throw std::invalid_argument("enabled: marking size mismatch");
+  }
+  const TransitionRec& tr = transitions_[t];
+  for (const Arc& a : tr.inputs) {
+    if (a.kind == ArcKind::kInhibitor) {
+      if (m[a.place] >= a.weight) return false;
+    } else {
+      if (m[a.place] < a.weight) return false;
+    }
+  }
+  // Capacity check on outputs. A place both consumed from and produced to
+  // nets out; we use the simple (strong) rule: post-fire count must fit.
+  for (const Arc& a : tr.outputs) {
+    const std::uint32_t cap = places_[a.place].capacity;
+    if (cap == 0) continue;
+    std::uint32_t consumed = 0;
+    for (const Arc& in : tr.inputs) {
+      if (in.kind == ArcKind::kNormal && in.place == a.place) {
+        consumed += in.weight;
+      }
+    }
+    if (m[a.place] - consumed + a.weight > cap) return false;
+  }
+  return true;
+}
+
+void PetriNet::set_priority(TransitionId t, std::int32_t priority) {
+  if (t >= transitions_.size()) {
+    throw std::invalid_argument("set_priority: bad transition");
+  }
+  transitions_[t].priority = priority;
+}
+
+std::vector<TransitionId> PetriNet::prioritized_enabled(
+    const Marking& m) const {
+  std::vector<TransitionId> enabled = enabled_transitions(m);
+  if (enabled.empty()) return enabled;
+  std::int32_t best = transitions_[enabled.front()].priority;
+  for (TransitionId t : enabled) {
+    best = std::max(best, transitions_[t].priority);
+  }
+  std::vector<TransitionId> out;
+  for (TransitionId t : enabled) {
+    if (transitions_[t].priority == best) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TransitionId> PetriNet::enabled_transitions(
+    const Marking& m) const {
+  std::vector<TransitionId> out;
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    if (enabled(t, m)) out.push_back(t);
+  }
+  return out;
+}
+
+Marking PetriNet::fire(TransitionId t, const Marking& m) const {
+  Marking next = m;
+  fire_in_place(t, next);
+  return next;
+}
+
+void PetriNet::fire_in_place(TransitionId t, Marking& m) const {
+  if (!enabled(t, m)) {
+    throw std::logic_error("fire: transition '" + transitions_.at(t).name +
+                           "' not enabled");
+  }
+  const TransitionRec& tr = transitions_[t];
+  for (const Arc& a : tr.inputs) {
+    if (a.kind == ArcKind::kNormal) m[a.place] -= a.weight;
+  }
+  for (const Arc& a : tr.outputs) m[a.place] += a.weight;
+}
+
+std::string PetriNet::to_dot(const Marking* marking) const {
+  std::ostringstream os;
+  os << "digraph petri {\n  rankdir=LR;\n";
+  for (PlaceId p = 0; p < places_.size(); ++p) {
+    os << "  p" << p << " [shape=circle,label=\"" << places_[p].name;
+    if (marking && p < marking->size() && (*marking)[p] > 0) {
+      os << "\\n(" << (*marking)[p] << ")";
+    }
+    os << "\"];\n";
+  }
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    os << "  t" << t << " [shape=box,label=\"" << transitions_[t].name
+       << "\"];\n";
+    for (const Arc& a : transitions_[t].inputs) {
+      os << "  p" << a.place << " -> t" << t;
+      if (a.kind == ArcKind::kInhibitor) os << " [arrowhead=odot]";
+      else if (a.weight > 1) os << " [label=\"" << a.weight << "\"]";
+      os << ";\n";
+    }
+    for (const Arc& a : transitions_[t].outputs) {
+      os << "  t" << t << " -> p" << a.place;
+      if (a.weight > 1) os << " [label=\"" << a.weight << "\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lod::core

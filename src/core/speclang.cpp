@@ -1,0 +1,352 @@
+#include "lod/core/speclang.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace lod::core {
+
+SpecParseError::SpecParseError(std::string message, int line, int column)
+    : std::runtime_error(message + " (line " + std::to_string(line) +
+                         ", column " + std::to_string(column) + ")"),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+/// TYPE keyword <-> media-type code (mirrors lod::media::MediaType).
+constexpr std::pair<const char*, std::uint8_t> kTypes[] = {
+    {"video", 0}, {"audio", 1}, {"image", 2}, {"text", 3}, {"annotation", 4}};
+
+const char* type_name(std::uint8_t code) {
+  for (const auto& [name, c] : kTypes) {
+    if (c == code) return name;
+  }
+  return "video";
+}
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kLBrace, kRBrace, kLParen, kRParen,
+                    kComma, kEnd };
+  Kind kind{Kind::kEnd};
+  std::string text;   // ident text
+  double number{0};   // number value
+  std::string suffix; // unit letters glued to a number ("s", "ms", "kbps")
+  int line{1};
+  int column{1};
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_ws_and_comments();
+    current_ = Token{};
+    current_.line = line_;
+    current_.column = column_;
+    if (pos_ >= text_.size()) {
+      current_.kind = Token::Kind::kEnd;
+      return;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': current_.kind = Token::Kind::kLBrace; bump(); return;
+      case '}': current_.kind = Token::Kind::kRBrace; bump(); return;
+      case '(': current_.kind = Token::Kind::kLParen; bump(); return;
+      case ')': current_.kind = Token::Kind::kRParen; bump(); return;
+      case ',': current_.kind = Token::Kind::kComma; bump(); return;
+      default: break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::string num;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        num.push_back(text_[pos_]);
+        bump();
+      }
+      std::string suffix;
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        suffix.push_back(text_[pos_]);
+        bump();
+      }
+      current_.kind = Token::Kind::kNumber;
+      current_.number = std::stod(num);
+      current_.suffix = std::move(suffix);
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string id;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '.' || text_[pos_] == '-')) {
+        id.push_back(text_[pos_]);
+        bump();
+      }
+      current_.kind = Token::Kind::kIdent;
+      current_.text = std::move(id);
+      return;
+    }
+    throw SpecParseError(std::string("unexpected character '") + c + "'",
+                         line_, column_);
+  }
+
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') bump();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        bump();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void bump() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+  int line_{1};
+  int column_{1};
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lex_(text) {}
+
+  TemporalSpec parse() {
+    TemporalSpec s = parse_spec();
+    expect_end();
+    return s;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg, const Token& at) {
+    throw SpecParseError(msg, at.line, at.column);
+  }
+
+  Token expect(Token::Kind kind, const char* what) {
+    Token t = lex_.take();
+    if (t.kind != kind) fail(std::string("expected ") + what, t);
+    return t;
+  }
+
+  void expect_end() {
+    const Token& t = lex_.peek();
+    if (t.kind != Token::Kind::kEnd) {
+      fail("trailing input after specification", t);
+    }
+  }
+
+  net::SimDuration parse_duration() {
+    Token t = expect(Token::Kind::kNumber, "a duration like 30s");
+    double us;
+    if (t.suffix == "ms") us = t.number * 1e3;
+    else if (t.suffix == "s") us = t.number * 1e6;
+    else if (t.suffix == "m") us = t.number * 60e6;
+    else if (t.suffix == "h") us = t.number * 3600e6;
+    else fail("duration needs a unit: ms, s, m or h", t);
+    return net::SimDuration{static_cast<std::int64_t>(std::llround(us))};
+  }
+
+  TemporalSpec parse_spec() {
+    const Token t = lex_.peek();
+    if (t.kind != Token::Kind::kIdent) fail("expected a specification", t);
+
+    // Leaf object?
+    for (const auto& [name, code] : kTypes) {
+      if (t.text == name) return parse_object(code);
+    }
+    if (t.text == "seq") return parse_seq();
+    if (t.text == "par") return parse_binary(Relation::kStarts, false);
+    if (t.text == "equals") return parse_binary(Relation::kEquals, false);
+    if (t.text == "finishes") return parse_binary(Relation::kFinishes, false);
+    if (t.text == "during") return parse_binary(Relation::kDuring, true);
+    if (t.text == "overlaps") return parse_binary(Relation::kOverlaps, true);
+    fail("unknown keyword '" + t.text + "'", t);
+  }
+
+  TemporalSpec parse_object(std::uint8_t type_code) {
+    lex_.take();  // TYPE keyword
+    const Token name = expect(Token::Kind::kIdent, "an object name");
+    expect(Token::Kind::kLParen, "'('");
+    const net::SimDuration d = parse_duration();
+    std::int64_t rate_bps = 0;
+    if (lex_.peek().kind == Token::Kind::kComma) {
+      lex_.take();
+      Token r = expect(Token::Kind::kNumber, "a rate like 250kbps");
+      if (r.suffix != "kbps") fail("rate needs the kbps unit", r);
+      rate_bps = static_cast<std::int64_t>(std::llround(r.number * 1000.0));
+    }
+    expect(Token::Kind::kRParen, "')'");
+    return TemporalSpec::object(name.text, type_code, d, rate_bps);
+  }
+
+  TemporalSpec parse_seq() {
+    const Token kw = lex_.take();  // 'seq'
+    expect(Token::Kind::kLBrace, "'{'");
+    std::vector<TemporalSpec> items;
+    std::vector<net::SimDuration> gap_before;  // gap preceding item i (i>=1)
+    net::SimDuration pending_gap{};
+    bool saw_gap = false;
+    while (lex_.peek().kind != Token::Kind::kRBrace) {
+      const Token t = lex_.peek();
+      if (t.kind == Token::Kind::kIdent && t.text == "gap") {
+        lex_.take();
+        expect(Token::Kind::kLParen, "'('");
+        pending_gap += parse_duration();
+        saw_gap = true;
+        expect(Token::Kind::kRParen, "')'");
+        if (items.empty()) fail("gap() cannot open a seq block", t);
+        continue;
+      }
+      TemporalSpec item = parse_spec();
+      if (!items.empty()) gap_before.push_back(pending_gap);
+      if (items.empty() && saw_gap) fail("gap() cannot open a seq block", t);
+      pending_gap = {};
+      saw_gap = false;
+      items.push_back(std::move(item));
+    }
+    lex_.take();  // '}'
+    if (saw_gap) {
+      fail("gap() cannot close a seq block", kw);
+    }
+    if (items.empty()) fail("seq block needs at least one item", kw);
+    TemporalSpec out = std::move(items[0]);
+    for (std::size_t i = 1; i < items.size(); ++i) {
+      const net::SimDuration g = gap_before[i - 1];
+      out = g.us > 0 ? TemporalSpec::relate(Relation::kBefore, std::move(out),
+                                            std::move(items[i]), g)
+                     : TemporalSpec::relate(Relation::kMeets, std::move(out),
+                                            std::move(items[i]));
+    }
+    return out;
+  }
+
+  TemporalSpec parse_binary(Relation rel, bool takes_param) {
+    const Token kw = lex_.take();  // keyword
+    net::SimDuration param{};
+    if (takes_param) {
+      expect(Token::Kind::kLParen, "'('");
+      param = parse_duration();
+      expect(Token::Kind::kRParen, "')'");
+    }
+    expect(Token::Kind::kLBrace, "'{'");
+    TemporalSpec a = parse_spec();
+    TemporalSpec b = parse_spec();
+    const Token close = lex_.take();
+    if (close.kind != Token::Kind::kRBrace) {
+      fail(std::string(to_string(rel)) + " block takes exactly two items",
+           close);
+    }
+    (void)kw;
+    return TemporalSpec::relate(rel, std::move(a), std::move(b), param);
+  }
+
+  Lexer lex_;
+};
+
+std::string duration_text(net::SimDuration d) {
+  std::ostringstream os;
+  if (d.us % 1'000'000 == 0) os << d.us / 1'000'000 << "s";
+  else if (d.us % 1000 == 0) os << d.us / 1000 << "ms";
+  else os << d.us << "ms";  // sub-ms rounds for display; parse re-reads ms
+  return os.str();
+}
+
+void format_rec(const TemporalSpec& s, std::ostringstream& os, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (s.is_leaf()) {
+    os << pad << type_name(s.binding().media_type) << " " << s.name() << " ("
+       << duration_text(s.duration());
+    if (s.binding().required_bps > 0) {
+      os << ", " << s.binding().required_bps / 1000 << "kbps";
+    }
+    os << ")\n";
+    return;
+  }
+  switch (s.relation()) {
+    case Relation::kMeets:
+    case Relation::kBefore: {
+      // Flatten left-nested meets/before chains into one seq block.
+      os << pad << "seq {\n";
+      std::vector<const TemporalSpec*> chain;
+      std::vector<net::SimDuration> gaps;
+      const TemporalSpec* cur = &s;
+      while (!cur->is_leaf() && (cur->relation() == Relation::kMeets ||
+                                 cur->relation() == Relation::kBefore)) {
+        chain.push_back(&cur->rhs());
+        gaps.push_back(cur->relation() == Relation::kBefore
+                           ? cur->param()
+                           : net::SimDuration{});
+        cur = &cur->lhs();
+      }
+      format_rec(*cur, os, indent + 1);
+      for (std::size_t i = chain.size(); i-- > 0;) {
+        if (gaps[i].us > 0) {
+          os << pad << "  gap (" << duration_text(gaps[i]) << ")\n";
+        }
+        format_rec(*chain[i], os, indent + 1);
+      }
+      os << pad << "}\n";
+      return;
+    }
+    case Relation::kStarts:
+      os << pad << "par {\n";
+      break;
+    case Relation::kEquals:
+      os << pad << "equals {\n";
+      break;
+    case Relation::kFinishes:
+      os << pad << "finishes {\n";
+      break;
+    case Relation::kDuring:
+      os << pad << "during (" << duration_text(s.param()) << ") {\n";
+      break;
+    case Relation::kOverlaps:
+      os << pad << "overlaps (" << duration_text(s.param()) << ") {\n";
+      break;
+    default:
+      break;
+  }
+  format_rec(s.lhs(), os, indent + 1);
+  format_rec(s.rhs(), os, indent + 1);
+  os << pad << "}\n";
+}
+
+}  // namespace
+
+TemporalSpec parse_spec(std::string_view text) {
+  Parser p(text);
+  return p.parse();
+}
+
+std::string format_spec(const TemporalSpec& spec, int indent) {
+  std::ostringstream os;
+  format_rec(spec, os, indent);
+  return os.str();
+}
+
+}  // namespace lod::core

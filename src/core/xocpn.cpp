@@ -1,0 +1,64 @@
+#include "lod/core/xocpn.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace lod::core {
+
+void apply_placement(
+    CompiledOcpn& ocpn,
+    const std::unordered_map<std::string, ObjectPlacement>& placement) {
+  for (const auto& [name, pl] : placement) {
+    auto it = ocpn.object_place.find(name);
+    if (it == ocpn.object_place.end()) continue;
+    const PlaceId p = it->second;
+    ocpn.net.set_site(p, pl.site);
+    auto binding = *ocpn.net.media(p);  // copy, update, write back
+    binding.required_bps = pl.required_bps;
+    ocpn.net.set_media(p, std::move(binding));
+  }
+}
+
+ChannelSchedule derive_channel_schedule(const CompiledOcpn& ocpn,
+                                        SimDuration setup_lead) {
+  ChannelSchedule out;
+  const PlayoutTrace trace = play(ocpn.net, ocpn.initial_marking());
+
+  for (const auto& [name, place] : ocpn.object_place) {
+    const SiteId site = ocpn.net.site(place);
+    const auto& binding = ocpn.net.media(place);
+    if (site == kLocalSite || !binding || binding->required_bps <= 0) continue;
+    const auto iv = trace.interval_of(ocpn.net, name);
+    if (!iv) continue;  // object never presented (dead branch)
+
+    ChannelRequirement req;
+    req.object = name;
+    req.place = place;
+    req.site = site;
+    req.rate_bps = binding->required_bps;
+    req.reserve_at = iv->start - setup_lead;
+    if (req.reserve_at.us < 0) req.reserve_at = SimDuration{0};
+    req.release_at = iv->end;
+    out.channels.push_back(std::move(req));
+  }
+
+  std::sort(out.channels.begin(), out.channels.end(),
+            [](const ChannelRequirement& a, const ChannelRequirement& b) {
+              return a.reserve_at < b.reserve_at;
+            });
+
+  // Peak concurrent reservation via a sweep over reserve/release points.
+  std::map<std::int64_t, std::int64_t> delta;
+  for (const auto& c : out.channels) {
+    delta[c.reserve_at.us] += c.rate_bps;
+    delta[c.release_at.us] -= c.rate_bps;
+  }
+  std::int64_t cur = 0;
+  for (const auto& [t, d] : delta) {
+    cur += d;
+    out.peak_bps = std::max(out.peak_bps, cur);
+  }
+  return out;
+}
+
+}  // namespace lod::core

@@ -1,0 +1,105 @@
+#include "lod/lod/abstraction.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace lod::lod {
+
+std::string segment_media_ref(const LectureSegment& seg) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "video[%lld,%lld]s%u",
+                static_cast<long long>(seg.begin.us),
+                static_cast<long long>(seg.end.us), seg.slide);
+  return buf;
+}
+
+namespace {
+/// Inverse of segment_media_ref.
+bool parse_media_ref(const std::string& ref, net::SimDuration& begin,
+                     net::SimDuration& end, std::uint32_t& slide) {
+  long long b = 0, e = 0;
+  unsigned s = 0;
+  if (std::sscanf(ref.c_str(), "video[%lld,%lld]s%u", &b, &e, &s) != 3) {
+    return false;
+  }
+  begin = net::SimDuration{b};
+  end = net::SimDuration{e};
+  slide = s;
+  return true;
+}
+}  // namespace
+
+ContentTree build_lecture_tree(const std::vector<LectureSegment>& segments) {
+  if (segments.empty() || segments.front().level != 0) {
+    throw std::invalid_argument(
+        "build_lecture_tree: first segment must be the level-0 root");
+  }
+  ContentTree tree;
+  for (const auto& seg : segments) {
+    if (seg.end <= seg.begin) {
+      throw std::invalid_argument("build_lecture_tree: empty segment " +
+                                  seg.name);
+    }
+    contenttree::Segment node;
+    node.name = seg.name;
+    node.duration = seg.end - seg.begin;
+    node.media_ref = segment_media_ref(seg);
+    tree.add(std::move(node), seg.level);
+  }
+  return tree;
+}
+
+std::vector<PlaylistEntry> level_playlist(const ContentTree& tree, int level) {
+  std::vector<PlaylistEntry> out;
+  for (NodeId n : tree.sequence(level)) {
+    const auto& seg = tree.segment(n);
+    PlaylistEntry e;
+    e.name = seg.name;
+    if (!parse_media_ref(seg.media_ref, e.begin, e.end, e.slide)) {
+      // Trees built by hand may lack media refs; synthesize a window from
+      // the duration so the playlist still has the right total length.
+      e.begin = {};
+      e.end = seg.duration;
+      e.slide = 0;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+core::TemporalSpec level_spec(const ContentTree& tree, int level) {
+  const auto playlist = level_playlist(tree, level);
+  if (playlist.empty()) {
+    throw std::invalid_argument("level_spec: empty playlist");
+  }
+  core::TemporalSpec spec = core::TemporalSpec::object(
+      playlist[0].name, static_cast<std::uint8_t>(media::MediaType::kVideo),
+      playlist[0].end - playlist[0].begin);
+  for (std::size_t i = 1; i < playlist.size(); ++i) {
+    spec = core::TemporalSpec::relate(
+        core::Relation::kMeets, std::move(spec),
+        core::TemporalSpec::object(
+            playlist[i].name,
+            static_cast<std::uint8_t>(media::MediaType::kVideo),
+            playlist[i].end - playlist[i].begin));
+  }
+  return spec;
+}
+
+std::vector<media::asf::ScriptCommand> level_slide_commands(
+    const ContentTree& tree, int level, const std::string& url_prefix) {
+  std::vector<media::asf::ScriptCommand> out;
+  net::SimDuration t{};
+  std::uint32_t last_slide = static_cast<std::uint32_t>(-1);
+  for (const auto& e : level_playlist(tree, level)) {
+    if (e.slide != last_slide) {
+      out.push_back(media::asf::ScriptCommand{
+          t, "SLIDE", url_prefix + std::to_string(e.slide)});
+      last_slide = e.slide;
+    }
+    t += e.end - e.begin;
+  }
+  return out;
+}
+
+}  // namespace lod::lod

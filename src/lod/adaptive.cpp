@@ -1,0 +1,100 @@
+#include "lod/lod/adaptive.hpp"
+
+#include <algorithm>
+
+namespace lod::lod {
+
+MultirateResult publish_multirate(WmpsNode& node, const PublishForm& form,
+                                  const std::vector<std::string>& profiles) {
+  MultirateResult out;
+  for (const auto& profile_name : profiles) {
+    const auto profile = media::find_profile(profile_name);
+    if (!profile) {
+      out.error = "no such bandwidth profile: " + profile_name;
+      return out;
+    }
+    PublishForm f = form;
+    f.profile = profile_name;
+    f.publish_name = form.publish_name + "@" + profile_name;
+    const PublishResult res = node.publish(f);
+    if (!res.ok) {
+      out.error = res.error;
+      return out;
+    }
+    out.ladder.push_back(Rendition{res.url, profile_name, profile->total_bps});
+  }
+  std::sort(out.ladder.begin(), out.ladder.end(),
+            [](const Rendition& a, const Rendition& b) {
+              return a.total_bps > b.total_bps;
+            });
+  out.ok = !out.ladder.empty();
+  if (!out.ok) out.error = "no profiles given";
+  return out;
+}
+
+AdaptivePlayer::AdaptivePlayer(net::Network& net, net::HostId host,
+                               Options opts, media::DrmSystem* drm)
+    : net_(net), host_(host), opts_(opts), drm_(drm) {}
+
+AdaptivePlayer::~AdaptivePlayer() {
+  *alive_ = false;
+  if (timer_) net_.simulator().cancel(*timer_);
+}
+
+void AdaptivePlayer::play(net::HostId server, std::vector<Rendition> ladder,
+                          net::SimDuration from) {
+  server_ = server;
+  ladder_ = std::move(ladder);
+  index_ = 0;
+  if (ladder_.empty()) return;
+  player_ = std::make_unique<streaming::Player>(net_, host_, opts_.player,
+                                                drm_);
+  player_->open_and_play(server_, ladder_[index_].url, from);
+  stalls_at_switch_ = 0;
+  timer_ = net_.simulator().schedule_after(opts_.check_interval,
+                                           [this, alive = alive_] {
+                                             if (!*alive) return;
+                                             timer_.reset();
+                                             watchdog();
+                                           });
+}
+
+void AdaptivePlayer::watchdog() {
+  if (!player_ || player_->finished()) return;
+  const std::size_t stalls = player_->stalls().size() - stalls_at_switch_;
+  if (stalls >= opts_.stall_threshold && index_ + 1 < ladder_.size()) {
+    downshift();
+  }
+  timer_ = net_.simulator().schedule_after(opts_.check_interval,
+                                           [this, alive = alive_] {
+                                             if (!*alive) return;
+                                             timer_.reset();
+                                             watchdog();
+                                           });
+}
+
+void AdaptivePlayer::downshift() {
+  const net::SimDuration pos = player_->position();
+  Switch sw;
+  sw.at = net_.simulator().now();
+  sw.from = ladder_[index_].profile;
+  sw.position = pos;
+  ++index_;
+  sw.to = ladder_[index_].profile;
+  switches_.push_back(sw);
+
+  // Tear the old session down and reopen the lower rendition at the same
+  // position. A fresh Player keeps the old one's render history out of the
+  // new session's bookkeeping; we keep the stall baseline at zero.
+  player_->stop();
+  // Destroy the old player BEFORE constructing the new one: both bind the
+  // same ports, and the old destructor's unbind must not strip the newly
+  // installed handlers.
+  player_.reset();
+  player_ = std::make_unique<streaming::Player>(net_, host_, opts_.player,
+                                                drm_);
+  player_->open_and_play(server_, ladder_[index_].url, pos);
+  stalls_at_switch_ = 0;
+}
+
+}  // namespace lod::lod

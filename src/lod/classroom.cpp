@@ -1,0 +1,106 @@
+#include "lod/lod/classroom.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace lod::lod {
+
+Classroom::Classroom(net::Simulator& sim, const ClassroomConfig& cfg)
+    : sim_(sim), net_(sim, cfg.seed), cfg_(cfg) {
+  // Topology: teacher -- switch -- student_i (a campus star).
+  teacher_host_ = net_.add_host("teacher");
+  switch_host_ = net_.add_host("switch");
+  net::LinkConfig backbone;
+  backbone.bandwidth_bps = 100'000'000;  // the server sits on the backbone
+  backbone.latency = net::usec(200);
+  net_.add_link(teacher_host_, switch_host_, backbone);
+
+  net::Rng rng(cfg.seed * 31 + 5);
+  std::vector<std::string> names;
+  for (std::uint32_t i = 0; i < cfg.students; ++i) {
+    const std::string name = "student" + std::to_string(i + 1);
+    const net::SimDuration offset{
+        rng.uniform_int(-cfg.clock_offset_range.us, cfg.clock_offset_range.us)};
+    const double drift =
+        (rng.uniform01() * 2.0 - 1.0) * cfg.drift_ppm_range;
+    const net::HostId h = net_.add_host(name, net::HostClock(offset, drift));
+    net_.add_link(switch_host_, h, cfg.access_link);
+    Student st;
+    st.name = name;
+    st.host = h;
+    students_.push_back(std::move(st));
+    names.push_back(name);
+  }
+
+  wmps_ = std::make_unique<WmpsNode>(net_, teacher_host_);
+  floor_ = std::make_unique<FloorService>(net_, teacher_host_, 9000, names);
+
+  for (auto& st : students_) {
+    streaming::PlayerConfig pc;
+    pc.model = cfg.model;
+    pc.ctl_port = 5000;
+    pc.data_port = 5001;
+    pc.user = st.name;
+    pc.web_server = teacher_host_;
+    pc.clock_sync_interval = cfg.clock_sync_interval;
+    st.player = std::make_unique<streaming::Player>(
+        net_, st.host, pc, &wmps_->license_authority());
+    auto* heard = &st.heard;
+    st.floor = std::make_unique<FloorClient>(
+        net_, st.host, 6000, st.name, teacher_host_, 9000,
+        [heard](const std::string& line) { heard->push_back(line); });
+  }
+}
+
+PublishResult Classroom::publish(const PublishForm& form,
+                                 const VideoAsset& video,
+                                 const SlideAsset& slides) {
+  wmps_->register_video(form.video_path, video);
+  wmps_->register_slides(form.slide_dir, slides);
+  return wmps_->publish(form);
+}
+
+void Classroom::start_watching(const std::string& url, net::SimDuration from,
+                               std::optional<net::SimDuration> scheduled_in) {
+  for (auto& st : students_) {
+    if (scheduled_in) {
+      // The teacher announces an absolute start instant on the MASTER
+      // clock (the teacher host keeps true time in these experiments).
+      st.player->set_scheduled_start(sim_.now() + *scheduled_in - from);
+    }
+    st.player->open_and_play(teacher_host_, url, from);
+  }
+}
+
+void Classroom::join_floor() {
+  for (auto& st : students_) st.floor->join();
+}
+
+Classroom::SkewReport Classroom::skew_report() const {
+  // Collect, per (pts, stream), the true render instants across students.
+  std::map<std::pair<std::int64_t, std::uint16_t>,
+           std::vector<std::int64_t>>
+      at;
+  for (const auto& st : students_) {
+    for (const auto& e : st.player->rendered()) {
+      at[{e.pts.us, e.stream_id}].push_back(e.true_time.us);
+    }
+  }
+  SkewReport rep;
+  std::int64_t total = 0;
+  for (const auto& [key, times] : at) {
+    if (times.size() != students_.size()) continue;  // not rendered by all
+    const auto [mn, mx] = std::minmax_element(times.begin(), times.end());
+    const std::int64_t spread = *mx - *mn;
+    rep.max_skew = std::max(rep.max_skew, net::SimDuration{spread});
+    total += spread;
+    ++rep.samples;
+  }
+  if (rep.samples > 0) {
+    rep.mean_skew = net::SimDuration{total / static_cast<std::int64_t>(
+                                                 rep.samples)};
+  }
+  return rep;
+}
+
+}  // namespace lod::lod

@@ -1,0 +1,216 @@
+#include "lod/lod/floor.hpp"
+
+#include <algorithm>
+
+namespace lod::lod {
+
+using net::ByteReader;
+using net::ByteWriter;
+
+// --- FloorControl -----------------------------------------------------------------
+
+FloorControl::FloorControl(std::vector<std::string> users) {
+  floor_free_ = net_.add_place("floor_free", 1);
+  for (auto& u : users) {
+    UserRec rec;
+    rec.requesting = net_.add_place("req_" + u, 1);
+    rec.holding = net_.add_place("hold_" + u, 1);
+    rec.grant = net_.add_transition("grant_" + u);
+    rec.release = net_.add_transition("release_" + u);
+    net_.add_input(rec.requesting, rec.grant);
+    net_.add_input(floor_free_, rec.grant);
+    net_.add_output(rec.grant, rec.holding);
+    net_.add_input(rec.holding, rec.release);
+    net_.add_output(rec.release, floor_free_);
+    users_.emplace(std::move(u), rec);
+  }
+  marking_ = net_.empty_marking();
+  marking_[floor_free_] = 1;
+}
+
+const FloorControl::UserRec* FloorControl::find(const std::string& user) const {
+  auto it = users_.find(user);
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+bool FloorControl::request(const std::string& user) {
+  const UserRec* rec = find(user);
+  if (!rec) return false;
+  if (marking_[rec->requesting] > 0 || marking_[rec->holding] > 0) {
+    return false;  // already queued or holding
+  }
+  // Deposit a request token; the grant transition may fire when this user
+  // reaches the head of the FIFO and the floor is free.
+  marking_[rec->requesting] = 1;
+  fifo_.push_back(user);
+  log_.push_back(Event{Event::Kind::kRequest, user});
+  try_grant();
+  return true;
+}
+
+bool FloorControl::release(const std::string& user) {
+  const UserRec* rec = find(user);
+  if (!rec || !net_.enabled(rec->release, marking_)) return false;
+  net_.fire_in_place(rec->release, marking_);
+  log_.push_back(Event{Event::Kind::kRelease, user});
+  try_grant();
+  return true;
+}
+
+void FloorControl::set_user_priority(const std::string& user,
+                                     std::int32_t priority) {
+  auto it = users_.find(user);
+  if (it == users_.end()) {
+    throw std::invalid_argument("set_user_priority: unknown user " + user);
+  }
+  net_.set_priority(it->second.grant, priority);
+}
+
+void FloorControl::try_grant() {
+  while (!fifo_.empty()) {
+    // Pick the waiting user whose grant transition is maximal under the
+    // prioritized firing rule; FIFO order breaks priority ties (fifo_ is
+    // arrival-ordered, so the first maximal entry wins).
+    auto best = fifo_.end();
+    std::int32_t best_prio = 0;
+    for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
+      const std::int32_t prio = net_.priority(users_.at(*it).grant);
+      if (best == fifo_.end() || prio > best_prio) {
+        best = it;
+        best_prio = prio;
+      }
+    }
+    const UserRec& head = users_.at(*best);
+    if (!net_.enabled(head.grant, marking_)) return;  // floor busy
+    net_.fire_in_place(head.grant, marking_);
+    log_.push_back(Event{Event::Kind::kGrant, *best});
+    fifo_.erase(best);
+  }
+}
+
+std::optional<std::string> FloorControl::holder() const {
+  for (const auto& [name, rec] : users_) {
+    if (marking_[rec.holding] > 0) return name;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> FloorControl::waiting() const {
+  return {fifo_.begin(), fifo_.end()};
+}
+
+std::vector<std::int64_t> FloorControl::exclusion_invariant() const {
+  std::vector<std::int64_t> w(net_.place_count(), 0);
+  w[floor_free_] = 1;
+  for (const auto& [name, rec] : users_) w[rec.holding] = 1;
+  return w;
+}
+
+// --- FloorService -------------------------------------------------------------------
+
+namespace {
+std::vector<std::byte> str_bytes(std::string_view s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+std::string bytes_str(std::span<const std::byte> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+std::pair<int, std::vector<std::byte>> verdict(bool ok) {
+  return {ok ? 200 : 403, {}};
+}
+}  // namespace
+
+FloorService::FloorService(net::Network& net, net::HostId host,
+                           net::Port rpc_port, std::vector<std::string> users)
+    : net_(net),
+      rpc_(net, host, rpc_port),
+      relay_(net, host, static_cast<net::Port>(rpc_port + 1)),
+      floor_(std::move(users)) {
+  // Body convention: "user" or "user\ntext" (speak), or "user\nhost:port"
+  // (join). Kept deliberately simple — it is a classroom protocol.
+  rpc_.route("/floor/join", [this](std::string_view,
+                                   std::span<const std::byte> body) {
+    const std::string s = bytes_str(body);
+    const auto nl = s.find('\n');
+    if (nl == std::string::npos) return verdict(false);
+    const std::string user = s.substr(0, nl);
+    const auto colon = s.find(':', nl);
+    if (colon == std::string::npos) return verdict(false);
+    Member m;
+    m.host = static_cast<net::HostId>(
+        std::stoul(s.substr(nl + 1, colon - nl - 1)));
+    m.port = static_cast<net::Port>(std::stoul(s.substr(colon + 1)));
+    members_[user] = m;
+    return verdict(true);
+  });
+  rpc_.route("/floor/request",
+             [this](std::string_view, std::span<const std::byte> body) {
+               return verdict(floor_.request(bytes_str(body)));
+             });
+  rpc_.route("/floor/release",
+             [this](std::string_view, std::span<const std::byte> body) {
+               return verdict(floor_.release(bytes_str(body)));
+             });
+  rpc_.route("/floor/speak", [this](std::string_view,
+                                    std::span<const std::byte> body) {
+    const std::string s = bytes_str(body);
+    const auto nl = s.find('\n');
+    if (nl == std::string::npos) return verdict(false);
+    const std::string user = s.substr(0, nl);
+    if (floor_.holder() != user) return verdict(false);  // no floor, no mic
+    const std::string line = user + ": " + s.substr(nl + 1);
+    for (const auto& [name, m] : members_) {
+      relay_.send_to(m.host, m.port, str_bytes(line));
+      ++relayed_;
+    }
+    return verdict(true);
+  });
+}
+
+// --- FloorClient ---------------------------------------------------------------------
+
+FloorClient::FloorClient(net::Network& net, net::HostId host,
+                         net::Port base_port, std::string user,
+                         net::HostId service_host, net::Port service_port,
+                         std::function<void(const std::string&)> on_message)
+    : rpc_(net, host, base_port),
+      inbox_(net, host, static_cast<net::Port>(base_port + 1)),
+      user_(std::move(user)),
+      service_host_(service_host),
+      service_port_(service_port) {
+  inbox_.on_receive([cb = std::move(on_message)](
+                        const net::ReliableEndpoint::Message& m) {
+    if (cb) cb(bytes_str(m.payload));
+  });
+}
+
+void FloorClient::call(const std::string& path, std::vector<std::byte> body,
+                       std::function<void(bool)> done) {
+  rpc_.call(service_host_, service_port_, path, std::move(body),
+            [done = std::move(done)](int status, std::span<const std::byte>) {
+              if (done) done(status == 200);
+            });
+}
+
+void FloorClient::join(std::function<void(bool)> done) {
+  const std::string body = user_ + "\n" + std::to_string(inbox_.host()) + ":" +
+                           std::to_string(inbox_.port());
+  call("/floor/join", str_bytes(body), std::move(done));
+}
+
+void FloorClient::request_floor(std::function<void(bool)> done) {
+  call("/floor/request", str_bytes(user_), std::move(done));
+}
+
+void FloorClient::release_floor(std::function<void(bool)> done) {
+  call("/floor/release", str_bytes(user_), std::move(done));
+}
+
+void FloorClient::speak(const std::string& text,
+                        std::function<void(bool)> done) {
+  call("/floor/speak", str_bytes(user_ + "\n" + text), std::move(done));
+}
+
+}  // namespace lod::lod

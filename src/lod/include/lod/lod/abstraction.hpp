@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lod/contenttree/content_tree.hpp"
+#include "lod/core/ocpn.hpp"
+#include "lod/media/asf.hpp"
+
+/// \file abstraction.hpp
+/// The Abstractor (§2.2, Fig. 6): lecture material organized as a multiple
+/// level content tree, and per-level abstraction playback.
+///
+/// "A teaching material can be taken as a multimedia presentation ... with
+/// some kinds of sequence fashion. The multiple level content tree approach
+/// may be used to arrive at an efficient summarizing method." Level 0 is the
+/// shortest summary; each deeper level inserts more detail segments and
+/// lengthens the playout ("the higher level gives the longer presentation"),
+/// so one recording serves viewers with different time budgets.
+
+namespace lod::lod {
+
+using contenttree::ContentTree;
+using contenttree::NodeId;
+
+/// One lecture segment placed in the tree.
+struct LectureSegment {
+  std::string name;
+  int level{0};
+  net::SimDuration begin{};  ///< window into the recorded lecture video
+  net::SimDuration end{};
+  std::uint32_t slide{0};    ///< slide on screen during this segment
+};
+
+/// Build the content tree from segments (paper's attach semantics: each
+/// segment is attached at its level in listed order). Segments must start
+/// with one level-0 node; throws on malformed input.
+ContentTree build_lecture_tree(const std::vector<LectureSegment>& segments);
+
+/// One entry of a level-q abstraction playlist: play [begin, end) of the
+/// recording, showing `slide`.
+struct PlaylistEntry {
+  std::string name;
+  net::SimDuration begin{};
+  net::SimDuration end{};
+  std::uint32_t slide{0};
+};
+
+/// The level-q playlist: the tree's pre-order sequence at that level, mapped
+/// back to windows of the recording. Total duration equals
+/// tree.presentation_time(level).
+std::vector<PlaylistEntry> level_playlist(const ContentTree& tree, int level);
+
+/// Compile the level-q presentation into a temporal specification (a meets-
+/// chain of the playlist segments) — feed it to build_ocpn / the interactive
+/// engine to drive an abstracted playout.
+core::TemporalSpec level_spec(const ContentTree& tree, int level);
+
+/// Script commands for an abstracted playout: a SLIDE flip whenever the
+/// playlist's slide changes, timed on the ABSTRACTED timeline.
+std::vector<media::asf::ScriptCommand> level_slide_commands(
+    const ContentTree& tree, int level, const std::string& url_prefix);
+
+/// Encode a LectureSegment into the tree node's media_ref and back.
+std::string segment_media_ref(const LectureSegment& seg);
+
+}  // namespace lod::lod

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lod/lod/wmps.hpp"
+#include "lod/streaming/player.hpp"
+
+/// \file adaptive.hpp
+/// Multi-rate publishing and an adaptive player.
+///
+/// The era's real systems shipped this as "intelligent streaming": the
+/// encoder produces the same content at several bandwidth profiles and the
+/// player shifts down when the network cannot sustain the current one. The
+/// paper's configuration module exposes the profile ladder (§2.5); this
+/// extension closes the loop automatically.
+///
+///  - `publish_multirate` publishes one lecture under `<name>@<profile>` for
+///    each requested profile (all sharing the slide directory).
+///  - `AdaptivePlayer` wraps a Player: it watches for stalls and, when the
+///    current profile keeps rebuffering, reopens the next lower rendition at
+///    the position it reached. Downshift only — upshift probing needs
+///    bandwidth estimation the paper-era clients did not have.
+
+namespace lod::lod {
+
+/// One published rendition.
+struct Rendition {
+  std::string url;
+  std::string profile;
+  std::int64_t total_bps{0};
+};
+
+/// Publish `form.publish_name@<profile>` for every profile in \p profiles
+/// (highest first in the returned ladder). Fails fast on the first error.
+struct MultirateResult {
+  bool ok{false};
+  std::string error;
+  std::vector<Rendition> ladder;  ///< sorted by descending total_bps
+};
+MultirateResult publish_multirate(WmpsNode& node, const PublishForm& form,
+                                  const std::vector<std::string>& profiles);
+
+/// A player that downshifts through a rendition ladder on rebuffering.
+class AdaptivePlayer {
+ public:
+  struct Options {
+    /// Consider downshifting after this many stalls on the current rendition.
+    std::size_t stall_threshold{2};
+    /// How often the watchdog looks at the player.
+    net::SimDuration check_interval{net::sec(2)};
+    streaming::PlayerConfig player;
+  };
+
+  /// A switch decision, for reporting.
+  struct Switch {
+    net::SimTime at;
+    std::string from;
+    std::string to;
+    net::SimDuration position;
+  };
+
+  AdaptivePlayer(net::Network& net, net::HostId host, Options opts,
+                 media::DrmSystem* drm = nullptr);
+  ~AdaptivePlayer();
+  AdaptivePlayer(const AdaptivePlayer&) = delete;
+  AdaptivePlayer& operator=(const AdaptivePlayer&) = delete;
+
+  /// Start playing the highest rendition of \p ladder from \p server.
+  void play(net::HostId server, std::vector<Rendition> ladder,
+            net::SimDuration from = {});
+
+  const streaming::Player& player() const { return *player_; }
+  streaming::Player& player() { return *player_; }
+  const std::vector<Switch>& switches() const { return switches_; }
+  const std::string& current_profile() const {
+    return ladder_.empty() ? empty_ : ladder_[index_].profile;
+  }
+  bool finished() const { return player_ && player_->finished(); }
+
+ private:
+  void watchdog();
+  void downshift();
+
+  net::Network& net_;
+  net::HostId host_;
+  Options opts_;
+  media::DrmSystem* drm_;
+  std::unique_ptr<streaming::Player> player_;
+  net::HostId server_{0};
+  std::vector<Rendition> ladder_;
+  std::size_t index_{0};
+  std::size_t stalls_at_switch_{0};
+  std::vector<Switch> switches_;
+  std::optional<net::EventId> timer_;
+  std::string empty_;
+  std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
+};
+
+}  // namespace lod::lod

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lod/lod/floor.hpp"
+#include "lod/lod/wmps.hpp"
+#include "lod/streaming/player.hpp"
+
+/// \file classroom.hpp
+/// The distance-learning classroom (§1's motivating scenario).
+///
+/// "Suppose a well-known teacher is giving a lecture/presentation to his
+/// student. Because of time constraints and other commitments, many students
+/// cannot attend the presentation." The classroom wires the whole system
+/// together on one simulated campus network: a WMPS node on the teacher's
+/// machine, N student machines (each with its own skewed clock and LAN link)
+/// running players, and the floor-control service for questions/comments.
+///
+/// Benches use this to measure the paper's distributed claims: cross-student
+/// rendering skew per sync model, interaction resync latencies, and floor
+/// fairness under contention.
+
+namespace lod::lod {
+
+/// How to build the classroom.
+struct ClassroomConfig {
+  std::uint32_t students{4};
+  /// Per-student access link (asymmetric skews/drifts are drawn per student).
+  net::LinkConfig access_link{};
+  /// Max absolute clock offset drawn uniformly per student.
+  net::SimDuration clock_offset_range{net::msec(300)};
+  /// Max absolute drift (ppm) drawn uniformly per student.
+  double drift_ppm_range{80.0};
+  streaming::SyncModel model{streaming::SyncModel::kEtpn};
+  std::uint64_t seed{99};
+  /// How often ETPN players re-sync their clocks.
+  net::SimDuration clock_sync_interval{net::sec(10)};
+};
+
+/// One student's machinery.
+struct Student {
+  std::string name;
+  net::HostId host{};
+  std::unique_ptr<streaming::Player> player;
+  std::unique_ptr<FloorClient> floor;
+  std::vector<std::string> heard;  ///< relayed floor messages
+};
+
+/// The assembled classroom.
+class Classroom {
+ public:
+  Classroom(net::Simulator& sim, const ClassroomConfig& cfg);
+
+  /// Publish a lecture on the teacher node. Returns the publish result.
+  PublishResult publish(const PublishForm& form, const VideoAsset& video,
+                        const SlideAsset& slides);
+
+  /// Every student opens the published URL and starts playing. When
+  /// \p scheduled_in is set, the presentation is scheduled absolutely:
+  /// media position 0 renders at (now + *scheduled_in) on the master clock,
+  /// which makes cross-student skew a direct function of clock quality.
+  void start_watching(const std::string& url, net::SimDuration from = {},
+                      std::optional<net::SimDuration> scheduled_in = {});
+
+  /// All students join the floor service (async; run the sim to settle).
+  void join_floor();
+
+  WmpsNode& teacher() { return *wmps_; }
+  FloorService& floor_service() { return *floor_; }
+  std::vector<Student>& students() { return students_; }
+  net::Network& network() { return net_; }
+  net::HostId teacher_host() const { return teacher_host_; }
+
+  /// Cross-student skew: for each presentation time rendered by EVERY
+  /// student, the spread (max-min) of true render instants.
+  struct SkewReport {
+    net::SimDuration max_skew{};
+    net::SimDuration mean_skew{};
+    std::size_t samples{0};
+  };
+  SkewReport skew_report() const;
+
+ private:
+  net::Simulator& sim_;
+  net::Network net_;
+  net::HostId teacher_host_{};
+  net::HostId switch_host_{};
+  std::unique_ptr<WmpsNode> wmps_;
+  std::unique_ptr<FloorService> floor_;
+  std::vector<Student> students_;
+  ClassroomConfig cfg_;
+};
+
+}  // namespace lod::lod

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lod/core/analysis.hpp"
+#include "lod/core/petri.hpp"
+#include "lod/net/transport.hpp"
+
+/// \file floor.hpp
+/// Floor control with multiple users.
+///
+/// §1: "when considering ... the floor control with multiple users,
+/// OCPN/XOCPN model are not sufficient to deal with those problem[s]". The
+/// extended model arbitrates the floor with a Petri net: one token in a
+/// `floor_free` place, per-user request/holding places, grant transitions
+/// guarded so that only one user can hold the floor. The class keeps FIFO
+/// fairness by only enabling the grant of the queue's head (a priority
+/// discipline in the sense of the prioritized Petri nets of [13]).
+///
+/// `FloorService`/`FloorClient` lift the same net onto the simulated network
+/// for the distance-learning classroom: students REQUEST/RELEASE the floor
+/// over RPC and the current holder's comments are relayed to every member.
+
+namespace lod::lod {
+
+/// Petri-net-backed mutual exclusion with FIFO arbitration.
+class FloorControl {
+ public:
+  struct Event {
+    enum class Kind : std::uint8_t { kRequest, kGrant, kRelease };
+    Kind kind;
+    std::string user;
+  };
+
+  explicit FloorControl(std::vector<std::string> users);
+
+  /// Give \p user a scheduling priority (default 0). Higher-priority
+  /// requesters are granted before lower ones regardless of arrival order
+  /// (FIFO still breaks ties) — the prioritized-net discipline of [13],
+  /// used so the teacher can always preempt the question queue.
+  void set_user_priority(const std::string& user, std::int32_t priority);
+
+  /// Ask for the floor. Returns false if the user is unknown, already
+  /// holding, or already queued. The grant fires immediately when the floor
+  /// is free and the user is first under (priority desc, arrival asc).
+  bool request(const std::string& user);
+
+  /// Give the floor back. Only the current holder can release; the next
+  /// queued user (if any) is granted at once.
+  bool release(const std::string& user);
+
+  std::optional<std::string> holder() const;
+  std::vector<std::string> waiting() const;
+  const std::vector<Event>& log() const { return log_; }
+
+  /// The underlying net and marking (exposed for analysis in tests).
+  const core::PetriNet& net() const { return net_; }
+  const core::Marking& marking() const { return marking_; }
+
+  /// The mutual-exclusion P-invariant: floor_free + sum(holding_u) == 1.
+  /// True by construction; tests verify it holds over random schedules.
+  std::vector<std::int64_t> exclusion_invariant() const;
+
+ private:
+  struct UserRec {
+    core::PlaceId requesting;
+    core::PlaceId holding;
+    core::TransitionId grant;
+    core::TransitionId release;
+  };
+
+  void try_grant();
+  const UserRec* find(const std::string& user) const;
+
+  core::PetriNet net_;
+  core::PlaceId floor_free_;
+  std::unordered_map<std::string, UserRec> users_;
+  core::Marking marking_;
+  std::deque<std::string> fifo_;
+  std::vector<Event> log_;
+};
+
+/// Network-facing floor service (runs on the teacher/server host).
+///
+/// RPC routes: /floor/join (register a member endpoint), /floor/request,
+/// /floor/release, /floor/speak (holder-only; relayed to every member).
+class FloorService {
+ public:
+  FloorService(net::Network& net, net::HostId host, net::Port rpc_port,
+               std::vector<std::string> users);
+
+  const FloorControl& control() const { return floor_; }
+  std::uint64_t messages_relayed() const { return relayed_; }
+
+ private:
+  net::Network& net_;
+  net::RpcServer rpc_;
+  net::ReliableEndpoint relay_;
+  FloorControl floor_;
+  struct Member {
+    net::HostId host;
+    net::Port port;
+  };
+  std::unordered_map<std::string, Member> members_;
+  std::uint64_t relayed_{0};
+};
+
+/// A classroom member's handle on the floor service.
+class FloorClient {
+ public:
+  /// \p on_message receives relayed "user: text" lines from the service.
+  FloorClient(net::Network& net, net::HostId host, net::Port base_port,
+              std::string user, net::HostId service_host,
+              net::Port service_port,
+              std::function<void(const std::string&)> on_message);
+
+  /// All three complete asynchronously; \p done (optional) fires with the
+  /// service's verdict.
+  void join(std::function<void(bool)> done = {});
+  void request_floor(std::function<void(bool)> done = {});
+  void release_floor(std::function<void(bool)> done = {});
+  /// Speak while holding the floor; relayed to every member.
+  void speak(const std::string& text, std::function<void(bool)> done = {});
+
+  const std::string& user() const { return user_; }
+
+ private:
+  void call(const std::string& path, std::vector<std::byte> body,
+            std::function<void(bool)> done);
+
+  net::RpcClient rpc_;
+  net::ReliableEndpoint inbox_;
+  std::string user_;
+  net::HostId service_host_;
+  net::Port service_port_;
+};
+
+}  // namespace lod::lod

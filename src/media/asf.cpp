@@ -1,0 +1,459 @@
+#include "lod/media/asf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lod/net/bytes.hpp"
+
+namespace lod::media::asf {
+
+using net::ByteReader;
+using net::ByteWriter;
+
+namespace {
+// Modeled framing costs inside a fixed-size packet.
+constexpr std::uint32_t kPacketHeaderBytes = 12;
+constexpr std::uint32_t kPayloadHeaderBytes = 23;
+// Don't open a fragment smaller than this at the tail of a packet.
+constexpr std::uint32_t kMinFragment = 64;
+
+constexpr std::uint32_t kFileMagic = 0x4c4f4441;    // "LODA"
+constexpr std::uint32_t kHeaderMagic = 0x4c4f4448;  // "LODH"
+constexpr std::uint32_t kPacketMagic = 0x4c4f4450;  // "LODP"
+
+std::uint64_t drm_nonce(std::uint16_t stream, std::uint32_t object) {
+  return (static_cast<std::uint64_t>(stream) << 32) | object;
+}
+}  // namespace
+
+const StreamInfo* Header::find_stream(std::uint16_t id) const {
+  for (const auto& s : streams) {
+    if (s.stream_id == id) return &s;
+  }
+  return nullptr;
+}
+
+std::size_t File::wire_size() const {
+  // Header + fixed-size data packets + 12 bytes per index entry.
+  ByteWriter w;
+  w.raw(serialize_header(header));
+  return w.size() + packets.size() * header.props.packet_bytes +
+         index.size() * 12 + 16;
+}
+
+std::vector<std::byte> pattern_bytes(std::size_t n, std::uint32_t tag) {
+  std::vector<std::byte> out(n);
+  std::uint32_t x = tag * 2654435761u + 1u;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    out[i] = static_cast<std::byte>(x >> 24);
+  }
+  return out;
+}
+
+// --- Muxer -------------------------------------------------------------------
+
+Muxer::Muxer(Header header, const DrmSystem* drm)
+    : header_(std::move(header)), drm_(drm) {
+  if (header_.props.packet_bytes <
+      kPacketHeaderBytes + kPayloadHeaderBytes + kMinFragment) {
+    throw std::invalid_argument("Muxer: packet size too small");
+  }
+}
+
+void Muxer::add_unit(const EncodedUnit& unit,
+                     std::span<const std::byte> content) {
+  PendingUnit p;
+  p.meta = unit;
+  if (content.empty()) {
+    p.content = pattern_bytes(unit.bytes, static_cast<std::uint32_t>(
+                                              units_.size() * 31 + unit.bytes));
+  } else {
+    p.content.assign(content.begin(), content.end());
+    p.meta.bytes = static_cast<std::uint32_t>(p.content.size());
+  }
+  units_.push_back(std::move(p));
+}
+
+void Muxer::add_script(const ScriptCommand& cmd) { scripts_.push_back(cmd); }
+
+File Muxer::finalize(SimDuration index_interval) {
+  // Script commands become units on the reserved script stream.
+  for (const auto& s : scripts_) {
+    ByteWriter w;
+    w.str(s.type);
+    w.str(s.param);
+    PendingUnit p;
+    p.meta.stream_id = kScriptStreamId;
+    p.meta.type = MediaType::kScript;
+    p.meta.pts = s.at;
+    p.meta.duration = {};
+    p.meta.keyframe = true;
+    p.content = std::move(w).take();
+    p.meta.bytes = static_cast<std::uint32_t>(p.content.size());
+    units_.push_back(std::move(p));
+  }
+  scripts_.clear();
+
+  // Interleave by presentation time (stable: preserves add order at ties).
+  std::stable_sort(units_.begin(), units_.end(),
+                   [](const PendingUnit& a, const PendingUnit& b) {
+                     return a.meta.pts < b.meta.pts;
+                   });
+
+  // Assign per-stream object ids in pts order.
+  std::unordered_map<std::uint16_t, std::uint32_t> next_object;
+  const bool encrypt = drm_ && header_.drm.is_protected;
+  for (auto& u : units_) {
+    const std::uint32_t oid = next_object[u.meta.stream_id]++;
+    if (encrypt && u.meta.stream_id != kScriptStreamId) {
+      drm_->apply_keystream(header_.drm.key_id,
+                            drm_nonce(u.meta.stream_id, oid),
+                            std::span<std::byte>(u.content));
+    }
+    // Stash the object id in the unit meta via a parallel pass below; we
+    // re-derive it during packing, so nothing to store here.
+  }
+
+  File file;
+  file.header = header_;
+
+  const std::uint32_t capacity = header_.props.packet_bytes - kPacketHeaderBytes;
+  DataPacket cur;
+  std::uint32_t used = 0;
+  bool cur_open = false;
+  std::unordered_map<std::uint16_t, std::uint32_t> oid_counter;
+
+  auto close_packet = [&] {
+    if (!cur_open) return;
+    cur.pad_bytes = capacity - used;
+    file.packets.push_back(std::move(cur));
+    cur = DataPacket{};
+    used = 0;
+    cur_open = false;
+  };
+
+  for (const auto& u : units_) {
+    const std::uint32_t oid = oid_counter[u.meta.stream_id]++;
+    const std::uint32_t total = static_cast<std::uint32_t>(u.content.size());
+    std::uint32_t offset = 0;
+    // Emit at least one (possibly empty) fragment so zero-byte units survive.
+    do {
+      if (cur_open && used + kPayloadHeaderBytes + kMinFragment > capacity) {
+        close_packet();
+      }
+      if (!cur_open) {
+        cur.send_time = u.meta.pts;
+        cur_open = true;
+      }
+      const std::uint32_t space = capacity - used - kPayloadHeaderBytes;
+      const std::uint32_t take = std::min(total - offset, space);
+
+      Payload pl;
+      pl.stream_id = u.meta.stream_id;
+      pl.type = u.meta.type;
+      pl.pts = u.meta.pts;
+      pl.duration = u.meta.duration;
+      pl.keyframe = u.meta.keyframe;
+      pl.object_id = oid;
+      pl.offset = offset;
+      pl.object_size = total;
+      pl.data.assign(u.content.begin() + offset,
+                     u.content.begin() + offset + take);
+      cur.payloads.push_back(std::move(pl));
+      used += kPayloadHeaderBytes + take;
+      offset += take;
+      if (used + kPayloadHeaderBytes + kMinFragment > capacity) close_packet();
+    } while (offset < total);
+  }
+  close_packet();
+  units_.clear();
+
+  build_index(file, index_interval);
+  return file;
+}
+
+// --- indexing ------------------------------------------------------------------
+
+void build_index(File& f, SimDuration interval) {
+  f.index.clear();
+  if (f.packets.empty()) return;
+  if (interval.us <= 0) interval = net::sec(5);
+
+  const bool has_video = std::any_of(
+      f.header.streams.begin(), f.header.streams.end(),
+      [](const StreamInfo& s) { return s.type == MediaType::kVideo; });
+
+  // Collect resume points: packets where a video keyframe *starts*
+  // (offset 0), or — without video — every packet's first payload.
+  struct Point {
+    SimDuration pts;
+    std::uint32_t packet;
+  };
+  std::vector<Point> points;
+  for (std::uint32_t i = 0; i < f.packets.size(); ++i) {
+    for (const auto& pl : f.packets[i].payloads) {
+      const bool resume =
+          has_video ? (pl.type == MediaType::kVideo && pl.keyframe &&
+                       pl.offset == 0)
+                    : (&pl == &f.packets[i].payloads.front());
+      if (resume) {
+        points.push_back({pl.pts, i});
+        break;
+      }
+    }
+  }
+  if (points.empty()) points.push_back({f.packets.front().send_time, 0});
+
+  const SimDuration end = f.header.props.play_duration.us > 0
+                              ? f.header.props.play_duration
+                              : points.back().pts;
+  for (SimDuration t{0}; t <= end; t += interval) {
+    // Latest resume point at or before t.
+    std::uint32_t pkt = points.front().packet;
+    for (const auto& p : points) {
+      if (p.pts <= t) pkt = p.packet;
+      else break;
+    }
+    f.index.push_back({t, pkt});
+  }
+}
+
+std::uint32_t seek_packet(const File& f, SimDuration t) {
+  if (f.index.empty()) return 0;
+  std::uint32_t pkt = f.index.front().packet;
+  for (const auto& e : f.index) {
+    if (e.time <= t) pkt = e.packet;
+    else break;
+  }
+  return pkt;
+}
+
+// --- Demuxer -------------------------------------------------------------------
+
+Demuxer::Demuxer(Header header) : header_(std::move(header)) {}
+
+void Demuxer::set_license(const DrmSystem* drm, License lic, std::string user) {
+  drm_ = drm;
+  license_ = std::move(lic);
+  user_ = std::move(user);
+}
+
+void Demuxer::feed(const DataPacket& packet, net::SimTime local_now) {
+  for (const auto& pl : packet.payloads) {
+    Assembly& a = assembling_[pl.stream_id];
+    if (!a.active || a.object_id != pl.object_id) {
+      if (a.active && a.received < a.object_size) ++dropped_incomplete_;
+      a.active = true;
+      a.object_id = pl.object_id;
+      a.object_size = pl.object_size;
+      a.received = 0;
+      a.meta = EncodedUnit{pl.stream_id, pl.type,     pl.pts,
+                           pl.duration,  pl.object_size, pl.keyframe, 1.0f};
+      a.data.assign(pl.object_size, std::byte{0});
+    }
+    if (pl.offset + pl.data.size() <= a.data.size()) {
+      std::copy(pl.data.begin(), pl.data.end(), a.data.begin() + pl.offset);
+      a.received += static_cast<std::uint32_t>(pl.data.size());
+    }
+    if (a.received >= a.object_size) {
+      complete(a, local_now);
+      a.active = false;
+    }
+  }
+}
+
+void Demuxer::complete(Assembly& a, net::SimTime local_now) {
+  if (a.meta.stream_id == kScriptStreamId) {
+    try {
+      ByteReader r(a.data);
+      ScriptCommand cmd;
+      cmd.at = a.meta.pts;
+      cmd.type = r.str();
+      cmd.param = r.str();
+      ready_scripts_.push_back(std::move(cmd));
+    } catch (const std::out_of_range&) {
+      ++dropped_incomplete_;  // corrupt script payload
+    }
+    return;
+  }
+  DemuxedUnit u;
+  u.meta = a.meta;
+  u.data = std::move(a.data);
+  if (header_.drm.is_protected) {
+    const std::uint64_t nonce = drm_nonce(u.meta.stream_id, a.object_id);
+    const bool ok = drm_ && license_ &&
+                    drm_->decrypt_with_license(*license_, user_, local_now,
+                                               nonce, std::span<std::byte>(u.data));
+    if (!ok) undecryptable_ = true;  // surfaced encrypted: render will fail
+  }
+  ready_units_.push_back(std::move(u));
+}
+
+std::optional<DemuxedUnit> Demuxer::next_unit() {
+  if (unit_cursor_ >= ready_units_.size()) {
+    if (unit_cursor_ > 0) {
+      ready_units_.clear();
+      unit_cursor_ = 0;
+    }
+    return std::nullopt;
+  }
+  return std::move(ready_units_[unit_cursor_++]);
+}
+
+std::optional<ScriptCommand> Demuxer::next_script() {
+  if (script_cursor_ >= ready_scripts_.size()) {
+    if (script_cursor_ > 0) {
+      ready_scripts_.clear();
+      script_cursor_ = 0;
+    }
+    return std::nullopt;
+  }
+  return std::move(ready_scripts_[script_cursor_++]);
+}
+
+// --- serialization ---------------------------------------------------------------
+
+namespace {
+void write_stream(ByteWriter& w, const StreamInfo& s) {
+  w.u16(s.stream_id);
+  w.u8(static_cast<std::uint8_t>(s.type));
+  w.str(s.codec);
+  w.i64(s.avg_bitrate_bps);
+  w.u16(s.width);
+  w.u16(s.height);
+  w.u32(s.sample_rate);
+}
+StreamInfo read_stream(ByteReader& r) {
+  StreamInfo s;
+  s.stream_id = r.u16();
+  s.type = static_cast<MediaType>(r.u8());
+  s.codec = r.str();
+  s.avg_bitrate_bps = r.i64();
+  s.width = r.u16();
+  s.height = r.u16();
+  s.sample_rate = r.u32();
+  return s;
+}
+}  // namespace
+
+std::vector<std::byte> serialize_header(const Header& h) {
+  ByteWriter w;
+  w.u32(kHeaderMagic);
+  w.str(h.props.title);
+  w.str(h.props.author);
+  w.i64(h.props.play_duration.us);
+  w.i64(h.props.preroll.us);
+  w.u32(h.props.packet_bytes);
+  w.i64(h.props.avg_bitrate_bps);
+  w.u8(h.drm.is_protected ? 1 : 0);
+  w.str(h.drm.key_id);
+  w.str(h.drm.license_url);
+  w.u32(static_cast<std::uint32_t>(h.streams.size()));
+  for (const auto& s : h.streams) write_stream(w, s);
+  return std::move(w).take();
+}
+
+Header parse_header(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kHeaderMagic) throw std::runtime_error("asf: bad header magic");
+  Header h;
+  h.props.title = r.str();
+  h.props.author = r.str();
+  h.props.play_duration = {r.i64()};
+  h.props.preroll = {r.i64()};
+  h.props.packet_bytes = r.u32();
+  h.props.avg_bitrate_bps = r.i64();
+  h.drm.is_protected = r.u8() != 0;
+  h.drm.key_id = r.str();
+  h.drm.license_url = r.str();
+  const std::uint32_t n = r.u32();
+  h.streams.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) h.streams.push_back(read_stream(r));
+  return h;
+}
+
+std::vector<std::byte> serialize_packet(const DataPacket& p) {
+  ByteWriter w;
+  w.u32(kPacketMagic);
+  w.i64(p.send_time.us);
+  w.u32(p.pad_bytes);
+  w.u32(static_cast<std::uint32_t>(p.payloads.size()));
+  for (const auto& pl : p.payloads) {
+    w.u16(pl.stream_id);
+    w.u8(static_cast<std::uint8_t>(pl.type));
+    w.i64(pl.pts.us);
+    w.i64(pl.duration.us);
+    w.u8(pl.keyframe ? 1 : 0);
+    w.u32(pl.object_id);
+    w.u32(pl.offset);
+    w.u32(pl.object_size);
+    w.blob(pl.data);
+  }
+  return std::move(w).take();
+}
+
+DataPacket parse_packet(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kPacketMagic) throw std::runtime_error("asf: bad packet magic");
+  DataPacket p;
+  p.send_time = {r.i64()};
+  p.pad_bytes = r.u32();
+  const std::uint32_t n = r.u32();
+  p.payloads.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Payload pl;
+    pl.stream_id = r.u16();
+    pl.type = static_cast<MediaType>(r.u8());
+    pl.pts = {r.i64()};
+    pl.duration = {r.i64()};
+    pl.keyframe = r.u8() != 0;
+    pl.object_id = r.u32();
+    pl.offset = r.u32();
+    pl.object_size = r.u32();
+    pl.data = r.blob();
+    p.payloads.push_back(std::move(pl));
+  }
+  return p;
+}
+
+std::vector<std::byte> serialize(const File& f) {
+  ByteWriter w;
+  w.u32(kFileMagic);
+  w.blob(serialize_header(f.header));
+  w.u32(static_cast<std::uint32_t>(f.packets.size()));
+  for (const auto& p : f.packets) w.blob(serialize_packet(p));
+  w.u32(static_cast<std::uint32_t>(f.index.size()));
+  for (const auto& e : f.index) {
+    w.i64(e.time.us);
+    w.u32(e.packet);
+  }
+  return std::move(w).take();
+}
+
+File parse(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kFileMagic) throw std::runtime_error("asf: bad file magic");
+  File f;
+  {
+    const auto hb = r.blob();
+    f.header = parse_header(hb);
+  }
+  const std::uint32_t np = r.u32();
+  f.packets.reserve(np);
+  for (std::uint32_t i = 0; i < np; ++i) {
+    const auto pb = r.blob();
+    f.packets.push_back(parse_packet(pb));
+  }
+  const std::uint32_t ni = r.u32();
+  f.index.reserve(ni);
+  for (std::uint32_t i = 0; i < ni; ++i) {
+    IndexEntry e;
+    e.time = {r.i64()};
+    e.packet = r.u32();
+    f.index.push_back(e);
+  }
+  return f;
+}
+
+}  // namespace lod::media::asf

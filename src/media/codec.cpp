@@ -1,0 +1,226 @@
+#include "lod/media/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lod::media {
+
+std::string to_string(MediaType t) {
+  switch (t) {
+    case MediaType::kVideo: return "video";
+    case MediaType::kAudio: return "audio";
+    case MediaType::kImage: return "image";
+    case MediaType::kText: return "text";
+    case MediaType::kAnnotation: return "annotation";
+    case MediaType::kScript: return "script";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Shared scaffolding for video rate models. Each concrete codec supplies an
+/// efficiency factor (bits-per-pixel needed for transparent quality) and an
+/// I:P frame cost ratio; a leaky-bucket rate controller keeps the long-run
+/// average on target while letting complexity and scene cuts move individual
+/// frame sizes, which is what stresses the packetizer and jitter buffer.
+class RateModelVideoCodec : public VideoCodec {
+ public:
+  RateModelVideoCodec(std::string name, double transparent_bpp,
+                      double iframe_ratio, SimDuration decode_lat)
+      : name_(std::move(name)),
+        transparent_bpp_(transparent_bpp),
+        iframe_ratio_(iframe_ratio),
+        decode_lat_(decode_lat) {}
+
+  std::string_view name() const override { return name_; }
+
+  void configure(const VideoCodecConfig& cfg) override {
+    cfg_ = cfg;
+    budget_debt_ = 0.0;
+  }
+
+  EncodedUnit encode(const VideoFrame& f, std::uint64_t idx) override {
+    const double per_frame_budget =
+        static_cast<double>(cfg_.target_bps) / std::max(cfg_.fps, 1.0) / 8.0;
+    const bool key = (idx % std::max<std::uint32_t>(cfg_.gop, 1) == 0) ||
+                     f.scene_cut;
+    // P frames cost 1 unit, I frames `iframe_ratio_` units; normalize so a
+    // whole GOP still meets the budget.
+    const double gop_frames = static_cast<double>(std::max<std::uint32_t>(cfg_.gop, 1));
+    const double unit_cost =
+        gop_frames / (iframe_ratio_ + (gop_frames - 1.0));
+    double size = per_frame_budget * unit_cost *
+                  (key ? iframe_ratio_ : 1.0) *
+                  static_cast<double>(std::clamp(f.complexity, 0.2f, 4.0f));
+    // Leaky-bucket correction toward target.
+    size = std::max(64.0, size - 0.25 * budget_debt_);
+    budget_debt_ += size - per_frame_budget;
+
+    EncodedUnit u;
+    u.type = MediaType::kVideo;
+    u.pts = f.pts;
+    u.duration = net::secf(1.0 / std::max(cfg_.fps, 1.0));
+    u.bytes = static_cast<std::uint32_t>(size);
+    u.keyframe = key;
+    // Quality: achieved bits-per-pixel vs what this codec needs.
+    const double pixels = static_cast<double>(f.width) * f.height;
+    const double bpp = (static_cast<double>(cfg_.target_bps) /
+                        std::max(cfg_.fps, 1.0)) /
+                       std::max(pixels, 1.0);
+    u.quality = static_cast<float>(
+        std::clamp(bpp / transparent_bpp_, 0.05, 1.0));
+    return u;
+  }
+
+  SimDuration decode_latency() const override { return decode_lat_; }
+
+ private:
+  std::string name_;
+  double transparent_bpp_;
+  double iframe_ratio_;
+  SimDuration decode_lat_;
+  VideoCodecConfig cfg_{};
+  double budget_debt_{0.0};
+};
+
+/// Uncompressed video: every frame costs width*height*1.5 bytes (YUV 4:2:0).
+class UncompressedVideoCodec : public VideoCodec {
+ public:
+  std::string_view name() const override { return "UncompressedVideo"; }
+  void configure(const VideoCodecConfig& cfg) override { cfg_ = cfg; }
+  EncodedUnit encode(const VideoFrame& f, std::uint64_t) override {
+    EncodedUnit u;
+    u.type = MediaType::kVideo;
+    u.pts = f.pts;
+    u.duration = net::secf(1.0 / std::max(cfg_.fps, 1.0));
+    u.bytes = static_cast<std::uint32_t>(f.width * f.height * 3 / 2);
+    u.keyframe = true;  // every frame independently decodable
+    u.quality = 1.0f;
+    return u;
+  }
+  SimDuration decode_latency() const override { return net::usec(100); }
+
+ private:
+  VideoCodecConfig cfg_{};
+};
+
+/// Audio rate model: constant-bit-rate frames; quality is the configured rate
+/// relative to the codec's transparent rate, scaled by how far outside the
+/// codec's designed band the configuration sits (ACELP is a speech codec —
+/// pushing it to 128 kb/s does not help).
+class RateModelAudioCodec : public AudioCodec {
+ public:
+  RateModelAudioCodec(std::string name, std::int64_t transparent_bps,
+                      std::int64_t min_bps, std::int64_t max_bps,
+                      SimDuration decode_lat)
+      : name_(std::move(name)),
+        transparent_bps_(transparent_bps),
+        min_bps_(min_bps),
+        max_bps_(max_bps),
+        decode_lat_(decode_lat) {}
+
+  std::string_view name() const override { return name_; }
+  void configure(const AudioCodecConfig& cfg) override {
+    cfg_ = cfg;
+    cfg_.target_bps = std::clamp(cfg.target_bps, min_bps_, max_bps_);
+  }
+  EncodedUnit encode(const AudioBlock& b) override {
+    EncodedUnit u;
+    u.type = MediaType::kAudio;
+    u.pts = b.pts;
+    u.duration = b.duration;
+    u.bytes = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(8, cfg_.target_bps * b.duration.us / 8'000'000));
+    u.keyframe = true;  // audio frames are independently decodable
+    u.quality = static_cast<float>(std::clamp(
+        static_cast<double>(cfg_.target_bps) / static_cast<double>(transparent_bps_),
+        0.05, 1.0));
+    return u;
+  }
+  SimDuration decode_latency() const override { return decode_lat_; }
+
+ private:
+  std::string name_;
+  std::int64_t transparent_bps_;
+  std::int64_t min_bps_;
+  std::int64_t max_bps_;
+  SimDuration decode_lat_;
+  AudioCodecConfig cfg_{};
+};
+
+/// Uncompressed PCM.
+class UncompressedAudioCodec : public AudioCodec {
+ public:
+  std::string_view name() const override { return "UncompressedAudio"; }
+  void configure(const AudioCodecConfig& cfg) override { cfg_ = cfg; }
+  EncodedUnit encode(const AudioBlock& b) override {
+    EncodedUnit u;
+    u.type = MediaType::kAudio;
+    u.pts = b.pts;
+    u.duration = b.duration;
+    const std::int64_t samples = b.sample_rate * b.duration.us / 1'000'000;
+    u.bytes = static_cast<std::uint32_t>(samples * b.channels * 2);  // s16
+    u.keyframe = true;
+    u.quality = 1.0f;
+    return u;
+  }
+  SimDuration decode_latency() const override { return net::usec(10); }
+
+ private:
+  AudioCodecConfig cfg_{};
+};
+
+}  // namespace
+
+std::unique_ptr<VideoCodec> make_video_codec(std::string_view name) {
+  // Efficiency constants: MPEG-4 is the strongest of the three paper-era
+  // codecs; TrueMotion RT trades compression for very low decode cost;
+  // ClearVideo (wavelet) sits between.
+  if (name == "MPEG-4") {
+    return std::make_unique<RateModelVideoCodec>("MPEG-4", 0.10, 6.0,
+                                                 net::msec(8));
+  }
+  if (name == "TrueMotionRT") {
+    return std::make_unique<RateModelVideoCodec>("TrueMotionRT", 0.25, 3.0,
+                                                 net::msec(2));
+  }
+  if (name == "ClearVideo") {
+    return std::make_unique<RateModelVideoCodec>("ClearVideo", 0.15, 5.0,
+                                                 net::msec(12));
+  }
+  if (name == "UncompressedVideo") {
+    return std::make_unique<UncompressedVideoCodec>();
+  }
+  throw std::invalid_argument("unknown video codec: " + std::string(name));
+}
+
+std::unique_ptr<AudioCodec> make_audio_codec(std::string_view name) {
+  if (name == "WMA") {
+    return std::make_unique<RateModelAudioCodec>("WMA", 64'000, 8'000,
+                                                 192'000, net::msec(3));
+  }
+  if (name == "ACELP") {
+    // Speech codec: transparent for speech at 16 kb/s, capped low.
+    return std::make_unique<RateModelAudioCodec>("ACELP", 16'000, 5'000,
+                                                 16'000, net::msec(5));
+  }
+  if (name == "MP3") {
+    return std::make_unique<RateModelAudioCodec>("MP3", 128'000, 32'000,
+                                                 320'000, net::msec(4));
+  }
+  if (name == "UncompressedAudio") {
+    return std::make_unique<UncompressedAudioCodec>();
+  }
+  throw std::invalid_argument("unknown audio codec: " + std::string(name));
+}
+
+std::vector<std::string> video_codec_names() {
+  return {"MPEG-4", "TrueMotionRT", "ClearVideo", "UncompressedVideo"};
+}
+std::vector<std::string> audio_codec_names() {
+  return {"WMA", "ACELP", "MP3", "UncompressedAudio"};
+}
+
+}  // namespace lod::media

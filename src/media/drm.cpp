@@ -1,0 +1,70 @@
+#include "lod/media/drm.hpp"
+
+namespace lod::media {
+
+namespace {
+/// splitmix64 — tiny, deterministic keystream generator.
+std::uint64_t mix(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+DrmSystem::DrmSystem(std::uint64_t seed) : seed_state_(seed) {}
+
+KeyId DrmSystem::create_key(std::string label) {
+  const KeyId id = label + "#" + std::to_string(next_key_++);
+  keys_[id] = mix(seed_state_);
+  return id;
+}
+
+std::uint64_t DrmSystem::key_material(const KeyId& key) const {
+  auto it = keys_.find(key);
+  return it == keys_.end() ? 0 : it->second;
+}
+
+void DrmSystem::apply_keystream(const KeyId& key, std::uint64_t nonce,
+                                std::span<std::byte> data) const {
+  std::uint64_t state = key_material(key) ^ (nonce * 0xc2b2ae3d27d4eb4fULL);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint64_t ks = mix(state);
+    for (std::size_t b = 0; b < 8 && i < data.size(); ++b, ++i) {
+      data[i] ^= static_cast<std::byte>((ks >> (8 * b)) & 0xff);
+    }
+  }
+}
+
+std::optional<License> DrmSystem::issue_license(const KeyId& key,
+                                                std::string user,
+                                                net::SimTime expires) {
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return std::nullopt;
+  ++licenses_issued_;
+  return License{key, std::move(user), expires, it->second};
+}
+
+bool DrmSystem::validate(const License& lic, const KeyId& key,
+                         std::string_view user, net::SimTime local_now) const {
+  if (lic.key_id != key) return false;
+  if (lic.user != user) return false;
+  if (local_now > lic.expires) return false;
+  auto it = keys_.find(key);
+  // The wrapped key must match what the server would hand out — a forged or
+  // stale license fails here even if its fields look right.
+  return it != keys_.end() && it->second == lic.key_material;
+}
+
+bool DrmSystem::decrypt_with_license(const License& lic, std::string_view user,
+                                     net::SimTime local_now,
+                                     std::uint64_t nonce,
+                                     std::span<std::byte> data) const {
+  if (!validate(lic, lic.key_id, user, local_now)) return false;
+  apply_keystream(lic.key_id, nonce, data);
+  return true;
+}
+
+}  // namespace lod::media

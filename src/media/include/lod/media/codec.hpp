@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lod/media/object.hpp"
+
+/// \file codec.hpp
+/// Rate-model codecs.
+///
+/// The paper lists the codecs ASF authoring/rendering supports: Windows Media
+/// Audio, Sipro Labs ACELP, MPEG-3 audio; MPEG-4, TrueMotion RT, ClearVideo
+/// video; plus uncompressed. We cannot ship those codecs, and the paper never
+/// depends on their internals — only on how encoded media "fits on a
+/// network's available bandwidth" (§2.1). So each codec here is a
+/// deterministic *rate model*: given a raw frame/block and a target bit-rate
+/// it produces an encoded-unit size and a quality score. That is exactly the
+/// information the profile selection, packetizer, server pacing and player
+/// buffering logic consume.
+
+namespace lod::media {
+
+/// One encoded access unit (a compressed frame or audio block).
+struct EncodedUnit {
+  std::uint16_t stream_id{0};
+  MediaType type{MediaType::kVideo};
+  SimDuration pts{};
+  SimDuration duration{};  ///< display/playout duration of this unit
+  std::uint32_t bytes{0};
+  bool keyframe{false};
+  /// Model quality in [0,1]: 1 is transparent, 0 is unusable. Derived from
+  /// bits-per-pixel (video) or bit-rate vs codec sweet spot (audio).
+  float quality{1.0f};
+};
+
+/// Configuration shared by video codec models.
+struct VideoCodecConfig {
+  std::int64_t target_bps{250'000};
+  std::uint16_t width{320};
+  std::uint16_t height{240};
+  double fps{15.0};
+  /// Keyframe (I-frame) interval in frames.
+  std::uint32_t gop{75};
+};
+
+/// Configuration shared by audio codec models.
+struct AudioCodecConfig {
+  std::int64_t target_bps{32'000};
+  std::uint32_t sample_rate{22'050};
+  std::uint8_t channels{1};
+};
+
+/// A video codec rate model.
+class VideoCodec {
+ public:
+  virtual ~VideoCodec() = default;
+  virtual std::string_view name() const = 0;
+  /// Reset internal rate-control state and apply a configuration.
+  virtual void configure(const VideoCodecConfig& cfg) = 0;
+  /// Encode one frame. Frame index drives GOP structure; rate control keeps
+  /// the long-run average at the configured target.
+  virtual EncodedUnit encode(const VideoFrame& frame,
+                             std::uint64_t frame_index) = 0;
+  /// Decode latency the player must budget for (model constant per codec).
+  virtual SimDuration decode_latency() const = 0;
+};
+
+/// An audio codec rate model.
+class AudioCodec {
+ public:
+  virtual ~AudioCodec() = default;
+  virtual std::string_view name() const = 0;
+  virtual void configure(const AudioCodecConfig& cfg) = 0;
+  virtual EncodedUnit encode(const AudioBlock& block) = 0;
+  virtual SimDuration decode_latency() const = 0;
+};
+
+/// Factory: the registry of every codec the paper names.
+///
+/// Video: "MPEG-4", "TrueMotionRT", "ClearVideo", "UncompressedVideo".
+/// Audio: "WMA", "ACELP", "MP3", "UncompressedAudio".
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<VideoCodec> make_video_codec(std::string_view name);
+std::unique_ptr<AudioCodec> make_audio_codec(std::string_view name);
+
+/// All registered codec names, for enumeration in the configuration UI.
+std::vector<std::string> video_codec_names();
+std::vector<std::string> audio_codec_names();
+
+}  // namespace lod::media

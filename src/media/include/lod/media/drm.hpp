@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lod/net/time.hpp"
+
+/// \file drm.hpp
+/// Digital Rights Management model.
+///
+/// §2.1: DRM "is the technology for securing content and managing the rights
+/// for its access. It is optional in authoring and mandatory for rendering."
+/// We reproduce those semantics: content MAY be published protected; a
+/// protected stream can only be rendered after the player acquires a valid
+/// license for the content key. The cipher is a keyed XOR keystream — not
+/// cryptographically serious, but it makes "render without a license" fail
+/// loudly (garbage payloads) exactly as the real system's policy intends.
+
+namespace lod::media {
+
+/// Identifies a protected piece of content.
+using KeyId = std::string;
+
+/// A license bound to (key, user) with an expiry in *local player* time.
+struct License {
+  KeyId key_id;
+  std::string user;
+  net::SimTime expires{net::SimTime::max()};
+  std::uint64_t key_material{0};  ///< the wrapped content key
+};
+
+/// DRM header info carried in the ASF header when content is protected.
+struct DrmInfo {
+  bool is_protected{false};
+  KeyId key_id;
+  std::string license_url;  ///< where players acquire licenses
+};
+
+/// The license server + crypto operations.
+///
+/// One instance plays both roles the paper implies: the authoring side
+/// (generate a key, encrypt payloads) and the license-issuing side
+/// (issue/validate licenses at render time).
+class DrmSystem {
+ public:
+  explicit DrmSystem(std::uint64_t seed = 0xd12eU);
+
+  /// Create a fresh content key and register it. Returns its id.
+  KeyId create_key(std::string label);
+
+  /// Encrypt/decrypt a payload in place (XOR keystream is its own inverse).
+  /// \p nonce must differ per payload (we use the media object id) so equal
+  /// plaintexts don't produce equal ciphertexts.
+  void apply_keystream(const KeyId& key, std::uint64_t nonce,
+                       std::span<std::byte> data) const;
+
+  /// Issue a license for (key, user) valid until \p expires. Fails (nullopt)
+  /// if the key is unknown.
+  std::optional<License> issue_license(const KeyId& key, std::string user,
+                                       net::SimTime expires);
+
+  /// Render-time check: is this license valid for this key/user right now?
+  bool validate(const License& lic, const KeyId& key, std::string_view user,
+                net::SimTime local_now) const;
+
+  /// Decrypt using a license rather than direct key access — what players do.
+  /// Returns false (and leaves data untouched) if the license is invalid.
+  bool decrypt_with_license(const License& lic, std::string_view user,
+                            net::SimTime local_now, std::uint64_t nonce,
+                            std::span<std::byte> data) const;
+
+  std::size_t key_count() const { return keys_.size(); }
+  std::uint64_t licenses_issued() const { return licenses_issued_; }
+
+ private:
+  std::uint64_t key_material(const KeyId& key) const;
+
+  std::uint64_t seed_state_;
+  std::unordered_map<KeyId, std::uint64_t> keys_;  // key id -> material
+  std::uint64_t licenses_issued_{0};
+  std::uint64_t next_key_{1};
+};
+
+}  // namespace lod::media

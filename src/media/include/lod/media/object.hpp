@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lod/net/time.hpp"
+
+/// \file object.hpp
+/// The multimedia object model.
+///
+/// The paper's presentations are "collections of text, video, audio, image
+/// ... with some kind of sequence fashion" (§2.2). This header defines the
+/// raw units those collections are made of, before encoding: video frames,
+/// audio blocks, slide images, text/annotation snippets.
+
+namespace lod::media {
+
+using net::SimDuration;
+using net::SimTime;
+
+/// Kinds of media the system presents. Matches the paper's enumeration.
+enum class MediaType : std::uint8_t {
+  kVideo = 0,
+  kAudio = 1,
+  kImage = 2,   ///< presentation slides
+  kText = 3,    ///< captions / comments
+  kAnnotation = 4,  ///< teacher's ink/notes over a slide
+  kScript = 5,  ///< ASF script commands (control stream)
+};
+
+std::string to_string(MediaType t);
+
+/// An uncompressed video frame. We do not store pixels — only the statistics
+/// a rate-model codec needs: dimensions and a per-frame "complexity" that
+/// synthetic sources vary over time (a scene cut spikes it).
+struct VideoFrame {
+  SimDuration pts{};       ///< presentation time relative to stream start
+  std::uint16_t width{320};
+  std::uint16_t height{240};
+  float complexity{1.0f};  ///< ~1.0 average; >1 busy scene, <1 static scene
+  bool scene_cut{false};
+};
+
+/// A block of uncompressed audio samples.
+struct AudioBlock {
+  SimDuration pts{};
+  SimDuration duration{net::msec(20)};  ///< typical codec frame
+  std::uint32_t sample_rate{44'100};
+  std::uint8_t channels{1};
+  float energy{1.0f};  ///< speech loudness proxy, varies with the lecture
+};
+
+/// A presentation slide (synthetic stand-in for a PowerPoint export).
+struct Slide {
+  std::uint32_t index{0};
+  std::string title;
+  std::uint32_t encoded_bytes{40'000};  ///< JPEG-ish size of the slide image
+};
+
+/// A teacher annotation: ink or a comment anchored to a slide at a time.
+struct Annotation {
+  SimDuration at{};        ///< when during the lecture it was made
+  std::uint32_t slide{0};  ///< which slide it belongs to
+  std::string text;        ///< comment text (or stroke description)
+};
+
+/// A logical media stream descriptor as carried in the container header.
+struct StreamInfo {
+  std::uint16_t stream_id{0};
+  MediaType type{MediaType::kVideo};
+  std::string codec;        ///< codec name, e.g. "MPEG-4"
+  std::int64_t avg_bitrate_bps{0};
+  std::uint16_t width{0};   ///< video only
+  std::uint16_t height{0};  ///< video only
+  std::uint32_t sample_rate{0};  ///< audio only
+};
+
+}  // namespace lod::media

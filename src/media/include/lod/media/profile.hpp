@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lod/media/codec.hpp"
+
+/// \file profile.hpp
+/// Bandwidth profiles.
+///
+/// §2.5 of the paper: "User can select the profile that best describes the
+/// content you are encoding. This profile means the different bandwidth will
+/// be configured. The more high bit rate means the content will be encoded to
+/// a more high-resolution content." These mirror the stock Windows Media
+/// Encoder profiles of the era, from dial-up audio-only up to LAN quality.
+
+namespace lod::media {
+
+/// One selectable encoding profile.
+struct BandwidthProfile {
+  std::string name;
+  std::int64_t total_bps{0};   ///< what the profile promises to fit in
+  std::int64_t video_bps{0};   ///< 0 = no video stream at this profile
+  std::int64_t audio_bps{0};
+  std::uint16_t width{0};
+  std::uint16_t height{0};
+  double fps{0.0};
+  std::string video_codec{"MPEG-4"};
+  std::string audio_codec{"WMA"};
+
+  VideoCodecConfig video_config() const {
+    return VideoCodecConfig{video_bps, width, height, fps,
+                            static_cast<std::uint32_t>(fps * 5)};
+  }
+  AudioCodecConfig audio_config() const {
+    return AudioCodecConfig{audio_bps, audio_sample_rate(), 1};
+  }
+  std::uint32_t audio_sample_rate() const {
+    return audio_bps >= 64'000 ? 44'100u : (audio_bps >= 32'000 ? 22'050u : 8'000u);
+  }
+  bool has_video() const { return video_bps > 0; }
+};
+
+/// The built-in profile table, ordered by ascending total bit-rate.
+const std::vector<BandwidthProfile>& standard_profiles();
+
+/// Look up a profile by name; nullopt if unknown.
+std::optional<BandwidthProfile> find_profile(std::string_view name);
+
+/// Pick the richest profile whose total rate fits within \p available_bps
+/// (with a safety \p headroom factor, default 15%, for container overhead
+/// and retransmissions). Falls back to the smallest profile if none fit.
+const BandwidthProfile& best_profile_for(std::int64_t available_bps,
+                                         double headroom = 0.15);
+
+}  // namespace lod::media

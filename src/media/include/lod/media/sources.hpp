@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lod/media/object.hpp"
+#include "lod/net/rng.hpp"
+
+/// \file sources.hpp
+/// Synthetic media sources.
+///
+/// Stand-ins for the paper's capture devices ("video camera or microphone")
+/// and stored files ("encode a media file (video/audio)"). A lecture source
+/// produces a deterministic, seeded stream of frames whose complexity moves
+/// like a real talking-head lecture: long static stretches (speaker +
+/// whiteboard) punctuated by scene cuts when the camera or slide changes.
+
+namespace lod::media {
+
+/// Pull-based video source.
+class LectureVideoSource {
+ public:
+  /// \param duration  total length of the lecture video.
+  /// \param fps       capture rate.
+  /// \param width,height  capture resolution.
+  /// \param seed      deterministic complexity pattern.
+  LectureVideoSource(SimDuration duration, double fps, std::uint16_t width,
+                     std::uint16_t height, std::uint64_t seed = 7);
+
+  /// Next frame, or false when the lecture is over.
+  bool next(VideoFrame& out);
+
+  std::uint64_t frames_emitted() const { return index_; }
+  SimDuration duration() const { return duration_; }
+  double fps() const { return fps_; }
+
+  /// Restart from the beginning with the same seed (same frames again).
+  void rewind();
+
+ private:
+  SimDuration duration_;
+  double fps_;
+  std::uint16_t width_, height_;
+  std::uint64_t seed_;
+  net::Rng rng_;
+  std::uint64_t index_{0};
+  float complexity_{1.0f};
+  std::uint64_t next_cut_frame_{0};
+};
+
+/// Pull-based audio source paced in fixed blocks.
+class LectureAudioSource {
+ public:
+  LectureAudioSource(SimDuration duration, std::uint32_t sample_rate,
+                     SimDuration block = net::msec(20), std::uint64_t seed = 11);
+
+  bool next(AudioBlock& out);
+  void rewind();
+  SimDuration duration() const { return duration_; }
+
+ private:
+  SimDuration duration_;
+  std::uint32_t sample_rate_;
+  SimDuration block_;
+  std::uint64_t seed_;
+  net::Rng rng_;
+  SimDuration pos_{};
+};
+
+/// Build a synthetic slide deck of \p n slides with plausible sizes.
+std::vector<Slide> make_slide_deck(std::uint32_t n, std::uint64_t seed = 13);
+
+/// A slide schedule: when each slide should appear during the lecture.
+/// Models a teacher who spends variable time per slide: mean dwell is
+/// duration/n with +-40% variation; slide 0 shows at t=0.
+std::vector<SimDuration> make_slide_schedule(std::uint32_t n,
+                                             SimDuration lecture,
+                                             std::uint64_t seed = 17);
+
+/// Synthetic teacher annotations (ink/comments) at random instants, each
+/// anchored to the slide visible at that time per \p slide_times.
+std::vector<Annotation> make_annotations(std::uint32_t count,
+                                         const std::vector<SimDuration>& slide_times,
+                                         SimDuration lecture,
+                                         std::uint64_t seed = 19);
+
+}  // namespace lod::media

@@ -1,0 +1,47 @@
+#include "lod/media/profile.hpp"
+
+#include <algorithm>
+
+namespace lod::media {
+
+const std::vector<BandwidthProfile>& standard_profiles() {
+  // Modeled on the stock Windows Media Encoder 7 profile ladder the paper's
+  // configuration module exposed ("the different bandwidth profile selection
+  // window"). ACELP serves the dial-up voice tiers; WMA the rest.
+  static const std::vector<BandwidthProfile> kProfiles = {
+      {"Audio 28.8k (voice)", 22'000, 0, 22'000, 0, 0, 0.0, "MPEG-4",
+       "ACELP"},
+      {"Video 28.8k", 24'000, 16'000, 8'000, 160, 120, 5.0, "MPEG-4", "ACELP"},
+      {"Video 56k dial-up", 40'000, 27'000, 13'000, 176, 144, 7.5, "MPEG-4",
+       "ACELP"},
+      {"Video 100k dual-ISDN", 100'000, 68'000, 32'000, 240, 180, 10.0,
+       "MPEG-4", "WMA"},
+      {"Video 250k DSL/cable", 250'000, 186'000, 64'000, 320, 240, 15.0,
+       "MPEG-4", "WMA"},
+      {"Video 750k broadband", 750'000, 686'000, 64'000, 480, 360, 25.0,
+       "MPEG-4", "WMA"},
+      {"Video 1.5M LAN", 1'500'000, 1'372'000, 128'000, 640, 480, 30.0,
+       "MPEG-4", "WMA"},
+  };
+  return kProfiles;
+}
+
+std::optional<BandwidthProfile> find_profile(std::string_view name) {
+  for (const auto& p : standard_profiles()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+const BandwidthProfile& best_profile_for(std::int64_t available_bps,
+                                         double headroom) {
+  const auto& all = standard_profiles();
+  const double budget = static_cast<double>(available_bps) * (1.0 - headroom);
+  const BandwidthProfile* best = &all.front();
+  for (const auto& p : all) {
+    if (static_cast<double>(p.total_bps) <= budget) best = &p;
+  }
+  return *best;
+}
+
+}  // namespace lod::media

@@ -1,0 +1,142 @@
+#include "lod/media/sources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lod::media {
+
+LectureVideoSource::LectureVideoSource(SimDuration duration, double fps,
+                                       std::uint16_t width,
+                                       std::uint16_t height,
+                                       std::uint64_t seed)
+    : duration_(duration),
+      fps_(fps),
+      width_(width),
+      height_(height),
+      seed_(seed),
+      rng_(seed) {
+  next_cut_frame_ = static_cast<std::uint64_t>(rng_.uniform_int(50, 400));
+}
+
+bool LectureVideoSource::next(VideoFrame& out) {
+  const SimDuration pts = net::secf(static_cast<double>(index_) / fps_);
+  if (pts >= duration_) return false;
+
+  bool cut = false;
+  if (index_ == next_cut_frame_) {
+    cut = true;
+    // After a cut, complexity jumps then decays back toward talking-head 1.0.
+    complexity_ = static_cast<float>(1.5 + rng_.uniform01() * 1.5);
+    next_cut_frame_ = index_ + static_cast<std::uint64_t>(
+                                   rng_.uniform_int(100, 900));
+  } else {
+    complexity_ = 1.0f + (complexity_ - 1.0f) * 0.97f;  // exponential decay
+  }
+  // Small per-frame wiggle (speaker motion).
+  const float wiggle = static_cast<float>((rng_.uniform01() - 0.5) * 0.1);
+
+  out.pts = pts;
+  out.width = width_;
+  out.height = height_;
+  out.complexity = std::clamp(complexity_ + wiggle, 0.3f, 4.0f);
+  out.scene_cut = cut;
+  ++index_;
+  return true;
+}
+
+void LectureVideoSource::rewind() {
+  rng_ = net::Rng(seed_);
+  index_ = 0;
+  complexity_ = 1.0f;
+  next_cut_frame_ = static_cast<std::uint64_t>(rng_.uniform_int(50, 400));
+}
+
+LectureAudioSource::LectureAudioSource(SimDuration duration,
+                                       std::uint32_t sample_rate,
+                                       SimDuration block, std::uint64_t seed)
+    : duration_(duration),
+      sample_rate_(sample_rate),
+      block_(block),
+      seed_(seed),
+      rng_(seed) {}
+
+bool LectureAudioSource::next(AudioBlock& out) {
+  if (pos_ >= duration_) return false;
+  out.pts = SimDuration{pos_.us};
+  out.duration = std::min(block_, duration_ - pos_);
+  out.sample_rate = sample_rate_;
+  out.channels = 1;
+  // Speech energy alternates between talking and pauses.
+  out.energy = rng_.bernoulli(0.8) ? static_cast<float>(0.6 + rng_.uniform01() * 0.4)
+                                   : 0.05f;
+  pos_ += out.duration;
+  return true;
+}
+
+void LectureAudioSource::rewind() {
+  rng_ = net::Rng(seed_);
+  pos_ = {};
+}
+
+std::vector<Slide> make_slide_deck(std::uint32_t n, std::uint64_t seed) {
+  net::Rng rng(seed);
+  std::vector<Slide> deck;
+  deck.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Slide s;
+    s.index = i;
+    s.title = "Slide " + std::to_string(i + 1);
+    // Text-heavy slides ~25 KB, diagram-heavy up to ~90 KB.
+    s.encoded_bytes =
+        static_cast<std::uint32_t>(rng.uniform_int(25'000, 90'000));
+    deck.push_back(std::move(s));
+  }
+  return deck;
+}
+
+std::vector<SimDuration> make_slide_schedule(std::uint32_t n,
+                                             SimDuration lecture,
+                                             std::uint64_t seed) {
+  net::Rng rng(seed);
+  std::vector<SimDuration> at;
+  at.reserve(n);
+  if (n == 0) return at;
+  // Draw dwell weights in [0.6, 1.4] and normalize onto the lecture length,
+  // so the schedule always covers exactly [0, lecture).
+  std::vector<double> w(n);
+  double total = 0;
+  for (auto& x : w) {
+    x = 0.6 + rng.uniform01() * 0.8;
+    total += x;
+  }
+  double t = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    at.push_back(net::secf(t));
+    t += w[i] / total * lecture.seconds();
+  }
+  return at;
+}
+
+std::vector<Annotation> make_annotations(
+    std::uint32_t count, const std::vector<SimDuration>& slide_times,
+    SimDuration lecture, std::uint64_t seed) {
+  net::Rng rng(seed);
+  std::vector<Annotation> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Annotation a;
+    a.at = net::usec(rng.uniform_int(0, std::max<std::int64_t>(lecture.us - 1, 0)));
+    // Find the slide visible at that instant.
+    a.slide = 0;
+    for (std::size_t s = 0; s < slide_times.size(); ++s) {
+      if (slide_times[s] <= a.at) a.slide = static_cast<std::uint32_t>(s);
+    }
+    a.text = "note-" + std::to_string(i + 1);
+    out.push_back(std::move(a));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Annotation& x, const Annotation& y) { return x.at < y.at; });
+  return out;
+}
+
+}  // namespace lod::media

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "lod/net/time.hpp"
+
+/// \file clock.hpp
+/// Per-host clocks with skew and drift.
+///
+/// The paper's distributed-sync claim (its extended Petri net "describes the
+/// details of synchronization across distributed platforms") only matters
+/// because real hosts disagree about time. We model each host's clock as
+///
+///     local(t) = offset + (t - 0) * (1 + drift_ppm * 1e-6)
+///
+/// where t is true (simulation) time. The LOD player layer can then run NTP-
+/// style offset estimation over the simulated network and we can measure how
+/// far out of sync two renderers actually are.
+
+namespace lod::net {
+
+/// A skewed, drifting host clock.
+class HostClock {
+ public:
+  HostClock() = default;
+  /// \param offset  initial error relative to true time (can be negative).
+  /// \param drift_ppm  parts-per-million frequency error; 50 ppm is a typical
+  ///                   uncompensated crystal, the paper-era PCs were worse.
+  HostClock(SimDuration offset, double drift_ppm)
+      : offset_(offset), drift_ppm_(drift_ppm) {}
+
+  /// The host's local reading when true time is \p true_now.
+  SimTime local_time(SimTime true_now) const {
+    const double skewed =
+        static_cast<double>(true_now.us) * (1.0 + drift_ppm_ * 1e-6);
+    return SimTime{static_cast<std::int64_t>(skewed) + offset_.us};
+  }
+
+  /// Inverse mapping: the true time at which this host's clock reads \p local.
+  SimTime true_time(SimTime local) const {
+    const double t =
+        static_cast<double>(local.us - offset_.us) / (1.0 + drift_ppm_ * 1e-6);
+    return SimTime{static_cast<std::int64_t>(t)};
+  }
+
+  /// Apply a correction (e.g. from an NTP-style exchange) to the offset.
+  void adjust(SimDuration delta) { offset_ += delta; }
+
+  SimDuration offset() const { return offset_; }
+  double drift_ppm() const { return drift_ppm_; }
+
+ private:
+  SimDuration offset_{};
+  double drift_ppm_{0.0};
+};
+
+}  // namespace lod::net

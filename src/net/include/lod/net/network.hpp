@@ -1,0 +1,184 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lod/net/clock.hpp"
+#include "lod/net/rng.hpp"
+#include "lod/net/simulator.hpp"
+#include "lod/net/time.hpp"
+
+/// \file network.hpp
+/// The simulated packet network.
+///
+/// Hosts are connected by point-to-point links with finite bandwidth,
+/// propagation latency, random jitter, a loss rate and a drop-tail queue.
+/// Packets are routed hop-by-hop over the static shortest path (store and
+/// forward at each hop, like the switched LANs the paper deployed on).
+///
+/// This is the substitute for the paper's campus LAN / Internet transport
+/// between Windows Media Encoder, Windows Media Services and the browsers.
+
+namespace lod::net {
+
+using HostId = std::uint32_t;
+using Port = std::uint16_t;
+using ChannelId = std::uint32_t;
+
+/// Wire unit. `wire_size` is what consumes link capacity (payload plus
+/// header/framing overhead); `payload` is what the receiver sees.
+struct Packet {
+  HostId src{0};
+  HostId dst{0};
+  Port src_port{0};
+  Port dst_port{0};
+  std::uint32_t wire_size{0};  ///< bytes on the wire
+  std::vector<std::byte> payload;
+  /// Non-zero when the packet travels on a reserved QoS channel.
+  ChannelId channel{0};
+  std::uint64_t id{0};  ///< unique per network, for tracing
+};
+
+/// Static properties of one direction of a link.
+struct LinkConfig {
+  /// Capacity in bits per second. 10 Mb/s is the paper-era campus LAN.
+  std::int64_t bandwidth_bps{10'000'000};
+  /// One-way propagation delay.
+  SimDuration latency{msec(1)};
+  /// Std-dev of per-packet delivery jitter (truncated normal).
+  SimDuration jitter{usec(0)};
+  /// Independent per-packet loss probability.
+  double loss_rate{0.0};
+  /// Drop-tail queue bound, in bytes of queued (not yet serialized) data.
+  std::size_t queue_bytes{256 * 1024};
+};
+
+/// Counters kept per link direction, exposed for benches and tests.
+struct LinkStats {
+  std::uint64_t packets_sent{0};
+  std::uint64_t packets_dropped_loss{0};
+  std::uint64_t packets_dropped_queue{0};
+  std::uint64_t bytes_sent{0};
+  SimDuration total_queue_delay{};
+};
+
+/// A QoS reservation over a path, in the spirit of XOCPN's resource channels:
+/// the reserved rate is subtracted from every on-path link's best-effort
+/// capacity and packets tagged with the channel serialize at the reserved
+/// rate, unaffected by best-effort congestion.
+struct ChannelReservation {
+  ChannelId id{0};
+  HostId src{0};
+  HostId dst{0};
+  std::int64_t rate_bps{0};
+  std::vector<std::pair<HostId, HostId>> path;  ///< hops actually reserved
+};
+
+/// The network fabric. Owns topology, routing, queues and delivery timing.
+class Network {
+ public:
+  using Receiver = std::function<void(const Packet&)>;
+
+  Network(Simulator& sim, std::uint64_t seed = 42);
+
+  // --- topology -----------------------------------------------------------
+
+  /// Create a host; returns its id. Optionally give its clock an offset/drift.
+  HostId add_host(std::string name, HostClock clock = {});
+
+  /// Connect two hosts with a symmetric full-duplex link.
+  void add_link(HostId a, HostId b, const LinkConfig& cfg);
+
+  /// Replace one direction's config (e.g. to degrade a link mid-run).
+  void set_link_config(HostId from, HostId to, const LinkConfig& cfg);
+
+  std::size_t host_count() const { return hosts_.size(); }
+  const std::string& host_name(HostId h) const { return hosts_.at(h).name; }
+  HostClock& clock(HostId h) { return hosts_.at(h).clock; }
+  const HostClock& clock(HostId h) const { return hosts_.at(h).clock; }
+
+  /// The host's local clock reading right now.
+  SimTime local_now(HostId h) const { return clock(h).local_time(sim_.now()); }
+
+  // --- sockets ------------------------------------------------------------
+
+  /// Register a receiver for (host, port). Overwrites any previous binding.
+  void bind(HostId h, Port port, Receiver r);
+  void unbind(HostId h, Port port);
+
+  /// Inject a packet. Returns false if src/dst are unknown or unroutable
+  /// (the packet is silently dropped, as IP would).
+  bool send(Packet p);
+
+  // --- QoS channels (XOCPN-style) ------------------------------------------
+
+  /// Try to reserve \p rate_bps from src to dst. Fails (nullopt) if any
+  /// on-path link lacks spare capacity. Reservations compose: admission
+  /// control tracks the sum of reserved rates per link direction.
+  std::optional<ChannelId> reserve_channel(HostId src, HostId dst,
+                                           std::int64_t rate_bps);
+  /// Release a reservation. Unknown ids are ignored.
+  void release_channel(ChannelId id);
+
+  /// Change a reservation's rate in place (same path, same serializer — no
+  /// packet reordering, unlike release+reserve). Fails if any on-path link
+  /// lacks capacity for the increase; the old rate stays in effect then.
+  bool resize_channel(ChannelId id, std::int64_t new_rate_bps);
+
+  std::optional<ChannelReservation> channel_info(ChannelId id) const;
+
+  // --- introspection --------------------------------------------------------
+
+  /// Shortest path (hop count) from a to b, inclusive of endpoints.
+  /// Empty if unreachable.
+  std::vector<HostId> route(HostId a, HostId b) const;
+
+  const LinkStats& link_stats(HostId from, HostId to) const;
+
+  Simulator& simulator() { return sim_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  struct LinkDir {
+    LinkConfig cfg;
+    LinkStats stats;
+    SimTime busy_until{};              ///< best-effort serializer
+    std::size_t queued_bytes{0};       ///< bytes waiting for the serializer
+    std::int64_t reserved_bps{0};      ///< sum of channel reservations
+    std::unordered_map<ChannelId, SimTime> channel_busy_until;
+  };
+  struct HostState {
+    std::string name;
+    HostClock clock;
+    std::unordered_map<Port, Receiver> ports;
+    std::vector<HostId> neighbors;
+  };
+
+  static std::uint64_t dir_key(HostId from, HostId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  LinkDir* find_dir(HostId from, HostId to);
+  const LinkDir* find_dir(HostId from, HostId to) const;
+
+  /// Schedule the hop from `from` to `to`, then recurse along the path.
+  void forward(Packet p, std::size_t hop_index,
+               std::shared_ptr<const std::vector<HostId>> path);
+  void deliver(const Packet& p);
+
+  Simulator& sim_;
+  Rng rng_;
+  std::vector<HostState> hosts_;
+  std::unordered_map<std::uint64_t, LinkDir> links_;
+  std::unordered_map<ChannelId, ChannelReservation> channels_;
+  ChannelId next_channel_{1};
+  std::uint64_t next_packet_{1};
+};
+
+}  // namespace lod::net

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "lod/net/time.hpp"
+
+/// \file rng.hpp
+/// Deterministic randomness for the simulation.
+///
+/// Every stochastic component (jitter, loss, workload generators) owns its own
+/// seeded engine so that adding randomness to one module never perturbs the
+/// draws seen by another — runs stay reproducible as the system grows.
+
+namespace lod::net {
+
+/// A seeded random source with the small set of distributions the
+/// simulation needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x10d5eedULL) : eng_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(eng_); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(eng_);
+  }
+
+  /// True with probability \p p.
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Zero-mean truncated normal jitter with the given standard deviation,
+  /// clamped to +/- 4 sigma so one unlucky draw cannot wreck a schedule.
+  SimDuration jitter(SimDuration sigma) {
+    if (sigma.us <= 0) return SimDuration{0};
+    std::normal_distribution<double> d(0.0, static_cast<double>(sigma.us));
+    double v = d(eng_);
+    const double cap = 4.0 * static_cast<double>(sigma.us);
+    if (v > cap) v = cap;
+    if (v < -cap) v = -cap;
+    return SimDuration{static_cast<std::int64_t>(v)};
+  }
+
+  /// Exponentially distributed duration with the given mean (for Poisson
+  /// arrival processes in workload generators).
+  SimDuration exponential(SimDuration mean) {
+    if (mean.us <= 0) return SimDuration{0};
+    std::exponential_distribution<double> d(1.0 / static_cast<double>(mean.us));
+    return SimDuration{static_cast<std::int64_t>(d(eng_))};
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace lod::net

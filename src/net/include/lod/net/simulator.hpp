@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lod/net/time.hpp"
+
+/// \file simulator.hpp
+/// The discrete-event simulation core.
+///
+/// Every other substrate (network links, streaming servers, Petri net playout)
+/// schedules work here. Events fire in strict (time, insertion-order) order,
+/// which makes whole-system runs deterministic and therefore testable.
+
+namespace lod::net {
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+using EventId = std::uint64_t;
+
+/// A single-threaded discrete-event simulator.
+///
+/// Not thread-safe by design: determinism is the point. Handlers may schedule
+/// and cancel further events freely, including at the current instant (such
+/// events run after the current handler returns, in insertion order).
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time. Monotonically non-decreasing.
+  SimTime now() const { return now_; }
+
+  /// Schedule \p h at absolute time \p t. Times in the past are clamped to
+  /// "now" (the event still runs, immediately after already-queued events at
+  /// the current instant).
+  EventId schedule_at(SimTime t, Handler h);
+
+  /// Schedule \p h after \p d has elapsed. Negative durations clamp to now.
+  EventId schedule_after(SimDuration d, Handler h) {
+    return schedule_at(now_ + (d.us < 0 ? SimDuration{0} : d), std::move(h));
+  }
+
+  /// Cancel a pending event. Returns true if the event existed and had not
+  /// yet fired. Cancelling an already-fired or unknown id is a harmless no-op.
+  bool cancel(EventId id);
+
+  /// Run the single earliest pending event. Returns false if none pending.
+  bool step();
+
+  /// Run until the queue drains. Returns the number of events executed.
+  std::size_t run();
+
+  /// Run all events with time <= \p t, then advance the clock to \p t.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime t);
+
+  /// Run at most \p n events (guards against runaway event storms in tests).
+  std::size_t run_steps(std::size_t n);
+
+  /// Number of events currently pending (including cancelled-but-unswept).
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO among same-instant events
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  SimTime now_{};
+  std::uint64_t next_seq_{0};
+  EventId next_id_{1};
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_map<EventId, Handler> handlers_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace lod::net

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+/// \file time.hpp
+/// Simulated-time primitives for the discrete-event network substrate.
+///
+/// All simulation time is kept as signed 64-bit microsecond counts wrapped in
+/// strong types so that durations and absolute instants cannot be mixed by
+/// accident. One microsecond resolution is fine enough for media sync work
+/// (the paper's script commands operate at ~100 ms granularity) while leaving
+/// ~292k years of headroom before overflow.
+
+namespace lod::net {
+
+/// A span of simulated time, in microseconds.
+struct SimDuration {
+  std::int64_t us{0};
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const { return {us + o.us}; }
+  constexpr SimDuration operator-(SimDuration o) const { return {us - o.us}; }
+  constexpr SimDuration operator-() const { return {-us}; }
+  constexpr SimDuration& operator+=(SimDuration o) {
+    us += o.us;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration o) {
+    us -= o.us;
+    return *this;
+  }
+  constexpr SimDuration operator*(std::int64_t k) const { return {us * k}; }
+  constexpr SimDuration operator/(std::int64_t k) const { return {us / k}; }
+
+  /// Convert to (lossy) floating-point seconds, for reporting only.
+  constexpr double seconds() const { return static_cast<double>(us) / 1e6; }
+  constexpr double millis() const { return static_cast<double>(us) / 1e3; }
+};
+
+/// An absolute instant on the global simulation timeline, in microseconds
+/// since simulation start.
+struct SimTime {
+  std::int64_t us{0};
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const { return {us + d.us}; }
+  constexpr SimTime operator-(SimDuration d) const { return {us - d.us}; }
+  constexpr SimDuration operator-(SimTime o) const { return {us - o.us}; }
+  constexpr SimTime& operator+=(SimDuration d) {
+    us += d.us;
+    return *this;
+  }
+
+  constexpr double seconds() const { return static_cast<double>(us) / 1e6; }
+
+  static constexpr SimTime max() {
+    return {std::numeric_limits<std::int64_t>::max()};
+  }
+  static constexpr SimTime zero() { return {0}; }
+};
+
+/// Construct a duration from raw microseconds.
+constexpr SimDuration usec(std::int64_t n) { return {n}; }
+/// Construct a duration from milliseconds.
+constexpr SimDuration msec(std::int64_t n) { return {n * 1000}; }
+/// Construct a duration from whole seconds.
+constexpr SimDuration sec(std::int64_t n) { return {n * 1'000'000}; }
+/// Construct a duration from fractional seconds (rounded to microseconds).
+constexpr SimDuration secf(double s) {
+  return {static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5))};
+}
+
+/// Render a duration as a short human string ("1.250s", "37ms", "12us").
+std::string to_string(SimDuration d);
+/// Render an instant as seconds since simulation start.
+std::string to_string(SimTime t);
+
+}  // namespace lod::net

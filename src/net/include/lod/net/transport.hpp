@@ -1,0 +1,176 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "lod/net/bytes.hpp"
+#include "lod/net/network.hpp"
+
+/// \file transport.hpp
+/// End-host transport over the simulated network.
+///
+/// Two layers, mirroring what the paper's stack used:
+///  - `DatagramSocket`  — raw, unreliable, unordered (UDP-like). Media data
+///    packets ride here; a late frame is a dropped frame.
+///  - `ReliableEndpoint` — per-peer ordered reliable message delivery with
+///    positive ACKs and timer-based retransmission (a deliberately small TCP
+///    stand-in). Control traffic (publishing, floor control, RTSP-like
+///    commands, HTTP-ish requests) rides here.
+
+namespace lod::net {
+
+/// UDP-like socket: unreliable, unordered message delivery.
+class DatagramSocket {
+ public:
+  using Handler = std::function<void(const Packet&)>;
+
+  /// Binds (host, port) on construction and unbinds on destruction.
+  DatagramSocket(Network& net, HostId host, Port port);
+  ~DatagramSocket();
+  DatagramSocket(const DatagramSocket&) = delete;
+  DatagramSocket& operator=(const DatagramSocket&) = delete;
+
+  void on_receive(Handler h) { handler_ = std::move(h); }
+
+  /// Fire-and-forget send. \p header_overhead models UDP/IP framing cost on
+  /// the wire without polluting the payload. Tag \p channel to ride a QoS
+  /// reservation.
+  bool send_to(HostId dst, Port dst_port, std::vector<std::byte> payload,
+               std::uint32_t header_overhead = 28, ChannelId channel = 0);
+
+  HostId host() const { return host_; }
+  Port port() const { return port_; }
+
+ private:
+  Network& net_;
+  HostId host_;
+  Port port_;
+  Handler handler_;
+};
+
+/// Ordered, reliable, message-oriented endpoint (one per host/port).
+///
+/// Each remote (host, port) pair gets an independent sequence space. Senders
+/// retransmit unacknowledged segments on a fixed RTO; receivers deliver in
+/// order and ACK cumulatively. Duplicate suppression is by sequence number.
+///
+/// Every endpoint instance carries a unique INCARNATION number in its
+/// frames. When a new endpoint reuses a (host, port) — a reconnect — peers
+/// see the changed incarnation and reset that peer's receive state instead
+/// of mistaking the fresh sequence space for stale duplicates (the same job
+/// TCP's ISN randomization does).
+class ReliableEndpoint {
+ public:
+  /// Delivered message: who sent it and its payload.
+  struct Message {
+    HostId src;
+    Port src_port;
+    std::vector<std::byte> payload;
+  };
+  using Handler = std::function<void(const Message&)>;
+
+  ReliableEndpoint(Network& net, HostId host, Port port,
+                   SimDuration rto = msec(200), int max_retries = 20);
+  ~ReliableEndpoint();
+  ReliableEndpoint(const ReliableEndpoint&) = delete;
+  ReliableEndpoint& operator=(const ReliableEndpoint&) = delete;
+
+  void on_receive(Handler h) { handler_ = std::move(h); }
+
+  /// Queue a message for reliable in-order delivery to the peer.
+  void send_to(HostId dst, Port dst_port, std::vector<std::byte> payload);
+
+  /// True when every message sent so far has been acknowledged.
+  bool all_acked() const;
+
+  /// Number of retransmissions performed (observable in benches/tests).
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+  HostId host() const { return host_; }
+  Port port() const { return port_; }
+
+ private:
+  struct PeerKey {
+    HostId host;
+    Port port;
+    bool operator==(const PeerKey&) const = default;
+  };
+  struct PeerKeyHash {
+    std::size_t operator()(const PeerKey& k) const {
+      return (static_cast<std::size_t>(k.host) << 16) ^ k.port;
+    }
+  };
+  struct TxState {
+    std::uint64_t next_seq{0};
+    std::uint64_t acked_upto{0};  ///< all seq < this are acknowledged
+    std::map<std::uint64_t, std::vector<std::byte>> inflight;
+  };
+  struct RxState {
+    std::uint64_t peer_incarnation{0};
+    std::uint64_t next_expected{0};
+    std::map<std::uint64_t, std::vector<std::byte>> out_of_order;
+  };
+
+  void handle_packet(const Packet& p);
+  void transmit(const PeerKey& peer, std::uint64_t seq);
+  void arm_retransmit(const PeerKey& peer, std::uint64_t seq, int tries_left);
+  void send_ack(const PeerKey& peer, std::uint64_t ack_upto);
+
+  /// This endpoint's incarnation (unique per constructed endpoint).
+  const std::uint64_t incarnation_;
+
+  Network& net_;
+  HostId host_;
+  Port port_;
+  SimDuration rto_;
+  int max_retries_;
+  Handler handler_;
+  std::unordered_map<PeerKey, TxState, PeerKeyHash> tx_;
+  std::unordered_map<PeerKey, RxState, PeerKeyHash> rx_;
+  std::uint64_t retransmissions_{0};
+  std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
+};
+
+/// Minimal request/response layer over `ReliableEndpoint` — the stand-in for
+/// the paper's "server HTTP port and URL for Internet/LAN connections".
+class RpcServer {
+ public:
+  /// A handler maps (path, request body) -> (status code, response body).
+  using Handler = std::function<std::pair<int, std::vector<std::byte>>(
+      std::string_view path, std::span<const std::byte> body)>;
+
+  RpcServer(Network& net, HostId host, Port port);
+
+  /// Register a handler for an exact path (e.g. "/publish").
+  void route(std::string path, Handler h);
+
+ private:
+  void dispatch(const ReliableEndpoint::Message& m);
+
+  ReliableEndpoint ep_;
+  std::unordered_map<std::string, Handler> routes_;
+};
+
+/// Client side of `RpcServer`.
+class RpcClient {
+ public:
+  using Callback =
+      std::function<void(int status, std::span<const std::byte> body)>;
+
+  RpcClient(Network& net, HostId host, Port port);
+
+  /// Issue a request; \p cb fires when the response arrives.
+  void call(HostId server, Port server_port, std::string_view path,
+            std::vector<std::byte> body, Callback cb);
+
+ private:
+  ReliableEndpoint ep_;
+  std::unordered_map<std::uint64_t, Callback> pending_;
+  std::uint64_t next_req_{1};
+};
+
+}  // namespace lod::net

@@ -1,0 +1,100 @@
+#include "lod/net/simulator.hpp"
+
+#include <cstdio>
+
+namespace lod::net {
+
+std::string to_string(SimDuration d) {
+  char buf[48];
+  const std::int64_t a = d.us < 0 ? -d.us : d.us;
+  if (a >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", d.seconds());
+  } else if (a >= 1000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", d.millis());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(d.us));
+  }
+  return buf;
+}
+
+std::string to_string(SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", t.seconds());
+  return buf;
+}
+
+EventId Simulator::schedule_at(SimTime t, Handler h) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  handlers_.emplace(id, std::move(h));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    auto c = cancelled_.find(e.id);
+    if (c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;  // was cancelled; skip
+    }
+    out = e;
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  now_ = e.at;
+  auto it = handlers_.find(e.id);
+  // pop_next already filtered cancelled events, so the handler must exist.
+  Handler h = std::move(it->second);
+  handlers_.erase(it);
+  h();
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime t) {
+  std::size_t n = 0;
+  Entry e;
+  while (!queue_.empty()) {
+    // Peek: find earliest non-cancelled without popping irrevocably.
+    Entry top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      queue_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.at > t) break;
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+std::size_t Simulator::run_steps(std::size_t n) {
+  std::size_t done = 0;
+  while (done < n && step()) ++done;
+  return done;
+}
+
+}  // namespace lod::net

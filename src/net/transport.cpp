@@ -1,0 +1,249 @@
+#include "lod/net/transport.hpp"
+
+namespace lod::net {
+
+namespace {
+// Wire tags for ReliableEndpoint frames.
+constexpr std::uint8_t kData = 1;
+constexpr std::uint8_t kAck = 2;
+
+/// Process-unique incarnation source (single-threaded simulator: a plain
+/// counter is deterministic).
+std::uint64_t next_incarnation() {
+  static std::uint64_t counter = 0x1c4b;
+  return ++counter;
+}
+// Rough per-segment framing overhead charged on the wire (TCP/IP-ish).
+constexpr std::uint32_t kSegmentOverhead = 40;
+}  // namespace
+
+// --- DatagramSocket ---------------------------------------------------------
+
+DatagramSocket::DatagramSocket(Network& net, HostId host, Port port)
+    : net_(net), host_(host), port_(port) {
+  net_.bind(host_, port_, [this](const Packet& p) {
+    if (handler_) handler_(p);
+  });
+}
+
+DatagramSocket::~DatagramSocket() { net_.unbind(host_, port_); }
+
+bool DatagramSocket::send_to(HostId dst, Port dst_port,
+                             std::vector<std::byte> payload,
+                             std::uint32_t header_overhead, ChannelId channel) {
+  Packet p;
+  p.src = host_;
+  p.dst = dst;
+  p.src_port = port_;
+  p.dst_port = dst_port;
+  p.wire_size = static_cast<std::uint32_t>(payload.size()) + header_overhead;
+  p.payload = std::move(payload);
+  p.channel = channel;
+  return net_.send(std::move(p));
+}
+
+// --- ReliableEndpoint -------------------------------------------------------
+
+ReliableEndpoint::ReliableEndpoint(Network& net, HostId host, Port port,
+                                   SimDuration rto, int max_retries)
+    : incarnation_(next_incarnation()),
+      net_(net),
+      host_(host),
+      port_(port),
+      rto_(rto),
+      max_retries_(max_retries) {
+  net_.bind(host_, port_, [this](const Packet& p) { handle_packet(p); });
+}
+
+ReliableEndpoint::~ReliableEndpoint() {
+  *alive_ = false;
+  net_.unbind(host_, port_);
+}
+
+void ReliableEndpoint::send_to(HostId dst, Port dst_port,
+                               std::vector<std::byte> payload) {
+  const PeerKey peer{dst, dst_port};
+  TxState& tx = tx_[peer];
+  const std::uint64_t seq = tx.next_seq++;
+  tx.inflight.emplace(seq, std::move(payload));
+  transmit(peer, seq);
+  arm_retransmit(peer, seq, max_retries_);
+}
+
+void ReliableEndpoint::transmit(const PeerKey& peer, std::uint64_t seq) {
+  const TxState& tx = tx_.at(peer);
+  auto it = tx.inflight.find(seq);
+  if (it == tx.inflight.end()) return;  // already acked
+
+  ByteWriter w;
+  w.u8(kData);
+  w.u64(incarnation_);
+  w.u64(seq);
+  w.blob(it->second);
+
+  Packet p;
+  p.src = host_;
+  p.dst = peer.host;
+  p.src_port = port_;
+  p.dst_port = peer.port;
+  p.payload = std::move(w).take();
+  p.wire_size = static_cast<std::uint32_t>(p.payload.size()) + kSegmentOverhead;
+  net_.send(std::move(p));
+}
+
+void ReliableEndpoint::arm_retransmit(const PeerKey& peer, std::uint64_t seq,
+                                      int tries_left) {
+  if (tries_left <= 0) return;  // give up; peer is unreachable
+  net_.simulator().schedule_after(
+      rto_, [this, alive = alive_, peer, seq, tries_left] {
+        if (!*alive) return;
+        auto it = tx_.find(peer);
+        if (it == tx_.end() || !it->second.inflight.count(seq)) return;
+        ++retransmissions_;
+        transmit(peer, seq);
+        arm_retransmit(peer, seq, tries_left - 1);
+      });
+}
+
+void ReliableEndpoint::send_ack(const PeerKey& peer, std::uint64_t ack_upto) {
+  ByteWriter w;
+  w.u8(kAck);
+  w.u64(rx_[peer].peer_incarnation);  // which incarnation this ACK answers
+  w.u64(ack_upto);
+  Packet p;
+  p.src = host_;
+  p.dst = peer.host;
+  p.src_port = port_;
+  p.dst_port = peer.port;
+  p.payload = std::move(w).take();
+  p.wire_size = static_cast<std::uint32_t>(p.payload.size()) + kSegmentOverhead;
+  net_.send(std::move(p));
+}
+
+void ReliableEndpoint::handle_packet(const Packet& p) {
+  ByteReader r(p.payload);
+  const std::uint8_t tag = r.u8();
+  const PeerKey peer{p.src, p.src_port};
+
+  if (tag == kAck) {
+    const std::uint64_t for_incarnation = r.u64();
+    if (for_incarnation != incarnation_) return;  // stale ACK for a past self
+    const std::uint64_t upto = r.u64();
+    TxState& tx = tx_[peer];
+    if (upto > tx.acked_upto) {
+      tx.acked_upto = upto;
+      tx.inflight.erase(tx.inflight.begin(), tx.inflight.lower_bound(upto));
+    }
+    return;
+  }
+
+  if (tag != kData) return;  // unknown frame; drop
+  const std::uint64_t incarnation = r.u64();
+  const std::uint64_t seq = r.u64();
+  auto payload = r.blob();
+
+  RxState& rx = rx_[peer];
+  if (rx.peer_incarnation != incarnation) {
+    // Incarnation 0 means "never heard from this peer" — just learn it.
+    // A CHANGED incarnation means a new endpoint took over the peer's
+    // (host, port): restart the conversation in BOTH directions — fresh
+    // receive state instead of treating the new sequence space as
+    // duplicates, and a fresh send sequence (in-flight messages were
+    // addressed to the old peer, which no longer exists to ack them).
+    const bool reincarnated = rx.peer_incarnation != 0;
+    rx = RxState{};
+    rx.peer_incarnation = incarnation;
+    if (reincarnated) tx_.erase(peer);
+  }
+  if (seq >= rx.next_expected && !rx.out_of_order.count(seq)) {
+    rx.out_of_order.emplace(seq, std::move(payload));
+  }
+  // Deliver any now-contiguous prefix, in order.
+  while (!rx.out_of_order.empty() &&
+         rx.out_of_order.begin()->first == rx.next_expected) {
+    auto node = rx.out_of_order.extract(rx.out_of_order.begin());
+    ++rx.next_expected;
+    if (handler_) {
+      handler_(Message{peer.host, peer.port, std::move(node.mapped())});
+    }
+  }
+  // Cumulative ACK (also re-ACKs duplicates so the sender can stop retrying).
+  send_ack(peer, rx.next_expected);
+}
+
+bool ReliableEndpoint::all_acked() const {
+  for (const auto& [peer, tx] : tx_) {
+    if (!tx.inflight.empty()) return false;
+  }
+  return true;
+}
+
+// --- RpcServer / RpcClient --------------------------------------------------
+
+namespace {
+constexpr std::uint8_t kRpcRequest = 1;
+constexpr std::uint8_t kRpcResponse = 2;
+}  // namespace
+
+RpcServer::RpcServer(Network& net, HostId host, Port port)
+    : ep_(net, host, port) {
+  ep_.on_receive([this](const ReliableEndpoint::Message& m) { dispatch(m); });
+}
+
+void RpcServer::route(std::string path, Handler h) {
+  routes_[std::move(path)] = std::move(h);
+}
+
+void RpcServer::dispatch(const ReliableEndpoint::Message& m) {
+  ByteReader r(m.payload);
+  if (r.u8() != kRpcRequest) return;
+  const std::uint64_t req_id = r.u64();
+  const std::string path = r.str();
+  const auto body = r.blob();
+
+  int status = 404;
+  std::vector<std::byte> resp_body;
+  auto it = routes_.find(path);
+  if (it != routes_.end()) {
+    auto [s, b] = it->second(path, body);
+    status = s;
+    resp_body = std::move(b);
+  }
+
+  ByteWriter w;
+  w.u8(kRpcResponse);
+  w.u64(req_id);
+  w.u32(static_cast<std::uint32_t>(status));
+  w.blob(resp_body);
+  ep_.send_to(m.src, m.src_port, std::move(w).take());
+}
+
+RpcClient::RpcClient(Network& net, HostId host, Port port)
+    : ep_(net, host, port) {
+  ep_.on_receive([this](const ReliableEndpoint::Message& m) {
+    ByteReader r(m.payload);
+    if (r.u8() != kRpcResponse) return;
+    const std::uint64_t req_id = r.u64();
+    const int status = static_cast<int>(r.u32());
+    const auto body = r.blob();
+    auto it = pending_.find(req_id);
+    if (it == pending_.end()) return;
+    Callback cb = std::move(it->second);
+    pending_.erase(it);
+    cb(status, body);
+  });
+}
+
+void RpcClient::call(HostId server, Port server_port, std::string_view path,
+                     std::vector<std::byte> body, Callback cb) {
+  const std::uint64_t id = next_req_++;
+  pending_.emplace(id, std::move(cb));
+  ByteWriter w;
+  w.u8(kRpcRequest);
+  w.u64(id);
+  w.str(path);
+  w.blob(body);
+  ep_.send_to(server, server_port, std::move(w).take());
+}
+
+}  // namespace lod::net

@@ -1,0 +1,228 @@
+#include "lod/streaming/encoder.hpp"
+
+#include <algorithm>
+
+namespace lod::streaming {
+
+using media::asf::Header;
+using media::asf::Muxer;
+using media::asf::ScriptCommand;
+
+namespace {
+constexpr std::uint16_t kVideoStream = 1;
+constexpr std::uint16_t kAudioStream = 2;
+/// Live encoders mux and ship packets in windows of this much media time.
+constexpr net::SimDuration kLiveWindow = net::msec(1000);
+
+}  // namespace
+
+Header make_header(const EncodeJob& job, net::SimDuration play_duration,
+                   const media::KeyId& key_id) {
+  Header h;
+  h.props.title = job.title;
+  h.props.author = job.author;
+  h.props.play_duration = play_duration;
+  h.props.preroll = job.preroll;
+  h.props.packet_bytes = job.packet_bytes;
+  h.props.avg_bitrate_bps = job.profile.total_bps;
+  if (!key_id.empty()) {
+    h.drm.is_protected = true;
+    h.drm.key_id = key_id;
+    h.drm.license_url = job.license_url;
+  }
+  if (job.profile.has_video()) {
+    h.streams.push_back(media::StreamInfo{
+        kVideoStream, media::MediaType::kVideo, job.profile.video_codec,
+        job.profile.video_bps, job.profile.width, job.profile.height, 0});
+  }
+  h.streams.push_back(media::StreamInfo{
+      kAudioStream, media::MediaType::kAudio, job.profile.audio_codec,
+      job.profile.audio_bps, 0, 0, job.profile.audio_sample_rate()});
+  return h;
+}
+
+EncodeResult encode_lecture(const EncodeJob& job,
+                            media::LectureVideoSource& video,
+                            media::LectureAudioSource& audio,
+                            const std::vector<ScriptCommand>& scripts) {
+  EncodeResult out;
+  if (job.drm && job.protect_content) {
+    out.key_id = job.drm->create_key(job.title.empty() ? "lecture" : job.title);
+  }
+  const net::SimDuration duration =
+      std::max(video.duration(), audio.duration());
+  Header header = make_header(job, duration, out.key_id);
+  Muxer mux(header, job.drm);
+
+  if (job.profile.has_video()) {
+    auto vcodec = media::make_video_codec(job.profile.video_codec);
+    vcodec->configure(job.profile.video_config());
+    media::VideoFrame f;
+    std::uint64_t i = 0;
+    while (video.next(f)) {
+      auto u = vcodec->encode(f, i++);
+      u.stream_id = kVideoStream;
+      mux.add_unit(u);
+    }
+  }
+  {
+    auto acodec = media::make_audio_codec(job.profile.audio_codec);
+    acodec->configure(job.profile.audio_config());
+    AudioPacker packer(job.audio_superframe);
+    media::AudioBlock b;
+    while (audio.next(b)) {
+      auto u = acodec->encode(b);
+      u.stream_id = kAudioStream;
+      if (auto full = packer.push(u)) mux.add_unit(*full);
+    }
+    if (auto tail = packer.flush()) mux.add_unit(*tail);
+  }
+  for (const auto& s : scripts) mux.add_script(s);
+
+  out.file = mux.finalize(job.index_interval);
+  return out;
+}
+
+// --- LiveEncoder -----------------------------------------------------------------
+
+LiveEncoder::LiveEncoder(net::Simulator& sim, const EncodeJob& job,
+                         media::LectureVideoSource video,
+                         media::LectureAudioSource audio,
+                         std::vector<ScriptCommand> scripts)
+    : sim_(sim),
+      job_(job),
+      video_(std::move(video)),
+      audio_(std::move(audio)),
+      scripts_(std::move(scripts)) {
+  std::sort(scripts_.begin(), scripts_.end(),
+            [](const ScriptCommand& a, const ScriptCommand& b) {
+              return a.at < b.at;
+            });
+  if (job_.drm && job_.protect_content) {
+    key_id_ = job_.drm->create_key(job_.title.empty() ? "live" : job_.title);
+  }
+  const net::SimDuration duration =
+      std::max(video_.duration(), audio_.duration());
+  header_ = make_header(job_, duration, key_id_);
+  if (job_.profile.has_video()) {
+    vcodec_ = media::make_video_codec(job_.profile.video_codec);
+    vcodec_->configure(job_.profile.video_config());
+  }
+  acodec_ = media::make_audio_codec(job_.profile.audio_codec);
+  acodec_->configure(job_.profile.audio_config());
+  audio_packer_ = AudioPacker(job_.audio_superframe);
+}
+
+LiveEncoder::~LiveEncoder() {
+  if (timer_) sim_.cancel(*timer_);
+}
+
+void LiveEncoder::start() {
+  if (running_ || done_) return;
+  running_ = true;
+  epoch_ = sim_.now();
+  window_start_ = {};
+  tick();
+}
+
+void LiveEncoder::flush_ready(net::SimDuration upto) {
+  // Mux the finished window [window_start_, upto) into packets and emit.
+  if (window_units_.empty() && window_scripts_.empty()) {
+    window_start_ = upto;
+    return;
+  }
+  Muxer mux(header_, job_.drm);
+  for (const auto& u : window_units_) mux.add_unit(u);
+  for (const auto& s : window_scripts_) mux.add_script(s);
+  window_units_.clear();
+  window_scripts_.clear();
+  window_start_ = upto;
+  // No index for live packets (the paper: indexer applies to stored files).
+  const auto file = mux.finalize(net::SimDuration{0});
+  for (const auto& p : file.packets) {
+    ++packets_emitted_;
+    if (sink_) sink_(p);
+  }
+}
+
+void LiveEncoder::tick() {
+  timer_.reset();
+  const net::SimDuration media_now = sim_.now() - epoch_;
+
+  // Capture everything due by now: video frames at their frame interval,
+  // audio blocks continuously, script commands as the presenter hits them.
+  bool video_left = false;
+  if (vcodec_) {
+    const double fps = std::max(job_.profile.fps, 1.0);
+    media::VideoFrame f;
+    while (true) {
+      const net::SimDuration next_pts =
+          net::secf(static_cast<double>(frame_index_) / fps);
+      if (next_pts > media_now) {
+        video_left = true;
+        break;
+      }
+      if (!video_.next(f)) break;
+      auto u = vcodec_->encode(f, frame_index_++);
+      u.stream_id = kVideoStream;
+      window_units_.push_back(u);
+    }
+  }
+  while (audio_pos_ < media_now) {
+    media::AudioBlock blk;
+    if (!audio_.next(blk)) {
+      if (auto tail = audio_packer_.flush()) window_units_.push_back(*tail);
+      break;
+    }
+    audio_pos_ = blk.pts + blk.duration;
+    auto u = acodec_->encode(blk);
+    u.stream_id = kAudioStream;
+    if (auto full = audio_packer_.push(u)) window_units_.push_back(*full);
+  }
+  if (audio_pos_ >= audio_.duration()) {
+    if (auto tail = audio_packer_.flush()) window_units_.push_back(*tail);
+  }
+  while (script_cursor_ < scripts_.size() &&
+         scripts_[script_cursor_].at <= media_now) {
+    window_scripts_.push_back(scripts_[script_cursor_++]);
+  }
+
+  const bool audio_left = audio_pos_ < audio_.duration();
+  if (media_now - window_start_ >= kLiveWindow || (!video_left && !audio_left)) {
+    flush_ready(media_now);
+  }
+
+  if (!video_left && !audio_left && script_cursor_ >= scripts_.size()) {
+    flush_ready(media_now);
+    running_ = false;
+    done_ = true;
+    return;
+  }
+  // Tick at the audio block cadence (finer of the two media clocks).
+  timer_ = sim_.schedule_after(net::msec(100), [this] { tick(); });
+}
+
+std::vector<ScriptCommand> slide_flip_commands(
+    const std::vector<net::SimDuration>& slide_times,
+    const std::string& slide_url_prefix) {
+  std::vector<ScriptCommand> out;
+  out.reserve(slide_times.size());
+  for (std::size_t i = 0; i < slide_times.size(); ++i) {
+    out.push_back(ScriptCommand{slide_times[i], "SLIDE",
+                                slide_url_prefix + std::to_string(i)});
+  }
+  return out;
+}
+
+std::vector<ScriptCommand> annotation_commands(
+    const std::vector<media::Annotation>& annotations) {
+  std::vector<ScriptCommand> out;
+  out.reserve(annotations.size());
+  for (const auto& a : annotations) {
+    out.push_back(ScriptCommand{
+        a.at, "ANNOT", std::to_string(a.slide) + ":" + a.text});
+  }
+  return out;
+}
+
+}  // namespace lod::streaming

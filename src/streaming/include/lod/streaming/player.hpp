@@ -1,0 +1,309 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lod/media/asf.hpp"
+#include "lod/media/drm.hpp"
+#include "lod/net/transport.hpp"
+#include "lod/streaming/protocol.hpp"
+
+/// \file player.hpp
+/// The media player / browser plug-in stand-in.
+///
+/// "Using the browser with the windows media services allows those students
+/// to view live video of the teacher giving his speech, along with
+/// synchronized images of his presentation slides and all the annotations."
+///
+/// The player receives ASF packets over datagrams, reassembles access units,
+/// buffers until preroll, renders on a local-clock schedule, executes script
+/// commands (fetching slides from the web server exactly when a SLIDE
+/// command's presentation time is reached), and records everything it did —
+/// which is what the figures' and claims' benches measure.
+///
+/// The `SyncModel` selects which synchronization discipline the player uses,
+/// operationalizing the paper's three-way comparison:
+///
+///  - kOcpn  — pre-orchestrated playout only. Local unsynchronized clock,
+///             best-effort transport, and NO live schedule changes: pause /
+///             seek are implemented the only way the base model allows,
+///             restarting the presentation from the top.
+///  - kXocpn — kOcpn plus a QoS channel reserved for the stream (the
+///             client asks the network for the content's bit-rate), so cross
+///             traffic cannot stall it. Still no user interactions, still an
+///             unsynchronized clock.
+///  - kEtpn  — the paper's extended model: reserved channel, NTP-style clock
+///             synchronization against the server, and native pause / resume
+///             / seek / rate handled mid-stream by the server session.
+
+namespace lod::streaming {
+
+enum class SyncModel : std::uint8_t { kOcpn, kXocpn, kEtpn };
+
+std::string to_string(SyncModel m);
+
+/// Player construction options.
+struct PlayerConfig {
+  SyncModel model{SyncModel::kEtpn};
+  net::Port ctl_port{5000};
+  net::Port data_port{5001};
+  /// Buffer this much media before starting (<=0: use the header's preroll).
+  net::SimDuration preroll_override{-1};
+  /// ETPN only: how often to re-run clock synchronization.
+  net::SimDuration clock_sync_interval{net::sec(30)};
+  /// Who is watching (DRM license subject).
+  std::string user{"student"};
+  /// Where slides are fetched from when SLIDE script commands fire.
+  net::HostId web_server{0};
+  /// Safety factor on the reserved channel rate (XOCPN/ETPN).
+  double channel_headroom{1.25};
+  /// Fetch slide images as soon as their SLIDE command is demuxed (ahead of
+  /// its presentation time) instead of at flip time. An extension over the
+  /// paper's browser behaviour; the A2 ablation bench quantifies the win.
+  bool prefetch_slides{false};
+  /// Selective repair (ETPN only): when a datagram gap is detected, NACK the
+  /// missing file packets over the control channel. With a multi-second
+  /// preroll the repair usually lands before the media is due.
+  bool repair_losses{false};
+  /// Absolutely scheduled presentation: render media position p at master
+  /// wall time `*scheduled_start + p`, interpreted ON THE LOCAL CLOCK. This
+  /// is the distributed-presentation mode where clock quality matters: an
+  /// ETPN player's synchronized clock tracks the master, an OCPN player's
+  /// raw clock shifts the whole rendering by its offset.
+  std::optional<net::SimTime> scheduled_start;
+};
+
+/// One rendered access unit, in three clocks at once.
+struct RenderEvent {
+  media::MediaType type;
+  std::uint16_t stream_id;
+  net::SimDuration pts;
+  net::SimTime true_time;   ///< global simulation time (ground truth)
+  net::SimTime local_time;  ///< this host's (possibly skewed) clock
+};
+
+/// A slide made visible by a SLIDE script command.
+struct SlideEvent {
+  std::string url;
+  net::SimDuration pts;          ///< when the flip was scheduled in the media
+  net::SimTime shown_true;       ///< when it actually appeared on screen
+  net::SimDuration fetch_latency;
+};
+
+/// An annotation surfaced by an ANNOT script command.
+struct AnnotationEvent {
+  std::string text;
+  net::SimDuration pts;
+  net::SimTime shown_true;
+};
+
+/// A playback stall (buffer underrun): rendering resumed `duration` late.
+struct StallEvent {
+  net::SimTime at;
+  net::SimDuration duration;
+};
+
+/// A user interaction and how long the player took to show media again.
+struct InteractionRecord {
+  enum class Kind : std::uint8_t { kPause, kResume, kSeek, kRate };
+  Kind kind;
+  net::SimTime at;
+  net::SimDuration target;       ///< seek target (kSeek only)
+  net::SimTime first_render_after{net::SimTime::max()};
+  bool satisfied{false};
+
+  net::SimDuration resync_latency() const {
+    return satisfied ? first_render_after - at : net::SimDuration{-1};
+  }
+};
+
+/// The player.
+class Player {
+ public:
+  /// \p drm is the license authority (nullable for unprotected content);
+  /// the player asks it for a license at open time, as "rendering" requires.
+  Player(net::Network& net, net::HostId host, PlayerConfig cfg,
+         media::DrmSystem* drm = nullptr);
+  ~Player();
+  Player(const Player&) = delete;
+  Player& operator=(const Player&) = delete;
+
+  // --- session ------------------------------------------------------------------
+
+  /// DESCRIBE + (if protected) license acquisition + (XOCPN/ETPN) channel
+  /// reservation + (ETPN) first clock sync; then PLAY from \p from.
+  void open_and_play(net::HostId server, std::string content,
+                     net::SimDuration from = {});
+
+  /// Arrange an absolutely scheduled start (see PlayerConfig::scheduled_start).
+  /// Must be called before rendering begins.
+  void set_scheduled_start(net::SimTime master_start) {
+    cfg_.scheduled_start = master_start;
+  }
+
+  /// Join a live broadcast channel.
+  void join_live(net::HostId server, std::string name);
+
+  /// User interactions (see SyncModel semantics above).
+  void pause();
+  void resume();
+  void seek(net::SimDuration to);
+  /// Playback speed (ETPN only; >0). The server re-paces the session and the
+  /// render clock advances at the new rate. A no-op for OCPN/XOCPN — the
+  /// pre-orchestrated models have no speed transition at all.
+  void set_rate(double rate);
+  double rate() const { return rate_; }
+
+  /// Tear the session down.
+  void stop();
+
+  // --- state ---------------------------------------------------------------------
+
+  bool playing() const { return state_ == State::kPlaying; }
+  bool buffering() const { return state_ == State::kBuffering; }
+  bool finished() const { return state_ == State::kFinished; }
+  bool paused_state() const { return state_ == State::kPaused; }
+  /// Current media position per the render clock.
+  net::SimDuration position() const;
+
+  // --- observability (what the benches read) ---------------------------------------
+
+  const std::vector<RenderEvent>& rendered() const { return rendered_; }
+  const std::vector<SlideEvent>& slides() const { return slides_; }
+  const std::vector<AnnotationEvent>& annotations() const { return annotations_; }
+  const std::vector<StallEvent>& stalls() const { return stalls_; }
+  const std::vector<InteractionRecord>& interactions() const {
+    return interactions_;
+  }
+  /// From PLAY issued to first unit rendered.
+  net::SimDuration startup_delay() const { return startup_delay_; }
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t units_rendered() const { return rendered_.size(); }
+  std::uint64_t units_lost() const { return units_lost_; }
+  std::uint64_t repairs_requested() const { return repairs_requested_; }
+  std::uint64_t repairs_received() const { return repairs_received_; }
+  bool drm_blocked() const { return drm_blocked_; }
+  /// Last measured clock offset correction (ETPN), for diagnostics.
+  net::SimDuration last_clock_correction() const { return last_correction_; }
+
+ private:
+  enum class State : std::uint8_t {
+    kIdle, kOpening, kBuffering, kPlaying, kPaused, kFinished
+  };
+
+  struct BufferedUnit {
+    media::EncodedUnit meta;
+    // Content bytes are dropped after demux; the renderer only needs meta.
+  };
+
+  void handle_control(const net::ReliableEndpoint::Message& m);
+  void handle_data(const net::Packet& p);
+  /// Push one ASF packet through the demuxer and the buffering state machine.
+  void ingest(const media::asf::DataPacket& pkt);
+  /// Drain the reordering buffer's contiguous prefix into ingest().
+  void drain_reorder();
+  /// NACK every missing index in [first, last) with attempts remaining.
+  void request_repair(std::uint32_t first, std::uint32_t last);
+  /// Arm the give-up/re-NACK timer for the current head-of-line hole.
+  void arm_hole_timer();
+  /// Handle end-of-stream, deferring while repairs are still outstanding.
+  void handle_eos();
+  void on_described(std::span<const std::byte> header_bytes);
+  void send_play(net::SimDuration from);
+  void start_clock_sync_loop();
+  void run_clock_sync();
+  void maybe_start_rendering();
+  void arm_render_timer();
+  void render_due();
+  void execute_scripts_upto(net::SimDuration pos);
+  void start_prefetch(const std::string& url);
+  void show_slide(const std::string& url, net::SimDuration at);
+  void note_render_for_interactions(net::SimTime t);
+  net::SimTime local_now() const;
+  /// Convert a local-clock deadline into a simulator (true-time) instant.
+  net::SimTime true_deadline(net::SimTime local) const;
+  net::SimDuration effective_preroll() const;
+  void restart_from_top(net::SimDuration target);  // OCPN/XOCPN fallback
+  /// Drop all per-session receive state (buffer, scripts, demux bookkeeping).
+  void reset_session_state();
+  /// Transition to kFinished and cancel all periodic timers.
+  void enter_finished();
+  /// True-time instant at which the unit with presentation time \p pts is due.
+  net::SimTime unit_due(net::SimDuration pts) const;
+
+  net::Network& net_;
+  net::HostId host_;
+  PlayerConfig cfg_;
+  media::DrmSystem* drm_;
+  net::ReliableEndpoint ctl_;
+  net::DatagramSocket data_;
+  net::RpcClient web_;
+
+  State state_{State::kIdle};
+  net::HostId server_{0};
+  std::string content_;
+  std::uint64_t session_{0};
+  bool live_{false};
+  media::asf::Header header_;
+  std::unique_ptr<media::asf::Demuxer> demux_;
+  std::optional<media::License> license_;
+  net::ChannelId channel_{0};
+
+  // Render clock: media pts `base_pts_` maps to local instant `epoch_local_`.
+  net::SimTime epoch_local_{};
+  net::SimDuration base_pts_{};
+  net::SimDuration paused_pos_{};
+  double rate_{1.0};
+  std::multimap<std::int64_t, BufferedUnit> buffer_;  // pts -> unit
+  std::map<std::int64_t, std::vector<media::asf::ScriptCommand>> scripts_;
+  std::optional<media::asf::ScriptCommand> pending_slide_;
+  /// Prefetch bookkeeping: url -> completion instant (nullopt = in flight).
+  std::unordered_map<std::string, std::optional<net::SimTime>> prefetched_;
+  /// Slides whose flip time passed while their prefetch was still in flight.
+  std::unordered_map<std::string, std::pair<net::SimDuration, net::SimTime>>
+      awaiting_display_;
+  net::SimDuration discard_below_{-1};  ///< drop units below this pts (seek)
+  bool expected_seq_reset_{true};
+  /// Repair bookkeeping: highest file-packet index seen and the set already
+  /// received (dedup for repaired packets) / already NACKed.
+  std::int64_t highest_index_{-1};
+  std::unordered_set<std::uint32_t> received_index_;
+  std::unordered_map<std::uint32_t, std::uint8_t> nack_attempts_;
+  std::int64_t repair_total_{-1};  ///< file packet count (from EOS)
+  int eos_deferrals_{0};
+  std::uint32_t stream_epoch_{0};  ///< expected discontinuity counter
+  std::uint64_t repairs_requested_{0};
+  std::uint64_t repairs_received_{0};
+  /// Reordering buffer (repair mode): packets held until holes fill or the
+  /// per-hole give-up timer fires, so the demuxer always sees in-order input.
+  std::map<std::uint32_t, media::asf::DataPacket> reorder_;
+  std::int64_t next_feed_{-1};
+  bool eos_received_{false};
+  std::optional<net::EventId> render_timer_;
+  std::optional<net::EventId> sync_timer_;
+  std::optional<net::SimTime> waiting_since_;  ///< in a stall since then
+  net::SimTime play_issued_{};
+  net::SimDuration startup_delay_{-1};
+
+  std::vector<RenderEvent> rendered_;
+  std::vector<SlideEvent> slides_;
+  std::vector<AnnotationEvent> annotations_;
+  std::vector<StallEvent> stalls_;
+  std::vector<InteractionRecord> interactions_;
+  std::uint64_t packets_received_{0};
+  std::uint64_t units_lost_{0};
+  std::uint64_t last_seq_{0};
+  bool drm_blocked_{false};
+  net::SimDuration last_correction_{};
+  std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
+};
+
+}  // namespace lod::streaming

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "lod/net/bytes.hpp"
+#include "lod/net/network.hpp"
+
+/// \file protocol.hpp
+/// Wire protocol between streaming server and players.
+///
+/// Control messages (RTSP-in-spirit: DESCRIBE / PLAY / PAUSE / SEEK / STOP,
+/// plus a two-timestamp TIMESYNC used by the extended model's clock
+/// synchronization) travel over the reliable endpoint. Media data packets
+/// travel over datagrams — late media is dead media, retransmission would
+/// only add delay.
+
+namespace lod::streaming::proto {
+
+/// Control message tags (client -> server unless noted).
+enum class Ctl : std::uint8_t {
+  kDescribe = 1,     ///< name -> kDescribeOk{header bytes} | kError
+  kPlay = 2,         ///< name, from_us, data_port, channel -> kPlayOk{session}
+  kPause = 3,        ///< session
+  kResume = 4,       ///< session
+  kSeek = 5,         ///< session, to_us
+  kStop = 6,         ///< session
+  kTimeSync = 7,     ///< client_local_us -> kTimeSyncReply
+  kJoinLive = 8,     ///< name, data_port -> kPlayOk{session} (broadcast join)
+  kLeaveLive = 9,    ///< session
+  kSetRate = 10,     ///< session, rate_permille, channel (speed control)
+  kRepair = 11,      ///< session, count, packet indices (selective NACK)
+  // server -> client:
+  kDescribeOk = 64,
+  kPlayOk = 65,
+  kTimeSyncReply = 66,  ///< echo client_local_us + server_local_us
+  kError = 67,
+  kEndOfStream = 68,    ///< session: all packets sent
+};
+
+/// Fixed well-known ports.
+inline constexpr net::Port kControlPort = 554;   // homage to RTSP
+inline constexpr net::Port kLicensePort = 443;   // DRM license RPC
+inline constexpr net::Port kWebPort = 80;        // slide/web server RPC
+
+/// Per-datagram data framing:
+/// [magic u32][session u64][epoch u32][seq u64][packet_index u32][blob].
+/// `epoch` counts stream discontinuities (seeks) within a session, so a
+/// client can drop stragglers from before the jump; `seq` is the
+/// per-session transmission counter (gap detection); `packet_index`
+/// identifies the file packet (repair requests + dedup — a repaired packet
+/// arrives with a fresh seq but the same index).
+inline constexpr std::uint32_t kDataMagic = 0x4c4f4444;  // "LODD"
+
+}  // namespace lod::streaming::proto

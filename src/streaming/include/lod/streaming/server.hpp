@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lod/media/asf.hpp"
+#include "lod/net/transport.hpp"
+#include "lod/streaming/protocol.hpp"
+
+/// \file server.hpp
+/// The Windows-Media-Services stand-in: a streaming server that serves
+/// stored ASF files on demand (unicast, paced by each packet's send time,
+/// with pause/seek per session) and relays live ASF streams to every joined
+/// subscriber ("broadcast ... in real time", §2.5).
+
+namespace lod::streaming {
+
+/// Per-session counters, inspectable by tests and benches.
+struct SessionStats {
+  std::uint64_t packets_sent{0};
+  std::uint64_t bytes_sent{0};
+  std::uint64_t seeks{0};
+  std::uint64_t pauses{0};
+  std::uint64_t repairs{0};  ///< packets resent on client NACKs
+};
+
+/// The streaming server on one host.
+class StreamingServer {
+ public:
+  /// Binds the control port on \p host.
+  StreamingServer(net::Network& net, net::HostId host,
+                  net::Port control_port = proto::kControlPort);
+
+  // --- content ---------------------------------------------------------------
+
+  /// Publish a stored file under \p name (overwrites an existing entry).
+  void publish(std::string name, media::asf::File file);
+  bool has(const std::string& name) const { return files_.count(name) > 0; }
+
+  /// Open a live channel under \p name; returns a sink to feed encoder
+  /// packets into. Subscribers joined via kJoinLive receive every packet
+  /// fed after their join. Feeding a finished channel is a no-op.
+  std::function<void(const media::asf::DataPacket&)> open_live_channel(
+      std::string name, media::asf::Header header);
+  /// Mark a live channel finished (subscribers get kEndOfStream).
+  void close_live_channel(const std::string& name);
+
+  // --- introspection -----------------------------------------------------------
+
+  /// Fast-start burst rate, as a multiple of the content bit-rate (default
+  /// 4x). The server sends the first preroll's worth of packets at this rate
+  /// instead of instantaneously so drop-tail queues survive the burst; the
+  /// A4 ablation bench sweeps it.
+  void set_fast_start_multiplier(double m) { fast_start_ = m < 1.0 ? 1.0 : m; }
+  double fast_start_multiplier() const { return fast_start_; }
+
+  std::size_t active_sessions() const;
+  std::optional<SessionStats> session_stats(std::uint64_t session) const;
+  std::uint64_t total_packets_sent() const { return total_packets_; }
+
+  net::HostId host() const { return host_; }
+
+ private:
+  struct Session {
+    std::uint64_t id{};
+    net::HostId client{};
+    net::Port client_ctl_port{};
+    net::Port data_port{};
+    net::ChannelId channel{0};
+    const media::asf::File* file{nullptr};  // null => live session
+    std::string live_name;                  // for live sessions
+    std::size_t next_packet{0};
+    std::uint64_t next_seq{0};
+    bool paused{false};
+    bool stopped{false};
+    double rate{1.0};  ///< playback speed (pacing divisor)
+    std::uint32_t epoch{0};  ///< stream discontinuity counter (seeks)
+    /// send_time of packet[next_packet] maps to this wall instant.
+    net::SimTime pace_epoch{};
+    net::SimTime last_send{};  ///< burst-rate limiter state
+    net::SimDuration pace_offset{};  ///< media send-time at pace_epoch
+    std::optional<net::EventId> timer;
+    SessionStats stats;
+  };
+  struct LiveChannel {
+    media::asf::Header header;
+    std::vector<std::uint64_t> subscribers;
+    bool open{true};
+  };
+
+  void handle_control(const net::ReliableEndpoint::Message& m);
+  void reply(const Session& s, std::vector<std::byte> payload);
+  void reply_to(net::HostId h, net::Port p, std::vector<std::byte> payload);
+  void schedule_next(Session& s);
+  void send_packet(Session& s, const media::asf::DataPacket& pkt,
+                   std::uint32_t packet_index);
+  Session* find_session(std::uint64_t id);
+
+  net::Network& net_;
+  net::HostId host_;
+  net::ReliableEndpoint ctl_;
+  net::DatagramSocket data_;
+  std::unordered_map<std::string, media::asf::File> files_;
+  std::unordered_map<std::string, LiveChannel> live_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  std::uint64_t next_session_{1};
+  std::uint64_t total_packets_{0};
+  double fast_start_{4.0};
+};
+
+}  // namespace lod::streaming

@@ -1,0 +1,798 @@
+#include "lod/streaming/player.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lod::streaming {
+
+using net::ByteReader;
+using net::ByteWriter;
+using proto::Ctl;
+
+std::string to_string(SyncModel m) {
+  switch (m) {
+    case SyncModel::kOcpn: return "OCPN";
+    case SyncModel::kXocpn: return "XOCPN";
+    case SyncModel::kEtpn: return "ETPN";
+  }
+  return "?";
+}
+
+Player::Player(net::Network& net, net::HostId host, PlayerConfig cfg,
+               media::DrmSystem* drm)
+    : net_(net),
+      host_(host),
+      cfg_(cfg),
+      drm_(drm),
+      ctl_(net, host, cfg.ctl_port),
+      data_(net, host, cfg.data_port),
+      web_(net, host, static_cast<net::Port>(cfg.data_port + 1)) {
+  ctl_.on_receive(
+      [this](const net::ReliableEndpoint::Message& m) { handle_control(m); });
+  data_.on_receive([this](const net::Packet& p) { handle_data(p); });
+}
+
+Player::~Player() {
+  *alive_ = false;
+  if (render_timer_) net_.simulator().cancel(*render_timer_);
+  if (sync_timer_) net_.simulator().cancel(*sync_timer_);
+  if (channel_ != 0) net_.release_channel(channel_);
+}
+
+net::SimTime Player::local_now() const { return net_.local_now(host_); }
+
+void Player::enter_finished() {
+  state_ = State::kFinished;
+  if (sync_timer_) {
+    net_.simulator().cancel(*sync_timer_);
+    sync_timer_.reset();
+  }
+  if (render_timer_) {
+    net_.simulator().cancel(*render_timer_);
+    render_timer_.reset();
+  }
+}
+
+net::SimTime Player::true_deadline(net::SimTime local) const {
+  return net_.clock(host_).true_time(local);
+}
+
+net::SimDuration Player::effective_preroll() const {
+  return cfg_.preroll_override.us > 0 ? cfg_.preroll_override
+                                      : header_.props.preroll;
+}
+
+// --- session setup ---------------------------------------------------------------
+
+void Player::reset_session_state() {
+  buffer_.clear();
+  scripts_.clear();
+  pending_slide_.reset();
+  awaiting_display_.clear();
+  session_ = 0;
+  eos_received_ = false;
+  expected_seq_reset_ = true;
+  highest_index_ = -1;
+  received_index_.clear();
+
+  reorder_.clear();
+  next_feed_ = -1;
+  nack_attempts_.clear();
+  repair_total_ = -1;
+  eos_deferrals_ = 0;
+  stream_epoch_ = 0;
+  waiting_since_.reset();
+  if (render_timer_) {
+    net_.simulator().cancel(*render_timer_);
+    render_timer_.reset();
+  }
+}
+
+void Player::open_and_play(net::HostId server, std::string content,
+                           net::SimDuration from) {
+  reset_session_state();
+  server_ = server;
+  content_ = std::move(content);
+  live_ = false;
+  state_ = State::kOpening;
+  discard_below_ = from;  // render begins at the requested position
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Ctl::kDescribe));
+  w.str(content_);
+  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+}
+
+void Player::join_live(net::HostId server, std::string name) {
+  server_ = server;
+  content_ = std::move(name);
+  live_ = true;
+  state_ = State::kOpening;
+  discard_below_ = {-1};
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Ctl::kDescribe));
+  w.str(content_);
+  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+}
+
+void Player::on_described(std::span<const std::byte> header_bytes) {
+  header_ = media::asf::parse_header(header_bytes);
+  demux_ = std::make_unique<media::asf::Demuxer>(header_);
+
+  // DRM: "mandatory for rendering" — acquire a license or render nothing.
+  if (header_.drm.is_protected) {
+    if (drm_) {
+      license_ = drm_->issue_license(header_.drm.key_id, cfg_.user,
+                                     net::SimTime::max());
+    }
+    if (license_) {
+      demux_->set_license(drm_, *license_, cfg_.user);
+    } else {
+      drm_blocked_ = true;
+    }
+  }
+
+  // XOCPN/ETPN: reserve a QoS channel sized to the content's bit-rate.
+  if (cfg_.model != SyncModel::kOcpn && header_.props.avg_bitrate_bps > 0) {
+    const auto rate = static_cast<std::int64_t>(
+        static_cast<double>(header_.props.avg_bitrate_bps) *
+        cfg_.channel_headroom);
+    if (auto ch = net_.reserve_channel(server_, host_, rate)) channel_ = *ch;
+  }
+
+  // ETPN: synchronize the local clock against the server, now and periodically.
+  if (cfg_.model == SyncModel::kEtpn) start_clock_sync_loop();
+
+  if (live_) {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(Ctl::kJoinLive));
+    w.str(content_);
+    w.u16(cfg_.data_port);
+    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+    play_issued_ = net_.simulator().now();
+    state_ = State::kBuffering;
+  } else {
+    const net::SimDuration from =
+        discard_below_.us >= 0 ? discard_below_ : net::SimDuration{0};
+    send_play(from);
+  }
+}
+
+void Player::send_play(net::SimDuration from) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Ctl::kPlay));
+  w.str(content_);
+  w.i64(from.us);
+  w.u16(cfg_.data_port);
+  w.u32(channel_);
+  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  play_issued_ = net_.simulator().now();
+  expected_seq_reset_ = true;
+  eos_received_ = false;
+  state_ = State::kBuffering;
+}
+
+void Player::stop() {
+  if (session_ != 0) {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(live_ ? Ctl::kLeaveLive : Ctl::kStop));
+    w.u64(session_);
+    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  }
+  enter_finished();
+}
+
+// --- clock synchronization (ETPN) ---------------------------------------------------
+
+void Player::start_clock_sync_loop() {
+  run_clock_sync();
+}
+
+void Player::run_clock_sync() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Ctl::kTimeSync));
+  w.i64(local_now().us);
+  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  if (cfg_.clock_sync_interval.us > 0) {
+    sync_timer_ = net_.simulator().schedule_after(
+        cfg_.clock_sync_interval, [this, alive = alive_] {
+          if (!*alive) return;
+          sync_timer_.reset();
+          run_clock_sync();
+        });
+  }
+}
+
+// --- control plane ---------------------------------------------------------------------
+
+void Player::handle_control(const net::ReliableEndpoint::Message& m) {
+  ByteReader r(m.payload);
+  const Ctl tag = static_cast<Ctl>(r.u8());
+  switch (tag) {
+    case Ctl::kDescribeOk: {
+      const auto hb = r.blob();
+      on_described(hb);
+      return;
+    }
+    case Ctl::kPlayOk: {
+      session_ = r.u64();
+      return;
+    }
+    case Ctl::kTimeSyncReply: {
+      // NTP two-timestamp estimate: offset = ts + rtt/2 - t2.
+      const net::SimTime t1{r.i64()};
+      const net::SimTime ts{r.i64()};
+      const net::SimTime t2 = local_now();
+      const net::SimDuration rtt = t2 - t1;
+      const net::SimDuration offset = (ts - t2) + rtt / 2;
+      net_.clock(host_).adjust(offset);
+      last_correction_ = offset;
+      return;
+    }
+    case Ctl::kEndOfStream: {
+      (void)r.u64();  // session id (already known)
+      repair_total_ = static_cast<std::int64_t>(r.u32());
+      handle_eos();
+      return;
+    }
+    case Ctl::kError:
+    default:
+      return;
+  }
+}
+
+void Player::handle_eos() {
+  if (cfg_.repair_losses && !live_ && repair_total_ > 0) {
+    // Trailing losses leave no higher index to expose them: NACK everything
+    // missing up to the file's end, and give the repairs a moment to land
+    // before declaring the stream over.
+    if (highest_index_ + 1 < repair_total_) {
+      request_repair(static_cast<std::uint32_t>(highest_index_ + 1),
+                     static_cast<std::uint32_t>(repair_total_));
+      highest_index_ = repair_total_ - 1;
+    }
+    const bool holes_pending =
+        !reorder_.empty() ||
+        (next_feed_ >= 0 && next_feed_ < repair_total_);
+    if (holes_pending && eos_deferrals_ < 5) {
+      ++eos_deferrals_;
+      if (!reorder_.empty()) arm_hole_timer();
+      net_.simulator().schedule_after(net::msec(500),
+                                      [this, alive = alive_] {
+                                        if (!*alive) return;
+                                        handle_eos();
+                                      });
+      return;
+    }
+    // Flush whatever is still held (holes included) before finishing.
+    while (!reorder_.empty()) {
+      auto it = reorder_.begin();
+      media::asf::DataPacket pkt = std::move(it->second);
+      next_feed_ = static_cast<std::int64_t>(it->first) + 1;
+      reorder_.erase(it);
+      ingest(pkt);
+    }
+  }
+  eos_received_ = true;
+  if (state_ == State::kBuffering) maybe_start_rendering();
+  if (state_ == State::kPlaying && buffer_.empty() && scripts_.empty()) {
+    enter_finished();
+  }
+}
+
+// --- data plane -------------------------------------------------------------------------
+
+void Player::handle_data(const net::Packet& p) {
+  ByteReader r(p.payload);
+  std::uint64_t seq = 0;
+  std::uint32_t index = 0;
+  media::asf::DataPacket pkt;
+  try {
+    if (r.u32() != proto::kDataMagic) return;
+    const std::uint64_t sess = r.u64();
+    if (session_ != 0 && sess != session_) return;  // stale session's data
+    const std::uint32_t epoch = r.u32();
+    if (epoch != stream_epoch_) return;  // straggler from before a seek
+    seq = r.u64();
+    index = r.u32();
+    const auto blob = r.blob();
+    pkt = media::asf::parse_packet(blob);
+  } catch (const std::exception&) {
+    return;  // malformed datagram: drop
+  }
+  ++packets_received_;
+  if (expected_seq_reset_) {
+    expected_seq_reset_ = false;
+    last_seq_ = seq;
+  } else if (seq > last_seq_ + 1) {
+    units_lost_ += seq - last_seq_ - 1;  // packet-level loss estimate
+    last_seq_ = seq;
+  } else if (seq > last_seq_) {
+    last_seq_ = seq;
+  }
+
+  // Selective repair (extension): a repaired packet arrives out of order
+  // with the same index — deduplicate, and NACK holes as they appear.
+  if (cfg_.repair_losses && !live_) {
+    if (!received_index_.insert(index).second) return;  // duplicate
+    if (nack_attempts_.erase(index) > 0) ++repairs_received_;
+    if (static_cast<std::int64_t>(index) > highest_index_ + 1 &&
+        highest_index_ >= 0) {
+      request_repair(static_cast<std::uint32_t>(highest_index_) + 1, index);
+    }
+    if (static_cast<std::int64_t>(index) > highest_index_) {
+      highest_index_ = static_cast<std::int64_t>(index);
+    }
+  }
+
+  if (!cfg_.repair_losses || live_) {
+    ingest(pkt);
+    return;
+  }
+  // Repair mode: hold out-of-order packets so the demuxer sees a contiguous
+  // stream; give a NACKed hole a grace period before skipping it.
+  if (next_feed_ < 0) next_feed_ = static_cast<std::int64_t>(index);
+  if (static_cast<std::int64_t>(index) < next_feed_) return;  // stale
+  reorder_.emplace(index, std::move(pkt));
+  drain_reorder();
+  if (!reorder_.empty()) arm_hole_timer();
+}
+
+void Player::request_repair(std::uint32_t first, std::uint32_t last) {
+  constexpr std::uint8_t kMaxAttempts = 3;
+  std::uint32_t count = 0;
+  net::ByteWriter idxw;
+  for (std::uint32_t miss = first; miss < last; ++miss) {
+    if (received_index_.count(miss)) continue;
+    auto& attempts = nack_attempts_[miss];
+    if (attempts >= kMaxAttempts) continue;
+    ++attempts;
+    idxw.u32(miss);
+    ++count;
+    ++repairs_requested_;
+  }
+  if (count == 0) return;
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Ctl::kRepair));
+  w.u64(session_);
+  w.u32(count);
+  w.raw(idxw.bytes());
+  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+}
+
+void Player::arm_hole_timer() {
+  const std::uint32_t hole = static_cast<std::uint32_t>(next_feed_);
+  net_.simulator().schedule_after(net::msec(400), [this, alive = alive_,
+                                                   hole] {
+    if (!*alive) return;
+    if (next_feed_ != static_cast<std::int64_t>(hole) ||
+        reorder_.count(hole)) {
+      return;  // already filled or moved past
+    }
+    // Re-NACK while the attempt budget lasts; then give up and move on.
+    auto it = nack_attempts_.find(hole);
+    if (it == nack_attempts_.end() || it->second < 3) {
+      request_repair(hole, hole + 1);
+      if (!reorder_.empty()) arm_hole_timer();
+      return;
+    }
+    next_feed_ = hole + 1;  // the repair never came; move on
+    drain_reorder();
+    if (!reorder_.empty()) arm_hole_timer();
+  });
+}
+
+void Player::drain_reorder() {
+  while (!reorder_.empty()) {
+    auto it = reorder_.begin();
+    if (static_cast<std::int64_t>(it->first) < next_feed_) {
+      reorder_.erase(it);  // skipped hole got filled too late
+      continue;
+    }
+    if (static_cast<std::int64_t>(it->first) != next_feed_) break;  // hole
+    media::asf::DataPacket pkt = std::move(it->second);
+    reorder_.erase(it);
+    ++next_feed_;
+    ingest(pkt);
+  }
+}
+
+void Player::ingest(const media::asf::DataPacket& pkt) {
+  if (!demux_) return;
+  demux_->feed(pkt, local_now());
+  if (demux_->undecryptable()) drm_blocked_ = true;
+
+  while (auto u = demux_->next_unit()) {
+    if (discard_below_.us >= 0 && u->meta.pts < discard_below_) continue;
+    if (drm_blocked_) continue;  // cannot render protected media
+    buffer_.emplace(u->meta.pts.us, BufferedUnit{u->meta});
+  }
+  while (auto s = demux_->next_script()) {
+    if (discard_below_.us >= 0 && s->at < discard_below_) {
+      // Keep the latest skipped SLIDE so the right slide shows on arrival.
+      if (s->type == "SLIDE") pending_slide_ = *s;
+      continue;
+    }
+    if (cfg_.prefetch_slides && s->type == "SLIDE" &&
+        !prefetched_.count(s->param)) {
+      start_prefetch(s->param);
+    }
+    scripts_[s->at.us].push_back(std::move(*s));
+  }
+
+  if (state_ == State::kBuffering) {
+    maybe_start_rendering();
+  } else if (state_ == State::kPlaying && waiting_since_ && !buffer_.empty()) {
+    // Stall recovery: rebase the render clock by how late we are.
+    const net::SimDuration pts{buffer_.begin()->first};
+    const net::SimTime deadline_true = unit_due(pts);
+    const net::SimTime now_true = net_.simulator().now();
+    if (now_true > deadline_true) {
+      const net::SimDuration late = now_true - deadline_true;
+      epoch_local_ += late;
+      stalls_.push_back(StallEvent{*waiting_since_,
+                                   net_.simulator().now() - *waiting_since_});
+    }
+    waiting_since_.reset();
+    arm_render_timer();
+  }
+}
+
+void Player::maybe_start_rendering() {
+  if (buffer_.empty()) {
+    if (eos_received_) {
+      // Nothing buffered and nothing more coming: run any remaining script
+      // commands (unless DRM blocked the session entirely) and finish.
+      if (!drm_blocked_) {
+        execute_scripts_upto(net::SimDuration{
+            std::numeric_limits<std::int64_t>::max() / 2});
+      }
+      scripts_.clear();
+      enter_finished();
+    }
+    return;
+  }
+  const net::SimDuration lo{buffer_.begin()->first};
+  const net::SimDuration hi{buffer_.rbegin()->first};
+  if (hi - lo < effective_preroll() && !eos_received_ && !live_) return;
+  // Live joins start as soon as half a second is buffered.
+  if (live_ && hi - lo < net::msec(500) && !eos_received_) return;
+
+  base_pts_ = lo;
+  if (cfg_.scheduled_start) {
+    // Scheduled presentation: pts p renders at local instant start + p. A
+    // synchronized clock makes that the MASTER instant; a skewed one shifts
+    // the whole site by its offset — which is exactly what the distributed
+    // benches measure.
+    const net::SimTime target_local = *cfg_.scheduled_start + base_pts_;
+    epoch_local_ = std::max(local_now(), target_local);
+  } else {
+    epoch_local_ = local_now();
+  }
+  state_ = State::kPlaying;
+  if (startup_delay_.us < 0) {
+    startup_delay_ = net_.simulator().now() - play_issued_;
+  }
+  if (pending_slide_) {
+    // Apply the slide that should already be on screen at this position.
+    auto cmd = *pending_slide_;
+    pending_slide_.reset();
+    cmd.at = base_pts_;
+    scripts_[cmd.at.us].insert(scripts_[cmd.at.us].begin(), std::move(cmd));
+  }
+  waiting_since_.reset();
+  arm_render_timer();
+}
+
+net::SimDuration Player::position() const {
+  switch (state_) {
+    case State::kPlaying: {
+      const net::SimDuration wall = local_now() - epoch_local_;
+      return base_pts_ + net::SimDuration{static_cast<std::int64_t>(
+                             static_cast<double>(wall.us) * rate_)};
+    }
+    case State::kPaused:
+      return paused_pos_;
+    case State::kBuffering:
+      return discard_below_.us >= 0 ? discard_below_ : base_pts_;
+    case State::kFinished:
+      return rendered_.empty() ? net::SimDuration{0} : rendered_.back().pts;
+    default:
+      return {};
+  }
+}
+
+void Player::arm_render_timer() {
+  if (render_timer_) {
+    net_.simulator().cancel(*render_timer_);
+    render_timer_.reset();
+  }
+  if (state_ != State::kPlaying) return;
+  if (buffer_.empty()) {
+    if (eos_received_) {
+      execute_scripts_upto(net::SimDuration{
+          std::numeric_limits<std::int64_t>::max() / 2});
+      enter_finished();
+    } else {
+      waiting_since_ = net_.simulator().now();  // underrun: wait for data
+    }
+    return;
+  }
+  const net::SimDuration pts{buffer_.begin()->first};
+  net::SimTime due = unit_due(pts);
+  const net::SimTime now = net_.simulator().now();
+  if (due < now) due = now;
+  render_timer_ = net_.simulator().schedule_at(due, [this, alive = alive_] {
+    if (!*alive) return;
+    render_timer_.reset();
+    render_due();
+  });
+}
+
+net::SimTime Player::unit_due(net::SimDuration pts) const {
+  // Deadline on the local clock, mapped back to simulator (true) time. The
+  // renderer compares in TRUE time throughout so clock-rate rounding cannot
+  // livelock the timer loop. Playback rate scales media time to wall time.
+  const net::SimDuration media = pts - base_pts_;
+  const net::SimDuration wall{static_cast<std::int64_t>(
+      static_cast<double>(media.us) / rate_)};
+  return true_deadline(epoch_local_ + wall);
+}
+
+void Player::render_due() {
+  if (state_ != State::kPlaying) return;
+  const net::SimTime now = net_.simulator().now();
+  const net::SimTime now_local = local_now();
+
+  while (!buffer_.empty() &&
+         unit_due(net::SimDuration{buffer_.begin()->first}) <= now) {
+    auto node = buffer_.extract(buffer_.begin());
+    const auto& meta = node.mapped().meta;
+    rendered_.push_back(
+        RenderEvent{meta.type, meta.stream_id, meta.pts, now, now_local});
+    note_render_for_interactions(now);
+  }
+  const net::SimDuration wall = now_local - epoch_local_;
+  const net::SimDuration pos =
+      base_pts_ + net::SimDuration{static_cast<std::int64_t>(
+                      static_cast<double>(wall.us) * rate_)};
+  execute_scripts_upto(pos);
+  arm_render_timer();
+}
+
+void Player::start_prefetch(const std::string& url) {
+  prefetched_[url] = std::nullopt;  // in flight
+  web_.call(cfg_.web_server, proto::kWebPort, "/" + url, {},
+            [this, alive = alive_, url](int status,
+                                        std::span<const std::byte>) {
+              if (!*alive || status != 200) return;
+              const net::SimTime now = net_.simulator().now();
+              prefetched_[url] = now;
+              // If the flip time already passed, the slide appears the
+              // instant its bytes land.
+              if (auto it = awaiting_display_.find(url);
+                  it != awaiting_display_.end()) {
+                slides_.push_back(SlideEvent{url, it->second.first, now,
+                                             now - it->second.second});
+                awaiting_display_.erase(it);
+              }
+            });
+}
+
+void Player::show_slide(const std::string& url, net::SimDuration at) {
+  const net::SimTime now = net_.simulator().now();
+  if (cfg_.prefetch_slides) {
+    auto it = prefetched_.find(url);
+    if (it != prefetched_.end() && it->second.has_value()) {
+      // Already in the browser cache: appears instantly.
+      slides_.push_back(SlideEvent{url, at, now, net::SimDuration{0}});
+      return;
+    }
+    if (it != prefetched_.end()) {
+      // Fetch still in flight: display when it lands.
+      awaiting_display_[url] = {at, now};
+      return;
+    }
+    // Never prefetched (e.g. landed via pending_slide_): fall through.
+  }
+  web_.call(cfg_.web_server, proto::kWebPort, "/" + url, {},
+            [this, alive = alive_, asked = now, at, url](
+                int status, std::span<const std::byte>) {
+              if (!*alive || status != 200) return;
+              const net::SimTime done = net_.simulator().now();
+              slides_.push_back(SlideEvent{url, at, done, done - asked});
+            });
+}
+
+void Player::execute_scripts_upto(net::SimDuration pos) {
+  while (!scripts_.empty() && net::SimDuration{scripts_.begin()->first} <= pos) {
+    auto node = scripts_.extract(scripts_.begin());
+    for (auto& cmd : node.mapped()) {
+      if (cmd.type == "SLIDE") {
+        show_slide(cmd.param, cmd.at);
+      } else if (cmd.type == "ANNOT") {
+        annotations_.push_back(
+            AnnotationEvent{cmd.param, cmd.at, net_.simulator().now()});
+      }
+    }
+  }
+}
+
+void Player::note_render_for_interactions(net::SimTime t) {
+  for (auto& ir : interactions_) {
+    if (!ir.satisfied) {
+      ir.first_render_after = t;
+      ir.satisfied = true;
+    }
+  }
+}
+
+// --- user interactions ---------------------------------------------------------------
+
+void Player::pause() {
+  if (state_ != State::kPlaying && state_ != State::kBuffering) return;
+  paused_pos_ = position();
+  interactions_.push_back(InteractionRecord{InteractionRecord::Kind::kPause,
+                                            net_.simulator().now(),
+                                            {},
+                                            net::SimTime::max(),
+                                            true});  // pause needs no resync
+  if (render_timer_) {
+    net_.simulator().cancel(*render_timer_);
+    render_timer_.reset();
+  }
+  waiting_since_.reset();
+
+  ByteWriter w;
+  if (cfg_.model == SyncModel::kEtpn) {
+    // The extended model pauses the schedule in place.
+    w.u8(static_cast<std::uint8_t>(Ctl::kPause));
+    w.u64(session_);
+    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  } else {
+    // OCPN/XOCPN have no pause transition: the only legal move is to tear
+    // the pre-orchestrated playout down. Resume must restart from the top.
+    w.u8(static_cast<std::uint8_t>(Ctl::kStop));
+    w.u64(session_);
+    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+    session_ = 0;
+    buffer_.clear();
+    scripts_.clear();
+    demux_ = std::make_unique<media::asf::Demuxer>(header_);
+    if (license_) demux_->set_license(drm_, *license_, cfg_.user);
+  }
+  state_ = State::kPaused;
+}
+
+void Player::resume() {
+  if (state_ != State::kPaused) return;
+  interactions_.push_back(InteractionRecord{InteractionRecord::Kind::kResume,
+                                            net_.simulator().now(),
+                                            {},
+                                            net::SimTime::max(),
+                                            false});
+  if (cfg_.model == SyncModel::kEtpn) {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(Ctl::kResume));
+    w.u64(session_);
+    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+    // Rebase the render clock and keep going with whatever is buffered.
+    base_pts_ = paused_pos_;
+    epoch_local_ = local_now();
+    state_ = State::kPlaying;
+    arm_render_timer();
+  } else {
+    restart_from_top(paused_pos_);
+  }
+}
+
+void Player::seek(net::SimDuration to) {
+  if (state_ == State::kIdle || state_ == State::kOpening || live_) return;
+  interactions_.push_back(InteractionRecord{InteractionRecord::Kind::kSeek,
+                                            net_.simulator().now(), to,
+                                            net::SimTime::max(), false});
+  if (render_timer_) {
+    net_.simulator().cancel(*render_timer_);
+    render_timer_.reset();
+  }
+  waiting_since_.reset();
+
+  if (cfg_.model == SyncModel::kEtpn) {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(Ctl::kSeek));
+    w.u64(session_);
+    w.i64(to.us);
+    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+    buffer_.clear();
+    scripts_.clear();
+    pending_slide_.reset();
+    demux_ = std::make_unique<media::asf::Demuxer>(header_);
+    if (license_) demux_->set_license(drm_, *license_, cfg_.user);
+    discard_below_ = to;
+    eos_received_ = false;  // the server will stream (and re-EOS) again
+    // The jump lands on a far-away packet index: restart the repair and
+    // reordering state or the gap would read as one enormous hole, and
+    // expect the server's next stream epoch so stragglers are dropped.
+    ++stream_epoch_;
+    expected_seq_reset_ = true;
+    highest_index_ = -1;
+    received_index_.clear();
+    nack_attempts_.clear();
+    reorder_.clear();
+    next_feed_ = -1;
+    repair_total_ = -1;
+    eos_deferrals_ = 0;
+    state_ = State::kBuffering;
+  } else {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(Ctl::kStop));
+    w.u64(session_);
+    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+    session_ = 0;
+    restart_from_top(to);
+  }
+}
+
+void Player::restart_from_top(net::SimDuration target) {
+  // The pre-orchestrated models re-run the whole presentation and discard
+  // everything before the target — there is no transition in the net that
+  // could move the token state anywhere else.
+  reset_session_state();
+  demux_ = std::make_unique<media::asf::Demuxer>(header_);
+  if (license_) demux_->set_license(drm_, *license_, cfg_.user);
+  discard_below_ = target;
+  send_play(net::SimDuration{0});
+}
+
+void Player::set_rate(double rate) {
+  if (rate <= 0.0 || cfg_.model != SyncModel::kEtpn) return;
+  if (state_ != State::kPlaying && state_ != State::kPaused &&
+      state_ != State::kBuffering) {
+    rate_ = rate;
+    return;
+  }
+  interactions_.push_back(InteractionRecord{InteractionRecord::Kind::kRate,
+                                            net_.simulator().now(),
+                                            {},
+                                            net::SimTime::max(),
+                                            false});
+  // Re-anchor the render clock at the current position before changing speed.
+  if (state_ == State::kPlaying) {
+    base_pts_ = position();
+    epoch_local_ = local_now();
+  }
+  rate_ = rate;
+  // Faster playback needs a fatter pipe: renegotiate the QoS channel for
+  // the scaled bit-rate (XOCPN's "channels according to the required QoS").
+  // Resize in place — the same serializer keeps in-flight packets in order.
+  if (cfg_.model != SyncModel::kOcpn && header_.props.avg_bitrate_bps > 0) {
+    const auto scaled = static_cast<std::int64_t>(
+        static_cast<double>(header_.props.avg_bitrate_bps) *
+        cfg_.channel_headroom * rate_);
+    if (channel_ != 0) {
+      if (!net_.resize_channel(channel_, scaled)) {
+        // No capacity for the faster rate: drop to best effort.
+        net_.release_channel(channel_);
+        channel_ = 0;
+      }
+    } else if (auto ch = net_.reserve_channel(server_, host_, scaled)) {
+      channel_ = *ch;
+    }
+  }
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Ctl::kSetRate));
+  w.u64(session_);
+  w.u32(static_cast<std::uint32_t>(rate * 1000.0 + 0.5));
+  w.u32(channel_);
+  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  if (state_ == State::kPlaying) {
+    if (render_timer_) {
+      net_.simulator().cancel(*render_timer_);
+      render_timer_.reset();
+    }
+    arm_render_timer();
+  }
+}
+
+}  // namespace lod::streaming

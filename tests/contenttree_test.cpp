@@ -1,0 +1,374 @@
+#include "lod/contenttree/content_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lod/net/rng.hpp"
+
+namespace lod::contenttree {
+namespace {
+
+using net::sec;
+using net::SimDuration;
+
+Segment seg(const std::string& name, std::int64_t secs) {
+  return Segment{name, sec(secs), ""};
+}
+
+/// The paper's §2.3 tree: S0(20)@0, S1(40)@1, S2(60)@2, S4(40)@2, S3(20)@1.
+/// After the build steps the paper reports highestLevel = 2 and
+/// LevelNodes = {20, 60, 100}; S2 and S4 are S1's children and S3 is a leaf
+/// child of S0 (this is the unique shape that also reproduces the Fig. 3
+/// insert values {20, 60, 120} with highestLevel 2 and Fig. 4's "children
+/// adopted by sibling S1").
+struct PaperTree {
+  ContentTree t;
+  NodeId s0, s1, s2, s3, s4;
+
+  PaperTree() {
+    s0 = t.add(seg("S0", 20), 0);
+    s1 = t.add(seg("S1", 40), 1);
+    s2 = t.add(seg("S2", 60), 2);
+    s4 = t.attach_child(s1, seg("S4", 40));
+    s3 = t.add(seg("S3", 20), 1);
+  }
+};
+
+// --- §2.3: the build example, step by step -------------------------------------
+
+TEST(PaperBuild, Step1AddS0) {
+  ContentTree t;
+  t.add(seg("S0", 20), 0);
+  EXPECT_EQ(t.highest_level(), 0);
+  EXPECT_EQ(t.level_value(0), sec(20));
+}
+
+TEST(PaperBuild, Step2AddS1) {
+  ContentTree t;
+  t.add(seg("S0", 20), 0);
+  t.add(seg("S1", 40), 1);
+  EXPECT_EQ(t.highest_level(), 1);
+  EXPECT_EQ(t.level_value(1), sec(40));
+}
+
+TEST(PaperBuild, Step3AddS2) {
+  ContentTree t;
+  t.add(seg("S0", 20), 0);
+  t.add(seg("S1", 40), 1);
+  t.add(seg("S2", 60), 2);
+  EXPECT_EQ(t.highest_level(), 2);
+  EXPECT_EQ(t.level_value(2), sec(60));
+}
+
+TEST(PaperBuild, Step4FinalValues) {
+  PaperTree p;
+  EXPECT_EQ(p.t.highest_level(), 2);
+  EXPECT_EQ(p.t.level_value(0), sec(20));
+  EXPECT_EQ(p.t.level_value(1), sec(60));   // S1 + S3
+  EXPECT_EQ(p.t.level_value(2), sec(100));  // S2 + S4
+}
+
+TEST(PaperBuild, StructureFollowsRightSpine) {
+  PaperTree p;
+  // S1 and S3 are children of S0; S2 and S4 under S1.
+  EXPECT_EQ(p.t.parent(p.s1), p.s0);
+  EXPECT_EQ(p.t.parent(p.s3), p.s0);
+  EXPECT_EQ(p.t.parent(p.s2), p.s1);
+  EXPECT_EQ(p.t.parent(p.s4), p.s1);
+  EXPECT_TRUE(p.t.check_invariants());
+}
+
+// --- Fig. 3: insert S5 at level 1 -----------------------------------------------
+
+TEST(PaperInsert, Fig3InsertS5) {
+  PaperTree p;
+  // Fig. 3: insert S5 (20 s) at level 1, splicing above the leaf S3, which
+  // moves one level deeper. The paper reports highestLevel = 2 and
+  // LevelNodes = {20, 60, 120} afterwards.
+  const NodeId s5 = p.t.insert_above(p.s3, seg("S5", 20));
+  EXPECT_EQ(p.t.highest_level(), 2);
+  EXPECT_EQ(p.t.level_value(0), sec(20));
+  EXPECT_EQ(p.t.level_value(1), sec(60));   // S1 + S5 (S3 pushed down)
+  EXPECT_EQ(p.t.level_value(2), sec(120));  // S2 + S4 + S3
+  EXPECT_EQ(p.t.level(s5), 1);
+  EXPECT_EQ(p.t.level(p.s3), 2);
+  EXPECT_EQ(p.t.parent(p.s3), s5);
+  EXPECT_TRUE(p.t.check_invariants());
+}
+
+TEST(PaperInsert, InsertAboveRootCreatesNewRoot) {
+  ContentTree t;
+  const NodeId old_root = t.add(seg("S0", 10), 0);
+  const NodeId new_root = t.insert_above(old_root, seg("intro", 5));
+  EXPECT_EQ(t.root(), new_root);
+  EXPECT_EQ(t.level(old_root), 1);
+  EXPECT_EQ(t.parent(old_root), new_root);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(PaperInsert, InsertPreservesSiblingOrder) {
+  ContentTree t;
+  t.add(seg("root", 1), 0);
+  const NodeId a = t.add(seg("a", 1), 1);
+  const NodeId b = t.add(seg("b", 1), 1);
+  const NodeId c = t.add(seg("c", 1), 1);
+  const NodeId x = t.insert_above(b, seg("x", 1));
+  const auto& ch = t.children(t.root());
+  ASSERT_EQ(ch.size(), 3u);
+  EXPECT_EQ(ch[0], a);
+  EXPECT_EQ(ch[1], x);  // x took b's position
+  EXPECT_EQ(ch[2], c);
+  EXPECT_EQ(t.parent(b), x);
+}
+
+// --- Fig. 4: delete S5 -----------------------------------------------------------
+
+TEST(PaperDelete, Fig4DeleteS5ChildrenAdoptedBySibling) {
+  PaperTree p;
+  const NodeId s5 = p.t.insert_above(p.s3, seg("S5", 20));
+  // Now delete S5: "the S5's children will be adopted by S5's siblings S1."
+  p.t.remove(s5);
+  EXPECT_FALSE(p.t.valid(s5));
+  EXPECT_EQ(p.t.parent(p.s3), p.s1);  // adopted by left sibling S1
+  EXPECT_EQ(p.t.level(p.s3), 2);
+  EXPECT_EQ(p.t.highest_level(), 2);
+  EXPECT_EQ(p.t.level_value(1), sec(40));   // back to S1 only
+  EXPECT_EQ(p.t.level_value(2), sec(120));  // S2 + S4 + S3
+  EXPECT_TRUE(p.t.check_invariants());
+}
+
+TEST(PaperDelete, LeftmostChildAdoptedByRightSibling) {
+  ContentTree t;
+  t.add(seg("root", 1), 0);
+  const NodeId a = t.add(seg("a", 1), 1);
+  const NodeId b = t.add(seg("b", 1), 1);
+  const NodeId a1 = t.attach_child(a, seg("a1", 1));
+  t.remove(a);  // a is leftmost: children go to right sibling b (front)
+  EXPECT_EQ(t.parent(a1), b);
+  EXPECT_EQ(t.children(b).front(), a1);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(PaperDelete, OnlyChildWithChildrenRaisesThem) {
+  ContentTree t;
+  const NodeId root = t.add(seg("root", 1), 0);
+  const NodeId only = t.add(seg("only", 1), 1);
+  const NodeId kid = t.attach_child(only, seg("kid", 1));
+  t.remove(only);
+  EXPECT_EQ(t.parent(kid), root);
+  EXPECT_EQ(t.level(kid), 1);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(PaperDelete, LeafDeleteIsSimple) {
+  PaperTree p;
+  p.t.remove(p.s4);
+  EXPECT_EQ(p.t.level_value(2), sec(60));
+  EXPECT_EQ(p.t.size(), 4u);
+  EXPECT_TRUE(p.t.check_invariants());
+}
+
+TEST(PaperDelete, RootWithSingleChildHandsOver) {
+  ContentTree t;
+  const NodeId root = t.add(seg("root", 1), 0);
+  const NodeId child = t.add(seg("child", 1), 1);
+  t.remove(root);
+  EXPECT_EQ(t.root(), child);
+  EXPECT_EQ(t.level(child), 0);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(PaperDelete, RootWithManyChildrenThrows) {
+  ContentTree t;
+  const NodeId root = t.add(seg("root", 1), 0);
+  t.add(seg("a", 1), 1);
+  t.add(seg("b", 1), 1);
+  EXPECT_THROW(t.remove(root), std::invalid_argument);
+}
+
+TEST(PaperDelete, LastNodeEmptiesTree) {
+  ContentTree t;
+  const NodeId root = t.add(seg("root", 1), 0);
+  t.remove(root);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.highest_level(), -1);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+// --- presentation time & sequence (§2.2, Fig. 2) ---------------------------------
+
+TEST(Presentation, HigherLevelGivesLongerPresentation) {
+  PaperTree p;
+  // Level playouts: 20, 80, 180 — strictly increasing, per §2.2.
+  EXPECT_EQ(p.t.presentation_time(0), sec(20));
+  EXPECT_EQ(p.t.presentation_time(1), sec(80));
+  EXPECT_EQ(p.t.presentation_time(2), sec(180));
+  EXPECT_LT(p.t.presentation_time(0), p.t.presentation_time(1));
+  EXPECT_LT(p.t.presentation_time(1), p.t.presentation_time(2));
+}
+
+TEST(Presentation, SequenceIsPreOrder) {
+  PaperTree p;
+  const auto seq2 = p.t.sequence(2);
+  ASSERT_EQ(seq2.size(), 5u);
+  EXPECT_EQ(seq2[0], p.s0);
+  EXPECT_EQ(seq2[1], p.s1);
+  EXPECT_EQ(seq2[2], p.s2);
+  EXPECT_EQ(seq2[3], p.s4);
+  EXPECT_EQ(seq2[4], p.s3);
+  const auto seq1 = p.t.sequence(1);
+  ASSERT_EQ(seq1.size(), 3u);
+  EXPECT_EQ(seq1[1], p.s1);
+  EXPECT_EQ(seq1[2], p.s3);
+}
+
+TEST(Presentation, LevelBeyondDeepestIsFullSequence) {
+  PaperTree p;
+  EXPECT_EQ(p.t.sequence(99).size(), 5u);
+  EXPECT_EQ(p.t.presentation_time(99), sec(180));
+}
+
+TEST(Presentation, NegativeLevelEmpty) {
+  PaperTree p;
+  EXPECT_TRUE(p.t.sequence(-1).empty());
+  EXPECT_EQ(p.t.presentation_time(-1).us, 0);
+  EXPECT_EQ(p.t.level_value(-1).us, 0);
+}
+
+TEST(Presentation, EmptyLevelHasZeroValue) {
+  PaperTree p;
+  EXPECT_EQ(p.t.level_value(7).us, 0);
+}
+
+// --- construction errors ------------------------------------------------------------
+
+TEST(Errors, SecondRootRejected) {
+  ContentTree t;
+  t.add(seg("r", 1), 0);
+  EXPECT_THROW(t.add(seg("r2", 1), 0), std::invalid_argument);
+}
+
+TEST(Errors, LevelSkipRejected) {
+  ContentTree t;
+  t.add(seg("r", 1), 0);
+  EXPECT_THROW(t.add(seg("deep", 1), 5), std::invalid_argument);
+}
+
+TEST(Errors, NegativeLevelRejected) {
+  ContentTree t;
+  EXPECT_THROW(t.add(seg("x", 1), -2), std::invalid_argument);
+}
+
+TEST(Errors, BadNodeIdThrows) {
+  ContentTree t;
+  EXPECT_THROW(t.segment(5), std::invalid_argument);
+  EXPECT_THROW(t.remove(0), std::invalid_argument);
+  t.add(seg("r", 1), 0);
+  t.remove(t.root());
+  EXPECT_THROW(t.segment(0), std::invalid_argument);  // dead id rejected
+}
+
+// --- lookup, rendering, serialization ----------------------------------------------
+
+TEST(Misc, FindByName) {
+  PaperTree p;
+  EXPECT_EQ(p.t.find("S3"), p.s3);
+  EXPECT_FALSE(p.t.find("S99").has_value());
+}
+
+TEST(Misc, ToStringShowsIndentedNames) {
+  PaperTree p;
+  const std::string s = p.t.to_string();
+  EXPECT_NE(s.find("S0"), std::string::npos);
+  EXPECT_NE(s.find("  S1"), std::string::npos);
+  EXPECT_NE(s.find("    S2"), std::string::npos);
+}
+
+TEST(Misc, SerializeRoundTrip) {
+  PaperTree p;
+  p.t.segment(p.s2).media_ref = "video[0,60]";
+  const auto bytes = p.t.serialize();
+  const ContentTree u = ContentTree::deserialize(bytes);
+  EXPECT_EQ(u.size(), 5u);
+  EXPECT_EQ(u.highest_level(), 2);
+  EXPECT_EQ(u.level_value(1), sec(60));
+  EXPECT_EQ(u.level_value(2), sec(100));
+  const auto s2 = u.find("S2");
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(u.segment(*s2).media_ref, "video[0,60]");
+  EXPECT_TRUE(u.check_invariants());
+}
+
+TEST(Misc, SerializeEmptyTree) {
+  ContentTree t;
+  const ContentTree u = ContentTree::deserialize(t.serialize());
+  EXPECT_TRUE(u.empty());
+}
+
+TEST(Misc, DeserializeBadMagicThrows) {
+  std::vector<std::byte> junk(16, std::byte{0x5a});
+  EXPECT_THROW(ContentTree::deserialize(junk), std::runtime_error);
+}
+
+// --- property sweep: random edits keep every invariant ------------------------------
+
+class TreeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeFuzz, RandomOperationsPreserveInvariants) {
+  net::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  ContentTree t;
+  std::vector<NodeId> live;
+  live.push_back(t.add(seg("n0", 1 + GetParam() % 5), 0));
+  int counter = 1;
+
+  for (int op = 0; op < 200; ++op) {
+    const auto pick = [&]() -> NodeId {
+      return live[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1))];
+    };
+    const int what = static_cast<int>(rng.uniform_int(0, 9));
+    if (live.empty()) break;
+    if (what < 5) {  // attach (most common)
+      live.push_back(t.attach_child(
+          pick(), seg("n" + std::to_string(counter++),
+                      rng.uniform_int(1, 30))));
+    } else if (what < 7) {  // insert above
+      live.push_back(t.insert_above(
+          pick(), seg("n" + std::to_string(counter++),
+                      rng.uniform_int(1, 30))));
+    } else {  // remove (skip illegal root removals)
+      const NodeId victim = pick();
+      if (victim == t.root() && t.children(victim).size() > 1) continue;
+      t.remove(victim);
+      live.erase(std::find(live.begin(), live.end(), victim));
+    }
+    std::string why;
+    ASSERT_TRUE(t.check_invariants(&why)) << "op " << op << ": " << why;
+
+    // Presentation time is monotone in level — the paper's core claim.
+    SimDuration prev{-1};
+    for (int lvl = 0; lvl <= t.highest_level(); ++lvl) {
+      const SimDuration cur = t.presentation_time(lvl);
+      ASSERT_GE(cur.us, prev.us);
+      prev = cur;
+    }
+    // Sum of level values equals the deepest presentation time.
+    SimDuration sum{};
+    for (int lvl = 0; lvl <= t.highest_level(); ++lvl) {
+      sum += t.level_value(lvl);
+    }
+    ASSERT_EQ(sum, t.presentation_time(t.highest_level()));
+    // Serialization round-trips level accounting.
+    if (op % 50 == 49) {
+      const ContentTree u = ContentTree::deserialize(t.serialize());
+      ASSERT_EQ(u.size(), t.size());
+      for (int lvl = 0; lvl <= t.highest_level(); ++lvl) {
+        ASSERT_EQ(u.level_value(lvl), t.level_value(lvl));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeFuzz, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace lod::contenttree

@@ -1,0 +1,283 @@
+#include "lod/core/ocpn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lod/core/analysis.hpp"
+#include "lod/net/rng.hpp"
+
+namespace lod::core {
+namespace {
+
+using net::msec;
+using net::sec;
+
+TemporalSpec obj(const std::string& name, std::int64_t secs) {
+  return TemporalSpec::object(name, 0, sec(secs));
+}
+
+/// Compile, play, and return the realized interval of every object.
+std::unordered_map<std::string, PlaceInterval> realize(
+    const TemporalSpec& spec) {
+  const CompiledOcpn c = build_ocpn(spec);
+  const PlayoutTrace trace = play(c.net, c.initial_marking());
+  EXPECT_FALSE(trace.truncated);
+  std::unordered_map<std::string, PlaceInterval> out;
+  for (const auto& [name, place] : c.object_place) {
+    const auto iv = trace.interval_of(c.net, name);
+    EXPECT_TRUE(iv.has_value()) << "object " << name << " never presented";
+    if (iv) out[name] = *iv;
+  }
+  return out;
+}
+
+/// The core contract: playout realizes exactly the relation-defined oracle.
+void expect_matches_oracle(const TemporalSpec& spec) {
+  const auto expected = spec.expected_intervals();
+  const auto actual = realize(spec);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [name, iv] : expected) {
+    ASSERT_TRUE(actual.count(name)) << name;
+    EXPECT_EQ(actual.at(name).start, iv.start) << "start of " << name;
+    EXPECT_EQ(actual.at(name).end, iv.end) << "end of " << name;
+  }
+}
+
+// --- the seven canonical relations ----------------------------------------------
+
+TEST(Ocpn, Before) {
+  const auto s = TemporalSpec::relate(Relation::kBefore, obj("a", 4),
+                                      obj("b", 2), sec(3));
+  EXPECT_EQ(s.duration(), sec(9));
+  const auto iv = realize(s);
+  EXPECT_EQ(iv.at("a").start, sec(0));
+  EXPECT_EQ(iv.at("a").end, sec(4));
+  EXPECT_EQ(iv.at("b").start, sec(7));
+  EXPECT_EQ(iv.at("b").end, sec(9));
+  expect_matches_oracle(s);
+}
+
+TEST(Ocpn, Meets) {
+  const auto s = TemporalSpec::relate(Relation::kMeets, obj("a", 4), obj("b", 2));
+  EXPECT_EQ(s.duration(), sec(6));
+  const auto iv = realize(s);
+  EXPECT_EQ(iv.at("a").end, iv.at("b").start);
+  expect_matches_oracle(s);
+}
+
+TEST(Ocpn, Overlaps) {
+  const auto s = TemporalSpec::relate(Relation::kOverlaps, obj("a", 5),
+                                      obj("b", 4), sec(3));
+  EXPECT_EQ(s.duration(), sec(7));
+  const auto iv = realize(s);
+  EXPECT_EQ(iv.at("b").start, sec(3));
+  // b starts while a is active, and outlasts a.
+  EXPECT_LT(iv.at("b").start, iv.at("a").end);
+  EXPECT_GT(iv.at("b").end, iv.at("a").end);
+  expect_matches_oracle(s);
+}
+
+TEST(Ocpn, During) {
+  const auto s = TemporalSpec::relate(Relation::kDuring, obj("a", 10),
+                                      obj("b", 3), sec(4));
+  EXPECT_EQ(s.duration(), sec(10));
+  const auto iv = realize(s);
+  EXPECT_GT(iv.at("b").start, iv.at("a").start);
+  EXPECT_LT(iv.at("b").end, iv.at("a").end);
+  expect_matches_oracle(s);
+}
+
+TEST(Ocpn, Starts) {
+  const auto s = TemporalSpec::relate(Relation::kStarts, obj("a", 3), obj("b", 8));
+  const auto iv = realize(s);
+  EXPECT_EQ(iv.at("a").start, iv.at("b").start);
+  EXPECT_EQ(s.duration(), sec(8));
+  expect_matches_oracle(s);
+}
+
+TEST(Ocpn, Finishes) {
+  const auto s = TemporalSpec::relate(Relation::kFinishes, obj("a", 8), obj("b", 3));
+  const auto iv = realize(s);
+  EXPECT_EQ(iv.at("a").end, iv.at("b").end);
+  EXPECT_EQ(iv.at("b").start, sec(5));
+  expect_matches_oracle(s);
+}
+
+TEST(Ocpn, Equals) {
+  const auto s = TemporalSpec::relate(Relation::kEquals, obj("a", 6), obj("b", 6));
+  const auto iv = realize(s);
+  EXPECT_EQ(iv.at("a").start, iv.at("b").start);
+  EXPECT_EQ(iv.at("a").end, iv.at("b").end);
+  expect_matches_oracle(s);
+}
+
+// --- constraint validation --------------------------------------------------------
+
+TEST(OcpnValidation, RejectsImpossibleRelations) {
+  EXPECT_THROW(TemporalSpec::relate(Relation::kBefore, obj("a", 1), obj("b", 1),
+                                    msec(-5)),
+               std::invalid_argument);
+  // overlaps: offset outside a
+  EXPECT_THROW(TemporalSpec::relate(Relation::kOverlaps, obj("a", 2),
+                                    obj("b", 5), sec(3)),
+               std::invalid_argument);
+  // overlaps: b does not outlast a
+  EXPECT_THROW(TemporalSpec::relate(Relation::kOverlaps, obj("a", 10),
+                                    obj("b", 2), sec(1)),
+               std::invalid_argument);
+  // during: b sticks out
+  EXPECT_THROW(TemporalSpec::relate(Relation::kDuring, obj("a", 3), obj("b", 5),
+                                    sec(1)),
+               std::invalid_argument);
+  // finishes: b longer than a
+  EXPECT_THROW(
+      TemporalSpec::relate(Relation::kFinishes, obj("a", 2), obj("b", 5)),
+      std::invalid_argument);
+  // equals: durations differ
+  EXPECT_THROW(TemporalSpec::relate(Relation::kEquals, obj("a", 2), obj("b", 3)),
+               std::invalid_argument);
+}
+
+TEST(OcpnValidation, RelationNames) {
+  EXPECT_EQ(to_string(Relation::kBefore), "before");
+  EXPECT_EQ(to_string(Relation::kEquals), "equals");
+}
+
+// --- composite specifications ------------------------------------------------------
+
+TEST(OcpnComposite, LectureShapedSpec) {
+  // video(30) equals audio(30); slides sequence runs during the video.
+  auto av = TemporalSpec::relate(Relation::kEquals, obj("video", 30),
+                                 obj("audio", 30));
+  auto slides = TemporalSpec::relate(
+      Relation::kMeets,
+      TemporalSpec::relate(Relation::kMeets, obj("s1", 8), obj("s2", 12)),
+      obj("s3", 10));
+  const auto spec =
+      TemporalSpec::relate(Relation::kStarts, std::move(av), std::move(slides));
+  EXPECT_EQ(spec.duration(), sec(30));
+  EXPECT_EQ(spec.object_count(), 5u);
+  expect_matches_oracle(spec);
+
+  const auto iv = realize(spec);
+  EXPECT_EQ(iv.at("s1").start, sec(0));
+  EXPECT_EQ(iv.at("s2").start, sec(8));
+  EXPECT_EQ(iv.at("s3").start, sec(20));
+  EXPECT_EQ(iv.at("s3").end, sec(30));
+}
+
+TEST(OcpnComposite, DeepNesting) {
+  TemporalSpec s = obj("o0", 1);
+  for (int i = 1; i < 40; ++i) {
+    s = TemporalSpec::relate(Relation::kMeets, std::move(s),
+                             obj("o" + std::to_string(i), 1));
+  }
+  EXPECT_EQ(s.duration(), sec(40));
+  expect_matches_oracle(s);
+}
+
+/// Property sweep: random well-formed specs must always realize their oracle.
+class OcpnRandomSweep : public ::testing::TestWithParam<int> {};
+
+TemporalSpec random_spec(net::Rng& rng, int depth, int& counter) {
+  if (depth == 0 || rng.bernoulli(0.3)) {
+    return obj("x" + std::to_string(counter++), rng.uniform_int(1, 20));
+  }
+  auto a = random_spec(rng, depth - 1, counter);
+  auto b = random_spec(rng, depth - 1, counter);
+  const SimDuration da = a.duration();
+  const SimDuration db = b.duration();
+  switch (rng.uniform_int(0, 4)) {
+    case 0:
+      return TemporalSpec::relate(Relation::kBefore, std::move(a), std::move(b),
+                                  sec(rng.uniform_int(0, 5)));
+    case 1:
+      return TemporalSpec::relate(Relation::kMeets, std::move(a), std::move(b));
+    case 2:
+      return TemporalSpec::relate(Relation::kStarts, std::move(a), std::move(b));
+    case 3:
+      if (db <= da) {
+        return TemporalSpec::relate(Relation::kFinishes, std::move(a),
+                                    std::move(b));
+      }
+      return TemporalSpec::relate(Relation::kFinishes, std::move(b),
+                                  std::move(a));
+    default: {
+      // during with a guaranteed-valid offset
+      TemporalSpec big = da >= db ? std::move(a) : std::move(b);
+      TemporalSpec small = da >= db ? std::move(b) : std::move(a);
+      const std::int64_t slack_us =
+          (big.duration() - small.duration()).us;
+      const SimDuration off{rng.uniform_int(0, slack_us)};
+      return TemporalSpec::relate(Relation::kDuring, std::move(big),
+                                  std::move(small), off);
+    }
+  }
+}
+
+TEST_P(OcpnRandomSweep, PlayoutMatchesOracle) {
+  net::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  int counter = 0;
+  const auto spec = random_spec(rng, 4, counter);
+  expect_matches_oracle(spec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OcpnRandomSweep, ::testing::Range(0, 25));
+
+// --- structural health of compiled nets ----------------------------------------------
+
+TEST(OcpnStructure, CompiledNetIsSafeAndDeadlockFreeToSink) {
+  const auto spec = TemporalSpec::relate(
+      Relation::kStarts,
+      TemporalSpec::relate(Relation::kMeets, obj("a", 2), obj("b", 3)),
+      obj("c", 5));
+  const CompiledOcpn c = build_ocpn(spec);
+  const Marking m0 = c.initial_marking();
+
+  // 1-bounded (safe): every place holds at most one token.
+  const auto k = boundedness(c.net, m0);
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(*k, 1u);
+
+  // The only deadlock is the intended final marking: one token in the sink.
+  Marking final = c.net.empty_marking();
+  final[c.sink] = 1;
+  EXPECT_FALSE(has_unexpected_deadlock(c.net, m0, &final));
+
+  // No dead transitions: every object is presentable.
+  EXPECT_TRUE(dead_transitions(c.net, m0).empty());
+}
+
+TEST(OcpnStructure, TokenConservationSourceToSink) {
+  const auto spec = TemporalSpec::relate(Relation::kMeets, obj("a", 1), obj("b", 1));
+  const CompiledOcpn c = build_ocpn(spec);
+  const auto trace = play(c.net, c.initial_marking());
+  // After playout the sink received exactly one token: its interval exists.
+  int sink_tokens = 0;
+  for (const auto& iv : trace.intervals) {
+    if (iv.place == c.sink) ++sink_tokens;
+  }
+  EXPECT_EQ(sink_tokens, 1);
+}
+
+TEST(OcpnStructure, ObjectPlaceMapComplete) {
+  const auto spec = TemporalSpec::relate(Relation::kStarts, obj("a", 2), obj("b", 2));
+  const CompiledOcpn c = build_ocpn(spec);
+  ASSERT_EQ(c.object_place.size(), 2u);
+  for (const auto& [name, place] : c.object_place) {
+    ASSERT_TRUE(c.net.media(place).has_value());
+    EXPECT_EQ(c.net.media(place)->object_name, name);
+  }
+}
+
+TEST(OcpnStructure, LeafSpecCompiles) {
+  const CompiledOcpn c = build_ocpn(obj("solo", 7));
+  const auto trace = play(c.net, c.initial_marking());
+  EXPECT_EQ(trace.makespan, sec(7));
+  const auto iv = trace.interval_of(c.net, "solo");
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(iv->start, sec(0));
+  EXPECT_EQ(iv->end, sec(7));
+}
+
+}  // namespace
+}  // namespace lod::core

@@ -1,0 +1,274 @@
+#include "lod/core/petri.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lod/core/analysis.hpp"
+
+namespace lod::core {
+namespace {
+
+/// The classic producer/consumer net with a bounded buffer.
+struct ProducerConsumer {
+  PetriNet net;
+  PlaceId idle_p, busy_p, buffer, idle_c, busy_c;
+  TransitionId produce, put, take, consume;
+  Marking m0;
+
+  explicit ProducerConsumer(std::uint32_t buffer_cap = 0) {
+    idle_p = net.add_place("producer_idle");
+    busy_p = net.add_place("producer_busy");
+    buffer = net.add_place("buffer", buffer_cap);
+    idle_c = net.add_place("consumer_idle");
+    busy_c = net.add_place("consumer_busy");
+    produce = net.add_transition("produce");
+    put = net.add_transition("put");
+    take = net.add_transition("take");
+    consume = net.add_transition("consume");
+    net.add_input(idle_p, produce);
+    net.add_output(produce, busy_p);
+    net.add_input(busy_p, put);
+    net.add_output(put, idle_p);
+    net.add_output(put, buffer);
+    net.add_input(buffer, take);
+    net.add_input(idle_c, take);
+    net.add_output(take, busy_c);
+    net.add_input(busy_c, consume);
+    net.add_output(consume, idle_c);
+    m0 = net.empty_marking();
+    m0[idle_p] = 1;
+    m0[idle_c] = 1;
+  }
+};
+
+TEST(PetriNet, BuildAndIntrospect) {
+  ProducerConsumer pc;
+  EXPECT_EQ(pc.net.place_count(), 5u);
+  EXPECT_EQ(pc.net.transition_count(), 4u);
+  EXPECT_EQ(pc.net.place_name(pc.buffer), "buffer");
+  EXPECT_EQ(pc.net.transition_name(pc.take), "take");
+  EXPECT_EQ(pc.net.find_place("buffer"), pc.buffer);
+  EXPECT_EQ(pc.net.find_transition("consume"), pc.consume);
+  EXPECT_FALSE(pc.net.find_place("nope").has_value());
+  EXPECT_FALSE(pc.net.find_transition("nope").has_value());
+}
+
+TEST(PetriNet, EnablingRule) {
+  ProducerConsumer pc;
+  EXPECT_TRUE(pc.net.enabled(pc.produce, pc.m0));
+  EXPECT_FALSE(pc.net.enabled(pc.put, pc.m0));    // producer not busy
+  EXPECT_FALSE(pc.net.enabled(pc.take, pc.m0));   // buffer empty
+  EXPECT_FALSE(pc.net.enabled(pc.consume, pc.m0));
+  const auto en = pc.net.enabled_transitions(pc.m0);
+  EXPECT_EQ(en, std::vector<TransitionId>{pc.produce});
+}
+
+TEST(PetriNet, FiringMovesTokens) {
+  ProducerConsumer pc;
+  Marking m = pc.net.fire(pc.produce, pc.m0);
+  EXPECT_EQ(m[pc.idle_p], 0u);
+  EXPECT_EQ(m[pc.busy_p], 1u);
+  m = pc.net.fire(pc.put, m);
+  EXPECT_EQ(m[pc.idle_p], 1u);
+  EXPECT_EQ(m[pc.buffer], 1u);
+  m = pc.net.fire(pc.take, m);
+  EXPECT_EQ(m[pc.buffer], 0u);
+  EXPECT_EQ(m[pc.busy_c], 1u);
+  m = pc.net.fire(pc.consume, m);
+  EXPECT_EQ(m, pc.m0);  // full cycle returns to start
+}
+
+TEST(PetriNet, FiringDisabledThrows) {
+  ProducerConsumer pc;
+  EXPECT_THROW(pc.net.fire(pc.take, pc.m0), std::logic_error);
+}
+
+TEST(PetriNet, FireInPlaceMatchesFire) {
+  ProducerConsumer pc;
+  Marking a = pc.net.fire(pc.produce, pc.m0);
+  Marking b = pc.m0;
+  pc.net.fire_in_place(pc.produce, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PetriNet, MarkingSizeMismatchThrows) {
+  ProducerConsumer pc;
+  Marking bad(3, 0);
+  EXPECT_THROW(pc.net.enabled(pc.produce, bad), std::invalid_argument);
+}
+
+TEST(PetriNet, ArcValidation) {
+  PetriNet net;
+  const PlaceId p = net.add_place("p");
+  const TransitionId t = net.add_transition("t");
+  EXPECT_THROW(net.add_input(99, t), std::invalid_argument);
+  EXPECT_THROW(net.add_input(p, 99), std::invalid_argument);
+  EXPECT_THROW(net.add_input(p, t, 0), std::invalid_argument);
+  EXPECT_THROW(net.add_output(t, 99), std::invalid_argument);
+}
+
+TEST(PetriNet, WeightedArcs) {
+  PetriNet net;
+  const PlaceId p = net.add_place("p");
+  const PlaceId q = net.add_place("q");
+  const TransitionId t = net.add_transition("t");
+  net.add_input(p, t, 3);
+  net.add_output(t, q, 2);
+  Marking m{2, 0};
+  EXPECT_FALSE(net.enabled(t, m));
+  m[p] = 3;
+  EXPECT_TRUE(net.enabled(t, m));
+  m = net.fire(t, m);
+  EXPECT_EQ(m[p], 0u);
+  EXPECT_EQ(m[q], 2u);
+}
+
+TEST(PetriNet, InhibitorArcBlocksOnTokens) {
+  PetriNet net;
+  const PlaceId gate = net.add_place("gate");
+  const PlaceId src = net.add_place("src");
+  const TransitionId t = net.add_transition("t");
+  net.add_input(src, t);
+  net.add_input(gate, t, 1, ArcKind::kInhibitor);
+  Marking m{0, 1};  // gate empty, src has token
+  EXPECT_TRUE(net.enabled(t, m));
+  m[gate] = 1;
+  EXPECT_FALSE(net.enabled(t, m));
+  // Inhibitor arcs never consume.
+  m[gate] = 0;
+  const Marking after = net.fire(t, m);
+  EXPECT_EQ(after[gate], 0u);
+}
+
+TEST(PetriNet, CapacityBlocksOverflow) {
+  PetriNet net;
+  const PlaceId src = net.add_place("src");
+  const PlaceId dst = net.add_place("dst", /*capacity=*/2);
+  const TransitionId t = net.add_transition("t");
+  net.add_input(src, t);
+  net.add_output(t, dst);
+  Marking m{3, 0};
+  m = net.fire(t, m);
+  m = net.fire(t, m);
+  EXPECT_EQ(m[dst], 2u);
+  EXPECT_FALSE(net.enabled(t, m));  // dst full
+}
+
+TEST(PetriNet, CapacityNetsOutSelfLoop) {
+  // A place at capacity that is both input and output of t does not block.
+  PetriNet net;
+  const PlaceId p = net.add_place("p", 1);
+  const TransitionId t = net.add_transition("t");
+  net.add_input(p, t);
+  net.add_output(t, p);
+  Marking m{1};
+  EXPECT_TRUE(net.enabled(t, m));
+  EXPECT_EQ(net.fire(t, m)[p], 1u);
+}
+
+TEST(PetriNet, ConsumersProducersIndex) {
+  ProducerConsumer pc;
+  EXPECT_EQ(pc.net.consumers(pc.buffer), std::vector<TransitionId>{pc.take});
+  EXPECT_EQ(pc.net.producers(pc.buffer), std::vector<TransitionId>{pc.put});
+}
+
+TEST(PetriNet, ToDotMentionsEverything) {
+  ProducerConsumer pc;
+  const std::string dot = pc.net.to_dot(&pc.m0);
+  EXPECT_NE(dot.find("producer_idle"), std::string::npos);
+  EXPECT_NE(dot.find("consume"), std::string::npos);
+  EXPECT_NE(dot.find("(1)"), std::string::npos);  // marked places annotated
+}
+
+// --- analysis ------------------------------------------------------------------
+
+TEST(Analysis, ReachabilityOfCycle) {
+  ProducerConsumer pc;
+  // Unbounded buffer: producer can always run ahead -> unbounded.
+  const auto res = explore(pc.net, pc.m0, 10'000);
+  EXPECT_TRUE(res.unbounded);
+}
+
+TEST(Analysis, BoundedWithCapacity) {
+  ProducerConsumer pc(2);
+  const auto k = boundedness(pc.net, pc.m0);
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(*k, 2u);
+}
+
+TEST(Analysis, SafeNetIsOneBounded) {
+  ProducerConsumer pc(1);
+  EXPECT_EQ(boundedness(pc.net, pc.m0), 1u);
+}
+
+TEST(Analysis, DeadlockDetection) {
+  PetriNet net;
+  const PlaceId a = net.add_place("a");
+  const PlaceId b = net.add_place("b");
+  const TransitionId t = net.add_transition("t");
+  net.add_input(a, t);
+  net.add_output(t, b);
+  Marking m0{1, 0};
+  EXPECT_TRUE(has_unexpected_deadlock(net, m0));
+  // ... but the final marking can be declared expected.
+  Marking final{0, 1};
+  EXPECT_FALSE(has_unexpected_deadlock(net, m0, &final));
+}
+
+TEST(Analysis, LiveCycleHasNoDeadlock) {
+  ProducerConsumer pc(1);
+  EXPECT_FALSE(has_unexpected_deadlock(pc.net, pc.m0));
+}
+
+TEST(Analysis, DeadTransitionFound) {
+  PetriNet net;
+  const PlaceId a = net.add_place("a");
+  const PlaceId orphan = net.add_place("orphan");
+  const TransitionId t1 = net.add_transition("live");
+  const TransitionId t2 = net.add_transition("dead");
+  net.add_input(a, t1);
+  net.add_output(t1, a);
+  net.add_input(orphan, t2);
+  Marking m0{1, 0};
+  const auto dead = dead_transitions(net, m0);
+  EXPECT_EQ(dead, std::vector<TransitionId>{t2});
+}
+
+TEST(Analysis, PInvariantHolds) {
+  // Mutex: holder + free == 1 forever.
+  PetriNet net;
+  const PlaceId free_p = net.add_place("free");
+  const PlaceId held = net.add_place("held");
+  const TransitionId acquire = net.add_transition("acquire");
+  const TransitionId release = net.add_transition("release");
+  net.add_input(free_p, acquire);
+  net.add_output(acquire, held);
+  net.add_input(held, release);
+  net.add_output(release, free_p);
+  Marking m0{1, 0};
+  EXPECT_TRUE(holds_p_invariant(net, m0, {1, 1}));
+  EXPECT_TRUE(is_structural_p_invariant(net, {1, 1}));
+  EXPECT_FALSE(holds_p_invariant(net, m0, {1, 2}));
+  EXPECT_FALSE(is_structural_p_invariant(net, {1, 2}));
+}
+
+TEST(Analysis, StructuralInvariantSizeMismatch) {
+  ProducerConsumer pc;
+  EXPECT_FALSE(is_structural_p_invariant(pc.net, {1, 1}));
+}
+
+TEST(Analysis, ExplorationTruncates) {
+  ProducerConsumer pc(100);
+  const auto res = explore(pc.net, pc.m0, 10);
+  EXPECT_TRUE(res.truncated || res.unbounded);
+}
+
+TEST(Analysis, FireableFlagsCoverEnabledPaths) {
+  ProducerConsumer pc(1);
+  const auto res = explore(pc.net, pc.m0);
+  for (TransitionId t = 0; t < pc.net.transition_count(); ++t) {
+    EXPECT_TRUE(res.fireable[t]) << "transition " << t << " never fired";
+  }
+}
+
+}  // namespace
+}  // namespace lod::core

@@ -1,0 +1,265 @@
+#include "lod/core/speclang.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lod/core/analysis.hpp"
+#include "lod/net/rng.hpp"
+
+namespace lod::core {
+namespace {
+
+using net::msec;
+using net::sec;
+
+TEST(SpecLang, ParsesLeafObject) {
+  const auto s = parse_spec("video intro (30s)");
+  ASSERT_TRUE(s.is_leaf());
+  EXPECT_EQ(s.name(), "intro");
+  EXPECT_EQ(s.duration(), sec(30));
+  EXPECT_EQ(s.binding().media_type, 0);
+  EXPECT_EQ(s.binding().required_bps, 0);
+}
+
+TEST(SpecLang, ParsesRateAnnotation) {
+  const auto s = parse_spec("audio talk (10m, 64kbps)");
+  EXPECT_EQ(s.duration(), sec(600));
+  EXPECT_EQ(s.binding().media_type, 1);
+  EXPECT_EQ(s.binding().required_bps, 64'000);
+}
+
+TEST(SpecLang, DurationUnits) {
+  EXPECT_EQ(parse_spec("text t (250ms)").duration(), msec(250));
+  EXPECT_EQ(parse_spec("text t (2m)").duration(), sec(120));
+  EXPECT_EQ(parse_spec("text t (1h)").duration(), sec(3600));
+  EXPECT_EQ(parse_spec("text t (1.5s)").duration(), msec(1500));
+}
+
+TEST(SpecLang, SeqFoldsWithMeets) {
+  const auto s = parse_spec(
+      "seq { image a (10s)  image b (20s)  image c (30s) }");
+  EXPECT_EQ(s.duration(), sec(60));
+  const auto iv = s.expected_intervals();
+  EXPECT_EQ(iv.at("a").start, sec(0));
+  EXPECT_EQ(iv.at("b").start, sec(10));
+  EXPECT_EQ(iv.at("c").start, sec(30));
+}
+
+TEST(SpecLang, GapBecomesBefore) {
+  const auto s = parse_spec("seq { image a (10s) gap (5s) image b (10s) }");
+  EXPECT_EQ(s.duration(), sec(25));
+  EXPECT_EQ(s.expected_intervals().at("b").start, sec(15));
+}
+
+TEST(SpecLang, ConsecutiveGapsAccumulate) {
+  const auto s =
+      parse_spec("seq { image a (1s) gap (2s) gap (3s) image b (1s) }");
+  EXPECT_EQ(s.duration(), sec(7));
+}
+
+TEST(SpecLang, ParAndEquals) {
+  const auto p = parse_spec("par { video v (30s) audio a (10s) }");
+  EXPECT_EQ(p.duration(), sec(30));
+  EXPECT_EQ(p.relation(), Relation::kStarts);
+
+  const auto e = parse_spec("equals { video v (30s) audio a (30s) }");
+  EXPECT_EQ(e.relation(), Relation::kEquals);
+  EXPECT_THROW(parse_spec("equals { video v (30s) audio a (10s) }"),
+               std::invalid_argument);
+}
+
+TEST(SpecLang, DuringAndOverlapsTakeOffsets) {
+  const auto d = parse_spec("during (5s) { video v (60s) image cap (10s) }");
+  EXPECT_EQ(d.relation(), Relation::kDuring);
+  EXPECT_EQ(d.expected_intervals().at("cap").start, sec(5));
+
+  const auto o = parse_spec("overlaps (8s) { video a (10s) video b (10s) }");
+  EXPECT_EQ(o.duration(), sec(18));
+}
+
+TEST(SpecLang, Finishes) {
+  const auto f = parse_spec("finishes { video v (60s) text credits (10s) }");
+  EXPECT_EQ(f.expected_intervals().at("credits").start, sec(50));
+}
+
+TEST(SpecLang, NestedLectureSpecCompilesAndPlays) {
+  const auto s = parse_spec(R"(
+    # the quickstart lecture, as its author would write it
+    seq {
+      video intro (30s, 250kbps)
+      gap (2s)
+      par {
+        video talk (10m, 250kbps)
+        seq { image s1 (4m)  image s2 (6m) }
+      }
+      annotation outro (15s)
+    }
+  )");
+  EXPECT_EQ(s.duration(), sec(30 + 2 + 600 + 15));
+  EXPECT_EQ(s.object_count(), 5u);
+
+  const auto compiled = build_ocpn(s);
+  const auto trace = play(compiled.net, compiled.initial_marking());
+  EXPECT_EQ(trace.makespan, s.duration());
+  EXPECT_EQ(trace.interval_of(compiled.net, "s2")->end, sec(632));
+}
+
+TEST(SpecLang, CommentsAndWhitespaceIgnored) {
+  const auto s = parse_spec(
+      "# header\n  seq{video a(1s)# tail comment\n image b (2s)}\n");
+  EXPECT_EQ(s.duration(), sec(3));
+}
+
+// --- errors -----------------------------------------------------------------------
+
+TEST(SpecLangErrors, ReportLineAndColumn) {
+  try {
+    parse_spec("seq {\n  video a (10s)\n  bogus b (1s)\n}");
+    FAIL() << "expected SpecParseError";
+  } catch (const SpecParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(SpecLangErrors, RejectMalformedInput) {
+  EXPECT_THROW(parse_spec(""), SpecParseError);
+  EXPECT_THROW(parse_spec("video"), SpecParseError);
+  EXPECT_THROW(parse_spec("video x"), SpecParseError);
+  EXPECT_THROW(parse_spec("video x (10)"), SpecParseError);    // no unit
+  EXPECT_THROW(parse_spec("video x (10s"), SpecParseError);    // unclosed
+  EXPECT_THROW(parse_spec("video x (10s) junk"), SpecParseError);
+  EXPECT_THROW(parse_spec("seq { }"), SpecParseError);
+  EXPECT_THROW(parse_spec("seq { gap (1s) video x (1s) }"), SpecParseError);
+  EXPECT_THROW(parse_spec("par { video a (1s) }"), SpecParseError);
+  EXPECT_THROW(parse_spec("par { video a (1s) video b (1s) video c (1s) }"),
+               SpecParseError);
+  EXPECT_THROW(parse_spec("video x (10s, 64s)"), SpecParseError);  // bad rate
+  EXPECT_THROW(parse_spec("@!"), SpecParseError);
+}
+
+TEST(SpecLangErrors, UnsatisfiableConstraintsSurfaceAsInvalidArgument) {
+  EXPECT_THROW(parse_spec("during (50s) { video a (10s) video b (10s) }"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec("finishes { video a (5s) video b (10s) }"),
+               std::invalid_argument);
+}
+
+// --- formatting round trip -----------------------------------------------------------
+
+TEST(SpecLangFormat, RoundTripsCanonicalText) {
+  const char* kText = R"(seq {
+  video intro (30s, 250kbps)
+  gap (2s)
+  par {
+    video talk (600s, 250kbps)
+    seq {
+      image s1 (240s)
+      image s2 (360s)
+    }
+  }
+  annotation outro (15s)
+}
+)";
+  const auto s = parse_spec(kText);
+  const std::string formatted = format_spec(s);
+  EXPECT_EQ(formatted, kText);
+  // And the formatted text parses back to an identical schedule.
+  const auto s2 = parse_spec(formatted);
+  EXPECT_EQ(s2.duration(), s.duration());
+  const auto a = s.expected_intervals();
+  const auto b = s2.expected_intervals();
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, iv] : a) {
+    EXPECT_EQ(b.at(name).start, iv.start) << name;
+    EXPECT_EQ(b.at(name).end, iv.end) << name;
+  }
+}
+
+TEST(SpecLangFormat, MillisecondDurations) {
+  const auto s = parse_spec("video blip (250ms)");
+  EXPECT_NE(format_spec(s).find("250ms"), std::string::npos);
+  EXPECT_EQ(parse_spec(format_spec(s)).duration(), msec(250));
+}
+
+/// Property: random well-formed specs survive format -> parse unchanged.
+class SpecLangRoundTrip : public ::testing::TestWithParam<int> {};
+
+TemporalSpec random_spec(net::Rng& rng, int depth, int& counter) {
+  if (depth == 0 || rng.bernoulli(0.35)) {
+    return TemporalSpec::object(
+        "o" + std::to_string(counter++),
+        static_cast<std::uint8_t>(rng.uniform_int(0, 4)),
+        sec(rng.uniform_int(1, 50)),
+        rng.bernoulli(0.3) ? rng.uniform_int(1, 500) * 1000 : 0);
+  }
+  auto a = random_spec(rng, depth - 1, counter);
+  auto b = random_spec(rng, depth - 1, counter);
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      return TemporalSpec::relate(Relation::kBefore, std::move(a),
+                                  std::move(b), sec(rng.uniform_int(0, 9)));
+    case 1:
+      return TemporalSpec::relate(Relation::kMeets, std::move(a), std::move(b));
+    case 2:
+      return TemporalSpec::relate(Relation::kStarts, std::move(a),
+                                  std::move(b));
+    default:
+      if (a.duration() >= b.duration()) {
+        return TemporalSpec::relate(Relation::kFinishes, std::move(a),
+                                    std::move(b));
+      }
+      return TemporalSpec::relate(Relation::kFinishes, std::move(b),
+                                  std::move(a));
+  }
+}
+
+TEST_P(SpecLangRoundTrip, FormatParseIdentity) {
+  net::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 11);
+  int counter = 0;
+  const auto s = random_spec(rng, 4, counter);
+  const auto s2 = parse_spec(format_spec(s));
+  EXPECT_EQ(s2.duration(), s.duration());
+  const auto a = s.expected_intervals();
+  const auto b = s2.expected_intervals();
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, iv] : a) {
+    ASSERT_TRUE(b.count(name)) << name;
+    EXPECT_EQ(b.at(name).start, iv.start) << name;
+    EXPECT_EQ(b.at(name).end, iv.end) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecLangRoundTrip, ::testing::Range(0, 15));
+
+// --- T-invariants (new analysis) ------------------------------------------------------
+
+TEST(TInvariant, CycleHasUnitInvariant) {
+  PetriNet net;
+  const auto a = net.add_place("a");
+  const auto b = net.add_place("b");
+  const auto t1 = net.add_transition("t1");
+  const auto t2 = net.add_transition("t2");
+  net.add_input(a, t1);
+  net.add_output(t1, b);
+  net.add_input(b, t2);
+  net.add_output(t2, a);
+  EXPECT_TRUE(is_structural_t_invariant(net, {1, 1}));
+  EXPECT_TRUE(is_structural_t_invariant(net, {3, 3}));
+  EXPECT_FALSE(is_structural_t_invariant(net, {1, 2}));
+  EXPECT_FALSE(is_structural_t_invariant(net, {1}));  // wrong size
+}
+
+TEST(TInvariant, MarkingDeltaMatchesFiring) {
+  PetriNet net;
+  const auto p = net.add_place("p");
+  const auto q = net.add_place("q");
+  const auto t = net.add_transition("t");
+  net.add_input(p, t, 2);
+  net.add_output(t, q, 3);
+  const auto d = marking_delta(net, {4});
+  EXPECT_EQ(d[p], -8);
+  EXPECT_EQ(d[q], 12);
+}
+
+}  // namespace
+}  // namespace lod::core

@@ -1,0 +1,229 @@
+#include "lod/core/timed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lod::core {
+namespace {
+
+using net::msec;
+using net::sec;
+
+TEST(TimedNet, DurationsDefaultZero) {
+  TimedPetriNet net;
+  const PlaceId p = net.add_place("p");
+  EXPECT_EQ(net.duration(p).us, 0);
+  net.set_duration(p, sec(3));
+  EXPECT_EQ(net.duration(p), sec(3));
+}
+
+TEST(TimedNet, MediaBinding) {
+  TimedPetriNet net;
+  const PlaceId p =
+      net.add_timed_place("video", sec(10), MediaBinding{"video", 0, 250'000});
+  ASSERT_TRUE(net.media(p).has_value());
+  EXPECT_EQ(net.media(p)->object_name, "video");
+  EXPECT_EQ(net.media(p)->required_bps, 250'000);
+  const PlaceId q = net.add_timed_place("gap", sec(1));
+  EXPECT_FALSE(net.media(q).has_value());
+}
+
+TEST(TimedNet, SiteAssignment) {
+  TimedPetriNet net;
+  const PlaceId p = net.add_place("p");
+  EXPECT_EQ(net.site(p), kLocalSite);
+  net.set_site(p, 3);
+  EXPECT_EQ(net.site(p), 3u);
+}
+
+/// Linear pipeline: source -> t0 -> A(2s) -> t1 -> B(3s) -> t2 -> sink.
+struct Pipeline {
+  TimedPetriNet net;
+  PlaceId source, a, b, sink;
+  Marking m0;
+
+  Pipeline() {
+    source = net.add_timed_place("source", {});
+    a = net.add_timed_place("A", sec(2), MediaBinding{"A", 0, 0});
+    b = net.add_timed_place("B", sec(3), MediaBinding{"B", 0, 0});
+    sink = net.add_timed_place("sink", {});
+    const TransitionId t0 = net.add_transition("t0");
+    const TransitionId t1 = net.add_transition("t1");
+    const TransitionId t2 = net.add_transition("t2");
+    net.add_input(source, t0);
+    net.add_output(t0, a);
+    net.add_input(a, t1);
+    net.add_output(t1, b);
+    net.add_input(b, t2);
+    net.add_output(t2, sink);
+    m0 = net.empty_marking();
+    m0[source] = 1;
+  }
+};
+
+TEST(Playout, SequentialDurationsAdd) {
+  Pipeline p;
+  const auto trace = play(p.net, p.m0);
+  EXPECT_FALSE(trace.truncated);
+  EXPECT_EQ(trace.makespan, sec(5));
+  const auto ia = trace.interval_of(p.net, "A");
+  const auto ib = trace.interval_of(p.net, "B");
+  ASSERT_TRUE(ia && ib);
+  EXPECT_EQ(ia->start, msec(0));
+  EXPECT_EQ(ia->end, sec(2));
+  EXPECT_EQ(ib->start, sec(2));
+  EXPECT_EQ(ib->end, sec(5));
+}
+
+TEST(Playout, FiringsRecordedInOrder) {
+  Pipeline p;
+  const auto trace = play(p.net, p.m0);
+  ASSERT_EQ(trace.firings.size(), 3u);
+  EXPECT_EQ(trace.firings[0].at, msec(0));
+  EXPECT_EQ(trace.firings[1].at, sec(2));
+  EXPECT_EQ(trace.firings[2].at, sec(5));
+}
+
+TEST(Playout, ParallelJoinWaitsForSlowest) {
+  // fork -> A(2s), B(5s) -> join
+  TimedPetriNet net;
+  const PlaceId source = net.add_timed_place("source", {});
+  const PlaceId a = net.add_timed_place("A", sec(2), MediaBinding{"A", 0, 0});
+  const PlaceId b = net.add_timed_place("B", sec(5), MediaBinding{"B", 0, 0});
+  const PlaceId sink = net.add_timed_place("sink", {});
+  const TransitionId fork = net.add_transition("fork");
+  const TransitionId join = net.add_transition("join");
+  net.add_input(source, fork);
+  net.add_output(fork, a);
+  net.add_output(fork, b);
+  net.add_input(a, join);
+  net.add_input(b, join);
+  net.add_output(join, sink);
+  Marking m0 = net.empty_marking();
+  m0[source] = 1;
+
+  const auto trace = play(net, m0);
+  EXPECT_EQ(trace.makespan, sec(5));  // join at the slowest branch
+  EXPECT_EQ(trace.firings.back().at, sec(5));
+}
+
+TEST(Playout, EmptyNetQuiesces) {
+  TimedPetriNet net;
+  const auto trace = play(net, {});
+  EXPECT_EQ(trace.makespan.us, 0);
+  EXPECT_TRUE(trace.intervals.empty());
+  EXPECT_FALSE(trace.truncated);
+}
+
+TEST(Playout, SourceTransitionTruncates) {
+  // A transition with no inputs fires forever: the step cap must save us.
+  TimedPetriNet net;
+  const PlaceId p = net.add_timed_place("p", sec(1));
+  const TransitionId t = net.add_transition("spring");
+  net.add_output(t, p);
+  const auto trace = play(net, net.empty_marking(), 100);
+  EXPECT_TRUE(trace.truncated);
+  EXPECT_EQ(trace.firings.size(), 100u);
+}
+
+TEST(Playout, DeterministicConflictResolution) {
+  // One token, two competing transitions: the lower id must win, always.
+  TimedPetriNet net;
+  const PlaceId p = net.add_timed_place("p", {});
+  const PlaceId win = net.add_timed_place("win", {});
+  const PlaceId lose = net.add_timed_place("lose", {});
+  const TransitionId t_low = net.add_transition("low");
+  const TransitionId t_high = net.add_transition("high");
+  net.add_input(p, t_low);
+  net.add_output(t_low, win);
+  net.add_input(p, t_high);
+  net.add_output(t_high, lose);
+  Marking m0 = net.empty_marking();
+  m0[p] = 1;
+  for (int i = 0; i < 5; ++i) {
+    const auto trace = play(net, m0);
+    ASSERT_EQ(trace.firings.size(), 1u);
+    EXPECT_EQ(trace.firings[0].transition, t_low);
+  }
+}
+
+TEST(Playout, InhibitorSeesCookingTokens) {
+  // While "loud" cooks, the inhibited transition must stay blocked.
+  TimedPetriNet net;
+  const PlaceId loud = net.add_timed_place("loud", sec(4));
+  const PlaceId src = net.add_timed_place("src", sec(1));
+  const PlaceId out = net.add_timed_place("out", {});
+  const TransitionId t = net.add_transition("t");
+  net.add_input(src, t);
+  net.add_input(loud, t, 1, ArcKind::kInhibitor);
+  net.add_output(t, out);
+  Marking m0 = net.empty_marking();
+  m0[src] = 1;
+  m0[loud] = 1;
+  const auto trace = play(net, m0);
+  // src ready at 1 s but loud's token (never consumed) blocks forever; the
+  // playout quiesces with t unfired.
+  EXPECT_TRUE(trace.firings.empty());
+}
+
+TEST(Playout, MultiTokenPlaceCountsIndividually) {
+  TimedPetriNet net;
+  const PlaceId p = net.add_timed_place("p", sec(1));
+  const PlaceId q = net.add_timed_place("q", {});
+  const TransitionId t = net.add_transition("t");
+  net.add_input(p, t, 2);  // needs two mature tokens
+  net.add_output(t, q);
+  Marking m0 = net.empty_marking();
+  m0[p] = 2;
+  const auto trace = play(net, m0);
+  ASSERT_EQ(trace.firings.size(), 1u);
+  EXPECT_EQ(trace.firings[0].at, sec(1));
+}
+
+TEST(Playout, CrossSiteTransferDelays) {
+  // source --t0--> A(1s) --t1--> B(2s at site 1): the hop pays 250 ms.
+  TimedPetriNet net;
+  net.set_transfer_delay(msec(250));
+  const PlaceId source = net.add_timed_place("source", {});
+  const PlaceId a = net.add_timed_place("A", sec(1), MediaBinding{"A", 0, 0});
+  const PlaceId b = net.add_timed_place("B", sec(2), MediaBinding{"B", 0, 0});
+  net.set_site(b, 1);
+  const TransitionId t0 = net.add_transition("t0");
+  const TransitionId t1 = net.add_transition("t1");
+  net.add_input(source, t0);
+  net.add_output(t0, a);
+  net.add_input(a, t1);
+  net.add_output(t1, b);
+  Marking m0 = net.empty_marking();
+  m0[source] = 1;
+
+  const auto trace = play(net, m0);
+  const auto ib = trace.interval_of(net, "B");
+  ASSERT_TRUE(ib.has_value());
+  EXPECT_EQ(ib->start, sec(1) + msec(250));
+  EXPECT_EQ(trace.makespan, sec(3) + msec(250));
+}
+
+TEST(Playout, SameSiteTransferFree) {
+  TimedPetriNet net;
+  net.set_transfer_delay(msec(250));
+  const PlaceId source = net.add_timed_place("source", {});
+  const PlaceId a = net.add_timed_place("A", sec(1), MediaBinding{"A", 0, 0});
+  net.set_site(source, 1);
+  net.set_site(a, 1);
+  const TransitionId t0 = net.add_transition("t0");
+  net.add_input(source, t0);
+  net.add_output(t0, a);
+  Marking m0 = net.empty_marking();
+  m0[source] = 1;
+  const auto trace = play(net, m0);
+  EXPECT_EQ(trace.interval_of(net, "A")->start.us, 0);
+}
+
+TEST(Playout, IntervalOfMissingObjectIsNull) {
+  Pipeline p;
+  const auto trace = play(p.net, p.m0);
+  EXPECT_FALSE(trace.interval_of(p.net, "nope").has_value());
+}
+
+}  // namespace
+}  // namespace lod::core

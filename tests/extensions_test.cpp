@@ -1,0 +1,391 @@
+// Tests for the extension features beyond the paper's minimum scope:
+// prioritized Petri nets, stochastic playout, priority floor control,
+// slide prefetching, and abstraction publishing.
+
+#include <gtest/gtest.h>
+
+#include "lod/core/analysis.hpp"
+#include "lod/core/ocpn.hpp"
+#include "lod/lod/classroom.hpp"
+#include "lod/lod/floor.hpp"
+#include "lod/lod/wmps.hpp"
+#include "lod/streaming/player.hpp"
+
+namespace lod {
+namespace {
+
+using net::msec;
+using net::sec;
+namespace app = ::lod::lod;
+
+// --- prioritized Petri nets -----------------------------------------------------
+
+TEST(PrioritizedNet, DefaultPriorityIsZero) {
+  core::PetriNet net;
+  const auto t = net.add_transition("t");
+  EXPECT_EQ(net.priority(t), 0);
+  net.set_priority(t, 7);
+  EXPECT_EQ(net.priority(t), 7);
+  EXPECT_THROW(net.set_priority(99, 1), std::invalid_argument);
+}
+
+TEST(PrioritizedNet, PrioritizedEnabledFiltersToMaximal) {
+  core::PetriNet net;
+  const auto p = net.add_place("p");
+  const auto lo = net.add_transition("lo");
+  const auto hi = net.add_transition("hi");
+  const auto hi2 = net.add_transition("hi2");
+  for (auto t : {lo, hi, hi2}) net.add_input(p, t);
+  net.set_priority(hi, 5);
+  net.set_priority(hi2, 5);
+  core::Marking m{1};
+  EXPECT_EQ(net.enabled_transitions(m).size(), 3u);
+  const auto pe = net.prioritized_enabled(m);
+  EXPECT_EQ(pe, (std::vector<core::TransitionId>{hi, hi2}));
+  // Empty marking: nothing enabled under either rule.
+  core::Marking z{0};
+  EXPECT_TRUE(net.prioritized_enabled(z).empty());
+}
+
+TEST(PrioritizedNet, PlayoutConflictGoesToHighPriority) {
+  // One token, two competing transitions; priority beats id order.
+  core::TimedPetriNet net;
+  const auto p = net.add_timed_place("p", {});
+  const auto win = net.add_timed_place("win", {});
+  const auto lose = net.add_timed_place("lose", {});
+  const auto t_low_id = net.add_transition("low_id");
+  const auto t_high_id = net.add_transition("high_id");
+  net.add_input(p, t_low_id);
+  net.add_output(t_low_id, lose);
+  net.add_input(p, t_high_id);
+  net.add_output(t_high_id, win);
+  net.set_priority(t_high_id, 10);  // outranks the lower id
+  core::Marking m0 = net.empty_marking();
+  m0[p] = 1;
+  const auto trace = core::play(net, m0);
+  ASSERT_EQ(trace.firings.size(), 1u);
+  EXPECT_EQ(trace.firings[0].transition, t_high_id);
+}
+
+TEST(PrioritizedNet, NegativePriorityYields) {
+  core::TimedPetriNet net;
+  const auto p = net.add_timed_place("p", {});
+  const auto a = net.add_timed_place("a", {});
+  const auto b = net.add_timed_place("b", {});
+  const auto t0 = net.add_transition("t0");
+  const auto t1 = net.add_transition("t1");
+  net.add_input(p, t0);
+  net.add_output(t0, a);
+  net.add_input(p, t1);
+  net.add_output(t1, b);
+  net.set_priority(t0, -1);  // t0 now yields to t1 despite lower id
+  core::Marking m0 = net.empty_marking();
+  m0[p] = 1;
+  const auto trace = core::play(net, m0);
+  ASSERT_EQ(trace.firings.size(), 1u);
+  EXPECT_EQ(trace.firings[0].transition, t1);
+}
+
+// --- stochastic playout ------------------------------------------------------------
+
+TEST(StochasticPlayout, ZeroSpreadMatchesDeterministic) {
+  const auto spec = core::TemporalSpec::relate(
+      core::Relation::kMeets, core::TemporalSpec::object("a", 0, sec(2)),
+      core::TemporalSpec::object("b", 0, sec(3)));
+  const auto c = core::build_ocpn(spec);
+  net::Rng rng(1);
+  const auto det = core::play(c.net, c.initial_marking());
+  const auto sto = core::play_stochastic(c.net, c.initial_marking(), rng, 0.0);
+  EXPECT_EQ(sto.makespan, det.makespan);
+  EXPECT_EQ(sto.firings.size(), det.firings.size());
+}
+
+TEST(StochasticPlayout, SpreadMovesMakespanWithinBounds) {
+  const auto spec = core::TemporalSpec::relate(
+      core::Relation::kMeets, core::TemporalSpec::object("a", 0, sec(10)),
+      core::TemporalSpec::object("b", 0, sec(10)));
+  const auto c = core::build_ocpn(spec);
+  net::Rng rng(42);
+  bool saw_short = false, saw_long = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto t = core::play_stochastic(c.net, c.initial_marking(), rng, 0.3);
+    EXPECT_FALSE(t.truncated);
+    // Two 10 s objects at +-30%: makespan within [14, 26] s.
+    EXPECT_GE(t.makespan.us, sec(14).us);
+    EXPECT_LE(t.makespan.us, sec(26).us);
+    saw_short = saw_short || t.makespan < sec(20);
+    saw_long = saw_long || t.makespan > sec(20);
+  }
+  EXPECT_TRUE(saw_short);
+  EXPECT_TRUE(saw_long);
+}
+
+TEST(StochasticPlayout, StructureUnaffectedByJitter) {
+  // All objects still presented exactly once, in order, under jitter.
+  const auto spec = core::TemporalSpec::relate(
+      core::Relation::kMeets,
+      core::TemporalSpec::relate(core::Relation::kMeets,
+                                 core::TemporalSpec::object("a", 0, sec(1)),
+                                 core::TemporalSpec::object("b", 0, sec(1))),
+      core::TemporalSpec::object("c", 0, sec(1)));
+  const auto c = core::build_ocpn(spec);
+  net::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const auto t = core::play_stochastic(c.net, c.initial_marking(), rng, 0.5);
+    const auto ia = t.interval_of(c.net, "a");
+    const auto ib = t.interval_of(c.net, "b");
+    const auto ic = t.interval_of(c.net, "c");
+    ASSERT_TRUE(ia && ib && ic);
+    EXPECT_LE(ia->end, ib->start);
+    EXPECT_LE(ib->end, ic->start);
+  }
+}
+
+TEST(StochasticPlayout, SpreadClamped) {
+  const auto c = core::build_ocpn(core::TemporalSpec::object("x", 0, sec(1)));
+  net::Rng rng(3);
+  // Absurd spreads are clamped rather than producing negative durations.
+  const auto t = core::play_stochastic(c.net, c.initial_marking(), rng, 5.0);
+  EXPECT_GT(t.makespan.us, 0);
+}
+
+// --- priority floor control -----------------------------------------------------------
+
+TEST(PriorityFloor, TeacherPreemptsQueue) {
+  app::FloorControl fc({"teacher", "s1", "s2", "s3"});
+  fc.set_user_priority("teacher", 100);
+  fc.request("s1");  // holds
+  fc.request("s2");
+  fc.request("s3");
+  fc.request("teacher");  // queued last, but outranks s2/s3
+  EXPECT_EQ(fc.holder(), "s1");
+  fc.release("s1");
+  EXPECT_EQ(fc.holder(), "teacher");  // jumped the queue
+  fc.release("teacher");
+  EXPECT_EQ(fc.holder(), "s2");  // FIFO resumes among equals
+  fc.release("s2");
+  EXPECT_EQ(fc.holder(), "s3");
+}
+
+TEST(PriorityFloor, ExclusionInvariantStillHolds) {
+  app::FloorControl fc({"t", "a", "b"});
+  fc.set_user_priority("t", 10);
+  net::Rng rng(5);
+  const auto w = fc.exclusion_invariant();
+  const std::vector<std::string> users{"t", "a", "b"};
+  for (int i = 0; i < 300; ++i) {
+    const auto& u = users[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+    if (rng.bernoulli(0.5)) fc.request(u);
+    else fc.release(u);
+    std::int64_t dot = 0;
+    for (std::size_t p = 0; p < fc.marking().size(); ++p) {
+      dot += w[p] * fc.marking()[p];
+    }
+    ASSERT_EQ(dot, 1);
+  }
+}
+
+TEST(PriorityFloor, UnknownUserThrows) {
+  app::FloorControl fc({"a"});
+  EXPECT_THROW(fc.set_user_priority("ghost", 5), std::invalid_argument);
+}
+
+// --- slide prefetching ------------------------------------------------------------------
+
+struct PrefetchFixture : ::testing::Test {
+  PrefetchFixture() : network(sim, 31) {
+    server_host = network.add_host("server");
+    client_host = network.add_host("client");
+    net::LinkConfig dsl;
+    dsl.bandwidth_bps = 1'500'000;
+    dsl.latency = msec(15);
+    network.add_link(server_host, client_host, dsl);
+    node = std::make_unique<app::WmpsNode>(network, server_host);
+    app::VideoAsset video;
+    video.duration = sec(60);
+    node->register_video("lec.mp4", video);
+    node->register_slides("slides", app::SlideAsset{6, 13});
+    app::PublishForm form;
+    form.video_path = "lec.mp4";
+    form.slide_dir = "slides";
+    form.profile = "Video 250k DSL/cable";
+    form.publish_name = "lec";
+    publish = node->publish(form);
+  }
+
+  streaming::Player make_player(bool prefetch) {
+    streaming::PlayerConfig cfg;
+    cfg.web_server = server_host;
+    cfg.prefetch_slides = prefetch;
+    return streaming::Player(network, client_host, cfg);
+  }
+
+  net::Simulator sim;
+  net::Network network;
+  net::HostId server_host{}, client_host{};
+  std::unique_ptr<app::WmpsNode> node;
+  app::PublishResult publish;
+};
+
+TEST_F(PrefetchFixture, PrefetchedSlidesAppearInstantly) {
+  auto player = make_player(true);
+  player.open_and_play(server_host, "lec");
+  sim.run();
+  ASSERT_TRUE(player.finished());
+  ASSERT_EQ(player.slides().size(), 6u);
+  // Slides after the first were prefetched well ahead: zero display latency.
+  std::size_t instant = 0;
+  for (const auto& s : player.slides()) {
+    if (s.fetch_latency.us == 0) ++instant;
+  }
+  EXPECT_GE(instant, 5u);
+}
+
+TEST_F(PrefetchFixture, WithoutPrefetchEverySlidePaysTheFetch) {
+  auto player = make_player(false);
+  player.open_and_play(server_host, "lec");
+  sim.run();
+  ASSERT_TRUE(player.finished());
+  ASSERT_EQ(player.slides().size(), 6u);
+  for (const auto& s : player.slides()) {
+    EXPECT_GT(s.fetch_latency.us, msec(20).us);  // at least RTT + transfer
+  }
+}
+
+TEST_F(PrefetchFixture, PrefetchSurvivesSeek) {
+  auto player = make_player(true);
+  player.open_and_play(server_host, "lec");
+  sim.run_until(net::SimTime{sec(10).us});
+  player.seek(sec(40));
+  sim.run();
+  ASSERT_TRUE(player.finished());
+  EXPECT_GE(player.slides().size(), 2u);  // slides at/after the target shown
+}
+
+// --- abstraction publishing ------------------------------------------------------------------
+
+std::vector<app::LectureSegment> abs_segments() {
+  return {
+      {"summary", 0, sec(0), sec(30), 0},
+      {"part1", 1, sec(30), sec(90), 1},
+      {"part2", 1, sec(90), sec(180), 2},
+  };
+}
+
+struct AbstractionPublishFixture : ::testing::Test {
+  AbstractionPublishFixture() : network(sim, 33) {
+    server_host = network.add_host("server");
+    client_host = network.add_host("client");
+    net::LinkConfig lan;
+    network.add_link(server_host, client_host, lan);
+    node = std::make_unique<app::WmpsNode>(network, server_host);
+    app::VideoAsset video;
+    video.duration = sec(180);
+    node->register_video("lec.mp4", video);
+    node->register_slides("slides", app::SlideAsset{3, 13});
+  }
+  app::PublishForm form(const std::string& name) {
+    app::PublishForm f;
+    f.video_path = "lec.mp4";
+    f.slide_dir = "slides";
+    f.profile = "Video 250k DSL/cable";
+    f.publish_name = name;
+    return f;
+  }
+  net::Simulator sim;
+  net::Network network;
+  net::HostId server_host{}, client_host{};
+  std::unique_ptr<app::WmpsNode> node;
+};
+
+TEST_F(AbstractionPublishFixture, Level0IsTheSummaryOnly) {
+  const auto res = node->publish_abstraction(form("lec/l0"), abs_segments(), 0);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.script_commands, 1u);  // one slide for the summary
+
+  streaming::PlayerConfig cfg;
+  cfg.web_server = server_host;
+  streaming::Player player(network, client_host, cfg);
+  player.open_and_play(server_host, "lec/l0");
+  sim.run();
+  ASSERT_TRUE(player.finished());
+  // 30 s abstraction: last rendered pts below 30 s.
+  EXPECT_LE(player.rendered().back().pts, sec(30));
+  EXPECT_EQ(player.slides().size(), 1u);
+}
+
+TEST_F(AbstractionPublishFixture, Level1PlaysWholePlaylist) {
+  const auto res = node->publish_abstraction(form("lec/l1"), abs_segments(), 1);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.script_commands, 3u);  // slide changes: 0 -> 1 -> 2
+
+  streaming::PlayerConfig cfg;
+  cfg.web_server = server_host;
+  streaming::Player player(network, client_host, cfg);
+  player.open_and_play(server_host, "lec/l1");
+  sim.run();
+  ASSERT_TRUE(player.finished());
+  EXPECT_EQ(player.slides().size(), 3u);
+  // Full 180 s of material at level 1 (all segments).
+  EXPECT_GT(player.rendered().back().pts, sec(170));
+}
+
+TEST_F(AbstractionPublishFixture, BadLevelOrSegmentsRejected) {
+  EXPECT_FALSE(node->publish_abstraction(form("x"), abs_segments(), 5).ok);
+  EXPECT_FALSE(node->publish_abstraction(form("x"), {}, 0).ok);
+  auto f = form("x");
+  f.video_path = "missing";
+  EXPECT_FALSE(node->publish_abstraction(f, abs_segments(), 0).ok);
+}
+
+// --- audio superframe knob --------------------------------------------------------------------
+
+TEST(AudioSuperframe, GroupingDisabledPassesFramesThrough) {
+  streaming::AudioPacker p(net::SimDuration{0});
+  media::EncodedUnit u;
+  u.duration = msec(20);
+  u.bytes = 40;
+  const auto out = p.push(u);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->bytes, 40u);
+  EXPECT_FALSE(p.flush().has_value());
+}
+
+TEST(AudioSuperframe, GroupsUpToLimit) {
+  streaming::AudioPacker p(msec(100));
+  media::EncodedUnit u;
+  u.duration = msec(20);
+  u.bytes = 40;
+  int emitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (auto full = p.push(u)) {
+      ++emitted;
+      EXPECT_EQ(full->bytes, 200u);       // 5 x 40
+      EXPECT_EQ(full->duration, msec(100));
+    }
+  }
+  auto tail = p.flush();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(emitted, 1);
+  EXPECT_EQ(tail->bytes, 200u);
+}
+
+TEST(AudioSuperframe, SmallerSuperframesMeanMorePackets) {
+  auto count_packets = [&](net::SimDuration superframe) {
+    streaming::EncodeJob job;
+    job.profile = *media::find_profile("Audio 28.8k (voice)");
+    job.audio_superframe = superframe;
+    media::LectureVideoSource v(sec(0), 1, 16, 16);
+    media::LectureAudioSource a(sec(60), 8000);
+    const auto enc = streaming::encode_lecture(job, v, a, {});
+    return enc.file.packets.size();
+  };
+  const auto none = count_packets(net::SimDuration{0});
+  const auto small = count_packets(msec(60));
+  const auto big = count_packets(msec(1000));
+  EXPECT_GT(none, small);
+  EXPECT_GE(small, big);
+}
+
+}  // namespace
+}  // namespace lod

@@ -1,0 +1,153 @@
+#include "lod/lod/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lod::lod {
+namespace {
+
+using net::msec;
+using net::sec;
+using net::SimTime;
+
+struct AdaptiveFixture : ::testing::Test {
+  AdaptiveFixture() : network(sim, 61) {
+    server_host = network.add_host("server");
+    client_host = network.add_host("client");
+    link.bandwidth_bps = 10'000'000;
+    link.latency = msec(10);
+    network.add_link(server_host, client_host, link);
+    node = std::make_unique<WmpsNode>(network, server_host);
+    VideoAsset video;
+    video.duration = sec(120);
+    node->register_video("lec.mp4", video);
+    node->register_slides("slides", SlideAsset{2, 13});
+  }
+
+  MultirateResult publish_ladder() {
+    PublishForm form;
+    form.video_path = "lec.mp4";
+    form.slide_dir = "slides";
+    form.publish_name = "lec";
+    return publish_multirate(
+        *node, form,
+        {"Video 100k dual-ISDN", "Video 250k DSL/cable", "Video 28.8k"});
+  }
+
+  net::Simulator sim;
+  net::Network network;
+  net::HostId server_host{}, client_host{};
+  net::LinkConfig link;
+  std::unique_ptr<WmpsNode> node;
+};
+
+TEST_F(AdaptiveFixture, MultiratePublishesSortedLadder) {
+  const auto res = publish_ladder();
+  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_EQ(res.ladder.size(), 3u);
+  // Sorted by descending rate regardless of request order.
+  EXPECT_EQ(res.ladder[0].profile, "Video 250k DSL/cable");
+  EXPECT_EQ(res.ladder[1].profile, "Video 100k dual-ISDN");
+  EXPECT_EQ(res.ladder[2].profile, "Video 28.8k");
+  for (const auto& r : res.ladder) {
+    EXPECT_TRUE(node->media_services().has(r.url)) << r.url;
+    EXPECT_EQ(r.url, "lec@" + r.profile);
+  }
+}
+
+TEST_F(AdaptiveFixture, MultirateFailsOnUnknownProfile) {
+  PublishForm form;
+  form.video_path = "lec.mp4";
+  form.slide_dir = "slides";
+  form.publish_name = "lec";
+  const auto res = publish_multirate(*node, form, {"Video 9000k hologram"});
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(publish_multirate(*node, form, {}).ok);
+}
+
+TEST_F(AdaptiveFixture, FastLinkNeverSwitches) {
+  const auto ladder = publish_ladder();
+  ASSERT_TRUE(ladder.ok);
+  AdaptivePlayer::Options opts;
+  opts.player.web_server = server_host;
+  AdaptivePlayer ap(network, client_host, opts);
+  ap.play(server_host, ladder.ladder);
+  sim.run_until(SimTime{sec(600).us});
+  EXPECT_TRUE(ap.finished());
+  EXPECT_TRUE(ap.switches().empty());
+  EXPECT_EQ(ap.current_profile(), "Video 250k DSL/cable");
+}
+
+TEST_F(AdaptiveFixture, ThinLinkDownshiftsAndFinishes) {
+  // 160 kb/s access link: the 250k rendition rebuffers, the 100k one is
+  // marginal, the 28.8k one is comfortable.
+  net::LinkConfig thin;
+  thin.bandwidth_bps = 160'000;
+  thin.latency = msec(20);
+  network.set_link_config(server_host, client_host, thin);
+  network.set_link_config(client_host, server_host, thin);
+
+  const auto ladder = publish_ladder();
+  ASSERT_TRUE(ladder.ok);
+  AdaptivePlayer::Options opts;
+  opts.player.web_server = server_host;
+  opts.player.model = streaming::SyncModel::kEtpn;
+  AdaptivePlayer ap(network, client_host, opts);
+  ap.play(server_host, ladder.ladder);
+  sim.run_until(SimTime{sec(1200).us});
+
+  EXPECT_TRUE(ap.finished());
+  ASSERT_GE(ap.switches().size(), 1u);
+  EXPECT_EQ(ap.switches()[0].from, "Video 250k DSL/cable");
+  EXPECT_NE(ap.current_profile(), "Video 250k DSL/cable");
+  // The switch resumed from (close to) where the stalled rendition stopped —
+  // it did not start over.
+  EXPECT_GT(ap.switches()[0].position.us, 0);
+}
+
+TEST_F(AdaptiveFixture, SwitchKeepsPositionMonotone) {
+  net::LinkConfig thin;
+  thin.bandwidth_bps = 160'000;
+  thin.latency = msec(20);
+  network.set_link_config(server_host, client_host, thin);
+  network.set_link_config(client_host, server_host, thin);
+
+  const auto ladder = publish_ladder();
+  ASSERT_TRUE(ladder.ok);
+  AdaptivePlayer::Options opts;
+  opts.player.web_server = server_host;
+  AdaptivePlayer ap(network, client_host, opts);
+  ap.play(server_host, ladder.ladder);
+  sim.run_until(SimTime{sec(1200).us});
+  ASSERT_TRUE(ap.finished());
+  // After the final switch, rendering covered from the switch position to
+  // the end of the lecture.
+  if (!ap.switches().empty()) {
+    const auto& last = ap.switches().back();
+    ASSERT_FALSE(ap.player().rendered().empty());
+    EXPECT_GE(ap.player().rendered().front().pts + msec(500), last.position);
+    EXPECT_GT(ap.player().rendered().back().pts, sec(115));
+  }
+}
+
+TEST_F(AdaptiveFixture, RunsOutOfLadderGracefully) {
+  // Hopeless 20 kb/s link: it downshifts to the floor and keeps trying.
+  net::LinkConfig hopeless;
+  hopeless.bandwidth_bps = 20'000;
+  hopeless.latency = msec(50);
+  network.set_link_config(server_host, client_host, hopeless);
+  network.set_link_config(client_host, server_host, hopeless);
+
+  const auto ladder = publish_ladder();
+  ASSERT_TRUE(ladder.ok);
+  AdaptivePlayer::Options opts;
+  opts.player.web_server = server_host;
+  AdaptivePlayer ap(network, client_host, opts);
+  ap.play(server_host, ladder.ladder);
+  sim.run_until(SimTime{sec(900).us});
+  // Bottom of the ladder reached; no crash, no further switches possible.
+  EXPECT_EQ(ap.current_profile(), "Video 28.8k");
+  EXPECT_EQ(ap.switches().size(), 2u);
+}
+
+}  // namespace
+}  // namespace lod::lod

@@ -1,0 +1,389 @@
+#include "lod/lod/wmps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lod/lod/abstraction.hpp"
+#include "lod/lod/classroom.hpp"
+
+namespace lod::lod {
+namespace {
+
+using net::msec;
+using net::sec;
+using net::SimDuration;
+using net::SimTime;
+
+struct WmpsFixture : ::testing::Test {
+  WmpsFixture() : network(sim, 77) {
+    server_host = network.add_host("wmps");
+    client_host = network.add_host("browser");
+    net::LinkConfig lan;
+    lan.latency = msec(2);
+    network.add_link(server_host, client_host, lan);
+    node = std::make_unique<WmpsNode>(network, server_host);
+  }
+
+  PublishForm lecture_form() {
+    PublishForm f;
+    f.video_path = "d:/lectures/lec1.mp4";
+    f.slide_dir = "slides-lec1";
+    f.profile = "Video 250k DSL/cable";
+    f.title = "Distributed Systems, Lecture 1";
+    f.author = "Prof. Deng";
+    f.publish_name = "lectures/lec1";
+    return f;
+  }
+
+  void register_assets(SimDuration len = sec(60), std::uint32_t slides = 6,
+                       std::uint32_t annotations = 0) {
+    VideoAsset v;
+    v.duration = len;
+    v.annotation_count = annotations;
+    node->register_video("d:/lectures/lec1.mp4", v);
+    node->register_slides("slides-lec1", SlideAsset{slides, 13});
+  }
+
+  net::Simulator sim;
+  net::Network network;
+  net::HostId server_host{}, client_host{};
+  std::unique_ptr<WmpsNode> node;
+};
+
+// --- Fig. 5(a): the publishing form --------------------------------------------------
+
+TEST_F(WmpsFixture, PublishHappyPath) {
+  register_assets();
+  const auto res = node->publish(lecture_form());
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.url, "lectures/lec1");
+  EXPECT_GT(res.packets, 100u);
+  EXPECT_EQ(res.script_commands, 6u);  // one SLIDE per slide
+  EXPECT_TRUE(node->media_services().has("lectures/lec1"));
+  ASSERT_NE(node->slide_schedule("lectures/lec1"), nullptr);
+  EXPECT_EQ(node->slide_schedule("lectures/lec1")->size(), 6u);
+}
+
+TEST_F(WmpsFixture, PublishValidatesForm) {
+  register_assets();
+  {
+    auto f = lecture_form();
+    f.video_path = "c:/missing.mp4";
+    const auto res = node->publish(f);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("no such video"), std::string::npos);
+  }
+  {
+    auto f = lecture_form();
+    f.slide_dir = "nowhere";
+    EXPECT_FALSE(node->publish(f).ok);
+  }
+  {
+    auto f = lecture_form();
+    f.profile = "Video 9000k hologram";
+    EXPECT_FALSE(node->publish(f).ok);
+  }
+  {
+    auto f = lecture_form();
+    f.publish_name.clear();
+    EXPECT_FALSE(node->publish(f).ok);
+  }
+}
+
+TEST_F(WmpsFixture, PublishWithDrmYieldsKey) {
+  register_assets();
+  auto f = lecture_form();
+  f.protect_drm = true;
+  const auto res = node->publish(f);
+  ASSERT_TRUE(res.ok);
+  EXPECT_FALSE(res.key_id.empty());
+  EXPECT_EQ(node->license_authority().key_count(), 1u);
+}
+
+TEST_F(WmpsFixture, PublishWithAnnotations) {
+  register_assets(sec(60), 6, 10);
+  const auto res = node->publish(lecture_form());
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.script_commands, 16u);  // 6 slides + 10 annotations
+  ASSERT_NE(node->published_annotations("lectures/lec1"), nullptr);
+  EXPECT_EQ(node->published_annotations("lectures/lec1")->size(), 10u);
+}
+
+TEST_F(WmpsFixture, FormSerializationRoundTrip) {
+  auto f = lecture_form();
+  f.protect_drm = true;
+  const auto bytes = WmpsNode::serialize_form(f);
+  const auto g = WmpsNode::parse_form(bytes);
+  EXPECT_EQ(g.video_path, f.video_path);
+  EXPECT_EQ(g.slide_dir, f.slide_dir);
+  EXPECT_EQ(g.profile, f.profile);
+  EXPECT_EQ(g.title, f.title);
+  EXPECT_EQ(g.author, f.author);
+  EXPECT_EQ(g.protect_drm, true);
+  EXPECT_EQ(g.publish_name, f.publish_name);
+}
+
+TEST_F(WmpsFixture, RemotePublishOverRpc) {
+  register_assets();
+  net::RpcClient browser(network, client_host, 4000);
+  int status = 0;
+  std::string url;
+  browser.call(server_host, streaming::proto::kWebPort, "/publish",
+               WmpsNode::serialize_form(lecture_form()),
+               [&](int s, std::span<const std::byte> body) {
+                 status = s;
+                 net::ByteReader r(body);
+                 if (r.u8() == 1) url = r.str();
+               });
+  sim.run();
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(url, "lectures/lec1");
+  EXPECT_TRUE(node->media_services().has("lectures/lec1"));
+}
+
+TEST_F(WmpsFixture, RemotePublishBadFormRejected) {
+  net::RpcClient browser(network, client_host, 4000);
+  int status = 0;
+  browser.call(server_host, streaming::proto::kWebPort, "/publish",
+               media::asf::pattern_bytes(10, 1),
+               [&](int s, std::span<const std::byte>) { status = s; });
+  sim.run();
+  EXPECT_NE(status, 200);
+}
+
+// --- Fig. 5(b): replay ------------------------------------------------------------------
+
+TEST_F(WmpsFixture, ReplayShowsVideoAndSynchronizedSlides) {
+  register_assets(sec(60), 6);
+  const auto res = node->publish(lecture_form());
+  ASSERT_TRUE(res.ok);
+
+  streaming::PlayerConfig pc;
+  pc.web_server = server_host;
+  streaming::Player player(network, client_host, pc);
+  player.open_and_play(server_host, res.url);
+  sim.run();
+
+  ASSERT_TRUE(player.finished());
+  EXPECT_GT(player.units_rendered(), 1000u);
+  ASSERT_EQ(player.slides().size(), 6u);
+
+  // Every slide flipped within 150 ms of the schedule the manager generated.
+  const auto& schedule = *node->slide_schedule(res.url);
+  const auto& r = player.rendered();
+  const std::int64_t offset = r.front().true_time.us - r.front().pts.us;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const auto& s = player.slides()[i];
+    EXPECT_EQ(s.url, "slides-lec1/" + std::to_string(i));
+    EXPECT_NEAR(static_cast<double>(s.shown_true.us - offset),
+                static_cast<double>(schedule[i].us), 150'000.0);
+  }
+}
+
+TEST_F(WmpsFixture, ProtectedReplayNeedsLicense) {
+  register_assets();
+  auto f = lecture_form();
+  f.protect_drm = true;
+  const auto res = node->publish(f);
+  ASSERT_TRUE(res.ok);
+
+  streaming::PlayerConfig pc;
+  pc.web_server = server_host;
+  // Licensed player: gets a license from the node's authority.
+  streaming::Player licensed(network, client_host, pc,
+                             &node->license_authority());
+  licensed.open_and_play(server_host, res.url);
+  sim.run();
+  EXPECT_GT(licensed.units_rendered(), 100u);
+  EXPECT_FALSE(licensed.drm_blocked());
+
+  // Unlicensed player on another port: renders nothing.
+  streaming::PlayerConfig pc2 = pc;
+  pc2.ctl_port = 5100;
+  pc2.data_port = 5101;
+  streaming::Player pirate(network, client_host, pc2, nullptr);
+  pirate.open_and_play(server_host, res.url);
+  sim.run();
+  EXPECT_TRUE(pirate.drm_blocked());
+  EXPECT_EQ(pirate.units_rendered(), 0u);
+}
+
+// --- abstraction (Fig. 6) -----------------------------------------------------------------
+
+std::vector<LectureSegment> demo_segments() {
+  // A 10-minute lecture summarized at three levels.
+  using net::sec;
+  return {
+      {"overview", 0, sec(0), sec(60), 0},
+      {"petri-nets", 1, sec(60), sec(180), 1},
+      {"ocpn-detail", 2, sec(180), sec(300), 2},
+      {"xocpn-detail", 2, sec(300), sec(390), 3},
+      {"system-demo", 1, sec(390), sec(540), 4},
+      {"qa", 2, sec(540), sec(600), 5},
+  };
+}
+
+TEST(Abstraction, TreeLevelsAccumulate) {
+  const auto tree = build_lecture_tree(demo_segments());
+  EXPECT_EQ(tree.size(), 6u);
+  EXPECT_EQ(tree.highest_level(), 2);
+  EXPECT_EQ(tree.presentation_time(0), sec(60));
+  EXPECT_EQ(tree.presentation_time(1), sec(60 + 120 + 150));
+  EXPECT_EQ(tree.presentation_time(2), sec(600));  // the full lecture
+}
+
+TEST(Abstraction, PlaylistFollowsDocumentOrder) {
+  const auto tree = build_lecture_tree(demo_segments());
+  const auto pl = level_playlist(tree, 1);
+  ASSERT_EQ(pl.size(), 3u);
+  EXPECT_EQ(pl[0].name, "overview");
+  EXPECT_EQ(pl[1].name, "petri-nets");
+  EXPECT_EQ(pl[2].name, "system-demo");
+  EXPECT_EQ(pl[1].begin, sec(60));
+  EXPECT_EQ(pl[1].end, sec(180));
+  EXPECT_EQ(pl[2].slide, 4u);
+}
+
+TEST(Abstraction, LevelSpecPlaysBackToBack) {
+  const auto tree = build_lecture_tree(demo_segments());
+  const auto spec = level_spec(tree, 1);
+  EXPECT_EQ(spec.duration(), tree.presentation_time(1));
+  const auto compiled = core::build_ocpn(spec);
+  const auto trace = core::play(compiled.net, compiled.initial_marking());
+  EXPECT_EQ(trace.makespan, tree.presentation_time(1));
+  // Segments appear contiguously in the abstracted timeline.
+  const auto ov = trace.interval_of(compiled.net, "overview");
+  const auto pn = trace.interval_of(compiled.net, "petri-nets");
+  ASSERT_TRUE(ov && pn);
+  EXPECT_EQ(ov->end, pn->start);
+}
+
+TEST(Abstraction, SlideCommandsTrackPlaylist) {
+  const auto tree = build_lecture_tree(demo_segments());
+  const auto cmds = level_slide_commands(tree, 1, "slides/");
+  // overview(slide 0) -> petri-nets(slide 1) -> system-demo(slide 4).
+  ASSERT_EQ(cmds.size(), 3u);
+  EXPECT_EQ(cmds[0].param, "slides/0");
+  EXPECT_EQ(cmds[0].at, sec(0));
+  EXPECT_EQ(cmds[1].param, "slides/1");
+  EXPECT_EQ(cmds[1].at, sec(60));
+  EXPECT_EQ(cmds[2].param, "slides/4");
+  EXPECT_EQ(cmds[2].at, sec(180));
+}
+
+TEST(Abstraction, MalformedSegmentsRejected) {
+  EXPECT_THROW(build_lecture_tree({}), std::invalid_argument);
+  EXPECT_THROW(build_lecture_tree({{"x", 1, sec(0), sec(10), 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(build_lecture_tree({{"x", 0, sec(10), sec(10), 0}}),
+               std::invalid_argument);
+}
+
+// --- classroom ---------------------------------------------------------------------------
+
+TEST(Classroom, EveryStudentWatchesTheLecture) {
+  net::Simulator sim;
+  ClassroomConfig cfg;
+  cfg.students = 3;
+  Classroom room(sim, cfg);
+
+  PublishForm form;
+  form.video_path = "lec.mp4";
+  form.slide_dir = "slides";
+  form.profile = "Video 250k DSL/cable";
+  form.publish_name = "lec";
+  VideoAsset video;
+  video.duration = sec(30);
+  const auto res = room.publish(form, video, SlideAsset{3, 13});
+  ASSERT_TRUE(res.ok) << res.error;
+
+  room.start_watching(res.url);
+  sim.run();
+  for (auto& st : room.students()) {
+    EXPECT_TRUE(st.player->finished()) << st.name;
+    EXPECT_GT(st.player->units_rendered(), 500u) << st.name;
+    EXPECT_EQ(st.player->slides().size(), 3u) << st.name;
+  }
+}
+
+TEST(Classroom, EtpnSkewTinyDespiteSkewedClocks) {
+  net::Simulator sim;
+  ClassroomConfig cfg;
+  cfg.students = 3;
+  cfg.model = streaming::SyncModel::kEtpn;
+  cfg.clock_offset_range = net::msec(300);
+  Classroom room(sim, cfg);
+  PublishForm form;
+  form.video_path = "lec.mp4";
+  form.slide_dir = "slides";
+  form.profile = "Video 250k DSL/cable";
+  form.publish_name = "lec";
+  VideoAsset video;
+  video.duration = sec(20);
+  ASSERT_TRUE(room.publish(form, video, SlideAsset{2, 13}).ok);
+  // Scheduled presentation: everyone should render pts p at master T0 + p.
+  room.start_watching("lec", {}, sec(5));
+  sim.run();
+
+  const auto rep = room.skew_report();
+  ASSERT_GT(rep.samples, 100u);
+  EXPECT_LT(rep.max_skew.us, msec(40).us);  // clock-sync'ed renderers agree
+}
+
+TEST(Classroom, OcpnSkewReflectsClockOffsets) {
+  net::Simulator sim;
+  ClassroomConfig cfg;
+  cfg.students = 3;
+  cfg.model = streaming::SyncModel::kOcpn;
+  cfg.clock_offset_range = net::msec(300);
+  cfg.seed = 4242;
+  Classroom room(sim, cfg);
+  PublishForm form;
+  form.video_path = "lec.mp4";
+  form.slide_dir = "slides";
+  form.profile = "Video 250k DSL/cable";
+  form.publish_name = "lec";
+  VideoAsset video;
+  video.duration = sec(20);
+  ASSERT_TRUE(room.publish(form, video, SlideAsset{2, 13}).ok);
+  room.start_watching("lec", {}, sec(5));
+  sim.run();
+
+  const auto rep = room.skew_report();
+  ASSERT_GT(rep.samples, 100u);
+  // With +-300 ms offsets and no synchronization, students render the same
+  // frame hundreds of ms apart.
+  EXPECT_GT(rep.max_skew.us, msec(100).us);
+}
+
+TEST(Classroom, FloorWorksWhileWatching) {
+  net::Simulator sim;
+  ClassroomConfig cfg;
+  cfg.students = 2;
+  Classroom room(sim, cfg);
+  PublishForm form;
+  form.video_path = "lec.mp4";
+  form.slide_dir = "slides";
+  form.profile = "Video 250k DSL/cable";
+  form.publish_name = "lec";
+  VideoAsset video;
+  video.duration = sec(10);
+  ASSERT_TRUE(room.publish(form, video, SlideAsset{2, 13}).ok);
+
+  room.join_floor();
+  room.start_watching("lec");
+  sim.run_until(SimTime{sec(2).us});
+
+  auto& s1 = room.students()[0];
+  auto& s2 = room.students()[1];
+  s1.floor->request_floor();
+  sim.run_until(SimTime{sec(3).us});
+  s1.floor->speak("question about slide 1");
+  sim.run();
+
+  ASSERT_EQ(s2.heard.size(), 1u);
+  EXPECT_EQ(s2.heard[0], "student1: question about slide 1");
+  for (auto& st : room.students()) EXPECT_TRUE(st.player->finished());
+}
+
+}  // namespace
+}  // namespace lod::lod

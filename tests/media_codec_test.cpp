@@ -1,0 +1,337 @@
+#include "lod/media/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lod/media/profile.hpp"
+#include "lod/media/sources.hpp"
+
+namespace lod::media {
+namespace {
+
+using net::msec;
+using net::sec;
+using net::secf;
+
+VideoFrame frame_at(double t_sec, float complexity = 1.0f) {
+  VideoFrame f;
+  f.pts = secf(t_sec);
+  f.complexity = complexity;
+  return f;
+}
+
+// --- codec registry -------------------------------------------------------------
+
+TEST(CodecRegistry, AllPaperCodecsExist) {
+  for (const auto& n : video_codec_names()) {
+    EXPECT_EQ(make_video_codec(n)->name(), n);
+  }
+  for (const auto& n : audio_codec_names()) {
+    EXPECT_EQ(make_audio_codec(n)->name(), n);
+  }
+}
+
+TEST(CodecRegistry, UnknownCodecThrows) {
+  EXPECT_THROW(make_video_codec("H.264"), std::invalid_argument);
+  EXPECT_THROW(make_audio_codec("Opus"), std::invalid_argument);
+}
+
+// --- video rate model: property sweep across all codecs ---------------------------
+
+class VideoCodecSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(VideoCodecSweep, LongRunRateHitsTarget) {
+  auto codec = make_video_codec(GetParam());
+  if (GetParam() == "UncompressedVideo") GTEST_SKIP();
+  VideoCodecConfig cfg;
+  cfg.target_bps = 250'000;
+  cfg.fps = 15.0;
+  codec->configure(cfg);
+
+  std::uint64_t total_bytes = 0;
+  const int frames = 15 * 60;  // one minute
+  LectureVideoSource src(sec(60), 15.0, 320, 240, 3);
+  VideoFrame f;
+  std::uint64_t i = 0;
+  while (src.next(f)) total_bytes += codec->encode(f, i++).bytes;
+
+  const double achieved_bps = static_cast<double>(total_bytes) * 8.0 / 60.0;
+  EXPECT_NEAR(achieved_bps, 250'000.0, 250'000.0 * 0.10)
+      << "codec " << GetParam() << " missed rate target; frames=" << frames;
+}
+
+TEST_P(VideoCodecSweep, KeyframesFollowGop) {
+  auto codec = make_video_codec(GetParam());
+  VideoCodecConfig cfg;
+  cfg.gop = 30;
+  codec->configure(cfg);
+  for (std::uint64_t i = 0; i < 90; ++i) {
+    const auto u = codec->encode(frame_at(i / 15.0), i);
+    if (i % 30 == 0) EXPECT_TRUE(u.keyframe) << "frame " << i;
+  }
+}
+
+TEST_P(VideoCodecSweep, SceneCutForcesKeyframe) {
+  auto codec = make_video_codec(GetParam());
+  codec->configure({});
+  VideoFrame f = frame_at(1.0);
+  f.scene_cut = true;
+  EXPECT_TRUE(codec->encode(f, 17).keyframe);
+}
+
+TEST_P(VideoCodecSweep, UnitsCarryPtsAndPositiveSize) {
+  auto codec = make_video_codec(GetParam());
+  codec->configure({});
+  const auto u = codec->encode(frame_at(2.5), 5);
+  EXPECT_EQ(u.pts, secf(2.5));
+  EXPECT_GT(u.bytes, 0u);
+  EXPECT_GT(u.duration.us, 0);
+  EXPECT_EQ(u.type, MediaType::kVideo);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVideoCodecs, VideoCodecSweep,
+                         ::testing::Values("MPEG-4", "TrueMotionRT",
+                                           "ClearVideo", "UncompressedVideo"));
+
+TEST(VideoCodec, KeyframesCostMoreThanPFrames) {
+  auto codec = make_video_codec("MPEG-4");
+  VideoCodecConfig cfg;
+  cfg.gop = 100;
+  codec->configure(cfg);
+  const auto i_frame = codec->encode(frame_at(0.0), 0);
+  const auto p_frame = codec->encode(frame_at(0.066), 1);
+  EXPECT_TRUE(i_frame.keyframe);
+  EXPECT_FALSE(p_frame.keyframe);
+  EXPECT_GT(i_frame.bytes, p_frame.bytes * 2);
+}
+
+TEST(VideoCodec, HigherBitrateHigherQuality) {
+  auto lo = make_video_codec("MPEG-4");
+  auto hi = make_video_codec("MPEG-4");
+  VideoCodecConfig cfg_lo;
+  cfg_lo.target_bps = 30'000;
+  VideoCodecConfig cfg_hi;
+  cfg_hi.target_bps = 1'000'000;
+  lo->configure(cfg_lo);
+  hi->configure(cfg_hi);
+  EXPECT_LT(lo->encode(frame_at(0), 0).quality,
+            hi->encode(frame_at(0), 0).quality);
+}
+
+TEST(VideoCodec, Mpeg4BeatsTrueMotionAtSameRate) {
+  // The paper-era ranking: MPEG-4 needs fewer bits per pixel than
+  // TrueMotion RT, so at an equal budget its quality score is higher.
+  auto m = make_video_codec("MPEG-4");
+  auto t = make_video_codec("TrueMotionRT");
+  VideoCodecConfig cfg;
+  cfg.target_bps = 100'000;
+  m->configure(cfg);
+  t->configure(cfg);
+  EXPECT_GT(m->encode(frame_at(0), 0).quality,
+            t->encode(frame_at(0), 0).quality);
+}
+
+TEST(VideoCodec, UncompressedIsExactYuvSize) {
+  auto c = make_video_codec("UncompressedVideo");
+  c->configure({});
+  VideoFrame f = frame_at(0);
+  f.width = 320;
+  f.height = 240;
+  EXPECT_EQ(c->encode(f, 0).bytes, 320u * 240u * 3u / 2u);
+  EXPECT_FLOAT_EQ(c->encode(f, 1).quality, 1.0f);
+}
+
+// --- audio codecs ------------------------------------------------------------------
+
+class AudioCodecSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AudioCodecSweep, BlocksCarryConfiguredRate) {
+  auto codec = make_audio_codec(GetParam());
+  if (GetParam() == "UncompressedAudio") GTEST_SKIP();
+  AudioCodecConfig cfg;
+  cfg.target_bps = 16'000;
+  codec->configure(cfg);
+  AudioBlock b;
+  b.pts = msec(100);
+  b.duration = msec(20);
+  const auto u = codec->encode(b);
+  // 16 kb/s for 20 ms = 40 bytes — except MP3, whose floor is 32 kb/s and
+  // therefore clamps up to 80 bytes per block.
+  const std::uint32_t expected = GetParam() == "MP3" ? 80u : 40u;
+  EXPECT_EQ(u.bytes, expected);
+  EXPECT_EQ(u.pts, msec(100));
+  EXPECT_EQ(u.type, MediaType::kAudio);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAudioCodecs, AudioCodecSweep,
+                         ::testing::Values("WMA", "ACELP", "MP3",
+                                           "UncompressedAudio"));
+
+TEST(AudioCodec, AcelpCapsItsRate) {
+  auto c = make_audio_codec("ACELP");
+  AudioCodecConfig cfg;
+  cfg.target_bps = 128'000;  // beyond the speech codec's band
+  c->configure(cfg);
+  AudioBlock b;
+  b.duration = msec(20);
+  // Clamped to 16 kb/s: 40 bytes per 20 ms block.
+  EXPECT_EQ(c->encode(b).bytes, 40u);
+}
+
+TEST(AudioCodec, UncompressedIsPcmSize) {
+  auto c = make_audio_codec("UncompressedAudio");
+  c->configure({});
+  AudioBlock b;
+  b.duration = msec(20);
+  b.sample_rate = 44'100;
+  b.channels = 1;
+  EXPECT_EQ(c->encode(b).bytes, 44'100u / 50u * 2u);
+}
+
+// --- bandwidth profiles -------------------------------------------------------------
+
+TEST(Profiles, LadderIsOrderedAndConsistent) {
+  const auto& all = standard_profiles();
+  ASSERT_GE(all.size(), 5u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GT(all[i].total_bps, all[i - 1].total_bps);
+  }
+  for (const auto& p : all) {
+    EXPECT_LE(p.video_bps + p.audio_bps, p.total_bps);
+    if (p.has_video()) {
+      EXPECT_GT(p.width, 0);
+      EXPECT_GT(p.height, 0);
+      EXPECT_GT(p.fps, 0.0);
+    }
+  }
+}
+
+TEST(Profiles, HigherBitrateMeansHigherResolution) {
+  // §2.5: "The more high bit rate means the content will be encoded to a
+  // more high-resolution content."
+  const auto& all = standard_profiles();
+  std::uint32_t last_area = 0;
+  for (const auto& p : all) {
+    if (!p.has_video()) continue;
+    const std::uint32_t area = static_cast<std::uint32_t>(p.width) * p.height;
+    EXPECT_GE(area, last_area);
+    last_area = area;
+  }
+}
+
+TEST(Profiles, FindByName) {
+  EXPECT_TRUE(find_profile("Video 250k DSL/cable").has_value());
+  EXPECT_FALSE(find_profile("Video 10G fantasy").has_value());
+}
+
+TEST(Profiles, BestProfileForBandwidth) {
+  EXPECT_EQ(best_profile_for(2'000'000).name, "Video 1.5M LAN");
+  EXPECT_EQ(best_profile_for(300'000).name, "Video 250k DSL/cable");
+  // A 28.8k modem minus headroom still fits the 24 kb/s video profile.
+  EXPECT_EQ(best_profile_for(28'800).name, "Video 28.8k");
+  // A voice-only link only fits the audio profile.
+  EXPECT_EQ(best_profile_for(26'000).name, "Audio 28.8k (voice)");
+  // Pathological: even when nothing fits, we fall back to the smallest.
+  EXPECT_EQ(best_profile_for(1'000).name, "Audio 28.8k (voice)");
+}
+
+TEST(Profiles, ConfigsReflectProfile) {
+  const auto p = *find_profile("Video 250k DSL/cable");
+  const auto vc = p.video_config();
+  EXPECT_EQ(vc.target_bps, p.video_bps);
+  EXPECT_EQ(vc.width, 320);
+  const auto ac = p.audio_config();
+  EXPECT_EQ(ac.target_bps, p.audio_bps);
+  EXPECT_EQ(ac.sample_rate, 44'100u);
+}
+
+// --- synthetic sources ---------------------------------------------------------------
+
+TEST(Sources, VideoSourceEmitsExactFrameCount) {
+  LectureVideoSource src(sec(10), 15.0, 320, 240);
+  VideoFrame f;
+  int n = 0;
+  while (src.next(f)) ++n;
+  EXPECT_EQ(n, 150);
+}
+
+TEST(Sources, VideoSourcePtsMonotone) {
+  LectureVideoSource src(sec(5), 30.0, 320, 240);
+  VideoFrame f;
+  SimDuration last{-1};
+  while (src.next(f)) {
+    EXPECT_GT(f.pts, last);
+    last = f.pts;
+  }
+}
+
+TEST(Sources, VideoSourceRewindReproducesFrames) {
+  LectureVideoSource src(sec(20), 15.0, 320, 240, 99);
+  std::vector<float> first;
+  VideoFrame f;
+  while (src.next(f)) first.push_back(f.complexity);
+  src.rewind();
+  std::size_t i = 0;
+  while (src.next(f)) {
+    ASSERT_LT(i, first.size());
+    EXPECT_FLOAT_EQ(f.complexity, first[i++]);
+  }
+  EXPECT_EQ(i, first.size());
+}
+
+TEST(Sources, VideoSourceHasSceneCuts) {
+  LectureVideoSource src(sec(120), 15.0, 320, 240, 5);
+  VideoFrame f;
+  int cuts = 0;
+  while (src.next(f)) cuts += f.scene_cut ? 1 : 0;
+  EXPECT_GT(cuts, 0);
+  EXPECT_LT(cuts, 60);  // a lecture is not a music video
+}
+
+TEST(Sources, AudioSourceCoversDurationExactly) {
+  LectureAudioSource src(secf(1.01), 22'050);
+  AudioBlock b;
+  SimDuration total{};
+  while (src.next(b)) total += b.duration;
+  EXPECT_EQ(total, secf(1.01));  // last block is shortened to fit
+}
+
+TEST(Sources, SlideDeckDeterministicAndSized) {
+  const auto d1 = make_slide_deck(24, 13);
+  const auto d2 = make_slide_deck(24, 13);
+  ASSERT_EQ(d1.size(), 24u);
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].encoded_bytes, d2[i].encoded_bytes);
+    EXPECT_GE(d1[i].encoded_bytes, 25'000u);
+    EXPECT_LE(d1[i].encoded_bytes, 90'000u);
+    EXPECT_EQ(d1[i].index, i);
+  }
+}
+
+TEST(Sources, SlideScheduleCoversLectureInOrder) {
+  const auto at = make_slide_schedule(24, sec(1800));
+  ASSERT_EQ(at.size(), 24u);
+  EXPECT_EQ(at.front().us, 0);
+  for (std::size_t i = 1; i < at.size(); ++i) EXPECT_GT(at[i], at[i - 1]);
+  EXPECT_LT(at.back(), sec(1800));
+}
+
+TEST(Sources, SlideScheduleEmptyDeck) {
+  EXPECT_TRUE(make_slide_schedule(0, sec(100)).empty());
+}
+
+TEST(Sources, AnnotationsAnchoredToVisibleSlide) {
+  const auto times = make_slide_schedule(10, sec(600));
+  const auto notes = make_annotations(30, times, sec(600));
+  ASSERT_EQ(notes.size(), 30u);
+  for (const auto& n : notes) {
+    ASSERT_LT(n.slide, times.size());
+    EXPECT_LE(times[n.slide], n.at);  // slide was already up
+    if (n.slide + 1 < times.size()) EXPECT_LT(n.at, times[n.slide + 1]);
+  }
+  for (std::size_t i = 1; i < notes.size(); ++i) {
+    EXPECT_GE(notes[i].at, notes[i - 1].at);  // sorted by time
+  }
+}
+
+}  // namespace
+}  // namespace lod::media

@@ -1,0 +1,356 @@
+#include "lod/net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lod::net {
+namespace {
+
+/// Two hosts joined by one configurable link, with a capture sink on B.
+struct TwoHostFixture : ::testing::Test {
+  TwoHostFixture() : net(sim, 7) {
+    a = net.add_host("a");
+    b = net.add_host("b");
+  }
+  void link(const LinkConfig& cfg) { net.add_link(a, b, cfg); }
+  void sink(Port port) {
+    net.bind(b, port, [this](const Packet& p) {
+      received.push_back(p);
+      receive_times.push_back(sim.now());
+    });
+  }
+  Packet make(std::uint32_t bytes, Port dst_port = 9) {
+    Packet p;
+    p.src = a;
+    p.dst = b;
+    p.dst_port = dst_port;
+    p.wire_size = bytes;
+    return p;
+  }
+
+  Simulator sim;
+  Network net;
+  HostId a{}, b{};
+  std::vector<Packet> received;
+  std::vector<SimTime> receive_times;
+};
+
+TEST_F(TwoHostFixture, DeliversWithSerializationPlusLatency) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000'000;  // 1 byte/us
+  cfg.latency = msec(5);
+  link(cfg);
+  sink(9);
+  net.send(make(1000));
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  // 1000 bytes at 1 B/us = 1 ms serialize + 5 ms propagate.
+  EXPECT_EQ(receive_times[0].us, 6000);
+}
+
+TEST_F(TwoHostFixture, BackToBackPacketsQueueBehindEachOther) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000'000;
+  cfg.latency = msec(0);
+  link(cfg);
+  sink(9);
+  net.send(make(1000));
+  net.send(make(1000));
+  sim.run();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(receive_times[0].us, 1000);
+  EXPECT_EQ(receive_times[1].us, 2000);  // waited for the first to serialize
+}
+
+TEST_F(TwoHostFixture, LossDropsDeterministically) {
+  LinkConfig cfg;
+  cfg.loss_rate = 1.0;
+  link(cfg);
+  sink(9);
+  net.send(make(100));
+  sim.run();
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(net.link_stats(a, b).packets_dropped_loss, 1u);
+}
+
+TEST_F(TwoHostFixture, QueueOverflowDropsTail) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000;  // 1 byte/ms: first packet occupies the line
+  cfg.queue_bytes = 1500;
+  link(cfg);
+  sink(9);
+  net.send(make(1000));
+  net.send(make(400));   // fits (1400 <= 1500)
+  net.send(make(400));   // 1800 > 1500: dropped
+  sim.run();
+  EXPECT_EQ(received.size(), 2u);
+  EXPECT_EQ(net.link_stats(a, b).packets_dropped_queue, 1u);
+}
+
+TEST_F(TwoHostFixture, UnknownDestinationRejected) {
+  LinkConfig cfg;
+  link(cfg);
+  Packet p = make(100);
+  p.dst = 77;
+  EXPECT_FALSE(net.send(std::move(p)));
+}
+
+TEST_F(TwoHostFixture, NoRouteRejected) {
+  // No link added at all.
+  EXPECT_FALSE(net.send(make(100)));
+}
+
+TEST_F(TwoHostFixture, LoopbackDeliversAsynchronously) {
+  LinkConfig cfg;
+  link(cfg);
+  bool got = false;
+  net.bind(a, 5, [&](const Packet&) { got = true; });
+  Packet p = make(10, 5);
+  p.dst = a;
+  EXPECT_TRUE(net.send(std::move(p)));
+  EXPECT_FALSE(got);  // not synchronous
+  sim.run();
+  EXPECT_TRUE(got);
+}
+
+TEST_F(TwoHostFixture, UnboundPortDropsSilently) {
+  LinkConfig cfg;
+  link(cfg);
+  net.send(make(100, 1234));
+  sim.run();  // must not crash
+  EXPECT_TRUE(received.empty());
+}
+
+TEST_F(TwoHostFixture, StatsCountBytesAndPackets) {
+  LinkConfig cfg;
+  link(cfg);
+  sink(9);
+  net.send(make(100));
+  net.send(make(200));
+  sim.run();
+  const LinkStats& s = net.link_stats(a, b);
+  EXPECT_EQ(s.packets_sent, 2u);
+  EXPECT_EQ(s.bytes_sent, 300u);
+}
+
+TEST_F(TwoHostFixture, JitterPerturbsArrivalButNotCausality) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 80'000'000;
+  cfg.latency = msec(1);
+  cfg.jitter = usec(300);
+  link(cfg);
+  sink(9);
+  for (int i = 0; i < 50; ++i) net.send(make(100));
+  sim.run();
+  ASSERT_EQ(received.size(), 50u);
+  bool saw_nonzero_jitter = false;
+  for (std::size_t i = 0; i < receive_times.size(); ++i) {
+    // Never before serialization end + propagation floor.
+    EXPECT_GE(receive_times[i].us, 1000 + static_cast<std::int64_t>(i + 1) * 10);
+    if (receive_times[i].us != 1010 + static_cast<std::int64_t>(i) * 10) {
+      saw_nonzero_jitter = true;
+    }
+  }
+  EXPECT_TRUE(saw_nonzero_jitter);
+}
+
+TEST(NetworkTopology, MultiHopRouteAndDelivery) {
+  Simulator sim;
+  Network net(sim);
+  const HostId a = net.add_host("a");
+  const HostId r1 = net.add_host("r1");
+  const HostId r2 = net.add_host("r2");
+  const HostId b = net.add_host("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000'000;
+  cfg.latency = msec(2);
+  net.add_link(a, r1, cfg);
+  net.add_link(r1, r2, cfg);
+  net.add_link(r2, b, cfg);
+
+  const auto path = net.route(a, b);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), a);
+  EXPECT_EQ(path.back(), b);
+
+  std::vector<SimTime> at;
+  net.bind(b, 9, [&](const Packet&) { at.push_back(sim.now()); });
+  Packet p;
+  p.src = a;
+  p.dst = b;
+  p.dst_port = 9;
+  p.wire_size = 1000;
+  net.send(std::move(p));
+  sim.run();
+  ASSERT_EQ(at.size(), 1u);
+  // 3 hops, each 1 ms serialize + 2 ms latency (store-and-forward).
+  EXPECT_EQ(at[0].us, 9000);
+}
+
+TEST(NetworkTopology, ShortestPathPreferred) {
+  Simulator sim;
+  Network net(sim);
+  const HostId a = net.add_host("a");
+  const HostId m = net.add_host("m");
+  const HostId b = net.add_host("b");
+  LinkConfig cfg;
+  net.add_link(a, m, cfg);
+  net.add_link(m, b, cfg);
+  net.add_link(a, b, cfg);  // direct
+  EXPECT_EQ(net.route(a, b).size(), 2u);
+}
+
+TEST(NetworkTopology, UnreachableRouteEmpty) {
+  Simulator sim;
+  Network net(sim);
+  const HostId a = net.add_host("a");
+  const HostId b = net.add_host("b");
+  EXPECT_TRUE(net.route(a, b).empty());
+}
+
+TEST(NetworkTopology, BadLinkEndpointsThrow) {
+  Simulator sim;
+  Network net(sim);
+  const HostId a = net.add_host("a");
+  EXPECT_THROW(net.add_link(a, a, {}), std::invalid_argument);
+  EXPECT_THROW(net.add_link(a, 42, {}), std::invalid_argument);
+}
+
+TEST(NetworkClock, HostClocksAreIndependent) {
+  Simulator sim;
+  Network net(sim);
+  const HostId a = net.add_host("a", HostClock(msec(100), 0));
+  const HostId b = net.add_host("b", HostClock(msec(-40), 0));
+  sim.run_until(SimTime{1'000'000});
+  EXPECT_EQ(net.local_now(a).us, 1'100'000);
+  EXPECT_EQ(net.local_now(b).us, 960'000);
+}
+
+// --- QoS channels -------------------------------------------------------------
+
+struct ChannelFixture : TwoHostFixture {};
+
+TEST_F(ChannelFixture, AdmissionControlRespectsCapacity) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1'000'000;
+  link(cfg);
+  auto c1 = net.reserve_channel(a, b, 600'000);
+  ASSERT_TRUE(c1.has_value());
+  auto c2 = net.reserve_channel(a, b, 600'000);  // 1.2 Mb/s > 1 Mb/s
+  EXPECT_FALSE(c2.has_value());
+  net.release_channel(*c1);
+  auto c3 = net.reserve_channel(a, b, 600'000);
+  EXPECT_TRUE(c3.has_value());
+}
+
+TEST_F(ChannelFixture, ZeroOrNegativeRateRejected) {
+  link({});
+  EXPECT_FALSE(net.reserve_channel(a, b, 0).has_value());
+  EXPECT_FALSE(net.reserve_channel(a, b, -5).has_value());
+}
+
+TEST_F(ChannelFixture, UnroutableChannelRejected) {
+  // no link
+  EXPECT_FALSE(net.reserve_channel(a, b, 1000).has_value());
+}
+
+TEST_F(ChannelFixture, ChannelTrafficUnaffectedByBestEffortCongestion) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000'000;
+  cfg.latency = msec(0);
+  link(cfg);
+  sink(9);
+  auto ch = net.reserve_channel(a, b, 4'000'000);
+  ASSERT_TRUE(ch.has_value());
+
+  // Flood best-effort first; then send one channel packet.
+  for (int i = 0; i < 20; ++i) net.send(make(1000, 8));
+  Packet p = make(1000, 9);
+  p.channel = *ch;
+  net.send(std::move(p));
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  // Channel rate 4 Mb/s => 1000 B serialize in 2 ms, regardless of the flood.
+  EXPECT_EQ(receive_times[0].us, 2000);
+}
+
+TEST_F(ChannelFixture, ReservationShrinksBestEffortBandwidth) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000'000;
+  cfg.latency = msec(0);
+  link(cfg);
+  sink(9);
+  auto ch = net.reserve_channel(a, b, 4'000'000);
+  ASSERT_TRUE(ch.has_value());
+  net.send(make(1000));  // best effort now sees only 4 Mb/s
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(receive_times[0].us, 2000);
+}
+
+TEST_F(ChannelFixture, ChannelInfoAndRelease) {
+  LinkConfig cfg;
+  link(cfg);
+  auto ch = net.reserve_channel(a, b, 1000);
+  ASSERT_TRUE(ch.has_value());
+  auto info = net.channel_info(*ch);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->src, a);
+  EXPECT_EQ(info->dst, b);
+  EXPECT_EQ(info->rate_bps, 1000);
+  net.release_channel(*ch);
+  EXPECT_FALSE(net.channel_info(*ch).has_value());
+  net.release_channel(*ch);  // double release is a no-op
+}
+
+TEST_F(ChannelFixture, ResizeChannelInPlace) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1'000'000;
+  link(cfg);
+  auto ch = net.reserve_channel(a, b, 300'000);
+  ASSERT_TRUE(ch.has_value());
+  // Grow within capacity.
+  EXPECT_TRUE(net.resize_channel(*ch, 800'000));
+  EXPECT_EQ(net.channel_info(*ch)->rate_bps, 800'000);
+  // Grow beyond capacity: refused, old rate intact.
+  EXPECT_FALSE(net.resize_channel(*ch, 1'200'000));
+  EXPECT_EQ(net.channel_info(*ch)->rate_bps, 800'000);
+  // Shrink always succeeds and frees admission headroom.
+  EXPECT_TRUE(net.resize_channel(*ch, 100'000));
+  auto ch2 = net.reserve_channel(a, b, 850'000);
+  EXPECT_TRUE(ch2.has_value());
+  // Bad ids / rates.
+  EXPECT_FALSE(net.resize_channel(999, 1000));
+  EXPECT_FALSE(net.resize_channel(*ch, 0));
+}
+
+TEST_F(ChannelFixture, ResizeRespectsOtherReservations) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1'000'000;
+  link(cfg);
+  auto c1 = net.reserve_channel(a, b, 400'000);
+  auto c2 = net.reserve_channel(a, b, 400'000);
+  ASSERT_TRUE(c1 && c2);
+  EXPECT_FALSE(net.resize_channel(*c1, 700'000));  // 700+400 > 1000
+  EXPECT_TRUE(net.resize_channel(*c1, 600'000));   // exactly fits
+}
+
+TEST(ChannelMultiHop, ReservesEveryHop) {
+  Simulator sim;
+  Network net(sim);
+  const HostId a = net.add_host("a");
+  const HostId m = net.add_host("m");
+  const HostId b = net.add_host("b");
+  LinkConfig thin;
+  thin.bandwidth_bps = 500'000;
+  LinkConfig fat;
+  fat.bandwidth_bps = 10'000'000;
+  net.add_link(a, m, fat);
+  net.add_link(m, b, thin);  // bottleneck
+  EXPECT_FALSE(net.reserve_channel(a, b, 600'000).has_value());
+  auto ch = net.reserve_channel(a, b, 400'000);
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_EQ(ch ? net.channel_info(*ch)->path.size() : 0u, 2u);
+}
+
+}  // namespace
+}  // namespace lod::net

@@ -1,0 +1,249 @@
+#include "lod/net/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lod/net/clock.hpp"
+#include "lod/net/rng.hpp"
+
+namespace lod::net {
+namespace {
+
+TEST(SimTime, Arithmetic) {
+  SimTime t{1000};
+  EXPECT_EQ((t + usec(500)).us, 1500);
+  EXPECT_EQ((t - usec(500)).us, 500);
+  EXPECT_EQ((SimTime{3000} - t).us, 2000);
+  t += msec(1);
+  EXPECT_EQ(t.us, 2000);
+}
+
+TEST(SimTime, DurationHelpers) {
+  EXPECT_EQ(usec(7).us, 7);
+  EXPECT_EQ(msec(7).us, 7000);
+  EXPECT_EQ(sec(7).us, 7'000'000);
+  EXPECT_EQ(secf(1.5).us, 1'500'000);
+  EXPECT_EQ(secf(-1.5).us, -1'500'000);
+  EXPECT_DOUBLE_EQ(sec(2).seconds(), 2.0);
+}
+
+TEST(SimTime, ToString) {
+  EXPECT_EQ(to_string(usec(12)), "12us");
+  EXPECT_EQ(to_string(msec(37)), "37.000ms");
+  EXPECT_EQ(to_string(secf(1.25)), "1.250s");
+}
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now().us, 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime{300}, [&] { order.push_back(3); });
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  sim.schedule_at(SimTime{200}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().us, 300);
+}
+
+TEST(Simulator, SameInstantIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime{50}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator sim;
+  sim.schedule_at(SimTime{100}, [] {});
+  sim.run();
+  bool fired = false;
+  sim.schedule_at(SimTime{10}, [&] { fired = true; });  // in the past
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now().us, 100);  // clock never went backwards
+}
+
+TEST(Simulator, HandlersCanScheduleMore) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule_after(msec(10), chain);
+  };
+  sim.schedule_after(msec(10), chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now().us, 50'000);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.schedule_at(SimTime{100}, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(999));
+}
+
+TEST(Simulator, CancelFiredIdIsNoop) {
+  Simulator sim;
+  EventId id = sim.schedule_at(SimTime{10}, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(SimTime{100}, [&] { fired.push_back(1); });
+  sim.schedule_at(SimTime{200}, [&] { fired.push_back(2); });
+  sim.schedule_at(SimTime{300}, [&] { fired.push_back(3); });
+  sim.run_until(SimTime{200});
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now().us, 200);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilWithEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.run_until(SimTime{5000});
+  EXPECT_EQ(sim.now().us, 5000);
+}
+
+TEST(Simulator, RunStepsBoundsExecution) {
+  Simulator sim;
+  int n = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(SimTime{i}, [&] { ++n; });
+  EXPECT_EQ(sim.run_steps(4), 4u);
+  EXPECT_EQ(n, 4);
+}
+
+TEST(Simulator, PendingCountsUncancelled) {
+  Simulator sim;
+  EventId a = sim.schedule_at(SimTime{10}, [] {});
+  sim.schedule_at(SimTime{20}, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule_at(SimTime{100}, [] {});
+  sim.run();
+  bool fired = false;
+  sim.schedule_after(usec(-50), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now().us, 100);
+}
+
+// --- HostClock ---------------------------------------------------------------
+
+TEST(HostClock, IdentityByDefault) {
+  HostClock c;
+  EXPECT_EQ(c.local_time(SimTime{12345}).us, 12345);
+  EXPECT_EQ(c.true_time(SimTime{12345}).us, 12345);
+}
+
+TEST(HostClock, OffsetShiftsLocalTime) {
+  HostClock c(msec(50), 0.0);
+  EXPECT_EQ(c.local_time(SimTime{0}).us, 50'000);
+  EXPECT_EQ(c.local_time(sec(1).us == 0 ? SimTime{0} : SimTime{1'000'000}).us,
+            1'050'000);
+}
+
+TEST(HostClock, DriftAccumulates) {
+  HostClock c({}, 100.0);  // 100 ppm fast
+  // After 1000 simulated seconds the clock is 100 ms ahead.
+  const SimTime t{1'000'000'000};
+  EXPECT_NEAR(static_cast<double>(c.local_time(t).us - t.us), 100'000.0, 1.0);
+}
+
+TEST(HostClock, TrueTimeInvertsLocalTime) {
+  HostClock c(msec(-20), 37.5);
+  const SimTime t{987'654'321};
+  const SimTime local = c.local_time(t);
+  EXPECT_NEAR(static_cast<double>(c.true_time(local).us),
+              static_cast<double>(t.us), 2.0);
+}
+
+TEST(HostClock, AdjustAppliesCorrection) {
+  HostClock c(msec(30), 0.0);
+  c.adjust(msec(-30));
+  EXPECT_EQ(c.local_time(SimTime{1000}).us, 1000);
+}
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(2);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+  EXPECT_FALSE(r.bernoulli(-0.5));
+  EXPECT_TRUE(r.bernoulli(1.5));
+}
+
+TEST(Rng, JitterZeroSigmaIsZero) {
+  Rng r(3);
+  EXPECT_EQ(r.jitter(usec(0)).us, 0);
+  EXPECT_EQ(r.jitter(usec(-5)).us, 0);
+}
+
+TEST(Rng, JitterBoundedByFourSigma) {
+  Rng r(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto j = r.jitter(msec(1));
+    EXPECT_LE(std::abs(j.us), 4000);
+  }
+}
+
+TEST(Rng, JitterRoughlyZeroMean) {
+  Rng r(5);
+  std::int64_t total = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) total += r.jitter(msec(1)).us;
+  EXPECT_LT(std::abs(total / n), 50);  // mean well under sigma/20
+}
+
+TEST(Rng, ExponentialMeanApproximatesParameter) {
+  Rng r(6);
+  std::int64_t total = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) total += r.exponential(msec(10)).us;
+  const double mean = static_cast<double>(total) / n;
+  EXPECT_NEAR(mean, 10'000.0, 500.0);
+}
+
+}  // namespace
+}  // namespace lod::net

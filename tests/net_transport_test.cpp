@@ -1,0 +1,344 @@
+#include "lod/net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lod::net {
+namespace {
+
+std::vector<std::byte> bytes_of(std::string_view s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+std::string string_of(std::span<const std::byte> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// --- ByteWriter / ByteReader ---------------------------------------------------
+
+TEST(Bytes, RoundTripAllTypes) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.str("hello");
+  w.blob(bytes_of("world"));
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(string_of(r.blob()), "world");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, TruncatedInputThrows) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.u64(), std::out_of_range);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow; none do
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.str(), std::out_of_range);
+}
+
+TEST(Bytes, EmptyStringAndBlob) {
+  ByteWriter w;
+  w.str("");
+  w.blob({});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.blob().empty());
+}
+
+// --- DatagramSocket -------------------------------------------------------------
+
+struct TransportFixture : ::testing::Test {
+  TransportFixture() : net(sim, 21) {
+    a = net.add_host("a");
+    b = net.add_host("b");
+  }
+  void link(double loss = 0.0) {
+    LinkConfig cfg;
+    cfg.bandwidth_bps = 10'000'000;
+    cfg.latency = msec(2);
+    cfg.loss_rate = loss;
+    net.add_link(a, b, cfg);
+  }
+
+  Simulator sim;
+  Network net;
+  HostId a{}, b{};
+};
+
+TEST_F(TransportFixture, DatagramDelivers) {
+  link();
+  DatagramSocket sa(net, a, 100);
+  DatagramSocket sb(net, b, 200);
+  std::string got;
+  sb.on_receive([&](const Packet& p) { got = string_of(p.payload); });
+  sa.send_to(b, 200, bytes_of("ping"));
+  sim.run();
+  EXPECT_EQ(got, "ping");
+}
+
+TEST_F(TransportFixture, DatagramAccountsHeaderOverheadOnWire) {
+  link();
+  DatagramSocket sa(net, a, 100);
+  DatagramSocket sb(net, b, 200);
+  sa.send_to(b, 200, bytes_of("x"), 28);
+  sim.run();
+  EXPECT_EQ(net.link_stats(a, b).bytes_sent, 29u);
+}
+
+TEST_F(TransportFixture, DatagramIsLossy) {
+  link(1.0);
+  DatagramSocket sa(net, a, 100);
+  DatagramSocket sb(net, b, 200);
+  bool got = false;
+  sb.on_receive([&](const Packet&) { got = true; });
+  sa.send_to(b, 200, bytes_of("ping"));
+  sim.run();
+  EXPECT_FALSE(got);  // datagrams do not retry
+}
+
+TEST_F(TransportFixture, SocketUnbindsOnDestruction) {
+  link();
+  {
+    DatagramSocket sb(net, b, 200);
+  }
+  DatagramSocket sa(net, a, 100);
+  sa.send_to(b, 200, bytes_of("ping"));
+  sim.run();  // must not crash or deliver anywhere
+}
+
+// --- ReliableEndpoint -----------------------------------------------------------
+
+TEST_F(TransportFixture, ReliableDeliversInOrder) {
+  link();
+  ReliableEndpoint ea(net, a, 100);
+  ReliableEndpoint eb(net, b, 200);
+  std::vector<std::string> got;
+  eb.on_receive([&](const ReliableEndpoint::Message& m) {
+    got.push_back(string_of(m.payload));
+  });
+  for (int i = 0; i < 10; ++i) {
+    ea.send_to(b, 200, bytes_of("msg" + std::to_string(i)));
+  }
+  sim.run();
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[i], "msg" + std::to_string(i));
+  EXPECT_TRUE(ea.all_acked());
+}
+
+TEST_F(TransportFixture, ReliableSurvivesHeavyLoss) {
+  link(0.4);  // 40% loss each way
+  ReliableEndpoint ea(net, a, 100, msec(50));
+  ReliableEndpoint eb(net, b, 200, msec(50));
+  std::vector<std::string> got;
+  eb.on_receive([&](const ReliableEndpoint::Message& m) {
+    got.push_back(string_of(m.payload));
+  });
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    ea.send_to(b, 200, bytes_of(std::to_string(i)));
+  }
+  sim.run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(got[i], std::to_string(i));
+  EXPECT_GT(ea.retransmissions(), 0u);
+  EXPECT_TRUE(ea.all_acked());
+}
+
+TEST_F(TransportFixture, ReliableNoDuplicateDelivery) {
+  link(0.3);
+  ReliableEndpoint ea(net, a, 100, msec(20));
+  ReliableEndpoint eb(net, b, 200, msec(20));
+  int count = 0;
+  eb.on_receive([&](const ReliableEndpoint::Message&) { ++count; });
+  ea.send_to(b, 200, bytes_of("once"));
+  sim.run();
+  EXPECT_EQ(count, 1);  // retransmits may arrive multiple times; deliver once
+}
+
+TEST_F(TransportFixture, ReliableBidirectional) {
+  link();
+  ReliableEndpoint ea(net, a, 100);
+  ReliableEndpoint eb(net, b, 200);
+  std::string at_a, at_b;
+  ea.on_receive([&](const ReliableEndpoint::Message& m) {
+    at_a = string_of(m.payload);
+  });
+  eb.on_receive([&](const ReliableEndpoint::Message& m) {
+    at_b = string_of(m.payload);
+    eb.send_to(m.src, m.src_port, bytes_of("pong"));
+  });
+  ea.send_to(b, 200, bytes_of("ping"));
+  sim.run();
+  EXPECT_EQ(at_b, "ping");
+  EXPECT_EQ(at_a, "pong");
+}
+
+TEST_F(TransportFixture, ReliableGivesUpAfterMaxRetries) {
+  link(1.0);  // nothing ever arrives
+  ReliableEndpoint ea(net, a, 100, msec(10), /*max_retries=*/3);
+  ea.send_to(b, 200, bytes_of("void"));
+  sim.run();
+  EXPECT_EQ(ea.retransmissions(), 3u);
+  EXPECT_FALSE(ea.all_acked());
+}
+
+TEST_F(TransportFixture, ReliableIndependentPeers) {
+  const HostId c = net.add_host("c");
+  LinkConfig cfg;
+  cfg.latency = msec(1);
+  net.add_link(a, b, cfg);
+  net.add_link(a, c, cfg);
+  ReliableEndpoint ea(net, a, 100);
+  ReliableEndpoint eb(net, b, 200);
+  ReliableEndpoint ec(net, c, 200);
+  std::string got_b, got_c;
+  eb.on_receive([&](const auto& m) { got_b = string_of(m.payload); });
+  ec.on_receive([&](const auto& m) { got_c = string_of(m.payload); });
+  ea.send_to(b, 200, bytes_of("to-b"));
+  ea.send_to(c, 200, bytes_of("to-c"));
+  sim.run();
+  EXPECT_EQ(got_b, "to-b");
+  EXPECT_EQ(got_c, "to-c");
+}
+
+TEST_F(TransportFixture, ReincarnatedEndpointResetsConversation) {
+  // A new endpoint on the same (host, port) — a reconnect — must not be
+  // mistaken for stale duplicates of the old sequence space, in EITHER
+  // direction.
+  link();
+  ReliableEndpoint eb(net, b, 200);
+  std::vector<std::string> got;
+  eb.on_receive([&](const ReliableEndpoint::Message& m) {
+    got.push_back(string_of(m.payload));
+    eb.send_to(m.src, m.src_port, bytes_of("re:" + string_of(m.payload)));
+  });
+
+  std::vector<std::string> got_a;
+  {
+    ReliableEndpoint ea(net, a, 100);
+    ea.on_receive([&](const ReliableEndpoint::Message& m) {
+      got_a.push_back(string_of(m.payload));
+    });
+    ea.send_to(b, 200, bytes_of("first"));
+    sim.run();
+  }
+  // The old endpoint died; a fresh one binds the same port with seq 0.
+  {
+    ReliableEndpoint ea2(net, a, 100);
+    ea2.on_receive([&](const ReliableEndpoint::Message& m) {
+      got_a.push_back(string_of(m.payload));
+    });
+    ea2.send_to(b, 200, bytes_of("second"));
+    sim.run();
+  }
+  ASSERT_EQ(got, (std::vector<std::string>{"first", "second"}));
+  // Replies from b reached both incarnations (b restarted its send side).
+  ASSERT_EQ(got_a, (std::vector<std::string>{"re:first", "re:second"}));
+}
+
+TEST_F(TransportFixture, FirstContactDoesNotResetSender) {
+  // Receiving a peer's FIRST data frame must not wipe our own send state
+  // toward them (the subtle first-contact vs reincarnation distinction).
+  link();
+  ReliableEndpoint ea(net, a, 100);
+  ReliableEndpoint eb(net, b, 200);
+  std::vector<std::string> got_b;
+  eb.on_receive([&](const ReliableEndpoint::Message& m) {
+    got_b.push_back(string_of(m.payload));
+    if (got_b.size() == 1) eb.send_to(m.src, m.src_port, bytes_of("ack1"));
+  });
+  ea.send_to(b, 200, bytes_of("one"));
+  sim.run();
+  ea.send_to(b, 200, bytes_of("two"));  // must arrive as seq 1, not a dup
+  sim.run();
+  EXPECT_EQ(got_b, (std::vector<std::string>{"one", "two"}));
+}
+
+// --- RpcServer / RpcClient --------------------------------------------------------
+
+TEST_F(TransportFixture, RpcRoundTrip) {
+  link();
+  RpcServer server(net, b, 80);
+  server.route("/echo", [](std::string_view, std::span<const std::byte> body) {
+    return std::make_pair(200, std::vector<std::byte>(body.begin(), body.end()));
+  });
+  RpcClient client(net, a, 4000);
+  int status = 0;
+  std::string body;
+  client.call(b, 80, "/echo", bytes_of("payload"),
+              [&](int s, std::span<const std::byte> b2) {
+                status = s;
+                body = string_of(b2);
+              });
+  sim.run();
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "payload");
+}
+
+TEST_F(TransportFixture, RpcUnknownPathIs404) {
+  link();
+  RpcServer server(net, b, 80);
+  RpcClient client(net, a, 4000);
+  int status = 0;
+  client.call(b, 80, "/nope", {}, [&](int s, auto) { status = s; });
+  sim.run();
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(TransportFixture, RpcSurvivesLoss) {
+  link(0.3);
+  RpcServer server(net, b, 80);
+  server.route("/ok", [](auto, auto) {
+    return std::make_pair(200, std::vector<std::byte>{});
+  });
+  RpcClient client(net, a, 4000);
+  int calls_done = 0;
+  for (int i = 0; i < 10; ++i) {
+    client.call(b, 80, "/ok", {}, [&](int s, auto) {
+      EXPECT_EQ(s, 200);
+      ++calls_done;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(calls_done, 10);
+}
+
+TEST_F(TransportFixture, RpcMultipleRoutes) {
+  link();
+  RpcServer server(net, b, 80);
+  server.route("/one", [](auto, auto) {
+    return std::make_pair(201, std::vector<std::byte>{});
+  });
+  server.route("/two", [](auto, auto) {
+    return std::make_pair(202, std::vector<std::byte>{});
+  });
+  RpcClient client(net, a, 4000);
+  int s1 = 0, s2 = 0;
+  client.call(b, 80, "/one", {}, [&](int s, auto) { s1 = s; });
+  client.call(b, 80, "/two", {}, [&](int s, auto) { s2 = s; });
+  sim.run();
+  EXPECT_EQ(s1, 201);
+  EXPECT_EQ(s2, 202);
+}
+
+}  // namespace
+}  // namespace lod::net
