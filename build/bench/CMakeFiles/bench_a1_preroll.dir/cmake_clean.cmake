@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_preroll.dir/bench_a1_preroll.cpp.o"
+  "CMakeFiles/bench_a1_preroll.dir/bench_a1_preroll.cpp.o.d"
+  "bench_a1_preroll"
+  "bench_a1_preroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_preroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

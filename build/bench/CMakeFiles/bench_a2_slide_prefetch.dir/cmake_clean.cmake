@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_slide_prefetch.dir/bench_a2_slide_prefetch.cpp.o"
+  "CMakeFiles/bench_a2_slide_prefetch.dir/bench_a2_slide_prefetch.cpp.o.d"
+  "bench_a2_slide_prefetch"
+  "bench_a2_slide_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_slide_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

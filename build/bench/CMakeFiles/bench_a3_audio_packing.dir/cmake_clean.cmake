@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_audio_packing.dir/bench_a3_audio_packing.cpp.o"
+  "CMakeFiles/bench_a3_audio_packing.dir/bench_a3_audio_packing.cpp.o.d"
+  "bench_a3_audio_packing"
+  "bench_a3_audio_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_audio_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a4_faststart.cpp" "bench/CMakeFiles/bench_a4_faststart.dir/bench_a4_faststart.cpp.o" "gcc" "bench/CMakeFiles/bench_a4_faststart.dir/bench_a4_faststart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lod/CMakeFiles/lod_wmps.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/lod_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/contenttree/CMakeFiles/lod_contenttree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lod_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/lod_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lod_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

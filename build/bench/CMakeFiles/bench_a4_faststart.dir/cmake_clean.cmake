@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_faststart.dir/bench_a4_faststart.cpp.o"
+  "CMakeFiles/bench_a4_faststart.dir/bench_a4_faststart.cpp.o.d"
+  "bench_a4_faststart"
+  "bench_a4_faststart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_faststart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_distributed_sync.dir/bench_c1_distributed_sync.cpp.o"
+  "CMakeFiles/bench_c1_distributed_sync.dir/bench_c1_distributed_sync.cpp.o.d"
+  "bench_c1_distributed_sync"
+  "bench_c1_distributed_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_distributed_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

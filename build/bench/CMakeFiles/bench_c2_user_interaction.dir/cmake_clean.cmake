@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_user_interaction.dir/bench_c2_user_interaction.cpp.o"
+  "CMakeFiles/bench_c2_user_interaction.dir/bench_c2_user_interaction.cpp.o.d"
+  "bench_c2_user_interaction"
+  "bench_c2_user_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_user_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_floor_control.dir/bench_c3_floor_control.cpp.o"
+  "CMakeFiles/bench_c3_floor_control.dir/bench_c3_floor_control.cpp.o.d"
+  "bench_c3_floor_control"
+  "bench_c3_floor_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_floor_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

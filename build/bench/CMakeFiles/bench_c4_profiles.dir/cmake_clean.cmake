@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_profiles.dir/bench_c4_profiles.cpp.o"
+  "CMakeFiles/bench_c4_profiles.dir/bench_c4_profiles.cpp.o.d"
+  "bench_c4_profiles"
+  "bench_c4_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

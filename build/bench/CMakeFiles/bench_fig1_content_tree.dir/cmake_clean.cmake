@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_content_tree.dir/bench_fig1_content_tree.cpp.o"
+  "CMakeFiles/bench_fig1_content_tree.dir/bench_fig1_content_tree.cpp.o.d"
+  "bench_fig1_content_tree"
+  "bench_fig1_content_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_content_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

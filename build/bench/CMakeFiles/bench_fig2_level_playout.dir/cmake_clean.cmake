@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_level_playout.dir/bench_fig2_level_playout.cpp.o"
+  "CMakeFiles/bench_fig2_level_playout.dir/bench_fig2_level_playout.cpp.o.d"
+  "bench_fig2_level_playout"
+  "bench_fig2_level_playout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_level_playout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

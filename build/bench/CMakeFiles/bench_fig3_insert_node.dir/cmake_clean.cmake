@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_insert_node.dir/bench_fig3_insert_node.cpp.o"
+  "CMakeFiles/bench_fig3_insert_node.dir/bench_fig3_insert_node.cpp.o.d"
+  "bench_fig3_insert_node"
+  "bench_fig3_insert_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_insert_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

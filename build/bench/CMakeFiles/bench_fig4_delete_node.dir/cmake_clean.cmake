@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_delete_node.dir/bench_fig4_delete_node.cpp.o"
+  "CMakeFiles/bench_fig4_delete_node.dir/bench_fig4_delete_node.cpp.o.d"
+  "bench_fig4_delete_node"
+  "bench_fig4_delete_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_delete_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

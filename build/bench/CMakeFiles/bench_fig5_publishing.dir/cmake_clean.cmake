@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_publishing.dir/bench_fig5_publishing.cpp.o"
+  "CMakeFiles/bench_fig5_publishing.dir/bench_fig5_publishing.cpp.o.d"
+  "bench_fig5_publishing"
+  "bench_fig5_publishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_publishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

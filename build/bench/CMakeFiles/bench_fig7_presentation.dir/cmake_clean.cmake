@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_presentation.dir/bench_fig7_presentation.cpp.o"
+  "CMakeFiles/bench_fig7_presentation.dir/bench_fig7_presentation.cpp.o.d"
+  "bench_fig7_presentation"
+  "bench_fig7_presentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_presentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

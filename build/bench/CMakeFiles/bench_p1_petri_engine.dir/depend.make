@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_p1_petri_engine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p2_tree_ops.dir/bench_p2_tree_ops.cpp.o"
+  "CMakeFiles/bench_p2_tree_ops.dir/bench_p2_tree_ops.cpp.o.d"
+  "bench_p2_tree_ops"
+  "bench_p2_tree_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p2_tree_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p3_asf.dir/bench_p3_asf.cpp.o"
+  "CMakeFiles/bench_p3_asf.dir/bench_p3_asf.cpp.o.d"
+  "bench_p3_asf"
+  "bench_p3_asf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p3_asf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

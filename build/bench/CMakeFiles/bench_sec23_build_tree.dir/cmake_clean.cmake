@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec23_build_tree.dir/bench_sec23_build_tree.cpp.o"
+  "CMakeFiles/bench_sec23_build_tree.dir/bench_sec23_build_tree.cpp.o.d"
+  "bench_sec23_build_tree"
+  "bench_sec23_build_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec23_build_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

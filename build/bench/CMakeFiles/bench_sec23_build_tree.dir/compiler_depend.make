@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec23_build_tree.
+# This may be replaced when dependencies are built.

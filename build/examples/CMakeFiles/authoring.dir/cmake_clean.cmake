@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authoring.dir/authoring.cpp.o"
+  "CMakeFiles/authoring.dir/authoring.cpp.o.d"
+  "authoring"
+  "authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

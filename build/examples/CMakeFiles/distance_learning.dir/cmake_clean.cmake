@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_learning.dir/distance_learning.cpp.o"
+  "CMakeFiles/distance_learning.dir/distance_learning.cpp.o.d"
+  "distance_learning"
+  "distance_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

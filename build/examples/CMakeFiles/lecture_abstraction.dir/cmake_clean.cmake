@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lecture_abstraction.dir/lecture_abstraction.cpp.o"
+  "CMakeFiles/lecture_abstraction.dir/lecture_abstraction.cpp.o.d"
+  "lecture_abstraction"
+  "lecture_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lecture_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_models_compared.dir/sync_models_compared.cpp.o"
+  "CMakeFiles/sync_models_compared.dir/sync_models_compared.cpp.o.d"
+  "sync_models_compared"
+  "sync_models_compared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_models_compared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sync_models_compared.
+# This may be replaced when dependencies are built.

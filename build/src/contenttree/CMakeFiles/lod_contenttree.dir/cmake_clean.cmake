@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lod_contenttree.dir/content_tree.cpp.o"
+  "CMakeFiles/lod_contenttree.dir/content_tree.cpp.o.d"
+  "liblod_contenttree.a"
+  "liblod_contenttree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lod_contenttree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

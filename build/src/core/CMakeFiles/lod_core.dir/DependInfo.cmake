@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/lod_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/lod_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/etpn.cpp" "src/core/CMakeFiles/lod_core.dir/etpn.cpp.o" "gcc" "src/core/CMakeFiles/lod_core.dir/etpn.cpp.o.d"
+  "/root/repo/src/core/ocpn.cpp" "src/core/CMakeFiles/lod_core.dir/ocpn.cpp.o" "gcc" "src/core/CMakeFiles/lod_core.dir/ocpn.cpp.o.d"
+  "/root/repo/src/core/petri.cpp" "src/core/CMakeFiles/lod_core.dir/petri.cpp.o" "gcc" "src/core/CMakeFiles/lod_core.dir/petri.cpp.o.d"
+  "/root/repo/src/core/speclang.cpp" "src/core/CMakeFiles/lod_core.dir/speclang.cpp.o" "gcc" "src/core/CMakeFiles/lod_core.dir/speclang.cpp.o.d"
+  "/root/repo/src/core/timed.cpp" "src/core/CMakeFiles/lod_core.dir/timed.cpp.o" "gcc" "src/core/CMakeFiles/lod_core.dir/timed.cpp.o.d"
+  "/root/repo/src/core/xocpn.cpp" "src/core/CMakeFiles/lod_core.dir/xocpn.cpp.o" "gcc" "src/core/CMakeFiles/lod_core.dir/xocpn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lod_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

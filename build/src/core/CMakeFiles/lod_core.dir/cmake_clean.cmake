@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lod_core.dir/analysis.cpp.o"
+  "CMakeFiles/lod_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/lod_core.dir/etpn.cpp.o"
+  "CMakeFiles/lod_core.dir/etpn.cpp.o.d"
+  "CMakeFiles/lod_core.dir/ocpn.cpp.o"
+  "CMakeFiles/lod_core.dir/ocpn.cpp.o.d"
+  "CMakeFiles/lod_core.dir/petri.cpp.o"
+  "CMakeFiles/lod_core.dir/petri.cpp.o.d"
+  "CMakeFiles/lod_core.dir/speclang.cpp.o"
+  "CMakeFiles/lod_core.dir/speclang.cpp.o.d"
+  "CMakeFiles/lod_core.dir/timed.cpp.o"
+  "CMakeFiles/lod_core.dir/timed.cpp.o.d"
+  "CMakeFiles/lod_core.dir/xocpn.cpp.o"
+  "CMakeFiles/lod_core.dir/xocpn.cpp.o.d"
+  "liblod_core.a"
+  "liblod_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lod_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lod/abstraction.cpp" "src/lod/CMakeFiles/lod_wmps.dir/abstraction.cpp.o" "gcc" "src/lod/CMakeFiles/lod_wmps.dir/abstraction.cpp.o.d"
+  "/root/repo/src/lod/adaptive.cpp" "src/lod/CMakeFiles/lod_wmps.dir/adaptive.cpp.o" "gcc" "src/lod/CMakeFiles/lod_wmps.dir/adaptive.cpp.o.d"
+  "/root/repo/src/lod/classroom.cpp" "src/lod/CMakeFiles/lod_wmps.dir/classroom.cpp.o" "gcc" "src/lod/CMakeFiles/lod_wmps.dir/classroom.cpp.o.d"
+  "/root/repo/src/lod/floor.cpp" "src/lod/CMakeFiles/lod_wmps.dir/floor.cpp.o" "gcc" "src/lod/CMakeFiles/lod_wmps.dir/floor.cpp.o.d"
+  "/root/repo/src/lod/wmps.cpp" "src/lod/CMakeFiles/lod_wmps.dir/wmps.cpp.o" "gcc" "src/lod/CMakeFiles/lod_wmps.dir/wmps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/streaming/CMakeFiles/lod_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/contenttree/CMakeFiles/lod_contenttree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lod_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/lod_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lod_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

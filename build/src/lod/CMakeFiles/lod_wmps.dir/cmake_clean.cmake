@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lod_wmps.dir/abstraction.cpp.o"
+  "CMakeFiles/lod_wmps.dir/abstraction.cpp.o.d"
+  "CMakeFiles/lod_wmps.dir/adaptive.cpp.o"
+  "CMakeFiles/lod_wmps.dir/adaptive.cpp.o.d"
+  "CMakeFiles/lod_wmps.dir/classroom.cpp.o"
+  "CMakeFiles/lod_wmps.dir/classroom.cpp.o.d"
+  "CMakeFiles/lod_wmps.dir/floor.cpp.o"
+  "CMakeFiles/lod_wmps.dir/floor.cpp.o.d"
+  "CMakeFiles/lod_wmps.dir/wmps.cpp.o"
+  "CMakeFiles/lod_wmps.dir/wmps.cpp.o.d"
+  "liblod_wmps.a"
+  "liblod_wmps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lod_wmps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/asf.cpp" "src/media/CMakeFiles/lod_media.dir/asf.cpp.o" "gcc" "src/media/CMakeFiles/lod_media.dir/asf.cpp.o.d"
+  "/root/repo/src/media/codec.cpp" "src/media/CMakeFiles/lod_media.dir/codec.cpp.o" "gcc" "src/media/CMakeFiles/lod_media.dir/codec.cpp.o.d"
+  "/root/repo/src/media/drm.cpp" "src/media/CMakeFiles/lod_media.dir/drm.cpp.o" "gcc" "src/media/CMakeFiles/lod_media.dir/drm.cpp.o.d"
+  "/root/repo/src/media/profile.cpp" "src/media/CMakeFiles/lod_media.dir/profile.cpp.o" "gcc" "src/media/CMakeFiles/lod_media.dir/profile.cpp.o.d"
+  "/root/repo/src/media/sources.cpp" "src/media/CMakeFiles/lod_media.dir/sources.cpp.o" "gcc" "src/media/CMakeFiles/lod_media.dir/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lod_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lod_media.dir/asf.cpp.o"
+  "CMakeFiles/lod_media.dir/asf.cpp.o.d"
+  "CMakeFiles/lod_media.dir/codec.cpp.o"
+  "CMakeFiles/lod_media.dir/codec.cpp.o.d"
+  "CMakeFiles/lod_media.dir/drm.cpp.o"
+  "CMakeFiles/lod_media.dir/drm.cpp.o.d"
+  "CMakeFiles/lod_media.dir/profile.cpp.o"
+  "CMakeFiles/lod_media.dir/profile.cpp.o.d"
+  "CMakeFiles/lod_media.dir/sources.cpp.o"
+  "CMakeFiles/lod_media.dir/sources.cpp.o.d"
+  "liblod_media.a"
+  "liblod_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lod_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblod_media.a"
+)

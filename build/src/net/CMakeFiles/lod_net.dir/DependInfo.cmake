@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/lod_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/lod_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/simulator.cpp" "src/net/CMakeFiles/lod_net.dir/simulator.cpp.o" "gcc" "src/net/CMakeFiles/lod_net.dir/simulator.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/lod_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/lod_net.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

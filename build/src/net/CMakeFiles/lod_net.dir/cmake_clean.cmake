@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lod_net.dir/network.cpp.o"
+  "CMakeFiles/lod_net.dir/network.cpp.o.d"
+  "CMakeFiles/lod_net.dir/simulator.cpp.o"
+  "CMakeFiles/lod_net.dir/simulator.cpp.o.d"
+  "CMakeFiles/lod_net.dir/transport.cpp.o"
+  "CMakeFiles/lod_net.dir/transport.cpp.o.d"
+  "liblod_net.a"
+  "liblod_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lod_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streaming/encoder.cpp" "src/streaming/CMakeFiles/lod_streaming.dir/encoder.cpp.o" "gcc" "src/streaming/CMakeFiles/lod_streaming.dir/encoder.cpp.o.d"
+  "/root/repo/src/streaming/player.cpp" "src/streaming/CMakeFiles/lod_streaming.dir/player.cpp.o" "gcc" "src/streaming/CMakeFiles/lod_streaming.dir/player.cpp.o.d"
+  "/root/repo/src/streaming/server.cpp" "src/streaming/CMakeFiles/lod_streaming.dir/server.cpp.o" "gcc" "src/streaming/CMakeFiles/lod_streaming.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/media/CMakeFiles/lod_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lod_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

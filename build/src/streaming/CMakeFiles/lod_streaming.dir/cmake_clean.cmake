@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lod_streaming.dir/encoder.cpp.o"
+  "CMakeFiles/lod_streaming.dir/encoder.cpp.o.d"
+  "CMakeFiles/lod_streaming.dir/player.cpp.o"
+  "CMakeFiles/lod_streaming.dir/player.cpp.o.d"
+  "CMakeFiles/lod_streaming.dir/server.cpp.o"
+  "CMakeFiles/lod_streaming.dir/server.cpp.o.d"
+  "liblod_streaming.a"
+  "liblod_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lod_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contenttree_tests.dir/contenttree_test.cpp.o"
+  "CMakeFiles/contenttree_tests.dir/contenttree_test.cpp.o.d"
+  "contenttree_tests"
+  "contenttree_tests.pdb"
+  "contenttree_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contenttree_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core_etpn_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core_etpn_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core_ocpn_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core_ocpn_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core_petri_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core_petri_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core_speclang_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core_speclang_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core_timed_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core_timed_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

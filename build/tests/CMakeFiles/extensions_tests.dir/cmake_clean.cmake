@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_tests.dir/extensions_test.cpp.o"
+  "CMakeFiles/extensions_tests.dir/extensions_test.cpp.o.d"
+  "extensions_tests"
+  "extensions_tests.pdb"
+  "extensions_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

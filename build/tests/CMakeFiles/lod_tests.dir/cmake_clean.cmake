@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lod_tests.dir/lod_adaptive_test.cpp.o"
+  "CMakeFiles/lod_tests.dir/lod_adaptive_test.cpp.o.d"
+  "CMakeFiles/lod_tests.dir/lod_floor_test.cpp.o"
+  "CMakeFiles/lod_tests.dir/lod_floor_test.cpp.o.d"
+  "CMakeFiles/lod_tests.dir/lod_wmps_test.cpp.o"
+  "CMakeFiles/lod_tests.dir/lod_wmps_test.cpp.o.d"
+  "lod_tests"
+  "lod_tests.pdb"
+  "lod_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lod_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

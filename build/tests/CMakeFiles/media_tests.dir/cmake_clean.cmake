@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_tests.dir/media_asf_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media_asf_test.cpp.o.d"
+  "CMakeFiles/media_tests.dir/media_codec_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media_codec_test.cpp.o.d"
+  "CMakeFiles/media_tests.dir/media_drm_test.cpp.o"
+  "CMakeFiles/media_tests.dir/media_drm_test.cpp.o.d"
+  "media_tests"
+  "media_tests.pdb"
+  "media_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_tests.dir/streaming_test.cpp.o"
+  "CMakeFiles/streaming_tests.dir/streaming_test.cpp.o.d"
+  "streaming_tests"
+  "streaming_tests.pdb"
+  "streaming_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/media_tests[1]_include.cmake")
+include("/root/repo/build/tests/contenttree_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/streaming_tests[1]_include.cmake")
+include("/root/repo/build/tests/lod_tests[1]_include.cmake")
+include("/root/repo/build/tests/extensions_tests[1]_include.cmake")
