@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "lod/lod/wmps.hpp"
+#include "lod/obs/metrics.hpp"
 #include "lod/streaming/player.hpp"
 
 using namespace lod;
@@ -52,13 +53,18 @@ static Row run(net::SimDuration preroll, std::uint64_t seed) {
   player.open_and_play(server, "lec");
   sim.run_until(net::SimTime{net::sec(600).us});
 
+  // Everything this bench reports now comes out of the metrics registry the
+  // player publishes into (lod.player.*{host}), not bespoke accessors.
+  const obs::Snapshot snap = sim.obs().metrics().snapshot();
+  const obs::Labels at_pc{{"host", std::to_string(pc)}};
   Row r;
   r.preroll_s = preroll.seconds();
-  r.startup_s = player.startup_delay().seconds();
-  r.stalls = player.stalls().size();
-  double stalled = 0;
-  for (const auto& st : player.stalls()) stalled += st.duration.seconds();
-  r.stalled_s = stalled;
+  const auto* startup = snap.histogram("lod.player.startup_us", at_pc);
+  r.startup_s =
+      startup && startup->count ? static_cast<double>(startup->sum) / 1e6 : 0.0;
+  r.stalls = static_cast<std::size_t>(snap.counter("lod.player.stalls", at_pc));
+  const auto* stall = snap.histogram("lod.player.stall_us", at_pc);
+  r.stalled_s = stall ? static_cast<double>(stall->sum) / 1e6 : 0.0;
   return r;
 }
 

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "lod/lod/wmps.hpp"
+#include "lod/obs/metrics.hpp"
 #include "lod/streaming/player.hpp"
 
 using namespace lod;
@@ -42,7 +43,9 @@ static Row run(double mult, std::uint64_t seed) {
   form.profile = "Video 750k broadband";
   form.publish_name = "lec";
   wmps.publish(form);
-  wmps.media_services().set_fast_start_multiplier(mult);
+  streaming::ServerConfig scfg = wmps.media_services().config();
+  scfg.fast_start_multiplier = mult;
+  wmps.media_services().configure(scfg);
 
   streaming::PlayerConfig cfg;
   cfg.model = streaming::SyncModel::kOcpn;
@@ -50,8 +53,14 @@ static Row run(double mult, std::uint64_t seed) {
   streaming::Player player(network, pc, cfg);
   player.open_and_play(server, "lec");
   sim.run_until(net::SimTime{net::sec(300).us});
-  return Row{player.startup_delay().seconds(), player.units_lost(),
-             player.stalls().size()};
+
+  const obs::Snapshot snap = sim.obs().metrics().snapshot();
+  const obs::Labels at_pc{{"host", std::to_string(pc)}};
+  const auto* startup = snap.histogram("lod.player.startup_us", at_pc);
+  return Row{
+      startup && startup->count ? static_cast<double>(startup->sum) / 1e6 : 0.0,
+      snap.counter("lod.player.units_lost", at_pc),
+      static_cast<std::size_t>(snap.counter("lod.player.stalls", at_pc))};
 }
 
 int main() {

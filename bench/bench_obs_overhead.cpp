@@ -1,0 +1,110 @@
+// Obs — the observability layer's zero-overhead-when-disabled contract.
+//
+// The playout engine is the hottest instrumented loop in the stack (P1 pushes
+// it to 10^4 firings per play). This bench times the same chain playout three
+// ways: the plain 3-arg play(), play() with a default-initialized PlayObs
+// wired to a DISABLED trace sink plus a live registry counter, and play()
+// with the sink enabled. The contract: the disabled path costs < 2% over the
+// un-instrumented engine. Exit is nonzero when the contract is violated.
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+
+#include "lod/core/ocpn.hpp"
+#include "lod/obs/hub.hpp"
+
+using namespace lod;
+using namespace lod::core;
+using lod::net::sec;
+
+namespace {
+
+TemporalSpec chain_spec(int n) {
+  TemporalSpec s = TemporalSpec::object("o0", 0, sec(1));
+  for (int i = 1; i < n; ++i) {
+    s = TemporalSpec::relate(Relation::kMeets, std::move(s),
+                             TemporalSpec::object("o" + std::to_string(i), 0,
+                                                  sec(1)));
+  }
+  return s;
+}
+
+/// Min-of-reps wall time for one playout configuration. Min (not mean) is
+/// the noise-robust statistic for a fixed deterministic workload.
+template <typename Fn>
+double min_seconds(Fn&& fn, int reps) {
+  double best = std::numeric_limits<double>::max();
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kChain = 10'000;
+  constexpr int kReps = 40;
+  constexpr std::size_t kMaxSteps = 1'000'000;
+
+  const auto compiled = build_ocpn(chain_spec(kChain));
+  const Marking m0 = compiled.initial_marking();
+
+  obs::Hub hub;
+  PlayObs disabled;  // sink present but off — the production default
+  disabled.trace = &hub.trace();
+  disabled.fired = hub.metrics().counter("lod.petri.transitions_fired");
+
+  // Warm caches and verify the three paths agree on the playout itself.
+  const auto ref = play(compiled.net, m0);
+  const auto instrumented = play(compiled.net, m0, kMaxSteps, disabled);
+  if (instrumented.firings.size() != ref.firings.size() ||
+      instrumented.makespan.us != ref.makespan.us) {
+    std::printf("instrumented playout diverged from baseline\n");
+    return 1;
+  }
+
+  // Interleave the configurations so frequency drift hits all three equally.
+  std::int64_t sink_makespan = 0;
+  double base_s = std::numeric_limits<double>::max();
+  double off_s = std::numeric_limits<double>::max();
+  double on_s = std::numeric_limits<double>::max();
+  for (int round = 0; round < kReps; ++round) {
+    base_s = std::min(base_s, min_seconds([&] {
+               sink_makespan += play(compiled.net, m0).makespan.us;
+             }, 1));
+    off_s = std::min(off_s, min_seconds([&] {
+              sink_makespan +=
+                  play(compiled.net, m0, kMaxSteps, disabled).makespan.us;
+            }, 1));
+    hub.trace().set_enabled(true);
+    on_s = std::min(on_s, min_seconds([&] {
+             sink_makespan +=
+                 play(compiled.net, m0, kMaxSteps, disabled).makespan.us;
+           }, 1));
+    hub.trace().set_enabled(false);
+  }
+
+  const double overhead_off = off_s / base_s - 1.0;
+  const double overhead_on = on_s / base_s - 1.0;
+  std::printf("=== obs overhead on the playout engine (%d-object chain) ===\n\n",
+              kChain);
+  std::printf("%-26s %10s %10s\n", "configuration", "min play", "overhead");
+  std::printf("%-26s %8.3fms %10s\n", "no instrumentation", base_s * 1e3, "-");
+  std::printf("%-26s %8.3fms %9.1f%%\n", "sink attached, disabled",
+              off_s * 1e3, overhead_off * 100);
+  std::printf("%-26s %8.3fms %9.1f%%\n", "sink enabled", on_s * 1e3,
+              overhead_on * 100);
+  std::printf("\n(counter lod.petri.transitions_fired = %llu; checksum %lld)\n",
+              static_cast<unsigned long long>(disabled.fired.value()),
+              static_cast<long long>(sink_makespan));
+
+  const bool ok = overhead_off < 0.02;
+  std::printf("\ncontract (disabled-path overhead < 2%%): %s\n",
+              ok ? "holds" : "VIOLATED");
+  return ok ? 0 : 1;
+}

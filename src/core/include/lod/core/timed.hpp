@@ -8,6 +8,7 @@
 #include "lod/core/petri.hpp"
 #include "lod/net/rng.hpp"
 #include "lod/net/time.hpp"
+#include "lod/obs/trace.hpp"
 
 /// \file timed.hpp
 /// Timed Petri nets with media bindings — the OCPN substrate.
@@ -130,6 +131,24 @@ struct PlayoutTrace {
 /// transfer delay before it starts cooking.
 PlayoutTrace play(const TimedPetriNet& net, const Marking& initial,
                   std::size_t max_steps = 1'000'000);
+
+/// Observability hooks for playout. Both members are optional; a
+/// default-constructed PlayObs is exactly the un-instrumented engine (the
+/// null counter and null sink reduce to one predictable branch per firing —
+/// bench_obs_overhead holds this under 2%).
+struct PlayObs {
+  /// Emits a kTransitionFire event per firing (actor = transition id,
+  /// a = firing instant in presentation microseconds). Honors
+  /// `TraceSink::enabled()`; nullptr disables entirely.
+  obs::TraceSink* trace{nullptr};
+  /// Incremented once per firing (e.g. `lod.petri.transitions_fired`).
+  obs::Counter fired;
+};
+
+/// Instrumented playout: identical semantics to `play`, publishing into
+/// \p obs as it goes.
+PlayoutTrace play(const TimedPetriNet& net, const Marking& initial,
+                  std::size_t max_steps, const PlayObs& obs);
 
 /// Stochastic playout — the stochastic-Petri-net member of the family the
 /// paper surveys (§1). Each token's maturation time is sampled per visit:

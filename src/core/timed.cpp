@@ -28,10 +28,12 @@ struct Later {
 }  // namespace
 
 namespace {
-/// Shared engine: \p sample(place) yields this visit's maturation duration.
+/// Shared engine: \p sample(place) yields this visit's maturation duration;
+/// \p hooks publishes firings (a default PlayObs is free — null handles).
 template <typename DurationSampler>
 PlayoutTrace play_impl(const TimedPetriNet& net, const Marking& initial,
-                       std::size_t max_steps, DurationSampler&& sample) {
+                       std::size_t max_steps, DurationSampler&& sample,
+                       const PlayObs& hooks = {}) {
   PlayoutTrace trace;
   const std::size_t np = net.place_count();
   const std::size_t nt = net.transition_count();
@@ -120,6 +122,10 @@ PlayoutTrace play_impl(const TimedPetriNet& net, const Marking& initial,
       }
     }
     trace.firings.push_back(FiringRecord{t, now});
+    hooks.fired.inc();
+    if (hooks.trace && hooks.trace->enabled()) {
+      hooks.trace->emit(obs::EventType::kTransitionFire, t, now.us);
+    }
     for (const auto& a : net.outputs(t)) {
       const SimDuration hop =
           net.site(a.place) != home ? net.transfer_delay() : SimDuration{0};
@@ -174,6 +180,12 @@ PlayoutTrace play(const TimedPetriNet& net, const Marking& initial,
                   std::size_t max_steps) {
   return play_impl(net, initial, max_steps,
                    [&net](PlaceId p) { return net.duration(p); });
+}
+
+PlayoutTrace play(const TimedPetriNet& net, const Marking& initial,
+                  std::size_t max_steps, const PlayObs& obs) {
+  return play_impl(net, initial, max_steps,
+                   [&net](PlaceId p) { return net.duration(p); }, obs);
 }
 
 PlayoutTrace play_stochastic(const TimedPetriNet& net, const Marking& initial,

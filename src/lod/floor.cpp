@@ -33,26 +33,65 @@ const FloorControl::UserRec* FloorControl::find(const std::string& user) const {
   return it == users_.end() ? nullptr : &it->second;
 }
 
+void FloorControl::attach_observability(obs::Hub* hub) {
+  hub_ = hub;
+  if (!hub_) {
+    m_requests_ = {};
+    m_grants_ = {};
+    m_denies_ = {};
+    m_releases_ = {};
+    m_grant_wait_us_ = {};
+    return;
+  }
+  auto& reg = hub_->metrics();
+  m_requests_ = reg.counter("lod.floor.requests");
+  m_grants_ = reg.counter("lod.floor.grants");
+  m_denies_ = reg.counter("lod.floor.denies");
+  m_releases_ = reg.counter("lod.floor.releases");
+  m_grant_wait_us_ = reg.histogram("lod.floor.grant_wait_us");
+}
+
 bool FloorControl::request(const std::string& user) {
   const UserRec* rec = find(user);
-  if (!rec) return false;
-  if (marking_[rec->requesting] > 0 || marking_[rec->holding] > 0) {
-    return false;  // already queued or holding
+  if (!rec || marking_[rec->requesting] > 0 || marking_[rec->holding] > 0) {
+    // Unknown, already queued, or already holding.
+    m_denies_.inc();
+    if (hub_ && hub_->trace().enabled()) {
+      hub_->trace().emit(obs::EventType::kFloorDeny, 0, 0, 0, user);
+    }
+    return false;
   }
   // Deposit a request token; the grant transition may fire when this user
   // reaches the head of the FIFO and the floor is free.
   marking_[rec->requesting] = 1;
   fifo_.push_back(user);
   log_.push_back(Event{Event::Kind::kRequest, user});
+  m_requests_.inc();
+  if (hub_) {
+    asked_at_[user] = hub_->now_us();
+    if (hub_->trace().enabled()) {
+      hub_->trace().emit(obs::EventType::kFloorRequest, 0, 0, 0, user);
+    }
+  }
   try_grant();
   return true;
 }
 
 bool FloorControl::release(const std::string& user) {
   const UserRec* rec = find(user);
-  if (!rec || !net_.enabled(rec->release, marking_)) return false;
+  if (!rec || !net_.enabled(rec->release, marking_)) {
+    m_denies_.inc();
+    if (hub_ && hub_->trace().enabled()) {
+      hub_->trace().emit(obs::EventType::kFloorDeny, 0, 1, 0, user);
+    }
+    return false;
+  }
   net_.fire_in_place(rec->release, marking_);
   log_.push_back(Event{Event::Kind::kRelease, user});
+  m_releases_.inc();
+  if (hub_ && hub_->trace().enabled()) {
+    hub_->trace().emit(obs::EventType::kFloorRelease, 0, 0, 0, user);
+  }
   try_grant();
   return true;
 }
@@ -84,6 +123,16 @@ void FloorControl::try_grant() {
     if (!net_.enabled(head.grant, marking_)) return;  // floor busy
     net_.fire_in_place(head.grant, marking_);
     log_.push_back(Event{Event::Kind::kGrant, *best});
+    m_grants_.inc();
+    if (hub_) {
+      if (auto it = asked_at_.find(*best); it != asked_at_.end()) {
+        m_grant_wait_us_.observe(hub_->now_us() - it->second);
+        asked_at_.erase(it);
+      }
+      if (hub_->trace().enabled()) {
+        hub_->trace().emit(obs::EventType::kFloorGrant, 0, 0, 0, *best);
+      }
+    }
     fifo_.erase(best);
   }
 }
@@ -128,6 +177,8 @@ FloorService::FloorService(net::Network& net, net::HostId host,
       rpc_(net, host, rpc_port),
       relay_(net, host, static_cast<net::Port>(rpc_port + 1)),
       floor_(std::move(users)) {
+  floor_.attach_observability(&net_.simulator().obs());
+  m_relayed_ = net_.simulator().obs().metrics().counter("lod.floor.relayed");
   // Body convention: "user" or "user\ntext" (speak), or "user\nhost:port"
   // (join). Kept deliberately simple — it is a classroom protocol.
   rpc_.route("/floor/join", [this](std::string_view,
@@ -164,6 +215,7 @@ FloorService::FloorService(net::Network& net, net::HostId host,
     for (const auto& [name, m] : members_) {
       relay_.send_to(m.host, m.port, str_bytes(line));
       ++relayed_;
+      m_relayed_.inc();
     }
     return verdict(true);
   });

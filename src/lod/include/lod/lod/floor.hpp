@@ -11,6 +11,7 @@
 #include "lod/core/analysis.hpp"
 #include "lod/core/petri.hpp"
 #include "lod/net/transport.hpp"
+#include "lod/obs/hub.hpp"
 
 /// \file floor.hpp
 /// Floor control with multiple users.
@@ -39,6 +40,13 @@ class FloorControl {
   };
 
   explicit FloorControl(std::vector<std::string> users);
+
+  /// Publish `lod.floor.*` series (requests/grants/denies/releases and the
+  /// grant-wait histogram) and trace events into \p hub. The standalone
+  /// class has no network, so observability is attached explicitly;
+  /// `FloorService` attaches its simulation's hub automatically. Pass
+  /// nullptr to detach.
+  void attach_observability(obs::Hub* hub);
 
   /// Give \p user a scheduling priority (default 0). Higher-priority
   /// requesters are granted before lower ones regardless of arrival order
@@ -84,6 +92,14 @@ class FloorControl {
   core::Marking marking_;
   std::deque<std::string> fifo_;
   std::vector<Event> log_;
+  obs::Hub* hub_{nullptr};
+  obs::Counter m_requests_;
+  obs::Counter m_grants_;
+  obs::Counter m_denies_;
+  obs::Counter m_releases_;
+  obs::Histogram m_grant_wait_us_;
+  /// When each queued user asked (for the grant-wait histogram).
+  std::unordered_map<std::string, obs::TimeUs> asked_at_;
 };
 
 /// Network-facing floor service (runs on the teacher/server host).
@@ -109,6 +125,7 @@ class FloorService {
   };
   std::unordered_map<std::string, Member> members_;
   std::uint64_t relayed_{0};
+  obs::Counter m_relayed_;
 };
 
 /// A classroom member's handle on the floor service.

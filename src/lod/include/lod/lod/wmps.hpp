@@ -123,12 +123,20 @@ class WmpsNode {
 
  private:
   void serve_slides(const std::string& dir, const SlideAsset& asset);
+  PublishResult publish_impl(const PublishForm& form);
+  PublishResult publish_abstraction_impl(
+      const PublishForm& form, const std::vector<LectureSegment>& segments,
+      int level);
+  /// Publish accounting: `lod.wmps.*` counters + the kPublish trace event.
+  void record_publish(const PublishResult& res);
 
   net::Network& net_;
   net::HostId host_;
   streaming::StreamingServer server_;
   net::RpcServer web_;
   media::DrmSystem drm_;
+  obs::Counter m_publishes_;
+  obs::Counter m_publish_errors_;
   std::unordered_map<std::string, VideoAsset> videos_;
   std::unordered_map<std::string, SlideAsset> slides_;
   std::unordered_map<std::string, std::vector<net::SimDuration>> schedules_;

@@ -13,6 +13,9 @@ WmpsNode::WmpsNode(net::Network& net, net::HostId host)
       host_(host),
       server_(net, host),
       web_(net, host, streaming::proto::kWebPort) {
+  auto& reg = net_.simulator().obs().metrics();
+  m_publishes_ = reg.counter("lod.wmps.publishes");
+  m_publish_errors_ = reg.counter("lod.wmps.publish_errors");
   // Remote Fig. 5(a): accept the publishing form over the web port.
   web_.route("/publish", [this](std::string_view,
                                 std::span<const std::byte> body) {
@@ -50,7 +53,35 @@ void WmpsNode::serve_slides(const std::string& dir, const SlideAsset& asset) {
   }
 }
 
+void WmpsNode::record_publish(const PublishResult& res) {
+  if (res.ok) {
+    m_publishes_.inc();
+  } else {
+    m_publish_errors_.inc();
+  }
+  auto& trace = net_.simulator().obs().trace();
+  if (trace.enabled()) {
+    trace.emit(obs::EventType::kPublish, host_,
+               static_cast<std::int64_t>(res.packets), res.ok ? 0 : 1,
+               res.ok ? res.url : res.error);
+  }
+}
+
 PublishResult WmpsNode::publish(const PublishForm& form) {
+  PublishResult res = publish_impl(form);
+  record_publish(res);
+  return res;
+}
+
+PublishResult WmpsNode::publish_abstraction(
+    const PublishForm& form, const std::vector<LectureSegment>& segments,
+    int level) {
+  PublishResult res = publish_abstraction_impl(form, segments, level);
+  record_publish(res);
+  return res;
+}
+
+PublishResult WmpsNode::publish_impl(const PublishForm& form) {
   PublishResult res;
   const auto video = videos_.find(form.video_path);
   if (video == videos_.end()) {
@@ -114,7 +145,7 @@ PublishResult WmpsNode::publish(const PublishForm& form) {
   return res;
 }
 
-PublishResult WmpsNode::publish_abstraction(
+PublishResult WmpsNode::publish_abstraction_impl(
     const PublishForm& form, const std::vector<LectureSegment>& segments,
     int level) {
   PublishResult res;

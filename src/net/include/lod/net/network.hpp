@@ -174,6 +174,12 @@ class Network {
 
   Simulator& sim_;
   Rng rng_;
+  obs::TraceSink* trace_{nullptr};
+  obs::Counter packets_sent_;
+  obs::Counter packets_delivered_;
+  obs::Counter packets_dropped_loss_;
+  obs::Counter packets_dropped_queue_;
+  obs::Counter bytes_sent_;
   std::vector<HostState> hosts_;
   std::unordered_map<std::uint64_t, LinkDir> links_;
   std::unordered_map<ChannelId, ChannelReservation> channels_;

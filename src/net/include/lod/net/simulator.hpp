@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lod/net/time.hpp"
+#include "lod/obs/hub.hpp"
 
 /// \file simulator.hpp
 /// The discrete-event simulation core.
@@ -30,9 +31,14 @@ class Simulator {
  public:
   using Handler = std::function<void()>;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// The observability root for this simulation: one registry and one trace
+  /// timeline per simulator. Layers attach to it at construction.
+  obs::Hub& obs() { return obs_; }
+  const obs::Hub& obs() const { return obs_; }
 
   /// Current simulation time. Monotonically non-decreasing.
   SimTime now() const { return now_; }
@@ -82,6 +88,10 @@ class Simulator {
   bool pop_next(Entry& out);
 
   SimTime now_{};
+  obs::Hub obs_;
+  obs::Counter events_scheduled_;
+  obs::Counter events_fired_;
+  obs::Counter events_cancelled_;
   std::uint64_t next_seq_{0};
   EventId next_id_{1};
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;

@@ -132,6 +132,10 @@ class ReliableEndpoint {
   std::unordered_map<PeerKey, TxState, PeerKeyHash> tx_;
   std::unordered_map<PeerKey, RxState, PeerKeyHash> rx_;
   std::uint64_t retransmissions_{0};
+  obs::Counter messages_sent_;
+  obs::Counter messages_delivered_;
+  obs::Counter retransmissions_metric_;
+  obs::TraceSink* trace_{nullptr};
   std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
 };
 

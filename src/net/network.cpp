@@ -6,7 +6,15 @@
 
 namespace lod::net {
 
-Network::Network(Simulator& sim, std::uint64_t seed) : sim_(sim), rng_(seed) {}
+Network::Network(Simulator& sim, std::uint64_t seed) : sim_(sim), rng_(seed) {
+  auto& reg = sim_.obs().metrics();
+  trace_ = &sim_.obs().trace();
+  packets_sent_ = reg.counter("lod.net.packets_sent");
+  packets_delivered_ = reg.counter("lod.net.packets_delivered");
+  packets_dropped_loss_ = reg.counter("lod.net.packets_dropped_loss");
+  packets_dropped_queue_ = reg.counter("lod.net.packets_dropped_queue");
+  bytes_sent_ = reg.counter("lod.net.bytes_sent");
+}
 
 HostId Network::add_host(std::string name, HostClock clock) {
   const HostId id = static_cast<HostId>(hosts_.size());
@@ -78,6 +86,12 @@ std::vector<HostId> Network::route(HostId a, HostId b) const {
 bool Network::send(Packet p) {
   if (p.src >= hosts_.size() || p.dst >= hosts_.size()) return false;
   p.id = next_packet_++;
+  packets_sent_.inc();
+  bytes_sent_.inc(p.wire_size);
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kPacketSend, p.src,
+                 static_cast<std::int64_t>(p.id), p.wire_size);
+  }
   if (p.src == p.dst) {
     // Loopback: deliver after the current handler unwinds, keeping the
     // "receive is always asynchronous" invariant callers rely on.
@@ -100,6 +114,11 @@ void Network::forward(Packet p, std::size_t hop_index,
   // Loss is drawn per hop, before queueing (wire loss, not buffer loss).
   if (rng_.bernoulli(dir->cfg.loss_rate)) {
     ++dir->stats.packets_dropped_loss;
+    packets_dropped_loss_.inc();
+    if (trace_->enabled()) {
+      trace_->emit(obs::EventType::kPacketDropLoss, from,
+                   static_cast<std::int64_t>(p.id), to);
+    }
     return;
   }
 
@@ -120,6 +139,11 @@ void Network::forward(Packet p, std::size_t hop_index,
     // Best-effort: drop-tail bound, FIFO serializer at (capacity - reserved).
     if (dir->queued_bytes + p.wire_size > dir->cfg.queue_bytes) {
       ++dir->stats.packets_dropped_queue;
+      packets_dropped_queue_.inc();
+      if (trace_->enabled()) {
+        trace_->emit(obs::EventType::kPacketDropQueue, from,
+                     static_cast<std::int64_t>(p.id), to);
+      }
       return;
     }
     const std::int64_t bps =
@@ -161,6 +185,11 @@ void Network::forward(Packet p, std::size_t hop_index,
 }
 
 void Network::deliver(const Packet& p) {
+  packets_delivered_.inc();
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kPacketRecv, p.dst,
+                 static_cast<std::int64_t>(p.id), p.wire_size);
+  }
   auto& host = hosts_.at(p.dst);
   auto it = host.ports.find(p.dst_port);
   if (it != host.ports.end() && it->second) it->second(p);

@@ -23,11 +23,19 @@ std::string to_string(SimTime t) {
   return buf;
 }
 
+Simulator::Simulator() {
+  obs_.set_clock([this] { return now_.us; });
+  events_scheduled_ = obs_.metrics().counter("lod.sim.events_scheduled");
+  events_fired_ = obs_.metrics().counter("lod.sim.events_fired");
+  events_cancelled_ = obs_.metrics().counter("lod.sim.events_cancelled");
+}
+
 EventId Simulator::schedule_at(SimTime t, Handler h) {
   if (t < now_) t = now_;
   const EventId id = next_id_++;
   queue_.push(Entry{t, next_seq_++, id});
   handlers_.emplace(id, std::move(h));
+  events_scheduled_.inc();
   return id;
 }
 
@@ -36,6 +44,7 @@ bool Simulator::cancel(EventId id) {
   if (it == handlers_.end()) return false;
   handlers_.erase(it);
   cancelled_.insert(id);
+  events_cancelled_.inc();
   return true;
 }
 
@@ -62,6 +71,7 @@ bool Simulator::step() {
   // pop_next already filtered cancelled events, so the handler must exist.
   Handler h = std::move(it->second);
   handlers_.erase(it);
+  events_fired_.inc();
   h();
   return true;
 }

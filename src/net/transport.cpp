@@ -52,6 +52,11 @@ ReliableEndpoint::ReliableEndpoint(Network& net, HostId host, Port port,
       port_(port),
       rto_(rto),
       max_retries_(max_retries) {
+  auto& reg = net_.simulator().obs().metrics();
+  messages_sent_ = reg.counter("lod.transport.messages_sent");
+  messages_delivered_ = reg.counter("lod.transport.messages_delivered");
+  retransmissions_metric_ = reg.counter("lod.transport.retransmissions");
+  trace_ = &net_.simulator().obs().trace();
   net_.bind(host_, port_, [this](const Packet& p) { handle_packet(p); });
 }
 
@@ -66,6 +71,7 @@ void ReliableEndpoint::send_to(HostId dst, Port dst_port,
   TxState& tx = tx_[peer];
   const std::uint64_t seq = tx.next_seq++;
   tx.inflight.emplace(seq, std::move(payload));
+  messages_sent_.inc();
   transmit(peer, seq);
   arm_retransmit(peer, seq, max_retries_);
 }
@@ -100,6 +106,11 @@ void ReliableEndpoint::arm_retransmit(const PeerKey& peer, std::uint64_t seq,
         auto it = tx_.find(peer);
         if (it == tx_.end() || !it->second.inflight.count(seq)) return;
         ++retransmissions_;
+        retransmissions_metric_.inc();
+        if (trace_->enabled()) {
+          trace_->emit(obs::EventType::kMsgRetransmit, host_,
+                       static_cast<std::int64_t>(seq), peer.host);
+        }
         transmit(peer, seq);
         arm_retransmit(peer, seq, tries_left - 1);
       });
@@ -163,6 +174,7 @@ void ReliableEndpoint::handle_packet(const Packet& p) {
          rx.out_of_order.begin()->first == rx.next_expected) {
     auto node = rx.out_of_order.extract(rx.out_of_order.begin());
     ++rx.next_expected;
+    messages_delivered_.inc();
     if (handler_) {
       handler_(Message{peer.host, peer.port, std::move(node.mapped())});
     }

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "lod/obs/metrics.hpp"
+#include "lod/obs/trace.hpp"
+
+/// \file hub.hpp
+/// The per-simulation observability root. The `Simulator` owns one Hub and
+/// every layer reaches it through the simulator (or a pointer handed down at
+/// attach time), so one simulation == one registry == one trace timeline.
+
+namespace lod::obs {
+
+class Hub {
+ public:
+  Hub() = default;
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  TraceSink& trace() { return trace_; }
+  const TraceSink& trace() const { return trace_; }
+
+  /// Install the timestamp source (the simulator's clock). Shared with the
+  /// trace sink.
+  void set_clock(std::function<TimeUs()> clock) {
+    clock_ = std::move(clock);
+    trace_.set_clock(clock_);
+  }
+
+  /// Current time per the installed clock; 0 if none.
+  TimeUs now_us() const { return clock_ ? clock_() : 0; }
+
+  Snapshot snapshot() const { return metrics_.snapshot(); }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceSink trace_;
+  std::function<TimeUs()> clock_;
+};
+
+}  // namespace lod::obs

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lod/obs/metrics.hpp"  // TimeUs
+
+/// \file trace.hpp
+/// The tracing half of the observability layer: a bounded ring buffer of
+/// typed events with simulation timestamps, JSONL export/import, and span
+/// helpers for end-to-end latencies (publish -> first frame, seek -> resume).
+///
+/// Unlike metrics (always on — they replace the seed's hand-rolled
+/// counters), tracing is off by default: `emit` is a single predictable
+/// branch when disabled, and hot paths guard with `enabled()` before even
+/// building arguments.
+
+namespace lod::obs {
+
+/// Every event the stack can emit. Values are stable — they appear in
+/// exported JSONL — so append only.
+enum class EventType : std::uint8_t {
+  // network
+  kPacketSend,
+  kPacketRecv,
+  kPacketDropLoss,
+  kPacketDropQueue,
+  // transport
+  kMsgRetransmit,
+  // streaming server sessions
+  kSessionOpen,
+  kSessionPause,
+  kSessionResume,
+  kSessionSeek,
+  kSessionRate,
+  kSessionStop,
+  kSessionEos,
+  // player
+  kPlayIssued,
+  kRenderStart,
+  kStall,
+  kSlideFetch,
+  kSlideShow,
+  kAnnotation,
+  kRepairRequest,
+  kRepairResend,
+  kClockSync,
+  // floor control
+  kFloorRequest,
+  kFloorGrant,
+  kFloorDeny,
+  kFloorRelease,
+  // petri engine
+  kTransitionFire,
+  // wmps
+  kPublish,
+  // generic span markers
+  kSpanBegin,
+  kSpanEnd,
+};
+
+std::string_view to_string(EventType t);
+std::optional<EventType> event_type_from_string(std::string_view s);
+
+/// One trace record. The two int64 payload slots carry event-specific
+/// values (sequence numbers, byte counts, token ids — see the event schema
+/// table in docs/OBSERVABILITY.md); `detail` is for short free-form text
+/// such as a content name or URL.
+struct TraceEvent {
+  TimeUs t{0};
+  EventType type{EventType::kSpanBegin};
+  std::uint64_t actor{0};  ///< host / user / transition id — event-specific
+  std::int64_t a{0};
+  std::int64_t b{0};
+  std::string detail;
+};
+
+/// Bounded ring buffer of TraceEvents. Oldest events are overwritten once
+/// capacity is reached (`dropped()` counts them). Disabled by default.
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 8192);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Timestamp source; the simulator installs its clock here.
+  void set_clock(std::function<TimeUs()> clock) { clock_ = std::move(clock); }
+
+  /// Record an event (no-op unless enabled). Stamped with the clock if one
+  /// is installed, 0 otherwise.
+  void emit(EventType type, std::uint64_t actor = 0, std::int64_t a = 0,
+            std::int64_t b = 0, std::string detail = {});
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t total_emitted() const { return total_; }
+  void clear();
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> events() const;
+  /// Buffered events of one type, oldest first.
+  std::vector<TraceEvent> events(EventType type) const;
+
+  /// One JSON object per line:
+  /// {"t":..,"type":"..","actor":..,"a":..,"b":..,"detail":".."}
+  std::string to_jsonl() const;
+  /// Parse text produced by to_jsonl (fixed schema; unknown lines skipped).
+  static std::vector<TraceEvent> parse_jsonl(std::string_view text);
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_{0};  ///< next write slot
+  std::size_t size_{0};
+  std::uint64_t dropped_{0};
+  std::uint64_t total_{0};
+  bool enabled_{false};
+  std::function<TimeUs()> clock_;
+};
+
+/// First buffered event matching \p type (and \p actor if given).
+std::optional<TraceEvent> first_event(
+    const std::vector<TraceEvent>& events, EventType type,
+    std::optional<std::uint64_t> actor = std::nullopt);
+
+/// Latency from the first \p from event to the first \p to event at or
+/// after it. std::nullopt when either end is missing.
+std::optional<TimeUs> span_between(
+    const std::vector<TraceEvent>& events, EventType from, EventType to,
+    std::optional<std::uint64_t> actor = std::nullopt);
+
+/// Every from->to latency pair, pairing each \p from with the next \p to at
+/// or after it (e.g. every seek -> resume in a session).
+std::vector<TimeUs> span_latencies(
+    const std::vector<TraceEvent>& events, EventType from, EventType to,
+    std::optional<std::uint64_t> actor = std::nullopt);
+
+}  // namespace lod::obs

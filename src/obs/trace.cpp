@@ -1,0 +1,261 @@
+#include "lod/obs/trace.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace lod::obs {
+
+namespace {
+// Keep in enum order; the round-trip test in obs_test walks every value.
+constexpr std::array<std::string_view, 29> kEventNames = {
+    "packet_send",     "packet_recv",    "packet_drop_loss",
+    "packet_drop_queue",
+    "msg_retransmit",
+    "session_open",    "session_pause",  "session_resume",
+    "session_seek",    "session_rate",   "session_stop",
+    "session_eos",
+    "play_issued",     "render_start",   "stall",
+    "slide_fetch",     "slide_show",     "annotation",
+    "repair_request",  "repair_resend",  "clock_sync",
+    "floor_request",   "floor_grant",    "floor_deny",
+    "floor_release",
+    "transition_fire",
+    "publish",
+    "span_begin",      "span_end",
+};
+}  // namespace
+
+std::string_view to_string(EventType t) {
+  const auto i = static_cast<std::size_t>(t);
+  return i < kEventNames.size() ? kEventNames[i] : "unknown";
+}
+
+std::optional<EventType> event_type_from_string(std::string_view s) {
+  for (std::size_t i = 0; i < kEventNames.size(); ++i) {
+    if (kEventNames[i] == s) return static_cast<EventType>(i);
+  }
+  return std::nullopt;
+}
+
+TraceSink::TraceSink(std::size_t capacity) {
+  ring_.resize(capacity == 0 ? 1 : capacity);
+}
+
+void TraceSink::emit(EventType type, std::uint64_t actor, std::int64_t a,
+                     std::int64_t b, std::string detail) {
+  if (!enabled_) return;
+  TraceEvent& slot = ring_[head_];
+  slot.t = clock_ ? clock_() : 0;
+  slot.type = type;
+  slot.actor = actor;
+  slot.a = a;
+  slot.b = b;
+  slot.detail = std::move(detail);
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+  ++total_;
+}
+
+void TraceSink::clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  total_ = 0;
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceSink::events(EventType type) const {
+  std::vector<TraceEvent> out;
+  for (auto& e : events()) {
+    if (e.type == type) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+namespace {
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        default:
+          out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+// Find `"key":` in a single JSON line and return the value token after it
+// (number, or quoted string contents still escaped).
+std::optional<std::string_view> field(std::string_view line,
+                                      std::string_view key) {
+  const std::string pat = "\"" + std::string(key) + "\":";
+  const auto at = line.find(pat);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t i = at + pat.size();
+  if (i >= line.size()) return std::nullopt;
+  if (line[i] == '"') {
+    ++i;
+    std::size_t j = i;
+    while (j < line.size() && !(line[j] == '"' && line[j - 1] != '\\')) ++j;
+    return line.substr(i, j - i);
+  }
+  std::size_t j = i;
+  while (j < line.size() && line[j] != ',' && line[j] != '}') ++j;
+  return line.substr(i, j - i);
+}
+
+template <typename T>
+std::optional<T> parse_int(std::string_view s) {
+  T v{};
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{}) return std::nullopt;
+  return v;
+}
+}  // namespace
+
+std::string TraceSink::to_jsonl() const {
+  std::string out;
+  for (const auto& e : events()) {
+    out += "{\"t\":";
+    out += std::to_string(e.t);
+    out += ",\"type\":\"";
+    out += to_string(e.type);
+    out += "\",\"actor\":";
+    out += std::to_string(e.actor);
+    out += ",\"a\":";
+    out += std::to_string(e.a);
+    out += ",\"b\":";
+    out += std::to_string(e.b);
+    out += ",\"detail\":\"";
+    append_escaped(out, e.detail);
+    out += "\"}\n";
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceSink::parse_jsonl(std::string_view text) {
+  std::vector<TraceEvent> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+
+    const auto t = field(line, "t");
+    const auto type = field(line, "type");
+    if (!t || !type) continue;
+    const auto et = event_type_from_string(*type);
+    const auto tv = parse_int<TimeUs>(*t);
+    if (!et || !tv) continue;
+
+    TraceEvent e;
+    e.t = *tv;
+    e.type = *et;
+    if (const auto v = field(line, "actor")) {
+      e.actor = parse_int<std::uint64_t>(*v).value_or(0);
+    }
+    if (const auto v = field(line, "a")) {
+      e.a = parse_int<std::int64_t>(*v).value_or(0);
+    }
+    if (const auto v = field(line, "b")) {
+      e.b = parse_int<std::int64_t>(*v).value_or(0);
+    }
+    if (const auto v = field(line, "detail")) e.detail = unescape(*v);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::optional<TraceEvent> first_event(const std::vector<TraceEvent>& events,
+                                      EventType type,
+                                      std::optional<std::uint64_t> actor) {
+  for (const auto& e : events) {
+    if (e.type == type && (!actor || e.actor == *actor)) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<TimeUs> span_between(const std::vector<TraceEvent>& events,
+                                   EventType from, EventType to,
+                                   std::optional<std::uint64_t> actor) {
+  std::optional<TimeUs> start;
+  for (const auto& e : events) {
+    if (actor && e.actor != *actor) continue;
+    if (!start && e.type == from) {
+      start = e.t;
+    } else if (start && e.type == to && e.t >= *start) {
+      return e.t - *start;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<TimeUs> span_latencies(const std::vector<TraceEvent>& events,
+                                   EventType from, EventType to,
+                                   std::optional<std::uint64_t> actor) {
+  std::vector<TimeUs> out;
+  TimeUs start = 0;
+  bool open = false;
+  for (const auto& e : events) {
+    if (actor && e.actor != *actor) continue;
+    if (e.type == from) {
+      // A repeated `from` restarts the span (latest request wins).
+      start = e.t;
+      open = true;
+    } else if (open && e.type == to && e.t >= start) {
+      out.push_back(e.t - start);
+      open = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace lod::obs

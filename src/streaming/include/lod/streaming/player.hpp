@@ -125,6 +125,22 @@ struct InteractionRecord {
   }
 };
 
+/// Subscriber interface for the player's typed events: the uniform
+/// replacement for scraping the record vectors. All callbacks default to
+/// no-ops; override what you need. Events fire synchronously at the moment
+/// they happen in simulation time.
+class PlayerObserver {
+ public:
+  virtual ~PlayerObserver() = default;
+  virtual void on_render(const RenderEvent&) {}
+  virtual void on_slide(const SlideEvent&) {}
+  virtual void on_annotation(const AnnotationEvent&) {}
+  virtual void on_stall(const StallEvent&) {}
+  /// Fired when the interaction is issued (before it is satisfied).
+  virtual void on_interaction(const InteractionRecord&) {}
+  virtual void on_finished() {}
+};
+
 /// The player.
 class Player {
  public:
@@ -176,6 +192,12 @@ class Player {
 
   // --- observability (what the benches read) ---------------------------------------
 
+  /// Subscribe to typed events (nullptr unsubscribes). The observer must
+  /// outlive the player or be reset before destruction. Registry series
+  /// (`lod.player.*{host}`) are published regardless of any observer.
+  void set_observer(PlayerObserver* obs) { observer_ = obs; }
+  PlayerObserver* observer() const { return observer_; }
+
   const std::vector<RenderEvent>& rendered() const { return rendered_; }
   const std::vector<SlideEvent>& slides() const { return slides_; }
   const std::vector<AnnotationEvent>& annotations() const { return annotations_; }
@@ -226,6 +248,8 @@ class Player {
   void execute_scripts_upto(net::SimDuration pos);
   void start_prefetch(const std::string& url);
   void show_slide(const std::string& url, net::SimDuration at);
+  /// Single funnel for slide visibility: records, measures, notifies.
+  void record_slide(SlideEvent ev);
   void note_render_for_interactions(net::SimTime t);
   net::SimTime local_now() const;
   /// Convert a local-clock deadline into a simulator (true-time) instant.
@@ -298,6 +322,21 @@ class Player {
   std::vector<AnnotationEvent> annotations_;
   std::vector<StallEvent> stalls_;
   std::vector<InteractionRecord> interactions_;
+  PlayerObserver* observer_{nullptr};
+  obs::TraceSink* trace_{nullptr};
+  obs::Counter m_packets_received_;
+  obs::Counter m_units_rendered_;
+  obs::Counter m_units_lost_;
+  obs::Counter m_stalls_;
+  obs::Counter m_slides_shown_;
+  obs::Counter m_repairs_requested_;
+  obs::Histogram m_startup_us_;
+  obs::Histogram m_stall_us_;
+  obs::Histogram m_slide_fetch_us_;
+  /// Per-unit (true render instant - pts): the cross-host spread of this
+  /// series is the distributed-presentation skew the C1 bench measures.
+  obs::Histogram m_render_offset_us_;
+  bool render_start_pending_{false};
   std::uint64_t packets_received_{0};
   std::uint64_t units_lost_{0};
   std::uint64_t last_seq_{0};

@@ -16,10 +16,19 @@
 /// stored ASF files on demand (unicast, paced by each packet's send time,
 /// with pause/seek per session) and relays live ASF streams to every joined
 /// subscriber ("broadcast ... in real time", §2.5).
+///
+/// Measurement goes through the simulation's `obs::MetricsRegistry`
+/// (`lod.server.*` series) — `metrics()` is the read-side view; the
+/// `SessionStats` struct and `total_packets_sent()` remain as thin shims
+/// over the registry for one deprecation cycle.
 
 namespace lod::streaming {
 
 /// Per-session counters, inspectable by tests and benches.
+///
+/// Compatibility view: the numbers now live in the metrics registry
+/// (`lod.server.session.*{host,session}`); this struct is materialized on
+/// demand by `StreamingServer::session_stats` / `ServerMetrics::session`.
 struct SessionStats {
   std::uint64_t packets_sent{0};
   std::uint64_t bytes_sent{0};
@@ -28,12 +37,57 @@ struct SessionStats {
   std::uint64_t repairs{0};  ///< packets resent on client NACKs
 };
 
+/// Aggregate server configuration (mirrors `PlayerConfig`): every tunable
+/// in one struct, validated in one place.
+struct ServerConfig {
+  /// Control port bound at construction (data rides on control_port + 1).
+  net::Port control_port{proto::kControlPort};
+
+  /// Fast-start burst rate, as a multiple of the content bit-rate. The
+  /// server sends the first preroll's worth of packets at this rate instead
+  /// of instantaneously so drop-tail queues survive the burst; the A4
+  /// ablation bench sweeps it. Values below 1.0 clamp to 1.0 (slower than
+  /// real time would mean the session can never keep up).
+  double fast_start_multiplier{4.0};
+
+  /// Normalized copy with every field forced into its legal range.
+  ServerConfig validated() const {
+    ServerConfig c = *this;
+    if (!(c.fast_start_multiplier >= 1.0)) c.fast_start_multiplier = 1.0;
+    return c;
+  }
+};
+
+class StreamingServer;
+
+/// Read-side view over the server's registry series. Values are live (not a
+/// snapshot); use `snapshot()` + `Snapshot::since` for deltas.
+class ServerMetrics {
+ public:
+  std::uint64_t packets_sent() const;
+  std::uint64_t bytes_sent() const;
+  std::uint64_t repairs() const;
+  std::uint64_t sessions_opened() const;
+  std::int64_t active_sessions() const;
+  /// Per-session counters; nullopt for unknown sessions.
+  std::optional<SessionStats> session(std::uint64_t id) const;
+  /// Whole-simulation snapshot (every layer's series, not just the server).
+  obs::Snapshot snapshot() const;
+
+ private:
+  friend class StreamingServer;
+  explicit ServerMetrics(const StreamingServer* s) : server_(s) {}
+  const StreamingServer* server_;
+};
+
 /// The streaming server on one host.
 class StreamingServer {
  public:
-  /// Binds the control port on \p host.
-  StreamingServer(net::Network& net, net::HostId host,
-                  net::Port control_port = proto::kControlPort);
+  /// Binds `cfg.control_port` on \p host. \p cfg is validated on entry.
+  StreamingServer(net::Network& net, net::HostId host, ServerConfig cfg = {});
+
+  /// Legacy constructor (pre-ServerConfig); forwards to the primary one.
+  StreamingServer(net::Network& net, net::HostId host, net::Port control_port);
 
   // --- content ---------------------------------------------------------------
 
@@ -49,22 +103,46 @@ class StreamingServer {
   /// Mark a live channel finished (subscribers get kEndOfStream).
   void close_live_channel(const std::string& name);
 
-  // --- introspection -----------------------------------------------------------
+  // --- configuration ---------------------------------------------------------
 
-  /// Fast-start burst rate, as a multiple of the content bit-rate (default
-  /// 4x). The server sends the first preroll's worth of packets at this rate
-  /// instead of instantaneously so drop-tail queues survive the burst; the
-  /// A4 ablation bench sweeps it.
-  void set_fast_start_multiplier(double m) { fast_start_ = m < 1.0 ? 1.0 : m; }
-  double fast_start_multiplier() const { return fast_start_; }
+  /// Apply new runtime tunables (validated). The control port is fixed at
+  /// construction; a differing `cfg.control_port` is ignored.
+  void configure(ServerConfig cfg);
+  const ServerConfig& config() const { return config_; }
+
+  [[deprecated("use configure(ServerConfig) instead")]]
+  void set_fast_start_multiplier(double m) {
+    ServerConfig c = config_;
+    c.fast_start_multiplier = m;
+    configure(c);
+  }
+  double fast_start_multiplier() const {
+    return config_.fast_start_multiplier;
+  }
+
+  // --- introspection ---------------------------------------------------------
+
+  /// Registry-backed measurement view (`lod.server.*`).
+  ServerMetrics metrics() const { return ServerMetrics(this); }
 
   std::size_t active_sessions() const;
   std::optional<SessionStats> session_stats(std::uint64_t session) const;
-  std::uint64_t total_packets_sent() const { return total_packets_; }
+  std::uint64_t total_packets_sent() const { return packets_sent_.value(); }
 
   net::HostId host() const { return host_; }
 
  private:
+  friend class ServerMetrics;
+
+  /// Registry handles for one session's `lod.server.session.*` series.
+  struct SessionCounters {
+    obs::Counter packets_sent;
+    obs::Counter bytes_sent;
+    obs::Counter seeks;
+    obs::Counter pauses;
+    obs::Counter repairs;
+  };
+
   struct Session {
     std::uint64_t id{};
     net::HostId client{};
@@ -84,7 +162,7 @@ class StreamingServer {
     net::SimTime last_send{};  ///< burst-rate limiter state
     net::SimDuration pace_offset{};  ///< media send-time at pace_epoch
     std::optional<net::EventId> timer;
-    SessionStats stats;
+    SessionCounters stats;
   };
   struct LiveChannel {
     media::asf::Header header;
@@ -99,17 +177,24 @@ class StreamingServer {
   void send_packet(Session& s, const media::asf::DataPacket& pkt,
                    std::uint32_t packet_index);
   Session* find_session(std::uint64_t id);
+  SessionCounters make_session_counters(std::uint64_t id);
+  void end_session(Session& s);
 
   net::Network& net_;
   net::HostId host_;
+  ServerConfig config_;
   net::ReliableEndpoint ctl_;
   net::DatagramSocket data_;
+  obs::TraceSink* trace_{nullptr};
+  obs::Counter packets_sent_;
+  obs::Counter bytes_sent_;
+  obs::Counter repairs_;
+  obs::Counter sessions_opened_;
+  obs::Gauge active_sessions_gauge_;
   std::unordered_map<std::string, media::asf::File> files_;
   std::unordered_map<std::string, LiveChannel> live_;
   std::unordered_map<std::uint64_t, Session> sessions_;
   std::uint64_t next_session_{1};
-  std::uint64_t total_packets_{0};
-  double fast_start_{4.0};
 };
 
 }  // namespace lod::streaming

@@ -27,6 +27,19 @@ Player::Player(net::Network& net, net::HostId host, PlayerConfig cfg,
       ctl_(net, host, cfg.ctl_port),
       data_(net, host, cfg.data_port),
       web_(net, host, static_cast<net::Port>(cfg.data_port + 1)) {
+  auto& reg = net_.simulator().obs().metrics();
+  trace_ = &net_.simulator().obs().trace();
+  const obs::Labels l{{"host", std::to_string(host_)}};
+  m_packets_received_ = reg.counter("lod.player.packets_received", l);
+  m_units_rendered_ = reg.counter("lod.player.units_rendered", l);
+  m_units_lost_ = reg.counter("lod.player.units_lost", l);
+  m_stalls_ = reg.counter("lod.player.stalls", l);
+  m_slides_shown_ = reg.counter("lod.player.slides_shown", l);
+  m_repairs_requested_ = reg.counter("lod.player.repairs_requested", l);
+  m_startup_us_ = reg.histogram("lod.player.startup_us", l);
+  m_stall_us_ = reg.histogram("lod.player.stall_us", l);
+  m_slide_fetch_us_ = reg.histogram("lod.player.slide_fetch_us", l);
+  m_render_offset_us_ = reg.histogram("lod.player.render_offset_us", l);
   ctl_.on_receive(
       [this](const net::ReliableEndpoint::Message& m) { handle_control(m); });
   data_.on_receive([this](const net::Packet& p) { handle_data(p); });
@@ -42,7 +55,9 @@ Player::~Player() {
 net::SimTime Player::local_now() const { return net_.local_now(host_); }
 
 void Player::enter_finished() {
+  const bool was_finished = state_ == State::kFinished;
   state_ = State::kFinished;
+  if (!was_finished && observer_) observer_->on_finished();
   if (sync_timer_) {
     net_.simulator().cancel(*sync_timer_);
     sync_timer_.reset();
@@ -151,6 +166,9 @@ void Player::on_described(std::span<const std::byte> header_bytes) {
     w.u16(cfg_.data_port);
     ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
     play_issued_ = net_.simulator().now();
+    if (trace_->enabled()) {
+      trace_->emit(obs::EventType::kPlayIssued, host_, 0, 1, content_);
+    }
     state_ = State::kBuffering;
   } else {
     const net::SimDuration from =
@@ -168,6 +186,9 @@ void Player::send_play(net::SimDuration from) {
   w.u32(channel_);
   ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
   play_issued_ = net_.simulator().now();
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kPlayIssued, host_, from.us, 0, content_);
+  }
   expected_seq_reset_ = true;
   eos_received_ = false;
   state_ = State::kBuffering;
@@ -228,6 +249,9 @@ void Player::handle_control(const net::ReliableEndpoint::Message& m) {
       const net::SimDuration offset = (ts - t2) + rtt / 2;
       net_.clock(host_).adjust(offset);
       last_correction_ = offset;
+      if (trace_->enabled()) {
+        trace_->emit(obs::EventType::kClockSync, host_, offset.us, rtt.us);
+      }
       return;
     }
     case Ctl::kEndOfStream: {
@@ -302,11 +326,13 @@ void Player::handle_data(const net::Packet& p) {
     return;  // malformed datagram: drop
   }
   ++packets_received_;
+  m_packets_received_.inc();
   if (expected_seq_reset_) {
     expected_seq_reset_ = false;
     last_seq_ = seq;
   } else if (seq > last_seq_ + 1) {
     units_lost_ += seq - last_seq_ - 1;  // packet-level loss estimate
+    m_units_lost_.inc(seq - last_seq_ - 1);
     last_seq_ = seq;
   } else if (seq > last_seq_) {
     last_seq_ = seq;
@@ -353,6 +379,10 @@ void Player::request_repair(std::uint32_t first, std::uint32_t last) {
     ++repairs_requested_;
   }
   if (count == 0) return;
+  m_repairs_requested_.inc(count);
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kRepairRequest, host_, count);
+  }
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Ctl::kRepair));
   w.u64(session_);
@@ -431,8 +461,15 @@ void Player::ingest(const media::asf::DataPacket& pkt) {
     if (now_true > deadline_true) {
       const net::SimDuration late = now_true - deadline_true;
       epoch_local_ += late;
-      stalls_.push_back(StallEvent{*waiting_since_,
-                                   net_.simulator().now() - *waiting_since_});
+      const StallEvent ev{*waiting_since_,
+                          net_.simulator().now() - *waiting_since_};
+      stalls_.push_back(ev);
+      m_stalls_.inc();
+      m_stall_us_.observe(ev.duration.us);
+      if (trace_->enabled()) {
+        trace_->emit(obs::EventType::kStall, host_, ev.duration.us);
+      }
+      if (observer_) observer_->on_stall(ev);
     }
     waiting_since_.reset();
     arm_render_timer();
@@ -471,8 +508,10 @@ void Player::maybe_start_rendering() {
     epoch_local_ = local_now();
   }
   state_ = State::kPlaying;
+  render_start_pending_ = true;
   if (startup_delay_.us < 0) {
     startup_delay_ = net_.simulator().now() - play_issued_;
+    m_startup_us_.observe(startup_delay_.us);
   }
   if (pending_slide_) {
     // Apply the slide that should already be on screen at this position.
@@ -549,8 +588,18 @@ void Player::render_due() {
          unit_due(net::SimDuration{buffer_.begin()->first}) <= now) {
     auto node = buffer_.extract(buffer_.begin());
     const auto& meta = node.mapped().meta;
-    rendered_.push_back(
-        RenderEvent{meta.type, meta.stream_id, meta.pts, now, now_local});
+    const RenderEvent ev{meta.type, meta.stream_id, meta.pts, now, now_local};
+    rendered_.push_back(ev);
+    m_units_rendered_.inc();
+    m_render_offset_us_.observe(now.us - meta.pts.us);
+    if (render_start_pending_) {
+      render_start_pending_ = false;
+      if (trace_->enabled()) {
+        trace_->emit(obs::EventType::kRenderStart, host_, meta.pts.us, 0,
+                     content_);
+      }
+    }
+    if (observer_) observer_->on_render(ev);
     note_render_for_interactions(now);
   }
   const net::SimDuration wall = now_local - epoch_local_;
@@ -573,8 +622,8 @@ void Player::start_prefetch(const std::string& url) {
               // instant its bytes land.
               if (auto it = awaiting_display_.find(url);
                   it != awaiting_display_.end()) {
-                slides_.push_back(SlideEvent{url, it->second.first, now,
-                                             now - it->second.second});
+                record_slide(SlideEvent{url, it->second.first, now,
+                                        now - it->second.second});
                 awaiting_display_.erase(it);
               }
             });
@@ -586,7 +635,7 @@ void Player::show_slide(const std::string& url, net::SimDuration at) {
     auto it = prefetched_.find(url);
     if (it != prefetched_.end() && it->second.has_value()) {
       // Already in the browser cache: appears instantly.
-      slides_.push_back(SlideEvent{url, at, now, net::SimDuration{0}});
+      record_slide(SlideEvent{url, at, now, net::SimDuration{0}});
       return;
     }
     if (it != prefetched_.end()) {
@@ -601,8 +650,19 @@ void Player::show_slide(const std::string& url, net::SimDuration at) {
                 int status, std::span<const std::byte>) {
               if (!*alive || status != 200) return;
               const net::SimTime done = net_.simulator().now();
-              slides_.push_back(SlideEvent{url, at, done, done - asked});
+              record_slide(SlideEvent{url, at, done, done - asked});
             });
+}
+
+void Player::record_slide(SlideEvent ev) {
+  m_slides_shown_.inc();
+  m_slide_fetch_us_.observe(ev.fetch_latency.us);
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kSlideShow, host_, ev.pts.us,
+                 ev.fetch_latency.us, ev.url);
+  }
+  slides_.push_back(std::move(ev));
+  if (observer_) observer_->on_slide(slides_.back());
 }
 
 void Player::execute_scripts_upto(net::SimDuration pos) {
@@ -614,6 +674,11 @@ void Player::execute_scripts_upto(net::SimDuration pos) {
       } else if (cmd.type == "ANNOT") {
         annotations_.push_back(
             AnnotationEvent{cmd.param, cmd.at, net_.simulator().now()});
+        if (trace_->enabled()) {
+          trace_->emit(obs::EventType::kAnnotation, host_, cmd.at.us, 0,
+                       cmd.param);
+        }
+        if (observer_) observer_->on_annotation(annotations_.back());
       }
     }
   }
@@ -638,6 +703,11 @@ void Player::pause() {
                                             {},
                                             net::SimTime::max(),
                                             true});  // pause needs no resync
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kSessionPause, host_,
+                 static_cast<std::int64_t>(session_));
+  }
+  if (observer_) observer_->on_interaction(interactions_.back());
   if (render_timer_) {
     net_.simulator().cancel(*render_timer_);
     render_timer_.reset();
@@ -672,6 +742,11 @@ void Player::resume() {
                                             {},
                                             net::SimTime::max(),
                                             false});
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kSessionResume, host_,
+                 static_cast<std::int64_t>(session_));
+  }
+  if (observer_) observer_->on_interaction(interactions_.back());
   if (cfg_.model == SyncModel::kEtpn) {
     ByteWriter w;
     w.u8(static_cast<std::uint8_t>(Ctl::kResume));
@@ -681,6 +756,7 @@ void Player::resume() {
     base_pts_ = paused_pos_;
     epoch_local_ = local_now();
     state_ = State::kPlaying;
+    render_start_pending_ = true;
     arm_render_timer();
   } else {
     restart_from_top(paused_pos_);
@@ -692,6 +768,11 @@ void Player::seek(net::SimDuration to) {
   interactions_.push_back(InteractionRecord{InteractionRecord::Kind::kSeek,
                                             net_.simulator().now(), to,
                                             net::SimTime::max(), false});
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kSessionSeek, host_,
+                 static_cast<std::int64_t>(session_), to.us);
+  }
+  if (observer_) observer_->on_interaction(interactions_.back());
   if (render_timer_) {
     net_.simulator().cancel(*render_timer_);
     render_timer_.reset();
@@ -757,6 +838,12 @@ void Player::set_rate(double rate) {
                                             {},
                                             net::SimTime::max(),
                                             false});
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kSessionRate, host_,
+                 static_cast<std::int64_t>(session_),
+                 static_cast<std::int64_t>(rate * 1000.0 + 0.5));
+  }
+  if (observer_) observer_->on_interaction(interactions_.back());
   // Re-anchor the render clock at the current position before changing speed.
   if (state_ == State::kPlaying) {
     base_pts_ = position();

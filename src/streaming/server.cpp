@@ -9,13 +9,56 @@ using net::ByteWriter;
 using proto::Ctl;
 
 StreamingServer::StreamingServer(net::Network& net, net::HostId host,
-                                 net::Port control_port)
+                                 ServerConfig cfg)
     : net_(net),
       host_(host),
-      ctl_(net, host, control_port),
-      data_(net, host, static_cast<net::Port>(control_port + 1)) {
+      config_(cfg.validated()),
+      ctl_(net, host, config_.control_port),
+      data_(net, host, static_cast<net::Port>(config_.control_port + 1)) {
+  auto& reg = net_.simulator().obs().metrics();
+  trace_ = &net_.simulator().obs().trace();
+  const obs::Labels host_label{{"host", std::to_string(host_)}};
+  packets_sent_ = reg.counter("lod.server.packets_sent", host_label);
+  bytes_sent_ = reg.counter("lod.server.bytes_sent", host_label);
+  repairs_ = reg.counter("lod.server.repairs", host_label);
+  sessions_opened_ = reg.counter("lod.server.sessions_opened", host_label);
+  active_sessions_gauge_ = reg.gauge("lod.server.active_sessions", host_label);
   ctl_.on_receive(
       [this](const net::ReliableEndpoint::Message& m) { handle_control(m); });
+}
+
+StreamingServer::StreamingServer(net::Network& net, net::HostId host,
+                                 net::Port control_port)
+    : StreamingServer(net, host, ServerConfig{control_port, 4.0}) {}
+
+void StreamingServer::configure(ServerConfig cfg) {
+  cfg = cfg.validated();
+  cfg.control_port = config_.control_port;  // fixed at construction
+  config_ = cfg;
+}
+
+StreamingServer::SessionCounters StreamingServer::make_session_counters(
+    std::uint64_t id) {
+  auto& reg = net_.simulator().obs().metrics();
+  const obs::Labels labels{{"host", std::to_string(host_)},
+                           {"session", std::to_string(id)}};
+  SessionCounters c;
+  c.packets_sent = reg.counter("lod.server.session.packets_sent", labels);
+  c.bytes_sent = reg.counter("lod.server.session.bytes_sent", labels);
+  c.seeks = reg.counter("lod.server.session.seeks", labels);
+  c.pauses = reg.counter("lod.server.session.pauses", labels);
+  c.repairs = reg.counter("lod.server.session.repairs", labels);
+  return c;
+}
+
+void StreamingServer::end_session(Session& s) {
+  if (s.stopped) return;
+  s.stopped = true;
+  active_sessions_gauge_.add(-1);
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kSessionStop, s.client,
+                 static_cast<std::int64_t>(s.id));
+  }
 }
 
 void StreamingServer::publish(std::string name, media::asf::File file) {
@@ -64,7 +107,36 @@ std::optional<SessionStats> StreamingServer::session_stats(
     std::uint64_t session) const {
   auto it = sessions_.find(session);
   if (it == sessions_.end()) return std::nullopt;
-  return it->second.stats;
+  const SessionCounters& c = it->second.stats;
+  SessionStats out;
+  out.packets_sent = c.packets_sent.value();
+  out.bytes_sent = c.bytes_sent.value();
+  out.seeks = c.seeks.value();
+  out.pauses = c.pauses.value();
+  out.repairs = c.repairs.value();
+  return out;
+}
+
+std::uint64_t ServerMetrics::packets_sent() const {
+  return server_->packets_sent_.value();
+}
+std::uint64_t ServerMetrics::bytes_sent() const {
+  return server_->bytes_sent_.value();
+}
+std::uint64_t ServerMetrics::repairs() const {
+  return server_->repairs_.value();
+}
+std::uint64_t ServerMetrics::sessions_opened() const {
+  return server_->sessions_opened_.value();
+}
+std::int64_t ServerMetrics::active_sessions() const {
+  return server_->active_sessions_gauge_.value();
+}
+std::optional<SessionStats> ServerMetrics::session(std::uint64_t id) const {
+  return server_->session_stats(id);
+}
+obs::Snapshot ServerMetrics::snapshot() const {
+  return server_->net_.simulator().obs().snapshot();
 }
 
 StreamingServer::Session* StreamingServer::find_session(std::uint64_t id) {
@@ -134,7 +206,14 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
                           ? s.file->packets[s.next_packet].send_time
                           : net::SimDuration{0};
       const std::uint64_t id = s.id;
+      s.stats = make_session_counters(id);
       sessions_.emplace(id, std::move(s));
+      sessions_opened_.inc();
+      active_sessions_gauge_.add(1);
+      if (trace_->enabled()) {
+        trace_->emit(obs::EventType::kSessionOpen, m.src,
+                     static_cast<std::int64_t>(id), from.us, name);
+      }
       ByteWriter w;
       w.u8(static_cast<std::uint8_t>(Ctl::kPlayOk));
       w.u64(id);
@@ -158,7 +237,14 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
       s.data_port = data_port;
       s.live_name = name;
       const std::uint64_t id = s.id;
+      s.stats = make_session_counters(id);
       sessions_.emplace(id, std::move(s));
+      sessions_opened_.inc();
+      active_sessions_gauge_.add(1);
+      if (trace_->enabled()) {
+        trace_->emit(obs::EventType::kSessionOpen, m.src,
+                     static_cast<std::int64_t>(id), 0, name);
+      }
       it->second.subscribers.push_back(id);
       ByteWriter w;
       w.u8(static_cast<std::uint8_t>(Ctl::kPlayOk));
@@ -171,7 +257,11 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
     case Ctl::kPause: {
       if (Session* s = find_session(r.u64()); s && s->file) {
         s->paused = true;
-        ++s->stats.pauses;
+        s->stats.pauses.inc();
+        if (trace_->enabled()) {
+          trace_->emit(obs::EventType::kSessionPause, s->client,
+                       static_cast<std::int64_t>(s->id));
+        }
         if (s->timer) {
           net_.simulator().cancel(*s->timer);
           s->timer.reset();
@@ -183,6 +273,10 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
     case Ctl::kResume: {
       if (Session* s = find_session(r.u64()); s && s->file && s->paused) {
         s->paused = false;
+        if (trace_->enabled()) {
+          trace_->emit(obs::EventType::kSessionResume, s->client,
+                       static_cast<std::int64_t>(s->id));
+        }
         s->pace_epoch = net_.simulator().now();
         s->pace_offset = s->next_packet < s->file->packets.size()
                              ? s->file->packets[s->next_packet].send_time
@@ -196,7 +290,11 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
       const std::uint64_t sid = r.u64();
       const net::SimDuration to{r.i64()};
       if (Session* s = find_session(sid); s && s->file) {
-        ++s->stats.seeks;
+        s->stats.seeks.inc();
+        if (trace_->enabled()) {
+          trace_->emit(obs::EventType::kSessionSeek, s->client,
+                       static_cast<std::int64_t>(s->id), to.us);
+        }
         ++s->epoch;  // packets from before the jump are now stale
         if (s->timer) {
           net_.simulator().cancel(*s->timer);
@@ -217,6 +315,10 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
       const std::uint32_t permille = r.u32();
       const net::ChannelId channel = r.u32();
       if (Session* s = find_session(sid); s && s->file && permille > 0) {
+        if (trace_->enabled()) {
+          trace_->emit(obs::EventType::kSessionRate, s->client,
+                       static_cast<std::int64_t>(s->id), permille);
+        }
         s->channel = channel;  // the client renegotiated its QoS reservation
         // Re-anchor the pacing at the new speed, like resume does.
         if (s->timer) {
@@ -244,7 +346,12 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
         const std::uint32_t idx = r.u32();
         if (s && s->file && !s->stopped &&
             idx < s->file->packets.size()) {
-          ++s->stats.repairs;
+          s->stats.repairs.inc();
+          repairs_.inc();
+          if (trace_->enabled()) {
+            trace_->emit(obs::EventType::kRepairResend, s->client,
+                         static_cast<std::int64_t>(s->id), idx);
+          }
           send_packet(*s, s->file->packets[idx], idx);
         }
       }
@@ -255,7 +362,7 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
     case Ctl::kLeaveLive: {
       const std::uint64_t sid = r.u64();
       if (Session* s = find_session(sid)) {
-        s->stopped = true;
+        end_session(*s);
         if (s->timer) {
           net_.simulator().cancel(*s->timer);
           s->timer.reset();
@@ -288,6 +395,10 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
 void StreamingServer::schedule_next(Session& s) {
   if (s.stopped || s.paused || !s.file) return;
   if (s.next_packet >= s.file->packets.size()) {
+    if (trace_->enabled()) {
+      trace_->emit(obs::EventType::kSessionEos, s.client,
+                   static_cast<std::int64_t>(s.id));
+    }
     ByteWriter w;
     w.u8(static_cast<std::uint8_t>(Ctl::kEndOfStream));
     w.u64(s.id);
@@ -308,7 +419,7 @@ void StreamingServer::schedule_next(Session& s) {
                          static_cast<double>(media_ahead.us) / s.rate)};
   const std::int64_t bps =
       std::max<std::int64_t>(s.file->header.props.avg_bitrate_bps, 8'000);
-  double burst_bps = fast_start_ * static_cast<double>(bps);
+  double burst_bps = config_.fast_start_multiplier * static_cast<double>(bps);
   // A session on a reserved channel cannot burst past the reservation: the
   // channel serializer would just queue the excess and add head-of-line
   // delay in front of everything (including repair resends).
@@ -365,9 +476,10 @@ void StreamingServer::send_packet(Session& s, const media::asf::DataPacket& pkt,
                               nominal) +
       28;
   p.channel = s.channel;
-  ++s.stats.packets_sent;
-  s.stats.bytes_sent += p.wire_size;
-  ++total_packets_;
+  s.stats.packets_sent.inc();
+  s.stats.bytes_sent.inc(p.wire_size);
+  packets_sent_.inc();
+  bytes_sent_.inc(p.wire_size);
   net_.send(std::move(p));
 }
 

@@ -1,0 +1,303 @@
+// Unit tests for the observability layer: the metrics registry (handles,
+// labels, snapshots/diffs) and the trace sink (ring buffer, JSONL, spans).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "lod/obs/hub.hpp"
+#include "lod/obs/metrics.hpp"
+#include "lod/obs/trace.hpp"
+
+using namespace lod::obs;
+
+// --- metrics ----------------------------------------------------------------------
+
+TEST(Metrics, NullHandlesAreInertAndFalsy) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc();
+  g.set(5);
+  h.observe(42);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.data(), nullptr);
+  EXPECT_FALSE(static_cast<bool>(c));
+  EXPECT_FALSE(static_cast<bool>(g));
+  EXPECT_FALSE(static_cast<bool>(h));
+}
+
+TEST(Metrics, CounterAndGaugeSemantics) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("lod.test.count");
+  c.inc();
+  c.inc(9);
+  EXPECT_EQ(c.value(), 10u);
+
+  Gauge g = reg.gauge("lod.test.active");
+  g.set(3);
+  g.add(-1);
+  EXPECT_EQ(g.value(), 2);
+}
+
+TEST(Metrics, SameIdentityResolvesToSameCell) {
+  MetricsRegistry reg;
+  Counter a = reg.counter("lod.test.n", {{"host", "1"}, {"session", "2"}});
+  // Label order at the call site must not create a distinct series.
+  Counter b = reg.counter("lod.test.n", {{"session", "2"}, {"host", "1"}});
+  a.inc(4);
+  EXPECT_EQ(b.value(), 4u);
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(Metrics, LabelCardinalityCreatesDistinctSeries) {
+  MetricsRegistry reg;
+  for (int host = 0; host < 3; ++host) {
+    reg.counter("lod.test.n", {{"host", std::to_string(host)}}).inc();
+  }
+  reg.counter("lod.test.n").inc(5);  // unlabeled is its own series
+  EXPECT_EQ(reg.series_count(), 4u);
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("lod.test.n", {{"host", "1"}}), 1u);
+  EXPECT_EQ(snap.counter("lod.test.n"), 5u);
+  EXPECT_EQ(snap.total("lod.test.n"), 8u);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("lod.test.x");
+  EXPECT_THROW(reg.gauge("lod.test.x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("lod.test.x"), std::logic_error);
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  MetricsRegistry reg;
+  Histogram h =
+      reg.histogram("lod.test.lat", std::vector<std::int64_t>{10, 100, 1000});
+  h.observe(5);     // <= 10
+  h.observe(10);    // <= 10 (bounds are inclusive upper bounds)
+  h.observe(50);    // <= 100
+  h.observe(5000);  // overflow
+  const HistogramData* d = h.data();
+  ASSERT_NE(d, nullptr);
+  ASSERT_EQ(d->counts.size(), 4u);
+  EXPECT_EQ(d->counts[0], 2u);
+  EXPECT_EQ(d->counts[1], 1u);
+  EXPECT_EQ(d->counts[2], 0u);
+  EXPECT_EQ(d->counts[3], 1u);
+  EXPECT_EQ(d->count, 4u);
+  EXPECT_EQ(d->sum, 5065);
+  EXPECT_EQ(d->min, 5);
+  EXPECT_EQ(d->max, 5000);
+  EXPECT_DOUBLE_EQ(d->mean(), 5065.0 / 4.0);
+  EXPECT_EQ(d->quantile_bound(0.5), 10);
+  // The overflow bucket reports the observed max.
+  EXPECT_EQ(d->quantile_bound(1.0), 5000);
+}
+
+TEST(Metrics, DefaultHistogramUsesLatencyBuckets) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("lod.test.lat");
+  ASSERT_NE(h.data(), nullptr);
+  EXPECT_EQ(h.data()->bounds, MetricsRegistry::latency_buckets_us());
+}
+
+TEST(Metrics, SnapshotDiffIsolatesAPhase) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("lod.test.n");
+  Histogram h = reg.histogram("lod.test.lat", std::vector<std::int64_t>{100});
+  c.inc(7);
+  h.observe(50);
+  const Snapshot before = reg.snapshot();
+  c.inc(3);
+  h.observe(200);
+  const Snapshot delta = reg.snapshot().since(before);
+  EXPECT_EQ(delta.counter("lod.test.n"), 3u);
+  const HistogramData* d = delta.histogram("lod.test.lat");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count, 1u);
+  EXPECT_EQ(d->sum, 200);
+  ASSERT_EQ(d->counts.size(), 2u);
+  EXPECT_EQ(d->counts[0], 0u);
+  EXPECT_EQ(d->counts[1], 1u);
+}
+
+TEST(Metrics, SnapshotIsImmutableCopy) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("lod.test.n");
+  c.inc();
+  const Snapshot snap = reg.snapshot();
+  c.inc(100);
+  EXPECT_EQ(snap.counter("lod.test.n"), 1u);
+}
+
+TEST(Metrics, MergedHistogramAcrossLabels) {
+  MetricsRegistry reg;
+  const std::vector<std::int64_t> bounds{10, 100};
+  reg.histogram("lod.test.lat", bounds, {{"host", "0"}}).observe(5);
+  reg.histogram("lod.test.lat", bounds, {{"host", "1"}}).observe(50);
+  const HistogramData merged =
+      reg.snapshot().merged_histogram("lod.test.lat");
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_EQ(merged.sum, 55);
+  EXPECT_EQ(merged.min, 5);
+  EXPECT_EQ(merged.max, 50);
+  ASSERT_EQ(merged.counts.size(), 3u);
+  EXPECT_EQ(merged.counts[0], 1u);
+  EXPECT_EQ(merged.counts[1], 1u);
+}
+
+// --- trace ------------------------------------------------------------------------
+
+TEST(Trace, DisabledSinkRecordsNothing) {
+  TraceSink sink;
+  EXPECT_FALSE(sink.enabled());
+  sink.emit(EventType::kStall, 1, 2, 3, "x");
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.total_emitted(), 0u);
+}
+
+TEST(Trace, EmitStampsWithInstalledClock) {
+  TraceSink sink;
+  sink.set_enabled(true);
+  TimeUs now = 0;
+  sink.set_clock([&now] { return now; });
+  now = 42;
+  sink.emit(EventType::kSessionOpen, 7, 1, 2, "lec");
+  const auto evs = sink.events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].t, 42);
+  EXPECT_EQ(evs[0].type, EventType::kSessionOpen);
+  EXPECT_EQ(evs[0].actor, 7u);
+  EXPECT_EQ(evs[0].a, 1);
+  EXPECT_EQ(evs[0].b, 2);
+  EXPECT_EQ(evs[0].detail, "lec");
+}
+
+TEST(Trace, RingWrapsAndCountsDropped) {
+  TraceSink sink(4);
+  sink.set_enabled(true);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    sink.emit(EventType::kPacketSend, 0, i);
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.capacity(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  EXPECT_EQ(sink.total_emitted(), 10u);
+  const auto evs = sink.events();
+  ASSERT_EQ(evs.size(), 4u);
+  // Oldest first, and the survivors are the most recent four.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(evs[i].a, static_cast<std::int64_t>(6 + i));
+  }
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(Trace, EventsFilterByType) {
+  TraceSink sink;
+  sink.set_enabled(true);
+  sink.emit(EventType::kFloorRequest, 0, 0, 0, "alice");
+  sink.emit(EventType::kFloorGrant, 0, 0, 0, "alice");
+  sink.emit(EventType::kFloorRequest, 0, 0, 0, "bob");
+  const auto reqs = sink.events(EventType::kFloorRequest);
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].detail, "alice");
+  EXPECT_EQ(reqs[1].detail, "bob");
+}
+
+TEST(Trace, EveryEventTypeNameRoundTrips) {
+  for (int i = 0; i <= static_cast<int>(EventType::kSpanEnd); ++i) {
+    const auto t = static_cast<EventType>(i);
+    const auto name = to_string(t);
+    EXPECT_NE(name, "unknown") << i;
+    const auto back = event_type_from_string(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, t) << name;
+  }
+  EXPECT_FALSE(event_type_from_string("no_such_event").has_value());
+}
+
+TEST(Trace, JsonlRoundTripsIncludingEscapes) {
+  TraceSink sink;
+  sink.set_enabled(true);
+  TimeUs now = 1'000'000;
+  sink.set_clock([&now] { return now; });
+  sink.emit(EventType::kPublish, 3, -7, 9, "a \"quoted\"\npath\\with\ttabs");
+  sink.emit(EventType::kTransitionFire, 12, 34);
+  const std::string text = sink.to_jsonl();
+  const auto parsed = TraceSink::parse_jsonl(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].t, 1'000'000);
+  EXPECT_EQ(parsed[0].type, EventType::kPublish);
+  EXPECT_EQ(parsed[0].actor, 3u);
+  EXPECT_EQ(parsed[0].a, -7);
+  EXPECT_EQ(parsed[0].b, 9);
+  EXPECT_EQ(parsed[0].detail, "a \"quoted\"\npath\\with\ttabs");
+  EXPECT_EQ(parsed[1].type, EventType::kTransitionFire);
+  EXPECT_EQ(parsed[1].actor, 12u);
+  // Garbage lines are skipped, valid ones kept.
+  const auto mixed = TraceSink::parse_jsonl("not json\n" + text + "\n{}\n");
+  EXPECT_EQ(mixed.size(), 2u);
+}
+
+namespace {
+TraceEvent ev(TimeUs t, EventType type, std::uint64_t actor = 0) {
+  TraceEvent e;
+  e.t = t;
+  e.type = type;
+  e.actor = actor;
+  return e;
+}
+}  // namespace
+
+TEST(Trace, SpanHelpers) {
+  const std::vector<TraceEvent> evs = {
+      ev(10, EventType::kPublish, 1),
+      ev(25, EventType::kRenderStart, 2),
+      ev(40, EventType::kSessionSeek, 2),
+      ev(47, EventType::kRenderStart, 2),
+      ev(60, EventType::kSessionSeek, 2),   // restarted below: latest wins
+      ev(70, EventType::kSessionSeek, 2),
+      ev(75, EventType::kRenderStart, 2),
+  };
+  const auto first = first_event(evs, EventType::kRenderStart);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->t, 25);
+  EXPECT_FALSE(first_event(evs, EventType::kRenderStart, 9).has_value());
+
+  // publish -> first frame.
+  const auto preroll =
+      span_between(evs, EventType::kPublish, EventType::kRenderStart);
+  ASSERT_TRUE(preroll.has_value());
+  EXPECT_EQ(*preroll, 15);
+
+  // Every seek -> resume; the back-to-back seek at t=60 is superseded at 70.
+  const auto seeks =
+      span_latencies(evs, EventType::kSessionSeek, EventType::kRenderStart, 2);
+  ASSERT_EQ(seeks.size(), 2u);
+  EXPECT_EQ(seeks[0], 7);
+  EXPECT_EQ(seeks[1], 5);
+
+  EXPECT_FALSE(
+      span_between(evs, EventType::kStall, EventType::kRenderStart).has_value());
+}
+
+// --- hub --------------------------------------------------------------------------
+
+TEST(Hub, SharesClockBetweenMetricsAndTrace) {
+  Hub hub;
+  TimeUs now = 0;
+  hub.set_clock([&now] { return now; });
+  now = 123;
+  EXPECT_EQ(hub.now_us(), 123);
+  hub.trace().set_enabled(true);
+  hub.trace().emit(EventType::kSpanBegin);
+  ASSERT_EQ(hub.trace().events().size(), 1u);
+  EXPECT_EQ(hub.trace().events()[0].t, 123);
+
+  hub.metrics().counter("lod.test.n").inc(2);
+  EXPECT_EQ(hub.snapshot().counter("lod.test.n"), 2u);
+}

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "lod/obs/hub.hpp"
 #include "lod/streaming/encoder.hpp"
 #include "lod/streaming/server.hpp"
 
@@ -681,6 +682,169 @@ TEST_F(StreamFixture, JoinUnknownLiveChannelFails) {
   p.join_live(server_host, "nothing");
   sim.run();
   EXPECT_EQ(p.units_rendered(), 0u);
+}
+
+// --- the observability layer through the streaming stack --------------------------
+
+TEST_F(StreamFixture, ServerMetricsViewMatchesLegacyShims) {
+  const auto enc = encode(sec(5), default_job());
+  server->publish("lec", enc.file);
+  Player p(network, client_host, player_cfg(SyncModel::kEtpn));
+  p.open_and_play(server_host, "lec");
+  sim.run_until(SimTime{sec(2).us});
+
+  const ServerMetrics m = server->metrics();
+  EXPECT_EQ(m.active_sessions(), 1);
+  EXPECT_EQ(m.sessions_opened(), 1u);
+  EXPECT_GT(m.packets_sent(), 0u);
+  EXPECT_GT(m.bytes_sent(), 0u);
+  // The legacy accessors are shims over the same registry cells.
+  EXPECT_EQ(m.packets_sent(), server->total_packets_sent());
+  EXPECT_EQ(static_cast<std::size_t>(m.active_sessions()),
+            server->active_sessions());
+  const auto via_view = m.session(1);
+  const auto via_legacy = server->session_stats(1);
+  ASSERT_TRUE(via_view.has_value());
+  ASSERT_TRUE(via_legacy.has_value());
+  EXPECT_EQ(via_view->packets_sent, via_legacy->packets_sent);
+  EXPECT_GT(via_view->packets_sent, 0u);
+  EXPECT_FALSE(m.session(999).has_value());
+
+  // ... and the registry publishes the same numbers under lod.server.*.
+  const obs::Snapshot snap = m.snapshot();
+  const obs::Labels at_server{{"host", std::to_string(server_host)}};
+  EXPECT_EQ(snap.counter("lod.server.packets_sent", at_server),
+            m.packets_sent());
+  EXPECT_EQ(snap.gauge("lod.server.active_sessions", at_server), 1);
+  EXPECT_EQ(snap.counter("lod.server.session.packets_sent",
+                         {{"host", std::to_string(server_host)},
+                          {"session", "1"}}),
+            via_view->packets_sent);
+
+  sim.run();
+  p.stop();
+  sim.run();
+  EXPECT_EQ(m.active_sessions(), 0);
+}
+
+TEST_F(StreamFixture, ServerConfigValidatesAndOldSetterForwards) {
+  const auto port = static_cast<net::Port>(proto::kControlPort + 100);
+  ServerConfig cfg;
+  cfg.control_port = port;
+  cfg.fast_start_multiplier = 0.25;  // illegal: clamps to 1.0
+  StreamingServer s2(network, server_host, cfg);
+  EXPECT_DOUBLE_EQ(s2.fast_start_multiplier(), 1.0);
+
+  ServerConfig update = s2.config();
+  update.fast_start_multiplier = 6.0;
+  update.control_port = 12345;  // fixed at construction: must be ignored
+  s2.configure(update);
+  EXPECT_DOUBLE_EQ(s2.config().fast_start_multiplier, 6.0);
+  EXPECT_EQ(s2.config().control_port, port);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  s2.set_fast_start_multiplier(2.5);
+#pragma GCC diagnostic pop
+  EXPECT_DOUBLE_EQ(s2.fast_start_multiplier(), 2.5);
+}
+
+TEST_F(StreamFixture, PlayerObserverReceivesTypedEvents) {
+  struct CountingObserver : PlayerObserver {
+    std::size_t renders = 0, slides = 0, finishes = 0;
+    std::vector<InteractionRecord::Kind> interactions;
+    void on_render(const RenderEvent&) override { ++renders; }
+    void on_slide(const SlideEvent&) override { ++slides; }
+    void on_interaction(const InteractionRecord& ir) override {
+      interactions.push_back(ir.kind);
+    }
+    void on_finished() override { ++finishes; }
+  };
+
+  serve_slides(3);
+  const auto enc = encode(sec(30), default_job(), 3);
+  server->publish("lec", enc.file);
+  Player p(network, client_host, player_cfg(SyncModel::kEtpn));
+  CountingObserver watch;
+  p.set_observer(&watch);
+  EXPECT_EQ(p.observer(), &watch);
+  p.open_and_play(server_host, "lec");
+  sim.run_until(SimTime{sec(10).us});
+  p.pause();
+  sim.run_until(SimTime{sec(12).us});
+  p.resume();
+  sim.run();
+
+  ASSERT_TRUE(p.finished());
+  EXPECT_EQ(watch.renders, p.units_rendered());
+  EXPECT_EQ(watch.slides, p.slides().size());
+  EXPECT_EQ(watch.slides, 3u);
+  EXPECT_EQ(watch.finishes, 1u);
+  ASSERT_EQ(watch.interactions.size(), p.interactions().size());
+  ASSERT_GE(watch.interactions.size(), 2u);
+  EXPECT_EQ(watch.interactions[0], InteractionRecord::Kind::kPause);
+  EXPECT_EQ(watch.interactions[1], InteractionRecord::Kind::kResume);
+}
+
+TEST_F(StreamFixture, TraceRecordsSessionLifecycle) {
+  sim.obs().trace().set_enabled(true);
+  const auto enc = encode(sec(5), default_job());
+  server->publish("lec", enc.file);
+  Player p(network, client_host, player_cfg(SyncModel::kEtpn));
+  p.open_and_play(server_host, "lec");
+  sim.run_until(SimTime{sec(2).us});
+  p.seek(sec(4));
+  sim.run();
+  p.stop();
+  sim.run();
+
+  const auto& sink = sim.obs().trace();
+  const auto evs = sink.events();
+  const auto open = first_event(evs, obs::EventType::kSessionOpen);
+  ASSERT_TRUE(open.has_value());
+  EXPECT_EQ(open->detail, "lec");
+  const auto issued =
+      first_event(evs, obs::EventType::kPlayIssued, client_host);
+  ASSERT_TRUE(issued.has_value());
+
+  // The PLAY -> first-frame span brackets the startup delay (the first
+  // render can trail the buffering->playing transition by a timer tick).
+  const auto startup = span_between(evs, obs::EventType::kPlayIssued,
+                                    obs::EventType::kRenderStart, client_host);
+  ASSERT_TRUE(startup.has_value());
+  EXPECT_GE(*startup, p.startup_delay().us);
+  EXPECT_LT(*startup, p.startup_delay().us + sec(1).us);
+
+  // Both ends of the seek appear (player issues, server executes).
+  EXPECT_FALSE(sink.events(obs::EventType::kSessionSeek).empty());
+  EXPECT_FALSE(sink.events(obs::EventType::kSessionStop).empty());
+  // Network-level events ride the same timeline.
+  EXPECT_FALSE(sink.events(obs::EventType::kPacketSend).empty());
+  EXPECT_FALSE(sink.events(obs::EventType::kPacketRecv).empty());
+}
+
+TEST_F(StreamFixture, SnapshotDeltaIsolatesOnePlayback) {
+  const auto enc = encode(sec(5), default_job());
+  server->publish("lec", enc.file);
+  const obs::Snapshot before = sim.obs().metrics().snapshot();
+
+  Player p(network, client_host, player_cfg(SyncModel::kEtpn));
+  p.open_and_play(server_host, "lec");
+  sim.run();
+  ASSERT_TRUE(p.finished());
+
+  const obs::Snapshot delta = sim.obs().metrics().snapshot().since(before);
+  const obs::Labels at_client{{"host", std::to_string(client_host)}};
+  EXPECT_EQ(delta.counter("lod.player.units_rendered", at_client),
+            p.units_rendered());
+  EXPECT_GT(delta.counter("lod.net.packets_delivered"), 0u);
+  EXPECT_GT(delta.total("lod.server.session.packets_sent"), 0u);
+  EXPECT_GT(delta.counter("lod.sim.events_fired"), 0u);
+  const auto* startup =
+      delta.histogram("lod.player.startup_us", at_client);
+  ASSERT_NE(startup, nullptr);
+  EXPECT_EQ(startup->count, 1u);
+  EXPECT_EQ(startup->sum, p.startup_delay().us);
 }
 
 }  // namespace
