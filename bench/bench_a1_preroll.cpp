@@ -11,6 +11,8 @@
 #include "lod/obs/metrics.hpp"
 #include "lod/streaming/player.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod;
 namespace app = ::lod::lod;
 
@@ -73,6 +75,7 @@ int main() {
   std::printf("%10s %12s %9s %14s\n", "preroll", "startup", "stalls",
               "time stalled");
   // Averages over 3 seeds smooth the loss draws.
+  double headline_startup_s = 0;  // at the 3 s default
   for (const std::int64_t ms : {250LL, 500LL, 1000LL, 2000LL, 3000LL, 5000LL,
                                 8000LL}) {
     double startup = 0, stalled = 0;
@@ -83,11 +86,14 @@ int main() {
       stalls += r.stalls;
       stalled += r.stalled_s;
     }
+    if (ms == 3000) headline_startup_s = startup / 3;
     std::printf("%8.2fs %10.2fs %9.1f %12.2fs\n", ms / 1000.0, startup / 3,
                 static_cast<double>(stalls) / 3, stalled / 3);
   }
   std::printf(
       "\nReading: short prerolls start fast but rebuffer under jitter and\n"
       "VBR spikes; past ~3s extra buffering only delays the start.\n");
+  ::lod::bench::emit_json("bench_a1_preroll", "startup_s_at_3s_preroll",
+                        headline_startup_s);
   return 0;
 }

@@ -11,6 +11,8 @@
 #include "lod/lod/wmps.hpp"
 #include "lod/streaming/player.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod;
 namespace app = ::lod::lod;
 
@@ -89,5 +91,7 @@ int main() {
   std::printf(
       "\nshape check (prefetch strictly reduces display latency): %s\n",
       shape_ok ? "holds" : "VIOLATED");
+    ::lod::bench::emit_json("bench_a2_slide_prefetch", "shape_holds",
+                        shape_ok ? 1.0 : 0.0);
   return shape_ok ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 
 #include "lod/streaming/encoder.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod;
 
 int main() {
@@ -53,5 +55,7 @@ int main() {
       "floor while keeping a loss to one fifth of a second of speech.\n");
   std::printf("shape check (grouping monotonically cuts wire rate): %s\n",
               monotone ? "holds" : "VIOLATED");
+    ::lod::bench::emit_json("bench_a3_audio_packing", "shape_holds",
+                        monotone ? 1.0 : 0.0);
   return monotone ? 0 : 1;
 }

@@ -12,6 +12,8 @@
 #include "lod/obs/metrics.hpp"
 #include "lod/streaming/player.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod;
 namespace app = ::lod::lod;
 
@@ -90,5 +92,6 @@ int main() {
   std::printf(
       "\nshape check (4x starts faster than 1x; line-rate bursts drop): %s\n",
       shape_ok ? "holds" : "VIOLATED");
+    ::lod::bench::emit_json("bench_a4_faststart", "startup_s_at_4x", startup_4x);
   return shape_ok ? 0 : 1;
 }

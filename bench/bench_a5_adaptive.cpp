@@ -11,6 +11,8 @@
 
 #include "lod/lod/adaptive.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod;
 namespace app = ::lod::lod;
 
@@ -103,5 +105,7 @@ int main() {
       "\nshape check (adaptive finishes everywhere, downshifting when the\n"
       "link cannot carry the top rendition): %s\n",
       shape_ok ? "holds" : "VIOLATED");
+    ::lod::bench::emit_json("bench_a5_adaptive", "shape_holds",
+                        shape_ok ? 1.0 : 0.0);
   return shape_ok ? 0 : 1;
 }

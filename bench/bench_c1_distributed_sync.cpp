@@ -16,6 +16,8 @@
 #include "lod/lod/classroom.hpp"
 #include "lod/obs/metrics.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod;
 namespace app = ::lod::lod;
 
@@ -91,5 +93,7 @@ int main() {
   std::printf(
       "\nshape check (OCPN/XOCPN skew >> ETPN skew once clocks err): %s\n",
       shape_ok ? "holds" : "VIOLATED");
+    ::lod::bench::emit_json("bench_c1_distributed_sync", "shape_holds",
+                        shape_ok ? 1.0 : 0.0);
   return shape_ok ? 0 : 1;
 }

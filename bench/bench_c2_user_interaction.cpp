@@ -14,6 +14,8 @@
 #include "lod/lod/wmps.hpp"
 #include "lod/streaming/player.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod;
 namespace app = ::lod::lod;
 
@@ -120,5 +122,7 @@ int main() {
       "\nshape check (pre-orchestrated models replay the schedule, the\n"
       "extended model resumes in ~preroll): %s\n",
       shape_ok ? "holds" : "VIOLATED");
+    ::lod::bench::emit_json("bench_c2_user_interaction", "shape_holds",
+                        shape_ok ? 1.0 : 0.0);
   return shape_ok ? 0 : 1;
 }

@@ -14,6 +14,8 @@
 #include "lod/obs/metrics.hpp"
 #include "lod/obs/trace.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod;
 namespace app = ::lod::lod;
 
@@ -134,5 +136,7 @@ int main() {
   }
   std::printf("\nmutual exclusion + FIFO fairness at every size: %s\n",
               ok ? "holds" : "VIOLATED");
+    ::lod::bench::emit_json("bench_c3_floor_control", "shape_holds",
+                        ok ? 1.0 : 0.0);
   return ok ? 0 : 1;
 }

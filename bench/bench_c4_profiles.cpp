@@ -12,6 +12,8 @@
 #include "lod/lod/wmps.hpp"
 #include "lod/streaming/player.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod;
 namespace app = ::lod::lod;
 
@@ -119,5 +121,7 @@ int main() {
   }
   std::printf("\nshape check (fitting profiles play cleanly): %s\n",
               shape_ok ? "holds" : "VIOLATED");
+    ::lod::bench::emit_json("bench_c4_profiles", "shape_holds",
+                        shape_ok ? 1.0 : 0.0);
   return shape_ok ? 0 : 1;
 }

@@ -9,6 +9,8 @@
 
 #include "lod/contenttree/content_tree.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod::contenttree;
 using lod::net::sec;
 
@@ -57,5 +59,7 @@ int main() {
               monotone ? "holds" : "VIOLATED");
   std::printf("invariants             : %s\n",
               t.check_invariants() ? "ok" : "BROKEN");
+    ::lod::bench::emit_json("bench_fig1_content_tree", "shape_holds",
+                        (level_law && monotone && t.check_invariants()) ? 1.0 : 0.0);
   return (level_law && monotone && t.check_invariants()) ? 0 : 1;
 }

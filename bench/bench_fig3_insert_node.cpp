@@ -11,6 +11,8 @@
 
 #include "lod/contenttree/content_tree.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod::contenttree;
 using lod::net::sec;
 
@@ -50,5 +52,6 @@ int main() {
 
   std::printf("\n%d mismatches against the paper's reported values\n",
               failures);
+    ::lod::bench::emit_json("bench_fig3_insert_node", "mismatches", failures);
   return failures == 0 ? 0 : 1;
 }

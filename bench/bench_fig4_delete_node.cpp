@@ -8,6 +8,8 @@
 
 #include "lod/contenttree/content_tree.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod::contenttree;
 using lod::net::sec;
 
@@ -49,5 +51,6 @@ int main() {
   check("tree invariants hold", 1, t.check_invariants() ? 1 : 0);
 
   std::printf("\n%d mismatches\n", failures);
+    ::lod::bench::emit_json("bench_fig4_delete_node", "mismatches", failures);
   return failures == 0 ? 0 : 1;
 }

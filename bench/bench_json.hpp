@@ -1,0 +1,21 @@
+#pragma once
+
+// Machine-readable bench summary. Every bench binary prints, as its final
+// stdout line, exactly one JSON object
+//
+//   {"bench": "<binary name>", "metric": "<headline metric>", "value": N}
+//
+// so CI and sweep scripts can scrape a headline number without parsing the
+// human-readable tables above it. Pass-fail shape benches report their
+// verdict as 1/0 under a "*_holds" or "mismatches" metric.
+
+#include <cstdio>
+
+namespace lod::bench {
+
+inline void emit_json(const char* bench, const char* metric, double value) {
+  std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %g}\n", bench,
+              metric, value);
+}
+
+}  // namespace lod::bench

@@ -14,6 +14,8 @@
 #include "lod/core/ocpn.hpp"
 #include "lod/obs/hub.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod;
 using namespace lod::core;
 using lod::net::sec;
@@ -106,5 +108,7 @@ int main() {
   const bool ok = overhead_off < 0.02;
   std::printf("\ncontract (disabled-path overhead < 2%%): %s\n",
               ok ? "holds" : "VIOLATED");
+    ::lod::bench::emit_json("bench_obs_overhead", "disabled_overhead_pct",
+                        overhead_off * 100);
   return ok ? 0 : 1;
 }

@@ -9,6 +9,8 @@
 #include "lod/core/analysis.hpp"
 #include "lod/core/ocpn.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod::core;
 using lod::net::sec;
 
@@ -119,4 +121,12 @@ BENCHMARK(BM_Reachability)->Arg(4)->Arg(8)->Arg(12);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ::lod::bench::emit_json("bench_p1_petri_engine", "benchmarks_run",
+                        static_cast<double>(ran));
+  return ran > 0 ? 0 : 1;
+}

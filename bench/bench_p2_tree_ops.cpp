@@ -7,6 +7,8 @@
 #include "lod/contenttree/content_tree.hpp"
 #include "lod/net/rng.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod::contenttree;
 using lod::net::Rng;
 using lod::net::sec;
@@ -102,4 +104,12 @@ BENCHMARK(BM_SerializeRoundTrip)->Arg(100)->Arg(10'000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ::lod::bench::emit_json("bench_p2_tree_ops", "benchmarks_run",
+                        static_cast<double>(ran));
+  return ran > 0 ? 0 : 1;
+}

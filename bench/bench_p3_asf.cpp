@@ -7,6 +7,8 @@
 #include "lod/media/profile.hpp"
 #include "lod/media/sources.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod::media;
 using lod::net::msec;
 using lod::net::sec;
@@ -147,4 +149,12 @@ BENCHMARK(BM_EncodeVideoMinute)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ::lod::bench::emit_json("bench_p3_asf", "benchmarks_run",
+                        static_cast<double>(ran));
+  return ran > 0 ? 0 : 1;
+}

@@ -14,6 +14,8 @@
 
 #include "lod/contenttree/content_tree.hpp"
 
+#include "bench_json.hpp"
+
 using namespace lod::contenttree;
 using lod::net::sec;
 using lod::net::SimDuration;
@@ -61,5 +63,6 @@ int main() {
   std::printf("\nresulting tree:\n%s", t.to_string().c_str());
   std::printf("\n%d mismatches against the paper's reported values\n",
               failures);
+    ::lod::bench::emit_json("bench_sec23_build_tree", "mismatches", failures);
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,634 @@
+#include "lod/edge/edge_node.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+namespace lod::edge {
+
+using net::ByteReader;
+using net::ByteWriter;
+using streaming::proto::Ctl;
+
+// --- OriginGateway -----------------------------------------------------------
+
+OriginGateway::OriginGateway(net::Network& net,
+                             streaming::StreamingServer& origin, net::Port port)
+    : origin_(origin), rpc_(net, origin.host(), port) {
+  auto& reg = net.simulator().obs().metrics();
+  const obs::Labels host_label{{"host", std::to_string(origin.host())}};
+  m_meta_requests_ = reg.counter("lod.edge.origin.meta_requests", host_label);
+  m_segment_requests_ =
+      reg.counter("lod.edge.origin.segment_requests", host_label);
+  m_segment_bytes_ = reg.counter("lod.edge.origin.segment_bytes", host_label);
+
+  rpc_.route("/edge/meta", [this](std::string_view,
+                                  std::span<const std::byte> body)
+                               -> std::pair<int, std::vector<std::byte>> {
+    m_meta_requests_.inc();
+    ByteReader r(body);
+    const std::string name = r.str();
+    const media::asf::File* f = origin_.stored(name);
+    if (!f) return {404, {}};
+    ByteWriter w;
+    w.blob(media::asf::serialize_header(f->header));
+    w.u32(static_cast<std::uint32_t>(f->packets.size()));
+    w.u32(static_cast<std::uint32_t>(f->index.size()));
+    for (const auto& e : f->index) {
+      w.i64(e.time.us);
+      w.u32(e.packet);
+    }
+    for (const auto& p : f->packets) w.i64(p.send_time.us);
+    return {200, std::move(w).take()};
+  });
+
+  rpc_.route("/edge/segment", [this](std::string_view,
+                                     std::span<const std::byte> body)
+                                  -> std::pair<int, std::vector<std::byte>> {
+    m_segment_requests_.inc();
+    ByteReader r(body);
+    const std::string name = r.str();
+    const std::uint32_t seg = r.u32();
+    const std::uint32_t per = r.u32();
+    const media::asf::File* f = origin_.stored(name);
+    if (!f || per == 0) return {404, {}};
+    const std::size_t n = f->packets.size();
+    const std::size_t first = static_cast<std::size_t>(seg) * per;
+    if (first >= n) return {404, {}};
+    const std::size_t last = std::min<std::size_t>(first + per, n);
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(last - first));
+    for (std::size_t i = first; i < last; ++i) {
+      w.blob(media::asf::serialize_packet(f->packets[i]));
+    }
+    auto out = std::move(w).take();
+    m_segment_bytes_.inc(out.size());
+    return {200, std::move(out)};
+  });
+}
+
+// --- EdgeNode ----------------------------------------------------------------
+
+EdgeNode::EdgeNode(net::Network& net, net::HostId host, EdgeConfig cfg)
+    : net_(net),
+      host_(host),
+      config_(cfg.validated()),
+      ctl_(net, host, config_.control_port),
+      data_(net, host, static_cast<net::Port>(config_.control_port + 1)),
+      origin_rpc_(net, host, static_cast<net::Port>(config_.control_port + 2)),
+      cache_(config_.cache_budget_bytes, &net.simulator().obs().metrics(),
+             obs::Labels{{"host", std::to_string(host)}}) {
+  auto& reg = net_.simulator().obs().metrics();
+  trace_ = &net_.simulator().obs().trace();
+  const obs::Labels host_label{{"host", std::to_string(host_)}};
+  m_packets_sent_ = reg.counter("lod.edge.packets_sent", host_label);
+  m_bytes_sent_ = reg.counter("lod.edge.bytes_sent", host_label);
+  m_sessions_opened_ = reg.counter("lod.edge.sessions_opened", host_label);
+  m_active_sessions_ = reg.gauge("lod.edge.active_sessions", host_label);
+  m_demand_fetches_ = reg.counter("lod.edge.demand_fetches", host_label);
+  m_prefetch_fetches_ = reg.counter("lod.edge.prefetch_fetches", host_label);
+  m_fetch_bytes_ = reg.counter("lod.edge.fetch_bytes", host_label);
+  m_repairs_ = reg.counter("lod.edge.repairs", host_label);
+  m_miss_fill_us_ = reg.histogram("lod.edge.miss_fill_us", host_label);
+  ctl_.on_receive(
+      [this](const net::ReliableEndpoint::Message& m) { handle_control(m); });
+}
+
+EdgeNode::~EdgeNode() {
+  // Session pacing timers capture `this` raw; killing the node (the failover
+  // scenario) must pull them out of the simulator. RPC completions are
+  // guarded by `alive_` instead, because the simulator owns those callbacks.
+  *alive_ = false;
+  for (auto& [id, s] : sessions_) {
+    if (s.timer) net_.simulator().cancel(*s.timer);
+  }
+}
+
+void EdgeNode::set_presentation_order(const std::string& content,
+                                      std::vector<PacketRange> order) {
+  ContentMeta& meta = contents_[content];
+  meta.order_override = std::move(order);
+  if (meta.ready) {
+    meta.prefetch.emplace(meta.packet_count, config_.packets_per_segment,
+                          *meta.order_override);
+  }
+}
+
+std::size_t EdgeNode::active_sessions() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : sessions_) {
+    if (!s.stopped) ++n;
+  }
+  return n;
+}
+
+EdgeNode::Session* EdgeNode::find_session(std::uint64_t id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+void EdgeNode::reply_to(net::HostId h, net::Port p,
+                        std::vector<std::byte> payload) {
+  ctl_.send_to(h, p, std::move(payload));
+}
+
+void EdgeNode::end_session(Session& s) {
+  if (s.stopped) return;
+  s.stopped = true;
+  m_active_sessions_.add(-1);
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kSessionStop, s.client,
+                 static_cast<std::int64_t>(s.id));
+  }
+}
+
+EdgeNode::ContentMeta& EdgeNode::ensure_meta(const std::string& content) {
+  ContentMeta& meta = contents_[content];
+  if (meta.ready || meta.fetching) return meta;
+  meta.fetching = true;
+  ByteWriter w;
+  w.str(content);
+  auto alive = alive_;
+  origin_rpc_.call(config_.origin, config_.origin_gateway_port, "/edge/meta",
+                   std::move(w).take(),
+                   [this, alive, content](int status,
+                                          std::span<const std::byte> body) {
+                     if (!*alive) return;
+                     if (status != 200) {
+                       ContentMeta& m = contents_[content];
+                       m.fetching = false;
+                       for (auto [h, p] : m.waiting_describe) {
+                         ByteWriter e;
+                         e.u8(static_cast<std::uint8_t>(Ctl::kError));
+                         e.str("no such content: " + content);
+                         reply_to(h, p, std::move(e).take());
+                       }
+                       m.waiting_describe.clear();
+                       return;
+                     }
+                     on_meta(content, body);
+                   });
+  return meta;
+}
+
+void EdgeNode::on_meta(const std::string& content,
+                       std::span<const std::byte> body) {
+  ContentMeta& meta = contents_[content];
+  meta.fetching = false;
+  ByteReader r(body);
+  meta.header_bytes = r.blob();
+  meta.header = media::asf::parse_header(meta.header_bytes);
+  meta.packet_count = r.u32();
+  const std::uint32_t index_count = r.u32();
+  meta.index.clear();
+  meta.index.reserve(index_count);
+  for (std::uint32_t i = 0; i < index_count; ++i) {
+    media::asf::IndexEntry e;
+    e.time = net::SimDuration{r.i64()};
+    e.packet = r.u32();
+    meta.index.push_back(e);
+  }
+  meta.send_times_us.clear();
+  meta.send_times_us.reserve(meta.packet_count);
+  for (std::uint32_t i = 0; i < meta.packet_count; ++i) {
+    meta.send_times_us.push_back(r.i64());
+  }
+  meta.ready = true;
+  if (meta.order_override) {
+    meta.prefetch.emplace(meta.packet_count, config_.packets_per_segment,
+                          *meta.order_override);
+  } else {
+    meta.prefetch.emplace(meta.packet_count, config_.packets_per_segment);
+  }
+  ByteWriter ok;
+  ok.u8(static_cast<std::uint8_t>(Ctl::kDescribeOk));
+  ok.blob(meta.header_bytes);
+  const auto ok_bytes = std::move(ok).take();
+  for (auto [h, p] : meta.waiting_describe) reply_to(h, p, ok_bytes);
+  meta.waiting_describe.clear();
+}
+
+std::uint32_t EdgeNode::packet_for(const ContentMeta& meta,
+                                   net::SimDuration t) const {
+  std::uint32_t best = 0;
+  for (const auto& e : meta.index) {
+    if (e.time.us <= t.us) {
+      best = e.packet;
+    } else {
+      break;
+    }
+  }
+  return std::min(best, meta.packet_count);
+}
+
+void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
+  ByteReader r(m.payload);
+  const Ctl tag = static_cast<Ctl>(r.u8());
+
+  auto send_error = [&](const std::string& msg) {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(Ctl::kError));
+    w.str(msg);
+    reply_to(m.src, m.src_port, std::move(w).take());
+  };
+
+  switch (tag) {
+    case Ctl::kDescribe: {
+      const std::string name = r.str();
+      ContentMeta& meta = ensure_meta(name);
+      if (meta.ready) {
+        ByteWriter w;
+        w.u8(static_cast<std::uint8_t>(Ctl::kDescribeOk));
+        w.blob(meta.header_bytes);
+        reply_to(m.src, m.src_port, std::move(w).take());
+      } else {
+        meta.waiting_describe.emplace_back(m.src, m.src_port);
+      }
+      return;
+    }
+
+    case Ctl::kPlay: {
+      const std::string name = r.str();
+      const net::SimDuration from{r.i64()};
+      const net::Port data_port = r.u16();
+      const net::ChannelId channel = r.u32();
+      auto it = contents_.find(name);
+      if (it == contents_.end() || !it->second.ready) {
+        // Players DESCRIBE first (which pulls the meta); a PLAY without it
+        // is a protocol misuse, not a transient.
+        send_error("content not ready: " + name);
+        return;
+      }
+      const ContentMeta& meta = it->second;
+      Session s;
+      s.id = next_session_++;
+      s.client = m.src;
+      s.client_ctl_port = m.src_port;
+      s.data_port = data_port;
+      s.channel = channel;
+      s.content = name;
+      s.next_packet = packet_for(meta, from);
+      s.pace_epoch = net_.simulator().now();
+      s.pace_offset = s.next_packet < meta.packet_count
+                          ? net::SimDuration{meta.send_times_us[s.next_packet]}
+                          : net::SimDuration{0};
+      const std::uint64_t id = s.id;
+      sessions_.emplace(id, std::move(s));
+      m_sessions_opened_.inc();
+      m_active_sessions_.add(1);
+      if (trace_->enabled()) {
+        trace_->emit(obs::EventType::kSessionOpen, m.src,
+                     static_cast<std::int64_t>(id), from.us, name);
+      }
+      ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(Ctl::kPlayOk));
+      w.u64(id);
+      reply_to(m.src, m.src_port, std::move(w).take());
+      prefetch_tick(name, sessions_.at(id).next_packet);
+      schedule_next(sessions_.at(id));
+      return;
+    }
+
+    case Ctl::kPause: {
+      if (Session* s = find_session(r.u64()); s && !s->stopped) {
+        s->paused = true;
+        if (trace_->enabled()) {
+          trace_->emit(obs::EventType::kSessionPause, s->client,
+                       static_cast<std::int64_t>(s->id));
+        }
+        if (s->timer) {
+          net_.simulator().cancel(*s->timer);
+          s->timer.reset();
+        }
+      }
+      return;
+    }
+
+    case Ctl::kResume: {
+      if (Session* s = find_session(r.u64()); s && !s->stopped && s->paused) {
+        s->paused = false;
+        if (trace_->enabled()) {
+          trace_->emit(obs::EventType::kSessionResume, s->client,
+                       static_cast<std::int64_t>(s->id));
+        }
+        const ContentMeta& meta = contents_.at(s->content);
+        s->pace_epoch = net_.simulator().now();
+        s->pace_offset =
+            s->next_packet < meta.packet_count
+                ? net::SimDuration{meta.send_times_us[s->next_packet]}
+                : net::SimDuration{0};
+        schedule_next(*s);
+      }
+      return;
+    }
+
+    case Ctl::kSeek: {
+      const std::uint64_t sid = r.u64();
+      const net::SimDuration to{r.i64()};
+      if (Session* s = find_session(sid); s && !s->stopped) {
+        if (trace_->enabled()) {
+          trace_->emit(obs::EventType::kSessionSeek, s->client,
+                       static_cast<std::int64_t>(s->id), to.us);
+        }
+        ++s->epoch;  // packets from before the jump are now stale
+        if (s->timer) {
+          net_.simulator().cancel(*s->timer);
+          s->timer.reset();
+        }
+        // Any in-flight miss fill belongs to the abandoned position; the
+        // completion handler checks this field, so clearing it here makes
+        // that fill a pure cache insert.
+        s->waiting_on.reset();
+        const ContentMeta& meta = contents_.at(s->content);
+        s->next_packet = packet_for(meta, to);
+        s->pace_epoch = net_.simulator().now();
+        s->pace_offset =
+            s->next_packet < meta.packet_count
+                ? net::SimDuration{meta.send_times_us[s->next_packet]}
+                : net::SimDuration{0};
+        prefetch_tick(s->content, s->next_packet);  // follow the jump
+        if (!s->paused) schedule_next(*s);
+      }
+      return;
+    }
+
+    case Ctl::kSetRate: {
+      const std::uint64_t sid = r.u64();
+      const std::uint32_t permille = r.u32();
+      const net::ChannelId channel = r.u32();
+      if (Session* s = find_session(sid); s && !s->stopped && permille > 0) {
+        if (trace_->enabled()) {
+          trace_->emit(obs::EventType::kSessionRate, s->client,
+                       static_cast<std::int64_t>(s->id), permille);
+        }
+        s->channel = channel;
+        if (s->timer) {
+          net_.simulator().cancel(*s->timer);
+          s->timer.reset();
+        }
+        s->rate = static_cast<double>(permille) / 1000.0;
+        const ContentMeta& meta = contents_.at(s->content);
+        s->pace_epoch = net_.simulator().now();
+        s->pace_offset =
+            s->next_packet < meta.packet_count
+                ? net::SimDuration{meta.send_times_us[s->next_packet]}
+                : net::SimDuration{0};
+        if (!s->paused && !s->waiting_on) schedule_next(*s);
+      }
+      return;
+    }
+
+    case Ctl::kRepair: {
+      const std::uint64_t sid = r.u64();
+      const std::uint32_t count = r.u32();
+      Session* s = find_session(sid);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t idx = r.u32();
+        if (!s || s->stopped) continue;
+        const ContentMeta& meta = contents_.at(s->content);
+        if (idx >= meta.packet_count) continue;
+        const std::uint32_t seg = idx / config_.packets_per_segment;
+        const SegmentKey key{s->content, seg};
+        if (const auto* pkts = cache_.get(key)) {
+          m_repairs_.inc();
+          if (trace_->enabled()) {
+            trace_->emit(obs::EventType::kRepairResend, s->client,
+                         static_cast<std::int64_t>(s->id), idx);
+          }
+          send_packet(*s, (*pkts)[idx - seg * config_.packets_per_segment],
+                      idx);
+        } else {
+          start_fetch(s->content, seg, /*demand=*/true);
+          inflight_[key].waiting_repairs.emplace_back(sid, idx);
+        }
+      }
+      return;
+    }
+
+    case Ctl::kStop: {
+      const std::uint64_t sid = r.u64();
+      if (Session* s = find_session(sid)) {
+        end_session(*s);
+        if (s->timer) {
+          net_.simulator().cancel(*s->timer);
+          s->timer.reset();
+        }
+      }
+      return;
+    }
+
+    case Ctl::kTimeSync: {
+      const std::int64_t client_local = r.i64();
+      ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(Ctl::kTimeSyncReply));
+      w.i64(client_local);
+      w.i64(net_.local_now(host_).us);
+      reply_to(m.src, m.src_port, std::move(w).take());
+      return;
+    }
+
+    default:
+      return;  // live joins and client-only tags are origin business
+  }
+}
+
+void EdgeNode::schedule_next(Session& s) {
+  if (s.stopped || s.paused || s.waiting_on) return;
+  if (s.timer) {
+    net_.simulator().cancel(*s.timer);
+    s.timer.reset();
+  }
+  const ContentMeta& meta = contents_.at(s.content);
+  if (s.next_packet >= meta.packet_count) {
+    if (trace_->enabled()) {
+      trace_->emit(obs::EventType::kSessionEos, s.client,
+                   static_cast<std::int64_t>(s.id));
+    }
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(Ctl::kEndOfStream));
+    w.u64(s.id);
+    w.u32(meta.packet_count);
+    reply_to(s.client, s.client_ctl_port, std::move(w).take());
+    return;
+  }
+  // Same pacing discipline as the origin server: send_time schedule with a
+  // fast-start burst capped at a multiple of the content bit-rate (and at
+  // the session's QoS reservation, if it rides one).
+  const net::SimDuration send_time{meta.send_times_us[s.next_packet]};
+  const net::SimDuration media_ahead =
+      send_time - s.pace_offset - meta.header.props.preroll;
+  net::SimTime due =
+      s.pace_epoch + net::SimDuration{static_cast<std::int64_t>(
+                         static_cast<double>(media_ahead.us) / s.rate)};
+  const std::int64_t bps =
+      std::max<std::int64_t>(meta.header.props.avg_bitrate_bps, 8'000);
+  double burst_bps = config_.fast_start_multiplier * static_cast<double>(bps);
+  if (s.channel != 0) {
+    if (const auto info = net_.channel_info(s.channel)) {
+      burst_bps =
+          std::min(burst_bps, static_cast<double>(info->rate_bps) * 0.95);
+    }
+  }
+  const net::SimDuration min_gap{static_cast<std::int64_t>(
+      static_cast<double>(meta.header.props.packet_bytes) * 8e6 /
+      std::max(burst_bps, 8'000.0))};
+  if (s.last_send.us > 0 && due < s.last_send + min_gap) {
+    due = s.last_send + min_gap;
+  }
+  const net::SimTime now = net_.simulator().now();
+  if (due < now) due = now;
+  const std::uint64_t sid = s.id;
+  s.timer = net_.simulator().schedule_at(due, [this, sid] { deliver_due(sid); });
+}
+
+void EdgeNode::deliver_due(std::uint64_t sid) {
+  Session* s = find_session(sid);
+  if (!s || s->stopped || s->paused || s->waiting_on) return;
+  s->timer.reset();
+  const std::uint32_t idx = s->next_packet;
+  const std::uint32_t seg = idx / config_.packets_per_segment;
+  const SegmentKey key{s->content, seg};
+  if (const auto* pkts = cache_.get(key)) {
+    s->last_send = net_.simulator().now();
+    send_packet(*s, (*pkts)[idx - seg * config_.packets_per_segment], idx);
+    ++s->next_packet;
+    if (s->next_packet % config_.packets_per_segment == 0) {
+      // Crossed a segment boundary: advance the warm window.
+      prefetch_tick(s->content, s->next_packet);
+    }
+    schedule_next(*s);
+  } else {
+    // Cold miss: park the session on the fill; it resumes (and catches up
+    // under the burst cap) when the segment lands.
+    s->waiting_on = key;
+    start_fetch(s->content, seg, /*demand=*/true);
+    auto& f = inflight_[key];
+    f.demand = true;
+    f.waiting_sessions.push_back(sid);
+  }
+}
+
+void EdgeNode::send_packet(Session& s, const media::asf::DataPacket& pkt,
+                           std::uint32_t packet_index) {
+  const ContentMeta& meta = contents_.at(s.content);
+  ByteWriter w;
+  w.u32(streaming::proto::kDataMagic);
+  w.u64(s.id);
+  w.u32(s.epoch);
+  w.u64(s.next_seq++);
+  w.u32(packet_index);
+  w.blob(media::asf::serialize_packet(pkt));
+
+  net::Packet p;
+  p.src = host_;
+  p.dst = s.client;
+  p.src_port = data_.port();
+  p.dst_port = s.data_port;
+  p.payload = std::move(w).take();
+  const std::uint32_t nominal = meta.header.props.packet_bytes + 20u;
+  p.wire_size =
+      std::max<std::uint32_t>(static_cast<std::uint32_t>(p.payload.size()),
+                              nominal) +
+      28;
+  p.channel = s.channel;
+  m_packets_sent_.inc();
+  m_bytes_sent_.inc(p.wire_size);
+  net_.send(std::move(p));
+}
+
+void EdgeNode::start_fetch(const std::string& content, std::uint32_t segment,
+                           bool demand) {
+  const SegmentKey key{content, segment};
+  auto [it, inserted] = inflight_.try_emplace(key);
+  it->second.demand |= demand;
+  if (!inserted) return;  // already on the wire; callers just park on it
+  fetch_started_[key] = net_.simulator().now();
+  (demand ? m_demand_fetches_ : m_prefetch_fetches_).inc();
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kSpanBegin, host_, segment, 0,
+                 demand ? "edge.miss_fill" : "edge.prefetch");
+  }
+  ByteWriter w;
+  w.str(content);
+  w.u32(segment);
+  w.u32(config_.packets_per_segment);
+  auto alive = alive_;
+  origin_rpc_.call(config_.origin, config_.origin_gateway_port, "/edge/segment",
+                   std::move(w).take(),
+                   [this, alive, content, segment](
+                       int status, std::span<const std::byte> body) {
+                     if (!*alive) return;
+                     on_segment(content, segment, status, body);
+                   });
+}
+
+void EdgeNode::on_segment(const std::string& content, std::uint32_t segment,
+                          int status, std::span<const std::byte> body) {
+  const SegmentKey key{content, segment};
+  Fetch fetch;
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    fetch = std::move(it->second);
+    inflight_.erase(it);
+  }
+  net::SimDuration elapsed{0};
+  if (auto it = fetch_started_.find(key); it != fetch_started_.end()) {
+    elapsed = net_.simulator().now() - it->second;
+    fetch_started_.erase(it);
+  }
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kSpanEnd, host_, segment, status,
+                 fetch.demand ? "edge.miss_fill" : "edge.prefetch");
+  }
+  if (status != 200) return;  // parked sessions stall; the player fails over
+
+  ByteReader r(body);
+  const std::uint32_t count = r.u32();
+  std::vector<media::asf::DataPacket> packets;
+  packets.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    packets.push_back(media::asf::parse_packet(r.blob()));
+  }
+  m_fetch_bytes_.inc(body.size());
+  if (fetch.demand) m_miss_fill_us_.observe(elapsed.us);
+  cache_.put(key, std::move(packets), body.size());
+
+  for (std::uint64_t sid : fetch.waiting_sessions) {
+    Session* s = find_session(sid);
+    if (!s || s->stopped || s->waiting_on != key) continue;
+    s->waiting_on.reset();
+    if (!s->paused) schedule_next(*s);
+  }
+  if (!fetch.waiting_repairs.empty()) {
+    const auto* pkts = cache_.get(key);
+    for (auto [sid, idx] : fetch.waiting_repairs) {
+      Session* s = find_session(sid);
+      if (!s || s->stopped || !pkts) continue;
+      const std::uint32_t off = idx - segment * config_.packets_per_segment;
+      if (off >= pkts->size()) continue;
+      m_repairs_.inc();
+      if (trace_->enabled()) {
+        trace_->emit(obs::EventType::kRepairResend, s->client,
+                     static_cast<std::int64_t>(s->id), idx);
+      }
+      send_packet(*s, (*pkts)[off], idx);
+    }
+  }
+}
+
+void EdgeNode::prefetch_tick(const std::string& content,
+                             std::uint32_t playhead) {
+  if (config_.prefetch_depth == 0) return;
+  auto it = contents_.find(content);
+  if (it == contents_.end() || !it->second.ready || !it->second.prefetch) {
+    return;
+  }
+  PrefetchController& pc = *it->second.prefetch;
+  pc.anchor_to(playhead);
+  for (std::uint32_t seg : pc.warm_set(config_.prefetch_depth)) {
+    const SegmentKey key{content, seg};
+    if (cache_.contains(key) || inflight_.count(key) > 0) continue;
+    start_fetch(content, seg, /*demand=*/false);
+  }
+}
+
+}  // namespace lod::edge

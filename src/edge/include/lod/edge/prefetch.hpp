@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lod/contenttree/content_tree.hpp"
+#include "lod/net/time.hpp"
+
+/// \file prefetch.hpp
+/// Content-tree-driven cache warming for the edge tier.
+///
+/// Generic caches guess what comes next; a lecture does not have to. The
+/// content tree's left-to-right sibling order (§2.2: "the siblings with the
+/// order from left to right represent a presentation with some sequence
+/// fashion") IS the playout order, so the segments that follow the playhead
+/// are known exactly — including across the jumps an abstraction level or a
+/// re-ordered playlist introduces, where "next in time" and "next in
+/// presentation order" differ.
+///
+/// The controller works in PACKET space (the edge already maps media time to
+/// packet indices through the ASF index): it holds the presentation order as
+/// a list of packet ranges, tracks an anchor (the playhead, re-anchored on
+/// seeks), and plans which cache segments to warm next.
+
+namespace lod::edge {
+
+/// A contiguous run of file packets, `[first, last)`, in presentation order.
+struct PacketRange {
+  std::uint32_t first{0};
+  std::uint32_t last{0};
+
+  bool operator==(const PacketRange&) const = default;
+};
+
+/// Plans which segments to warm ahead of the playhead.
+class PrefetchController {
+ public:
+  /// Linear presentation: one range covering the whole file. This is what a
+  /// plain published lecture uses.
+  PrefetchController(std::uint32_t total_packets,
+                     std::uint32_t packets_per_segment);
+
+  /// Explicit presentation order (e.g. from a content tree). Ranges outside
+  /// [0, total_packets) are clipped; empty ranges are dropped.
+  PrefetchController(std::uint32_t total_packets,
+                     std::uint32_t packets_per_segment,
+                     std::vector<PacketRange> order);
+
+  /// Re-anchor the playhead (called on session open, on every serve advance,
+  /// and — crucially — on seeks, so prefetch follows the jump instead of
+  /// warming the abandoned neighborhood).
+  void anchor_to(std::uint32_t playhead_packet) { anchor_ = playhead_packet; }
+  std::uint32_t anchor() const { return anchor_; }
+
+  /// The next \p depth distinct segment indices at/after the anchor in
+  /// presentation order (the anchor's own segment first, then what follows —
+  /// across range boundaries when the current range runs out).
+  std::vector<std::uint32_t> warm_set(std::uint32_t depth) const;
+
+  std::uint32_t segment_of(std::uint32_t packet) const {
+    return packet / packets_per_segment_;
+  }
+  std::uint32_t total_segments() const {
+    return (total_packets_ + packets_per_segment_ - 1) / packets_per_segment_;
+  }
+
+  const std::vector<PacketRange>& order() const { return order_; }
+
+ private:
+  std::uint32_t total_packets_;
+  std::uint32_t packets_per_segment_;
+  std::uint32_t anchor_{0};
+  std::vector<PacketRange> order_;
+};
+
+/// Derive the presentation order from a content tree: the level-q sequence
+/// (§2.2's pre-order, left-to-right playout). Each node's segment occupies
+/// the window of the recording given by its cumulative offset in full
+/// document order (the complete lecture laid end to end); \p packet_of maps
+/// a media time to a packet index (the ASF seek index). Nodes above level q
+/// still advance the timeline — that is exactly the "jump" an abstraction
+/// playout makes, and why tree-aware prefetch beats next-in-time warming.
+std::vector<PacketRange> presentation_order(
+    const contenttree::ContentTree& tree, int level,
+    const std::function<std::uint32_t(net::SimDuration)>& packet_of);
+
+}  // namespace lod::edge

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lod/net/network.hpp"
+#include "lod/streaming/selector.hpp"
+
+/// \file replica_selector.hpp
+/// Delay-aware replica selection for one client.
+///
+/// The paper's extended timed Petri net models distributed sites with
+/// per-channel delay places (§3); operationally that means the client should
+/// open its session at the site whose channel delay place holds the smallest
+/// token. This selector keeps a per-site EWMA of observed one-way delay,
+/// seeded from the network's static path latency (the propagation floor the
+/// §3 model starts from) and updated from live measurements (DESCRIBE and
+/// TIMESYNC round trips reported by the player).
+///
+/// Sites that stop responding are marked down and skipped; the origin is
+/// always eligible, so `pick_site`/`failover_from` always have an answer.
+/// Series: `lod.edge.selector.*{host}` (+ per-site estimate gauges).
+
+namespace lod::edge {
+
+class ReplicaSelector : public streaming::SiteSelector {
+ public:
+  /// \p edges may be empty (the selector degenerates to "always origin").
+  /// \p alpha is the EWMA gain for new observations.
+  ReplicaSelector(net::Network& net, net::HostId client, net::HostId origin,
+                  std::vector<net::HostId> edges, double alpha = 0.25);
+
+  // --- SiteSelector ----------------------------------------------------------
+
+  net::HostId pick_site() override;
+  void observe(net::HostId site, net::SimDuration delay) override;
+  net::HostId failover_from(net::HostId site) override;
+
+  // --- policy control / introspection ---------------------------------------
+
+  /// Mark a site unresponsive (skipped by pick_site until revived).
+  void mark_down(net::HostId site);
+  /// Clear a down mark (e.g. the operator restarted the edge).
+  void revive(net::HostId site);
+  bool is_down(net::HostId site) const;
+
+  /// Current delay estimate; SimDuration::max-like sentinel for unknown sites.
+  net::SimDuration estimate(net::HostId site) const;
+
+  net::HostId origin() const { return origin_; }
+  const std::vector<net::HostId>& sites() const { return sites_; }
+  std::uint64_t failovers() const { return failovers_.value(); }
+
+ private:
+  struct SiteState {
+    double ewma_us{0.0};
+    bool down{false};
+    obs::Gauge estimate_us;
+  };
+
+  net::HostId client_;
+  net::HostId origin_;
+  double alpha_;
+  std::vector<net::HostId> sites_;  ///< edges first, origin last
+  std::unordered_map<net::HostId, SiteState> state_;
+  obs::Counter picks_;
+  obs::Counter observations_;
+  obs::Counter failovers_;
+};
+
+}  // namespace lod::edge

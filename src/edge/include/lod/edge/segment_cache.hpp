@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lod/media/asf.hpp"
+#include "lod/obs/metrics.hpp"
+
+/// \file segment_cache.hpp
+/// The edge tier's media store: a byte-budgeted LRU over ASF packet ranges.
+///
+/// The unit of caching is a SEGMENT — a fixed-length run of consecutive data
+/// packets of one published file, keyed by (file, segment index). Segments
+/// are what the edge fetches from the origin on a miss and what the
+/// prefetcher warms ahead of the playhead, so cache, transfer and prefetch
+/// all speak the same granularity.
+///
+/// Accounting is published as `lod.edge.cache.*{host}` registry series:
+/// hits / misses (serve-path lookups only — prefetch probes use `contains`
+/// and do not skew the hit rate), evictions, and resident bytes.
+
+namespace lod::edge {
+
+/// Identifies one cached packet range.
+struct SegmentKey {
+  std::string file;
+  std::uint32_t segment{0};
+
+  bool operator==(const SegmentKey&) const = default;
+};
+
+struct SegmentKeyHash {
+  std::size_t operator()(const SegmentKey& k) const {
+    return std::hash<std::string>{}(k.file) * 1315423911u ^ k.segment;
+  }
+};
+
+/// Byte-budgeted LRU cache of packet ranges.
+class SegmentCache {
+ public:
+  /// \p registry/\p labels wire the `lod.edge.cache.*` series; a null
+  /// registry (tests exercising pure eviction logic) keeps the cache silent.
+  SegmentCache(std::size_t budget_bytes, obs::MetricsRegistry* registry = nullptr,
+               obs::Labels labels = {});
+
+  /// Serve-path lookup: returns the packets and freshens the entry's LRU
+  /// position, counting a hit; nullptr counts a miss. The pointer stays
+  /// valid until the entry is evicted or replaced.
+  const std::vector<media::asf::DataPacket>* get(const SegmentKey& key);
+
+  /// Prefetch-path probe: no stats, no LRU touch.
+  bool contains(const SegmentKey& key) const { return index_.count(key) > 0; }
+
+  /// Insert (or replace) a segment charging \p bytes against the budget,
+  /// evicting least-recently-used entries until the budget holds. A segment
+  /// larger than the whole budget is not cached at all (it would evict
+  /// everything and then be evicted by the next insert anyway).
+  void put(SegmentKey key, std::vector<media::asf::DataPacket> packets,
+           std::size_t bytes);
+
+  /// Drop every segment of \p file (e.g. the origin republished it).
+  void erase_file(const std::string& file);
+
+  // --- accounting (mirrors the registry series) -------------------------------
+
+  std::size_t bytes_used() const { return bytes_used_; }
+  std::size_t budget_bytes() const { return budget_; }
+  std::size_t entries() const { return index_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  double hit_rate() const {
+    const std::uint64_t n = hits_ + misses_;
+    return n == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(n);
+  }
+
+  /// Resident segment keys, most recently used first (tests assert eviction
+  /// order through this).
+  std::vector<SegmentKey> keys_mru_first() const;
+
+ private:
+  struct Entry {
+    SegmentKey key;
+    std::vector<media::asf::DataPacket> packets;
+    std::size_t bytes{0};
+  };
+
+  void evict_lru();
+
+  std::size_t budget_;
+  std::size_t bytes_used_{0};
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+  std::uint64_t evictions_{0};
+  /// MRU at front. Entries are stable in the list; the map points into it.
+  std::list<Entry> lru_;
+  std::unordered_map<SegmentKey, std::list<Entry>::iterator, SegmentKeyHash>
+      index_;
+  obs::Counter m_hits_;
+  obs::Counter m_misses_;
+  obs::Counter m_evictions_;
+  obs::Counter m_inserted_bytes_;
+  obs::Gauge m_bytes_;
+  obs::Gauge m_entries_;
+};
+
+}  // namespace lod::edge

@@ -1,0 +1,101 @@
+#include "lod/edge/prefetch.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace lod::edge {
+
+PrefetchController::PrefetchController(std::uint32_t total_packets,
+                                       std::uint32_t packets_per_segment)
+    : PrefetchController(total_packets, packets_per_segment,
+                         {PacketRange{0, total_packets}}) {}
+
+PrefetchController::PrefetchController(std::uint32_t total_packets,
+                                       std::uint32_t packets_per_segment,
+                                       std::vector<PacketRange> order)
+    : total_packets_(total_packets),
+      packets_per_segment_(std::max<std::uint32_t>(packets_per_segment, 1)) {
+  for (PacketRange r : order) {
+    r.last = std::min(r.last, total_packets_);
+    if (r.first >= r.last) continue;
+    order_.push_back(r);
+  }
+  if (order_.empty() && total_packets_ > 0) {
+    order_.push_back(PacketRange{0, total_packets_});
+  }
+}
+
+std::vector<std::uint32_t> PrefetchController::warm_set(
+    std::uint32_t depth) const {
+  std::vector<std::uint32_t> out;
+  if (depth == 0 || order_.empty()) return out;
+
+  // Find where the anchor sits in presentation order: the range containing
+  // it, or failing that the first range starting after it (a seek can land
+  // on a packet the level-q playout skips).
+  std::size_t at = order_.size();
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (anchor_ >= order_[i].first && anchor_ < order_[i].last) {
+      at = i;
+      break;
+    }
+    if (at == order_.size() && anchor_ < order_[i].first) at = i;
+  }
+  if (at == order_.size()) return out;
+
+  auto push_unique = [&](std::uint32_t seg) {
+    if (std::find(out.begin(), out.end(), seg) == out.end()) out.push_back(seg);
+  };
+  // Walk presentation order from the anchor, collecting the segments the
+  // playout will touch until `depth` distinct ones are planned.
+  for (std::size_t i = at; i < order_.size() && out.size() < depth; ++i) {
+    std::uint32_t p =
+        i == at ? std::max(anchor_, order_[i].first) : order_[i].first;
+    while (p < order_[i].last && out.size() < depth) {
+      push_unique(segment_of(p));
+      p = (segment_of(p) + 1) * packets_per_segment_;  // next boundary
+    }
+  }
+  return out;
+}
+
+std::vector<PacketRange> presentation_order(
+    const contenttree::ContentTree& tree, int level,
+    const std::function<std::uint32_t(net::SimDuration)>& packet_of) {
+  if (tree.empty()) return {};
+  // Full document order gives every node its offset in the recording.
+  const auto all = tree.sequence(tree.highest_level());
+  std::vector<net::SimDuration> offset(all.size());
+  std::unordered_map<contenttree::NodeId, std::size_t> pos;
+  net::SimDuration cursor{};
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    offset[i] = cursor;
+    pos[all[i]] = i;
+    cursor += tree.segment(all[i]).duration;
+  }
+  // The level-q playout visits a subset of those windows, in pre-order.
+  std::vector<PacketRange> out;
+  for (contenttree::NodeId n : tree.sequence(level)) {
+    const std::size_t i = pos.at(n);
+    const net::SimDuration start = offset[i];
+    const net::SimDuration end = start + tree.segment(n).duration;
+    PacketRange r{packet_of(start), packet_of(end)};
+    // A window shorter than the index granularity can round to an empty
+    // packet range; keep at least the packet the window starts in.
+    if (r.last <= r.first) r.last = r.first + 1;
+    out.push_back(r);
+  }
+  // Merge ranges that abut in both presentation order and packet space, so
+  // a full-level playout collapses back to one linear range.
+  std::vector<PacketRange> merged;
+  for (const PacketRange& r : out) {
+    if (!merged.empty() && merged.back().last == r.first) {
+      merged.back().last = r.last;
+    } else {
+      merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
+}  // namespace lod::edge

@@ -1,0 +1,89 @@
+#include "lod/edge/replica_selector.hpp"
+
+#include <limits>
+
+namespace lod::edge {
+
+ReplicaSelector::ReplicaSelector(net::Network& net, net::HostId client,
+                                 net::HostId origin,
+                                 std::vector<net::HostId> edges, double alpha)
+    : client_(client), origin_(origin), alpha_(alpha) {
+  sites_ = std::move(edges);
+  sites_.push_back(origin_);
+  auto& reg = net.simulator().obs().metrics();
+  const obs::Labels at_client{{"host", std::to_string(client_)}};
+  picks_ = reg.counter("lod.edge.selector.picks", at_client);
+  observations_ = reg.counter("lod.edge.selector.observations", at_client);
+  failovers_ = reg.counter("lod.edge.selector.failovers", at_client);
+  for (net::HostId site : sites_) {
+    SiteState st;
+    // Seed from the static topology: the propagation floor of the path, the
+    // delay the §3 model's channel places start with. Unreachable sites are
+    // born down.
+    const net::SimDuration seed = net.path_latency(client_, site);
+    if (seed.us < 0) {
+      st.down = site != origin_;
+      st.ewma_us = 1e12;
+    } else {
+      st.ewma_us = static_cast<double>(seed.us);
+    }
+    st.estimate_us = reg.gauge(
+        "lod.edge.selector.estimate_us",
+        {{"host", std::to_string(client_)}, {"site", std::to_string(site)}});
+    st.estimate_us.set(static_cast<std::int64_t>(st.ewma_us));
+    state_.emplace(site, std::move(st));
+  }
+}
+
+net::HostId ReplicaSelector::pick_site() {
+  net::HostId best = origin_;
+  double best_ewma = std::numeric_limits<double>::infinity();
+  for (net::HostId site : sites_) {
+    const SiteState& st = state_.at(site);
+    if (st.down) continue;
+    if (st.ewma_us < best_ewma) {
+      best_ewma = st.ewma_us;
+      best = site;
+    }
+  }
+  picks_.inc();
+  return best;
+}
+
+void ReplicaSelector::observe(net::HostId site, net::SimDuration delay) {
+  auto it = state_.find(site);
+  if (it == state_.end() || delay.us < 0) return;
+  SiteState& st = it->second;
+  st.ewma_us = (1.0 - alpha_) * st.ewma_us +
+               alpha_ * static_cast<double>(delay.us);
+  st.estimate_us.set(static_cast<std::int64_t>(st.ewma_us));
+  observations_.inc();
+}
+
+net::HostId ReplicaSelector::failover_from(net::HostId site) {
+  mark_down(site);
+  failovers_.inc();
+  return pick_site();
+}
+
+void ReplicaSelector::mark_down(net::HostId site) {
+  if (site == origin_) return;  // the origin is the floor; it never leaves
+  if (auto it = state_.find(site); it != state_.end()) it->second.down = true;
+}
+
+void ReplicaSelector::revive(net::HostId site) {
+  if (auto it = state_.find(site); it != state_.end()) it->second.down = false;
+}
+
+bool ReplicaSelector::is_down(net::HostId site) const {
+  auto it = state_.find(site);
+  return it != state_.end() && it->second.down;
+}
+
+net::SimDuration ReplicaSelector::estimate(net::HostId site) const {
+  auto it = state_.find(site);
+  if (it == state_.end()) return net::SimDuration{-1};
+  return net::SimDuration{static_cast<std::int64_t>(it->second.ewma_us)};
+}
+
+}  // namespace lod::edge

@@ -1,0 +1,81 @@
+#include "lod/edge/segment_cache.hpp"
+
+namespace lod::edge {
+
+SegmentCache::SegmentCache(std::size_t budget_bytes,
+                           obs::MetricsRegistry* registry, obs::Labels labels)
+    : budget_(budget_bytes) {
+  if (registry) {
+    m_hits_ = registry->counter("lod.edge.cache.hits", labels);
+    m_misses_ = registry->counter("lod.edge.cache.misses", labels);
+    m_evictions_ = registry->counter("lod.edge.cache.evictions", labels);
+    m_inserted_bytes_ =
+        registry->counter("lod.edge.cache.inserted_bytes", labels);
+    m_bytes_ = registry->gauge("lod.edge.cache.bytes", labels);
+    m_entries_ = registry->gauge("lod.edge.cache.entries", labels);
+  }
+}
+
+const std::vector<media::asf::DataPacket>* SegmentCache::get(
+    const SegmentKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    m_misses_.inc();
+    return nullptr;
+  }
+  ++hits_;
+  m_hits_.inc();
+  lru_.splice(lru_.begin(), lru_, it->second);  // freshen: move to MRU
+  return &it->second->packets;
+}
+
+void SegmentCache::put(SegmentKey key, std::vector<media::asf::DataPacket> packets,
+                       std::size_t bytes) {
+  if (auto it = index_.find(key); it != index_.end()) {
+    bytes_used_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  if (bytes > budget_) return;  // would evict the world and still not stay
+  lru_.push_front(Entry{key, std::move(packets), bytes});
+  index_[std::move(key)] = lru_.begin();
+  bytes_used_ += bytes;
+  m_inserted_bytes_.inc(bytes);
+  while (bytes_used_ > budget_) evict_lru();
+  m_bytes_.set(static_cast<std::int64_t>(bytes_used_));
+  m_entries_.set(static_cast<std::int64_t>(index_.size()));
+}
+
+void SegmentCache::evict_lru() {
+  if (lru_.empty()) return;
+  const Entry& victim = lru_.back();
+  bytes_used_ -= victim.bytes;
+  index_.erase(victim.key);
+  lru_.pop_back();
+  ++evictions_;
+  m_evictions_.inc();
+}
+
+void SegmentCache::erase_file(const std::string& file) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.file == file) {
+      bytes_used_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  m_bytes_.set(static_cast<std::int64_t>(bytes_used_));
+  m_entries_.set(static_cast<std::int64_t>(index_.size()));
+}
+
+std::vector<SegmentKey> SegmentCache::keys_mru_first() const {
+  std::vector<SegmentKey> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) out.push_back(e.key);
+  return out;
+}
+
+}  // namespace lod::edge

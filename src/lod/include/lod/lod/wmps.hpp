@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -109,6 +110,26 @@ class WmpsNode {
   const std::vector<media::Annotation>* published_annotations(
       const std::string& url) const;
 
+  // --- distributed edge tier ---------------------------------------------------
+
+  /// Register an edge replica site serving this node's published content.
+  /// The edge node itself belongs to the deployment; the WMPS tracks the
+  /// candidate-site list that session setup hands to replica selection.
+  void register_edge(net::HostId edge) {
+    if (std::find(edge_sites_.begin(), edge_sites_.end(), edge) ==
+        edge_sites_.end()) {
+      edge_sites_.push_back(edge);
+    }
+  }
+  const std::vector<net::HostId>& edge_sites() const { return edge_sites_; }
+  /// Every site a session may open against: edges first, the origin last
+  /// (mirrors `ReplicaSelector`'s ordering contract).
+  std::vector<net::HostId> candidate_sites() const {
+    std::vector<net::HostId> sites = edge_sites_;
+    sites.push_back(host_);
+    return sites;
+  }
+
   // --- services --------------------------------------------------------------------
 
   streaming::StreamingServer& media_services() { return server_; }
@@ -137,6 +158,7 @@ class WmpsNode {
   media::DrmSystem drm_;
   obs::Counter m_publishes_;
   obs::Counter m_publish_errors_;
+  std::vector<net::HostId> edge_sites_;
   std::unordered_map<std::string, VideoAsset> videos_;
   std::unordered_map<std::string, SlideAsset> slides_;
   std::unordered_map<std::string, std::vector<net::SimDuration>> schedules_;

@@ -139,6 +139,12 @@ class Network {
   /// Empty if unreachable.
   std::vector<HostId> route(HostId a, HostId b) const;
 
+  /// Sum of per-hop propagation latency along route(a, b) — the static
+  /// delay floor of the path, before queueing or jitter. Negative (-1us)
+  /// when unreachable; zero for a == b. Replica selection seeds its per-site
+  /// delay estimates from this.
+  SimDuration path_latency(HostId a, HostId b) const;
+
   const LinkStats& link_stats(HostId from, HostId to) const;
 
   Simulator& simulator() { return sim_; }

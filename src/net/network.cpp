@@ -83,6 +83,19 @@ std::vector<HostId> Network::route(HostId a, HostId b) const {
   return {};
 }
 
+SimDuration Network::path_latency(HostId a, HostId b) const {
+  if (a == b) return SimDuration{0};
+  const auto path = route(a, b);
+  if (path.size() < 2) return SimDuration{-1};
+  SimDuration total{0};
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const LinkDir* d = find_dir(path[i], path[i + 1]);
+    if (!d) return SimDuration{-1};
+    total += d->cfg.latency;
+  }
+  return total;
+}
+
 bool Network::send(Packet p) {
   if (p.src >= hosts_.size() || p.dst >= hosts_.size()) return false;
   p.id = next_packet_++;

@@ -15,6 +15,7 @@
 #include "lod/media/drm.hpp"
 #include "lod/net/transport.hpp"
 #include "lod/streaming/protocol.hpp"
+#include "lod/streaming/selector.hpp"
 
 /// \file player.hpp
 /// The media player / browser plug-in stand-in.
@@ -79,6 +80,13 @@ struct PlayerConfig {
   /// ETPN player's synchronized clock tracks the master, an OCPN player's
   /// raw clock shifts the whole rendering by its offset.
   std::optional<net::SimTime> scheduled_start;
+  /// Selector-driven sessions only: how long the stream may be starved (no
+  /// packets while opening/buffering, or stalled while playing) before the
+  /// player abandons the site and reopens at the selector's next pick.
+  /// <= 0 disables the watchdog.
+  net::SimDuration failover_timeout{net::msec(2000)};
+  /// How often the failover watchdog samples progress.
+  net::SimDuration failover_check_interval{net::msec(500)};
 };
 
 /// One rendered access unit, in three clocks at once.
@@ -159,6 +167,14 @@ class Player {
   void open_and_play(net::HostId server, std::string content,
                      net::SimDuration from = {});
 
+  /// Like `open_and_play`, but the serving site comes from \p sel (the edge
+  /// tier's delay-aware replica selection). The player feeds measured
+  /// DESCRIBE and TIMESYNC round trips back into the selector, and a
+  /// progress watchdog reopens the session at `sel.failover_from(site)` if
+  /// the site stops responding. \p sel must outlive the session.
+  void open_and_play_via(SiteSelector& sel, std::string content,
+                         net::SimDuration from = {});
+
   /// Arrange an absolutely scheduled start (see PlayerConfig::scheduled_start).
   /// Must be called before rendering begins.
   void set_scheduled_start(net::SimTime master_start) {
@@ -215,6 +231,10 @@ class Player {
   bool drm_blocked() const { return drm_blocked_; }
   /// Last measured clock offset correction (ETPN), for diagnostics.
   net::SimDuration last_clock_correction() const { return last_correction_; }
+  /// The site this session is (or was last) served from.
+  net::HostId current_server() const { return server_; }
+  /// Times the watchdog abandoned a site and reopened elsewhere.
+  std::uint64_t failovers() const { return failovers_; }
 
  private:
   enum class State : std::uint8_t {
@@ -226,6 +246,13 @@ class Player {
     // Content bytes are dropped after demux; the renderer only needs meta.
   };
 
+  /// Shared open path for `open_and_play` / `open_and_play_via` / failover.
+  void open_to(net::HostId server, std::string content, net::SimDuration from);
+  /// (Re)start the progress watchdog (selector-driven sessions only).
+  void arm_failover_watchdog();
+  void watchdog_tick();
+  /// Abandon the current site and reopen at the selector's next pick.
+  void do_failover();
   void handle_control(const net::ReliableEndpoint::Message& m);
   void handle_data(const net::Packet& p);
   /// Push one ASF packet through the demuxer and the buffering state machine.
@@ -273,6 +300,7 @@ class Player {
 
   State state_{State::kIdle};
   net::HostId server_{0};
+  SiteSelector* selector_{nullptr};
   std::string content_;
   std::uint64_t session_{0};
   bool live_{false};
@@ -313,6 +341,11 @@ class Player {
   bool eos_received_{false};
   std::optional<net::EventId> render_timer_;
   std::optional<net::EventId> sync_timer_;
+  std::optional<net::EventId> failover_timer_;
+  std::uint64_t watchdog_last_packets_{0};
+  net::SimTime watchdog_stuck_since_{};
+  net::SimTime describe_sent_{};
+  std::uint64_t failovers_{0};
   std::optional<net::SimTime> waiting_since_;  ///< in a stall since then
   net::SimTime play_issued_{};
   net::SimDuration startup_delay_{-1};
@@ -330,6 +363,7 @@ class Player {
   obs::Counter m_stalls_;
   obs::Counter m_slides_shown_;
   obs::Counter m_repairs_requested_;
+  obs::Counter m_failovers_;
   obs::Histogram m_startup_us_;
   obs::Histogram m_stall_us_;
   obs::Histogram m_slide_fetch_us_;

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "lod/net/network.hpp"
+
+/// \file selector.hpp
+/// The player-side site selection seam.
+///
+/// A distributed deployment serves one content name from several sites (the
+/// origin plus edge replicas). The player does not know the topology; it
+/// asks a `SiteSelector` where to open, reports the delays it actually
+/// observes, and asks again when a site stops responding. The concrete
+/// policy (EWMA delay ranking, failover bookkeeping) lives in `lod::edge`'s
+/// `ReplicaSelector`; this interface keeps `lod_streaming` free of any edge
+/// dependency.
+
+namespace lod::streaming {
+
+class SiteSelector {
+ public:
+  virtual ~SiteSelector() = default;
+
+  /// The site a new session should open against.
+  virtual net::HostId pick_site() = 0;
+
+  /// An observed one-way delay to \p site (control-plane RTT/2: DESCRIBE
+  /// round trips, TIMESYNC exchanges). Feeds the selector's estimate.
+  virtual void observe(net::HostId site, net::SimDuration delay) {
+    (void)site;
+    (void)delay;
+  }
+
+  /// \p site stopped responding mid-session; returns where to fail over to
+  /// (implementations must always have an answer — the origin never leaves).
+  virtual net::HostId failover_from(net::HostId site) = 0;
+};
+
+}  // namespace lod::streaming

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,9 +19,9 @@
 /// subscriber ("broadcast ... in real time", §2.5).
 ///
 /// Measurement goes through the simulation's `obs::MetricsRegistry`
-/// (`lod.server.*` series) — `metrics()` is the read-side view; the
-/// `SessionStats` struct and `total_packets_sent()` remain as thin shims
-/// over the registry for one deprecation cycle.
+/// (`lod.server.*` series) — `metrics()` is the read-side view. The
+/// `SessionStats` value type is materialized from the registry on demand by
+/// `ServerMetrics::session`.
 
 namespace lod::streaming {
 
@@ -50,8 +51,18 @@ struct ServerConfig {
   /// real time would mean the session can never keep up).
   double fast_start_multiplier{4.0};
 
-  /// Normalized copy with every field forced into its legal range.
+  /// Normalized copy with every tunable forced into its legal range.
+  /// Structural fields cannot be fixed up, only rejected: throws
+  /// std::invalid_argument for control_port 0 (unbindable) or 65535 (the
+  /// data socket rides on control_port + 1, which would overflow).
   ServerConfig validated() const {
+    if (control_port == 0) {
+      throw std::invalid_argument("ServerConfig: control_port must be nonzero");
+    }
+    if (control_port == 65535) {
+      throw std::invalid_argument(
+          "ServerConfig: control_port 65535 leaves no room for the data port");
+    }
     ServerConfig c = *this;
     if (!(c.fast_start_multiplier >= 1.0)) c.fast_start_multiplier = 1.0;
     return c;
@@ -95,6 +106,14 @@ class StreamingServer {
   void publish(std::string name, media::asf::File file);
   bool has(const std::string& name) const { return files_.count(name) > 0; }
 
+  /// The published file, or nullptr. The edge tier's origin gateway serves
+  /// segments straight out of this; the pointer is stable until the name is
+  /// republished.
+  const media::asf::File* stored(const std::string& name) const {
+    auto it = files_.find(name);
+    return it == files_.end() ? nullptr : &it->second;
+  }
+
   /// Open a live channel under \p name; returns a sink to feed encoder
   /// packets into. Subscribers joined via kJoinLive receive every packet
   /// fed after their join. Feeding a finished channel is a no-op.
@@ -110,12 +129,6 @@ class StreamingServer {
   void configure(ServerConfig cfg);
   const ServerConfig& config() const { return config_; }
 
-  [[deprecated("use configure(ServerConfig) instead")]]
-  void set_fast_start_multiplier(double m) {
-    ServerConfig c = config_;
-    c.fast_start_multiplier = m;
-    configure(c);
-  }
   double fast_start_multiplier() const {
     return config_.fast_start_multiplier;
   }
@@ -126,13 +139,15 @@ class StreamingServer {
   ServerMetrics metrics() const { return ServerMetrics(this); }
 
   std::size_t active_sessions() const;
-  std::optional<SessionStats> session_stats(std::uint64_t session) const;
-  std::uint64_t total_packets_sent() const { return packets_sent_.value(); }
 
   net::HostId host() const { return host_; }
 
  private:
   friend class ServerMetrics;
+
+  /// Materializes `lod.server.session.*` series into a `SessionStats`;
+  /// surfaced publicly through `ServerMetrics::session`.
+  std::optional<SessionStats> session_stats(std::uint64_t session) const;
 
   /// Registry handles for one session's `lod.server.session.*` series.
   struct SessionCounters {

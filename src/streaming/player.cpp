@@ -36,6 +36,7 @@ Player::Player(net::Network& net, net::HostId host, PlayerConfig cfg,
   m_stalls_ = reg.counter("lod.player.stalls", l);
   m_slides_shown_ = reg.counter("lod.player.slides_shown", l);
   m_repairs_requested_ = reg.counter("lod.player.repairs_requested", l);
+  m_failovers_ = reg.counter("lod.player.failovers", l);
   m_startup_us_ = reg.histogram("lod.player.startup_us", l);
   m_stall_us_ = reg.histogram("lod.player.stall_us", l);
   m_slide_fetch_us_ = reg.histogram("lod.player.slide_fetch_us", l);
@@ -49,6 +50,7 @@ Player::~Player() {
   *alive_ = false;
   if (render_timer_) net_.simulator().cancel(*render_timer_);
   if (sync_timer_) net_.simulator().cancel(*sync_timer_);
+  if (failover_timer_) net_.simulator().cancel(*failover_timer_);
   if (channel_ != 0) net_.release_channel(channel_);
 }
 
@@ -65,6 +67,10 @@ void Player::enter_finished() {
   if (render_timer_) {
     net_.simulator().cancel(*render_timer_);
     render_timer_.reset();
+  }
+  if (failover_timer_) {
+    net_.simulator().cancel(*failover_timer_);
+    failover_timer_.reset();
   }
 }
 
@@ -105,6 +111,18 @@ void Player::reset_session_state() {
 
 void Player::open_and_play(net::HostId server, std::string content,
                            net::SimDuration from) {
+  selector_ = nullptr;
+  open_to(server, std::move(content), from);
+}
+
+void Player::open_and_play_via(SiteSelector& sel, std::string content,
+                               net::SimDuration from) {
+  selector_ = &sel;
+  open_to(sel.pick_site(), std::move(content), from);
+}
+
+void Player::open_to(net::HostId server, std::string content,
+                     net::SimDuration from) {
   reset_session_state();
   server_ = server;
   content_ = std::move(content);
@@ -115,7 +133,9 @@ void Player::open_and_play(net::HostId server, std::string content,
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Ctl::kDescribe));
   w.str(content_);
+  describe_sent_ = net_.simulator().now();
   ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  if (selector_) arm_failover_watchdog();
 }
 
 void Player::join_live(net::HostId server, std::string name) {
@@ -204,6 +224,77 @@ void Player::stop() {
   enter_finished();
 }
 
+// --- failover watchdog (selector-driven sessions) -----------------------------------
+
+void Player::arm_failover_watchdog() {
+  if (failover_timer_) {
+    net_.simulator().cancel(*failover_timer_);
+    failover_timer_.reset();
+  }
+  if (!selector_ || cfg_.failover_timeout.us <= 0) return;
+  watchdog_last_packets_ = packets_received_;
+  watchdog_stuck_since_ = net_.simulator().now();
+  failover_timer_ = net_.simulator().schedule_after(
+      cfg_.failover_check_interval, [this, alive = alive_] {
+        if (!*alive) return;
+        failover_timer_.reset();
+        watchdog_tick();
+      });
+}
+
+void Player::watchdog_tick() {
+  if (!selector_ || state_ == State::kFinished || state_ == State::kIdle) {
+    return;
+  }
+  const net::SimTime now = net_.simulator().now();
+  // Starvation = the site owes us data and none is arriving. A paused
+  // session and smooth playback owe nothing.
+  bool starved = false;
+  if (state_ == State::kOpening || state_ == State::kBuffering) {
+    starved = packets_received_ == watchdog_last_packets_;
+  } else if (state_ == State::kPlaying && waiting_since_) {
+    starved = packets_received_ == watchdog_last_packets_;
+  }
+  if (!starved) {
+    watchdog_last_packets_ = packets_received_;
+    watchdog_stuck_since_ = now;
+  } else if (now - watchdog_stuck_since_ >= cfg_.failover_timeout) {
+    do_failover();
+    return;  // open_to re-armed the watchdog
+  }
+  failover_timer_ = net_.simulator().schedule_after(
+      cfg_.failover_check_interval, [this, alive = alive_] {
+        if (!*alive) return;
+        failover_timer_.reset();
+        watchdog_tick();
+      });
+}
+
+void Player::do_failover() {
+  ++failovers_;
+  m_failovers_.inc();
+  if (trace_->enabled()) {
+    trace_->emit(obs::EventType::kSpanBegin, host_,
+                 static_cast<std::int64_t>(server_), 0, "player.failover");
+  }
+  // Resume where the viewer actually is: the last rendered unit while
+  // playing (position() keeps advancing through a stall), else the pending
+  // open/seek target.
+  net::SimDuration resume_at =
+      discard_below_.us >= 0 ? discard_below_ : net::SimDuration{0};
+  if (state_ == State::kPlaying && !rendered_.empty()) {
+    resume_at = rendered_.back().pts;
+  }
+  // The QoS reservation follows the old path; drop it and let the reopen
+  // reserve against the new site.
+  if (channel_ != 0) {
+    net_.release_channel(channel_);
+    channel_ = 0;
+  }
+  const net::HostId next = selector_->failover_from(server_);
+  open_to(next, content_, resume_at);
+}
+
 // --- clock synchronization (ETPN) ---------------------------------------------------
 
 void Player::start_clock_sync_loop() {
@@ -232,6 +323,12 @@ void Player::handle_control(const net::ReliableEndpoint::Message& m) {
   const Ctl tag = static_cast<Ctl>(r.u8());
   switch (tag) {
     case Ctl::kDescribeOk: {
+      if (selector_) {
+        // One-way delay estimate from the DESCRIBE round trip (true time:
+        // both ends are this host's schedule, no clock skew involved).
+        selector_->observe(server_,
+                           (net_.simulator().now() - describe_sent_) / 2);
+      }
       const auto hb = r.blob();
       on_described(hb);
       return;
@@ -249,6 +346,7 @@ void Player::handle_control(const net::ReliableEndpoint::Message& m) {
       const net::SimDuration offset = (ts - t2) + rtt / 2;
       net_.clock(host_).adjust(offset);
       last_correction_ = offset;
+      if (selector_) selector_->observe(server_, rtt / 2);
       if (trace_->enabled()) {
         trace_->emit(obs::EventType::kClockSync, host_, offset.us, rtt.us);
       }

@@ -32,9 +32,11 @@ StreamingServer::StreamingServer(net::Network& net, net::HostId host,
     : StreamingServer(net, host, ServerConfig{control_port, 4.0}) {}
 
 void StreamingServer::configure(ServerConfig cfg) {
-  cfg = cfg.validated();
-  cfg.control_port = config_.control_port;  // fixed at construction
-  config_ = cfg;
+  // Pin the port before validating: the port is fixed at construction, so a
+  // caller passing a default/stale struct must not be rejected for a field
+  // that is ignored anyway.
+  cfg.control_port = config_.control_port;
+  config_ = cfg.validated();
 }
 
 StreamingServer::SessionCounters StreamingServer::make_session_counters(

@@ -105,6 +105,51 @@ TEST(Simulator, CancelFiredIdIsNoop) {
   EXPECT_FALSE(sim.cancel(id));
 }
 
+TEST(Simulator, CancelFiredIdDoesNotTouchLaterEvents) {
+  // A stale id must stay dead: cancelling it after it fired must not
+  // affect events scheduled afterwards, even ones queued at the same time.
+  Simulator sim;
+  EventId stale = sim.schedule_at(SimTime{10}, [] {});
+  sim.run();
+  bool fired = false;
+  sim.schedule_at(SimTime{20}, [&] { fired = true; });
+  EXPECT_FALSE(sim.cancel(stale));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, HandlerCanCancelSameInstantSibling) {
+  // Two events due at the same instant: the first handler cancels the
+  // second before the dispatcher reaches it. The sibling must not fire.
+  Simulator sim;
+  bool sibling_fired = false;
+  EventId sibling = 0;
+  sim.schedule_at(SimTime{100}, [&] { EXPECT_TRUE(sim.cancel(sibling)); });
+  sibling = sim.schedule_at(SimTime{100}, [&] { sibling_fired = true; });
+  sim.run();
+  EXPECT_FALSE(sibling_fired);
+  EXPECT_EQ(sim.now().us, 100);
+}
+
+TEST(Simulator, CancelKeepsFifoOrderForSameInstantSurvivors) {
+  // Cancelling the middle of three same-instant events must preserve the
+  // insertion order of the survivors, and an event inserted *from a
+  // handler* at the same instant runs after all previously queued ones.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime{50}, [&] {
+    order.push_back(1);
+    sim.schedule_at(SimTime{50}, [&] { order.push_back(4); });
+  });
+  EventId middle = sim.schedule_at(SimTime{50}, [&] { order.push_back(2); });
+  sim.schedule_at(SimTime{50}, [&] { order.push_back(3); });
+  EXPECT_TRUE(sim.cancel(middle));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+  EXPECT_EQ(sim.now().us, 50);
+}
+
 TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
   Simulator sim;
   std::vector<int> fired;

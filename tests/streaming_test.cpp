@@ -206,7 +206,7 @@ TEST_F(StreamFixture, ServerTracksSessions) {
   p.open_and_play(server_host, "lec");
   sim.run_until(SimTime{sec(2).us});
   EXPECT_EQ(server->active_sessions(), 1u);
-  EXPECT_GT(server->total_packets_sent(), 0u);
+  EXPECT_GT(server->metrics().packets_sent(), 0u);
   sim.run();
   p.stop();
   sim.run();
@@ -686,7 +686,7 @@ TEST_F(StreamFixture, JoinUnknownLiveChannelFails) {
 
 // --- the observability layer through the streaming stack --------------------------
 
-TEST_F(StreamFixture, ServerMetricsViewMatchesLegacyShims) {
+TEST_F(StreamFixture, ServerMetricsViewExposesRegistrySeries) {
   const auto enc = encode(sec(5), default_job());
   server->publish("lec", enc.file);
   Player p(network, client_host, player_cfg(SyncModel::kEtpn));
@@ -698,15 +698,10 @@ TEST_F(StreamFixture, ServerMetricsViewMatchesLegacyShims) {
   EXPECT_EQ(m.sessions_opened(), 1u);
   EXPECT_GT(m.packets_sent(), 0u);
   EXPECT_GT(m.bytes_sent(), 0u);
-  // The legacy accessors are shims over the same registry cells.
-  EXPECT_EQ(m.packets_sent(), server->total_packets_sent());
   EXPECT_EQ(static_cast<std::size_t>(m.active_sessions()),
             server->active_sessions());
   const auto via_view = m.session(1);
-  const auto via_legacy = server->session_stats(1);
   ASSERT_TRUE(via_view.has_value());
-  ASSERT_TRUE(via_legacy.has_value());
-  EXPECT_EQ(via_view->packets_sent, via_legacy->packets_sent);
   EXPECT_GT(via_view->packets_sent, 0u);
   EXPECT_FALSE(m.session(999).has_value());
 
@@ -727,7 +722,7 @@ TEST_F(StreamFixture, ServerMetricsViewMatchesLegacyShims) {
   EXPECT_EQ(m.active_sessions(), 0);
 }
 
-TEST_F(StreamFixture, ServerConfigValidatesAndOldSetterForwards) {
+TEST_F(StreamFixture, ServerConfigValidatesTunablesAndPorts) {
   const auto port = static_cast<net::Port>(proto::kControlPort + 100);
   ServerConfig cfg;
   cfg.control_port = port;
@@ -742,11 +737,22 @@ TEST_F(StreamFixture, ServerConfigValidatesAndOldSetterForwards) {
   EXPECT_DOUBLE_EQ(s2.config().fast_start_multiplier, 6.0);
   EXPECT_EQ(s2.config().control_port, port);
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  s2.set_fast_start_multiplier(2.5);
-#pragma GCC diagnostic pop
-  EXPECT_DOUBLE_EQ(s2.fast_start_multiplier(), 2.5);
+  // Structural fields cannot be clamped, only rejected.
+  ServerConfig bad_zero;
+  bad_zero.control_port = 0;
+  EXPECT_THROW((void)bad_zero.validated(), std::invalid_argument);
+  ServerConfig bad_max;
+  bad_max.control_port = 65535;  // data port would be control_port + 1
+  EXPECT_THROW((void)bad_max.validated(), std::invalid_argument);
+
+  // configure() pins the construction-time port BEFORE validating, so a
+  // stale struct with a zeroed port must not throw.
+  ServerConfig stale;
+  stale.control_port = 0;
+  stale.fast_start_multiplier = 3.0;
+  EXPECT_NO_THROW(s2.configure(stale));
+  EXPECT_EQ(s2.config().control_port, port);
+  EXPECT_DOUBLE_EQ(s2.config().fast_start_multiplier, 3.0);
 }
 
 TEST_F(StreamFixture, PlayerObserverReceivesTypedEvents) {
