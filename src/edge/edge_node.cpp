@@ -16,6 +16,7 @@ OriginGateway::OriginGateway(net::Network& net,
                              streaming::StreamingServer& origin, net::Port port)
     : origin_(origin), rpc_(net, origin.host(), port) {
   auto& reg = net.simulator().obs().metrics();
+  trace_ = &net.simulator().obs().trace();
   const obs::Labels host_label{{"host", std::to_string(origin.host())}};
   m_meta_requests_ = reg.counter("lod.edge.origin.meta_requests", host_label);
   m_segment_requests_ =
@@ -28,7 +29,11 @@ OriginGateway::OriginGateway(net::Network& net,
     m_meta_requests_.inc();
     ByteReader r(body);
     const std::string name = r.str();
+    const obs::TraceContext ctx = streaming::proto::read_trace_context(r);
+    const std::uint64_t sp =
+        trace_->begin_span(ctx, "origin.meta", origin_.host());
     const media::asf::File* f = origin_.stored(name);
+    trace_->end_span(ctx, sp, "origin.meta", origin_.host(), f ? 200 : 404);
     if (!f) return {404, {}};
     ByteWriter w;
     w.blob(media::asf::serialize_header(f->header));
@@ -50,11 +55,20 @@ OriginGateway::OriginGateway(net::Network& net,
     const std::string name = r.str();
     const std::uint32_t seg = r.u32();
     const std::uint32_t per = r.u32();
+    const obs::TraceContext ctx = streaming::proto::read_trace_context(r);
+    const std::uint64_t sp =
+        trace_->begin_span(ctx, "origin.segment", origin_.host(), seg);
     const media::asf::File* f = origin_.stored(name);
-    if (!f || per == 0) return {404, {}};
+    if (!f || per == 0) {
+      trace_->end_span(ctx, sp, "origin.segment", origin_.host(), seg, 404);
+      return {404, {}};
+    }
     const std::size_t n = f->packets.size();
     const std::size_t first = static_cast<std::size_t>(seg) * per;
-    if (first >= n) return {404, {}};
+    if (first >= n) {
+      trace_->end_span(ctx, sp, "origin.segment", origin_.host(), seg, 404);
+      return {404, {}};
+    }
     const std::size_t last = std::min<std::size_t>(first + per, n);
     ByteWriter w;
     w.u32(static_cast<std::uint32_t>(last - first));
@@ -63,6 +77,7 @@ OriginGateway::OriginGateway(net::Network& net,
     }
     auto out = std::move(w).take();
     m_segment_bytes_.inc(out.size());
+    trace_->end_span(ctx, sp, "origin.segment", origin_.host(), seg, 200);
     return {200, std::move(out)};
   });
 }
@@ -142,12 +157,17 @@ void EdgeNode::end_session(Session& s) {
   }
 }
 
-EdgeNode::ContentMeta& EdgeNode::ensure_meta(const std::string& content) {
+EdgeNode::ContentMeta& EdgeNode::ensure_meta(const std::string& content,
+                                             const obs::TraceContext& ctx) {
   ContentMeta& meta = contents_[content];
   if (meta.ready || meta.fetching) return meta;
   meta.fetching = true;
+  meta.fill_ctx = ctx;
+  meta.fill_span = trace_->begin_span(ctx, "edge.meta_fill", host_);
   ByteWriter w;
   w.str(content);
+  streaming::proto::write_trace_context(
+      w, meta.fill_span ? ctx.child(meta.fill_span) : obs::TraceContext{});
   auto alive = alive_;
   origin_rpc_.call(config_.origin, config_.origin_gateway_port, "/edge/meta",
                    std::move(w).take(),
@@ -157,6 +177,11 @@ EdgeNode::ContentMeta& EdgeNode::ensure_meta(const std::string& content) {
                      if (status != 200) {
                        ContentMeta& m = contents_[content];
                        m.fetching = false;
+                       if (m.fill_span) {
+                         trace_->end_span(m.fill_ctx, m.fill_span,
+                                          "edge.meta_fill", host_, status);
+                         m.fill_span = 0;
+                       }
                        for (auto [h, p] : m.waiting_describe) {
                          ByteWriter e;
                          e.u8(static_cast<std::uint8_t>(Ctl::kError));
@@ -194,6 +219,11 @@ void EdgeNode::on_meta(const std::string& content,
     meta.send_times_us.push_back(r.i64());
   }
   meta.ready = true;
+  if (meta.fill_span) {
+    trace_->end_span(meta.fill_ctx, meta.fill_span, "edge.meta_fill", host_,
+                     meta.packet_count);
+    meta.fill_span = 0;
+  }
   if (meta.order_override) {
     meta.prefetch.emplace(meta.packet_count, config_.packets_per_segment,
                           *meta.order_override);
@@ -235,7 +265,10 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
   switch (tag) {
     case Ctl::kDescribe: {
       const std::string name = r.str();
-      ContentMeta& meta = ensure_meta(name);
+      const obs::TraceContext ctx = streaming::proto::read_trace_context(r);
+      const std::uint64_t sp = trace_->begin_span(ctx, "edge.describe", host_);
+      trace_->end_span(ctx, sp, "edge.describe", host_);
+      ContentMeta& meta = ensure_meta(name, ctx);
       if (meta.ready) {
         ByteWriter w;
         w.u8(static_cast<std::uint8_t>(Ctl::kDescribeOk));
@@ -252,6 +285,7 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
       const net::SimDuration from{r.i64()};
       const net::Port data_port = r.u16();
       const net::ChannelId channel = r.u32();
+      const obs::TraceContext ctx = streaming::proto::read_trace_context(r);
       auto it = contents_.find(name);
       if (it == contents_.end() || !it->second.ready) {
         // Players DESCRIBE first (which pulls the meta); a PLAY without it
@@ -267,6 +301,7 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
       s.data_port = data_port;
       s.channel = channel;
       s.content = name;
+      s.ctx = ctx;
       s.next_packet = packet_for(meta, from);
       s.pace_epoch = net_.simulator().now();
       s.pace_offset = s.next_packet < meta.packet_count
@@ -276,9 +311,13 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
       sessions_.emplace(id, std::move(s));
       m_sessions_opened_.inc();
       m_active_sessions_.add(1);
+      const std::uint64_t sp = trace_->begin_span(
+          ctx, "edge.open", host_, static_cast<std::int64_t>(id));
+      trace_->end_span(ctx, sp, "edge.open", host_,
+                       static_cast<std::int64_t>(id));
       if (trace_->enabled()) {
-        trace_->emit(obs::EventType::kSessionOpen, m.src,
-                     static_cast<std::int64_t>(id), from.us, name);
+        trace_->emit_in(ctx, obs::EventType::kSessionOpen, m.src,
+                        static_cast<std::int64_t>(id), from.us, name);
       }
       ByteWriter w;
       w.u8(static_cast<std::uint8_t>(Ctl::kPlayOk));
@@ -501,7 +540,7 @@ void EdgeNode::deliver_due(std::uint64_t sid) {
     // Cold miss: park the session on the fill; it resumes (and catches up
     // under the burst cap) when the segment lands.
     s->waiting_on = key;
-    start_fetch(s->content, seg, /*demand=*/true);
+    start_fetch(s->content, seg, /*demand=*/true, s->ctx);
     auto& f = inflight_[key];
     f.demand = true;
     f.waiting_sessions.push_back(sid);
@@ -537,21 +576,28 @@ void EdgeNode::send_packet(Session& s, const media::asf::DataPacket& pkt,
 }
 
 void EdgeNode::start_fetch(const std::string& content, std::uint32_t segment,
-                           bool demand) {
+                           bool demand, const obs::TraceContext& ctx) {
   const SegmentKey key{content, segment};
   auto [it, inserted] = inflight_.try_emplace(key);
   it->second.demand |= demand;
   if (!inserted) return;  // already on the wire; callers just park on it
   fetch_started_[key] = net_.simulator().now();
   (demand ? m_demand_fetches_ : m_prefetch_fetches_).inc();
-  if (trace_->enabled()) {
-    trace_->emit(obs::EventType::kSpanBegin, host_, segment, 0,
-                 demand ? "edge.miss_fill" : "edge.prefetch");
+  const char* span_name = demand ? "edge.miss_fill" : "edge.prefetch";
+  if (ctx.valid()) {
+    it->second.ctx = ctx;
+    it->second.span = trace_->begin_span(ctx, span_name, host_, segment);
+  } else if (trace_->enabled()) {
+    // Context-free fill (prefetch, or an untraced session): keep the legacy
+    // unlinked span events so the fetch still shows up in the stream.
+    trace_->emit(obs::EventType::kSpanBegin, host_, segment, 0, span_name);
   }
   ByteWriter w;
   w.str(content);
   w.u32(segment);
   w.u32(config_.packets_per_segment);
+  streaming::proto::write_trace_context(
+      w, it->second.span ? ctx.child(it->second.span) : obs::TraceContext{});
   auto alive = alive_;
   origin_rpc_.call(config_.origin, config_.origin_gateway_port, "/edge/segment",
                    std::move(w).take(),
@@ -575,7 +621,11 @@ void EdgeNode::on_segment(const std::string& content, std::uint32_t segment,
     elapsed = net_.simulator().now() - it->second;
     fetch_started_.erase(it);
   }
-  if (trace_->enabled()) {
+  if (fetch.span != 0) {
+    trace_->end_span(fetch.ctx, fetch.span,
+                     fetch.demand ? "edge.miss_fill" : "edge.prefetch", host_,
+                     segment, status);
+  } else if (trace_->enabled()) {
     trace_->emit(obs::EventType::kSpanEnd, host_, segment, status,
                  fetch.demand ? "edge.miss_fill" : "edge.prefetch");
   }

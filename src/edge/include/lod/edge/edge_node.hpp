@@ -51,6 +51,7 @@ class OriginGateway {
  private:
   streaming::StreamingServer& origin_;
   net::RpcServer rpc_;
+  obs::TraceSink* trace_{nullptr};
   obs::Counter m_meta_requests_;
   obs::Counter m_segment_requests_;
   obs::Counter m_segment_bytes_;
@@ -125,6 +126,10 @@ class EdgeNode {
     std::vector<std::pair<net::HostId, net::Port>> waiting_describe;
     std::optional<PrefetchController> prefetch;
     std::optional<std::vector<PacketRange>> order_override;
+    /// Open "edge.meta_fill" span, owned by whichever DESCRIBE initiated
+    /// the fetch; later describes park without their own span.
+    obs::TraceContext fill_ctx;
+    std::uint64_t fill_span{0};
   };
 
   struct Session {
@@ -134,6 +139,9 @@ class EdgeNode {
     net::Port data_port{};
     net::ChannelId channel{0};
     std::string content;
+    /// Trace context from the player's PLAY (parent = its startup span);
+    /// demand miss fills initiated for this session parent their spans here.
+    obs::TraceContext ctx;
     std::uint32_t next_packet{0};
     std::uint64_t next_seq{0};
     std::uint32_t epoch{0};
@@ -154,18 +162,23 @@ class EdgeNode {
     bool demand{false};  ///< any demand-miss waiter (vs pure prefetch)
     std::vector<std::uint64_t> waiting_sessions;
     std::vector<std::pair<std::uint64_t, std::uint32_t>> waiting_repairs;
+    /// Context-linked span for demand fills initiated on behalf of a traced
+    /// session; prefetch fills stay context-free.
+    obs::TraceContext ctx;
+    std::uint64_t span{0};
   };
 
   void handle_control(const net::ReliableEndpoint::Message& m);
   void reply_to(net::HostId h, net::Port p, std::vector<std::byte> payload);
-  ContentMeta& ensure_meta(const std::string& content);
+  ContentMeta& ensure_meta(const std::string& content,
+                           const obs::TraceContext& ctx = {});
   void on_meta(const std::string& content, std::span<const std::byte> body);
   void schedule_next(Session& s);
   void deliver_due(std::uint64_t sid);
   void send_packet(Session& s, const media::asf::DataPacket& pkt,
                    std::uint32_t packet_index);
   void start_fetch(const std::string& content, std::uint32_t segment,
-                   bool demand);
+                   bool demand, const obs::TraceContext& ctx = {});
   void on_segment(const std::string& content, std::uint32_t segment,
                   int status, std::span<const std::byte> body);
   void prefetch_tick(const std::string& content, std::uint32_t playhead);

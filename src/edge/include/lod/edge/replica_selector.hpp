@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "lod/net/network.hpp"
+#include "lod/obs/health.hpp"
 #include "lod/streaming/selector.hpp"
 
 /// \file replica_selector.hpp
@@ -45,6 +46,13 @@ class ReplicaSelector : public streaming::SiteSelector {
   void revive(net::HostId site);
   bool is_down(net::HostId site) const;
 
+  /// Consult \p health on every pick: non-origin sites whose SLO rules are
+  /// in violation (`site_healthy(site)` false) are demoted — skipped exactly
+  /// as if marked down, but they come back on their own once the rules
+  /// recover. Pass nullptr to detach. The monitor must outlive the selector
+  /// (or be detached first).
+  void set_health(const obs::HealthMonitor* health) { health_ = health; }
+
   /// Current delay estimate; SimDuration::max-like sentinel for unknown sites.
   net::SimDuration estimate(net::HostId site) const;
 
@@ -57,11 +65,16 @@ class ReplicaSelector : public streaming::SiteSelector {
     double ewma_us{0.0};
     bool down{false};
     obs::Gauge estimate_us;
+    /// Hub clock stamp of the last live delay observation; the
+    /// `slo_replica_staleness` rule reads this to flag stale estimates.
+    obs::Gauge last_observation_us;
   };
 
+  obs::Hub* hub_;
   net::HostId client_;
   net::HostId origin_;
   double alpha_;
+  const obs::HealthMonitor* health_{nullptr};
   std::vector<net::HostId> sites_;  ///< edges first, origin last
   std::unordered_map<net::HostId, SiteState> state_;
   obs::Counter picks_;

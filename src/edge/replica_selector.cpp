@@ -1,13 +1,17 @@
 #include "lod/edge/replica_selector.hpp"
 
 #include <limits>
+#include <string>
 
 namespace lod::edge {
 
 ReplicaSelector::ReplicaSelector(net::Network& net, net::HostId client,
                                  net::HostId origin,
                                  std::vector<net::HostId> edges, double alpha)
-    : client_(client), origin_(origin), alpha_(alpha) {
+    : hub_(&net.simulator().obs()),
+      client_(client),
+      origin_(origin),
+      alpha_(alpha) {
   sites_ = std::move(edges);
   sites_.push_back(origin_);
   auto& reg = net.simulator().obs().metrics();
@@ -27,10 +31,13 @@ ReplicaSelector::ReplicaSelector(net::Network& net, net::HostId client,
     } else {
       st.ewma_us = static_cast<double>(seed.us);
     }
-    st.estimate_us = reg.gauge(
-        "lod.edge.selector.estimate_us",
-        {{"host", std::to_string(client_)}, {"site", std::to_string(site)}});
+    const obs::Labels at_site{{"host", std::to_string(client_)},
+                              {"site", std::to_string(site)}};
+    st.estimate_us = reg.gauge("lod.edge.selector.estimate_us", at_site);
     st.estimate_us.set(static_cast<std::int64_t>(st.ewma_us));
+    st.last_observation_us =
+        reg.gauge("lod.edge.selector.last_observation_us", at_site);
+    st.last_observation_us.set(hub_->now_us());
     state_.emplace(site, std::move(st));
   }
 }
@@ -41,6 +48,10 @@ net::HostId ReplicaSelector::pick_site() {
   for (net::HostId site : sites_) {
     const SiteState& st = state_.at(site);
     if (st.down) continue;
+    if (health_ && site != origin_ &&
+        !health_->site_healthy(std::to_string(site))) {
+      continue;  // SLO-demoted; eligibility returns when the rules recover
+    }
     if (st.ewma_us < best_ewma) {
       best_ewma = st.ewma_us;
       best = site;
@@ -57,6 +68,7 @@ void ReplicaSelector::observe(net::HostId site, net::SimDuration delay) {
   st.ewma_us = (1.0 - alpha_) * st.ewma_us +
                alpha_ * static_cast<double>(delay.us);
   st.estimate_us.set(static_cast<std::int64_t>(st.ewma_us));
+  st.last_observation_us.set(hub_->now_us());
   observations_.inc();
 }
 

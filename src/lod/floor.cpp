@@ -70,7 +70,12 @@ bool FloorControl::request(const std::string& user) {
   if (hub_) {
     asked_at_[user] = hub_->now_us();
     if (hub_->trace().enabled()) {
-      hub_->trace().emit(obs::EventType::kFloorRequest, 0, 0, 0, user);
+      auto& trace = hub_->trace();
+      const obs::TraceContext root = trace.make_trace();
+      const std::uint64_t sp = trace.begin_span(root, "floor.request");
+      request_spans_[user] = {root, sp};
+      trace.emit_in(root.child(sp), obs::EventType::kFloorRequest, 0, 0, 0,
+                    user);
     }
   }
   try_grant();
@@ -129,7 +134,14 @@ void FloorControl::try_grant() {
         m_grant_wait_us_.observe(hub_->now_us() - it->second);
         asked_at_.erase(it);
       }
-      if (hub_->trace().enabled()) {
+      if (auto it = request_spans_.find(*best); it != request_spans_.end()) {
+        auto& trace = hub_->trace();
+        const auto [root, sp] = it->second;
+        trace.emit_in(root.child(sp), obs::EventType::kFloorGrant, 0, 0, 0,
+                      *best);
+        trace.end_span(root, sp, "floor.request");
+        request_spans_.erase(it);
+      } else if (hub_->trace().enabled()) {
         hub_->trace().emit(obs::EventType::kFloorGrant, 0, 0, 0, *best);
       }
     }

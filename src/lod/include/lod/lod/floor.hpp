@@ -100,6 +100,11 @@ class FloorControl {
   obs::Histogram m_grant_wait_us_;
   /// When each queued user asked (for the grant-wait histogram).
   std::unordered_map<std::string, obs::TimeUs> asked_at_;
+  /// Open "floor.request" span per queued user: the request → grant wait,
+  /// closed by try_grant (left open — and clamped by the span-tree builder —
+  /// if the floor never frees up).
+  std::unordered_map<std::string, std::pair<obs::TraceContext, std::uint64_t>>
+      request_spans_;
 };
 
 /// Network-facing floor service (runs on the teacher/server host).

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "lod/media/drm.hpp"
+#include "lod/obs/trace.hpp"
 #include "lod/media/sources.hpp"
 #include "lod/streaming/encoder.hpp"
 #include "lod/lod/abstraction.hpp"
@@ -148,8 +149,10 @@ class WmpsNode {
   PublishResult publish_abstraction_impl(
       const PublishForm& form, const std::vector<LectureSegment>& segments,
       int level);
-  /// Publish accounting: `lod.wmps.*` counters + the kPublish trace event.
-  void record_publish(const PublishResult& res);
+  /// Publish accounting: `lod.wmps.*` counters + the kPublish trace event
+  /// (tagged into \p ctx, the "wmps.publish" span minted by the caller).
+  void record_publish(const PublishResult& res,
+                      const obs::TraceContext& ctx = {});
 
   net::Network& net_;
   net::HostId host_;

@@ -53,7 +53,8 @@ void WmpsNode::serve_slides(const std::string& dir, const SlideAsset& asset) {
   }
 }
 
-void WmpsNode::record_publish(const PublishResult& res) {
+void WmpsNode::record_publish(const PublishResult& res,
+                              const obs::TraceContext& ctx) {
   if (res.ok) {
     m_publishes_.inc();
   } else {
@@ -61,23 +62,35 @@ void WmpsNode::record_publish(const PublishResult& res) {
   }
   auto& trace = net_.simulator().obs().trace();
   if (trace.enabled()) {
-    trace.emit(obs::EventType::kPublish, host_,
-               static_cast<std::int64_t>(res.packets), res.ok ? 0 : 1,
-               res.ok ? res.url : res.error);
+    trace.emit_in(ctx, obs::EventType::kPublish, host_,
+                  static_cast<std::int64_t>(res.packets), res.ok ? 0 : 1,
+                  res.ok ? res.url : res.error);
   }
 }
 
 PublishResult WmpsNode::publish(const PublishForm& form) {
+  auto& trace = net_.simulator().obs().trace();
+  const obs::TraceContext root = trace.make_trace();
+  const std::uint64_t sp = trace.begin_span(root, "wmps.publish", host_);
+  const obs::TraceContext ctx = root.child(sp);
   PublishResult res = publish_impl(form);
-  record_publish(res);
+  record_publish(res, ctx);
+  trace.end_span(root, sp, "wmps.publish", host_,
+                 static_cast<std::int64_t>(res.packets), res.ok ? 0 : 1);
   return res;
 }
 
 PublishResult WmpsNode::publish_abstraction(
     const PublishForm& form, const std::vector<LectureSegment>& segments,
     int level) {
+  auto& trace = net_.simulator().obs().trace();
+  const obs::TraceContext root = trace.make_trace();
+  const std::uint64_t sp = trace.begin_span(root, "wmps.publish", host_, level);
+  const obs::TraceContext ctx = root.child(sp);
   PublishResult res = publish_abstraction_impl(form, segments, level);
-  record_publish(res);
+  record_publish(res, ctx);
+  trace.end_span(root, sp, "wmps.publish", host_,
+                 static_cast<std::int64_t>(res.packets), res.ok ? 0 : 1);
   return res;
 }
 

@@ -1,0 +1,218 @@
+#include "lod/obs/export.hpp"
+
+#include <map>
+#include <vector>
+
+#include "lod/obs/json.hpp"
+
+namespace lod::obs {
+
+namespace {
+
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_prom_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+/// `{k="v",...}` with an optional extra label (the histogram `le`).
+void append_prom_labels(std::string& out, const Labels& labels,
+                        std::string_view extra_key = {},
+                        std::string_view extra_val = {}) {
+  if (labels.empty() && extra_key.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prom_name(l.first);
+    out += "=\"";
+    append_prom_escaped(out, l.second);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    append_prom_escaped(out, extra_val);
+    out += '"';
+  }
+  out += '}';
+}
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+/// Entries grouped by metric name in name order (map key order interleaves
+/// `name{...}` with longer names sharing the prefix, so re-group).
+std::map<std::string, std::vector<const Snapshot::Entry*>> by_name(
+    const Snapshot& snap) {
+  std::map<std::string, std::vector<const Snapshot::Entry*>> groups;
+  for (const auto& [key, e] : snap.entries()) {
+    groups[e.name].push_back(&e);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::string out;
+  for (const auto& [name, entries] : by_name(snap)) {
+    const std::string pname = prom_name(name);
+    out += "# TYPE ";
+    out += pname;
+    out += ' ';
+    out += kind_name(entries.front()->kind);
+    out += '\n';
+    for (const Snapshot::Entry* e : entries) {
+      switch (e->kind) {
+        case MetricKind::kCounter:
+          out += pname;
+          append_prom_labels(out, e->labels);
+          out += ' ';
+          out += std::to_string(e->counter);
+          out += '\n';
+          break;
+        case MetricKind::kGauge:
+          out += pname;
+          append_prom_labels(out, e->labels);
+          out += ' ';
+          out += std::to_string(e->gauge);
+          out += '\n';
+          break;
+        case MetricKind::kHistogram: {
+          const HistogramData& h = e->hist;
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            if (i < h.counts.size()) cum += h.counts[i];
+            out += pname;
+            out += "_bucket";
+            append_prom_labels(out, e->labels, "le",
+                               std::to_string(h.bounds[i]));
+            out += ' ';
+            out += std::to_string(cum);
+            out += '\n';
+          }
+          out += pname;
+          out += "_bucket";
+          append_prom_labels(out, e->labels, "le", "+Inf");
+          out += ' ';
+          out += std::to_string(h.count);
+          out += '\n';
+          out += pname;
+          out += "_sum";
+          append_prom_labels(out, e->labels);
+          out += ' ';
+          out += std::to_string(h.sum);
+          out += '\n';
+          out += pname;
+          out += "_count";
+          append_prom_labels(out, e->labels);
+          out += ' ';
+          out += std::to_string(h.count);
+          out += '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::string out = "{\"series\":[";
+  bool first = true;
+  for (const auto& [name, entries] : by_name(snap)) {
+    for (const Snapshot::Entry* e : entries) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "{\"name\":\"";
+      append_json_escaped(out, e->name);
+      out += "\",\"kind\":\"";
+      out += kind_name(e->kind);
+      out += "\",\"labels\":{";
+      for (std::size_t i = 0; i < e->labels.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        append_json_escaped(out, e->labels[i].first);
+        out += "\":\"";
+        append_json_escaped(out, e->labels[i].second);
+        out += '"';
+      }
+      out += '}';
+      switch (e->kind) {
+        case MetricKind::kCounter:
+          out += ",\"value\":";
+          out += std::to_string(e->counter);
+          break;
+        case MetricKind::kGauge:
+          out += ",\"value\":";
+          out += std::to_string(e->gauge);
+          break;
+        case MetricKind::kHistogram: {
+          const HistogramData& h = e->hist;
+          out += ",\"count\":";
+          out += std::to_string(h.count);
+          out += ",\"sum\":";
+          out += std::to_string(h.sum);
+          if (h.count > 0) {
+            out += ",\"min\":";
+            out += std::to_string(h.min);
+            out += ",\"max\":";
+            out += std::to_string(h.max);
+          }
+          out += ",\"bounds\":[";
+          for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            if (i) out += ',';
+            out += std::to_string(h.bounds[i]);
+          }
+          out += "],\"counts\":[";
+          for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            if (i) out += ',';
+            out += std::to_string(h.counts[i]);
+          }
+          out += ']';
+          break;
+        }
+      }
+      out += '}';
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace lod::obs

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "lod/obs/metrics.hpp"
+
+/// \file export.hpp
+/// Telemetry exporters over `Snapshot`: the bridge from the in-process
+/// registry to external tooling. Both walk the same snapshot, so an export
+/// is a consistent instant of every series — counters, gauges, histograms
+/// with buckets/sum/count.
+
+namespace lod::obs {
+
+/// Prometheus text exposition (version 0.0.4). Series names map dots to
+/// underscores (`lod.server.packets_sent` -> `lod_server_packets_sent`);
+/// histograms expand to cumulative `_bucket{le=...}` series plus `_sum` and
+/// `_count`, as scrapers expect. Deterministic output (sorted by name then
+/// label key) so goldens are stable.
+std::string to_prometheus(const Snapshot& snap);
+
+/// Structured JSON: {"series":[{name, kind, labels, ...}]} with histograms
+/// carrying explicit bounds/counts arrays plus count/sum/min/max. Same
+/// deterministic ordering as the Prometheus writer.
+std::string to_json(const Snapshot& snap);
+
+}  // namespace lod::obs

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// \file json.hpp
+/// Minimal JSON string escaping shared by the trace JSONL codec and the
+/// snapshot exporters. One implementation so a fix lands everywhere: `"`,
+/// `\`, and every control character < 0x20 must round-trip losslessly
+/// through escape -> unescape (hostile content names and URLs flow through
+/// trace `detail` fields verbatim).
+
+namespace lod::obs {
+
+/// Append \p s to \p out with JSON string escaping (`"`, `\`, \b \f \n \r
+/// \t named; any other control character as \u00XX).
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Inverse of append_json_escaped. Also accepts the full \uXXXX form
+/// (encoded back to UTF-8) and unknown escapes verbatim, so any valid JSON
+/// string body parses.
+std::string json_unescape(std::string_view s);
+
+}  // namespace lod::obs

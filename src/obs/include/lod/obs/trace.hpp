@@ -61,21 +61,46 @@ enum class EventType : std::uint8_t {
   // generic span markers
   kSpanBegin,
   kSpanEnd,
+  // health monitor
+  kSloViolation,
 };
 
 std::string_view to_string(EventType t);
 std::optional<EventType> event_type_from_string(std::string_view s);
 
+/// Causal context for one end-to-end request, minted at a user-facing entry
+/// point (open_and_play, publish, floor request) and piggybacked across
+/// every hop (control protocol, edge RPCs) so each layer's spans link into
+/// one tree. A default-constructed context is invalid; every span call on
+/// an invalid context is a no-op, which is what keeps context propagation
+/// off the disabled-path profile.
+struct TraceContext {
+  std::uint64_t trace_id{0};
+  std::uint64_t parent_span_id{0};
+
+  bool valid() const { return trace_id != 0; }
+  /// The context a span hands to its callees: same trace, this span as
+  /// parent.
+  TraceContext child(std::uint64_t span_id) const {
+    return TraceContext{trace_id, span_id};
+  }
+};
+
 /// One trace record. The two int64 payload slots carry event-specific
 /// values (sequence numbers, byte counts, token ids — see the event schema
 /// table in docs/OBSERVABILITY.md); `detail` is for short free-form text
-/// such as a content name or URL.
+/// such as a content name or URL. `trace`/`span`/`parent` are the causal
+/// coordinates (0 = not part of a trace; span/parent are only meaningful on
+/// span markers and context-tagged events).
 struct TraceEvent {
   TimeUs t{0};
   EventType type{EventType::kSpanBegin};
   std::uint64_t actor{0};  ///< host / user / transition id — event-specific
   std::int64_t a{0};
   std::int64_t b{0};
+  std::uint64_t trace{0};   ///< trace id, 0 when untraced
+  std::uint64_t span{0};    ///< this event's span id (span markers)
+  std::uint64_t parent{0};  ///< parent span id, 0 at the root
   std::string detail;
 };
 
@@ -96,6 +121,37 @@ class TraceSink {
   void emit(EventType type, std::uint64_t actor = 0, std::int64_t a = 0,
             std::int64_t b = 0, std::string detail = {});
 
+  /// --- causal tracing -----------------------------------------------------
+
+  /// Mint a fresh trace at a user-facing entry point. Returns an invalid
+  /// context when the sink is disabled, so every downstream span call
+  /// no-ops without its callers checking.
+  TraceContext make_trace();
+
+  /// Open a span inside \p ctx: emits kSpanBegin carrying a fresh span id
+  /// with ctx.parent_span_id as its parent, `detail` = \p name. Returns the
+  /// span id (0 when disabled or ctx invalid); hand `ctx.child(id)` to
+  /// callees and pass the id back to end_span.
+  std::uint64_t begin_span(const TraceContext& ctx, std::string name,
+                           std::uint64_t actor = 0, std::int64_t a = 0,
+                           std::int64_t b = 0);
+
+  /// Close a span opened by begin_span (kSpanEnd with the same coordinates).
+  void end_span(const TraceContext& ctx, std::uint64_t span_id,
+                std::string name, std::uint64_t actor = 0, std::int64_t a = 0,
+                std::int64_t b = 0);
+
+  /// Emit any event tagged with \p ctx (e.g. kPlayIssued, kRenderStart, so
+  /// SpanTree can attach point events to the session's tree).
+  void emit_in(const TraceContext& ctx, EventType type,
+               std::uint64_t actor = 0, std::int64_t a = 0, std::int64_t b = 0,
+               std::string detail = {});
+
+  /// Trace and span ids come from one per-sink counter starting at 1. When
+  /// JSONL from several sinks will be merged into one SpanTree, give each
+  /// sink a distinct seed (e.g. host << 32) so ids cannot collide.
+  void set_id_seed(std::uint64_t seed) { next_id_ = seed ? seed : 1; }
+
   std::size_t size() const { return size_; }
   std::size_t capacity() const { return ring_.size(); }
   std::uint64_t dropped() const { return dropped_; }
@@ -114,11 +170,16 @@ class TraceSink {
   static std::vector<TraceEvent> parse_jsonl(std::string_view text);
 
  private:
+  void emit_impl(EventType type, std::uint64_t actor, std::int64_t a,
+                 std::int64_t b, std::string detail, std::uint64_t trace,
+                 std::uint64_t span, std::uint64_t parent);
+
   std::vector<TraceEvent> ring_;
   std::size_t head_{0};  ///< next write slot
   std::size_t size_{0};
   std::uint64_t dropped_{0};
   std::uint64_t total_{0};
+  std::uint64_t next_id_{1};  ///< shared trace/span id counter
   bool enabled_{false};
   std::function<TimeUs()> clock_;
 };

@@ -99,6 +99,35 @@ Histogram MetricsRegistry::histogram(std::string_view name,
   return Histogram(s);
 }
 
+std::size_t MetricsRegistry::retire(std::string_view name_prefix,
+                                    const Labels& labels) {
+  std::size_t n = 0;
+  for (auto it = series_.begin(); it != series_.end();) {
+    detail::Series& s = *it->second;
+    const bool name_match =
+        s.name.size() >= name_prefix.size() &&
+        std::string_view(s.name).substr(0, name_prefix.size()) == name_prefix;
+    bool labels_match = name_match;
+    if (labels_match) {
+      for (const Label& want : labels) {
+        if (std::find(s.labels.begin(), s.labels.end(), want) ==
+            s.labels.end()) {
+          labels_match = false;
+          break;
+        }
+      }
+    }
+    if (labels_match) {
+      retired_.push_back(std::move(it->second));
+      it = series_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  return n;
+}
+
 Snapshot MetricsRegistry::snapshot() const {
   Snapshot snap;
   for (const auto& [key, s] : series_) {

@@ -3,11 +3,13 @@
 #include <array>
 #include <charconv>
 
+#include "lod/obs/json.hpp"
+
 namespace lod::obs {
 
 namespace {
 // Keep in enum order; the round-trip test in obs_test walks every value.
-constexpr std::array<std::string_view, 29> kEventNames = {
+constexpr std::array<std::string_view, 30> kEventNames = {
     "packet_send",     "packet_recv",    "packet_drop_loss",
     "packet_drop_queue",
     "msg_retransmit",
@@ -22,6 +24,7 @@ constexpr std::array<std::string_view, 29> kEventNames = {
     "transition_fire",
     "publish",
     "span_begin",      "span_end",
+    "slo_violation",
 };
 }  // namespace
 
@@ -44,12 +47,22 @@ TraceSink::TraceSink(std::size_t capacity) {
 void TraceSink::emit(EventType type, std::uint64_t actor, std::int64_t a,
                      std::int64_t b, std::string detail) {
   if (!enabled_) return;
+  emit_impl(type, actor, a, b, std::move(detail), 0, 0, 0);
+}
+
+void TraceSink::emit_impl(EventType type, std::uint64_t actor, std::int64_t a,
+                          std::int64_t b, std::string detail,
+                          std::uint64_t trace, std::uint64_t span,
+                          std::uint64_t parent) {
   TraceEvent& slot = ring_[head_];
   slot.t = clock_ ? clock_() : 0;
   slot.type = type;
   slot.actor = actor;
   slot.a = a;
   slot.b = b;
+  slot.trace = trace;
+  slot.span = span;
+  slot.parent = parent;
   slot.detail = std::move(detail);
   head_ = (head_ + 1) % ring_.size();
   if (size_ < ring_.size()) {
@@ -58,6 +71,37 @@ void TraceSink::emit(EventType type, std::uint64_t actor, std::int64_t a,
     ++dropped_;
   }
   ++total_;
+}
+
+TraceContext TraceSink::make_trace() {
+  if (!enabled_) return {};
+  return TraceContext{next_id_++, 0};
+}
+
+std::uint64_t TraceSink::begin_span(const TraceContext& ctx, std::string name,
+                                    std::uint64_t actor, std::int64_t a,
+                                    std::int64_t b) {
+  if (!enabled_ || !ctx.valid()) return 0;
+  const std::uint64_t id = next_id_++;
+  emit_impl(EventType::kSpanBegin, actor, a, b, std::move(name), ctx.trace_id,
+            id, ctx.parent_span_id);
+  return id;
+}
+
+void TraceSink::end_span(const TraceContext& ctx, std::uint64_t span_id,
+                         std::string name, std::uint64_t actor, std::int64_t a,
+                         std::int64_t b) {
+  if (!enabled_ || !ctx.valid() || span_id == 0) return;
+  emit_impl(EventType::kSpanEnd, actor, a, b, std::move(name), ctx.trace_id,
+            span_id, ctx.parent_span_id);
+}
+
+void TraceSink::emit_in(const TraceContext& ctx, EventType type,
+                        std::uint64_t actor, std::int64_t a, std::int64_t b,
+                        std::string detail) {
+  if (!enabled_) return;
+  emit_impl(type, actor, a, b, std::move(detail), ctx.trace_id, 0,
+            ctx.parent_span_id);
 }
 
 void TraceSink::clear() {
@@ -86,52 +130,11 @@ std::vector<TraceEvent> TraceSink::events(EventType type) const {
 }
 
 namespace {
-void append_escaped(std::string& out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        out += c;
-    }
-  }
-}
-
-std::string unescape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    if (s[i] == '\\' && i + 1 < s.size()) {
-      ++i;
-      switch (s[i]) {
-        case 'n':
-          out += '\n';
-          break;
-        case 't':
-          out += '\t';
-          break;
-        default:
-          out += s[i];
-      }
-    } else {
-      out += s[i];
-    }
-  }
-  return out;
-}
-
 // Find `"key":` in a single JSON line and return the value token after it
-// (number, or quoted string contents still escaped).
+// (number, or quoted string contents still escaped). String values are
+// delimited by scanning forward and skipping escape pairs — a backwards
+// peek at line[j-1] mis-ends on `\\"` (an escaped backslash before the
+// closing quote).
 std::optional<std::string_view> field(std::string_view line,
                                       std::string_view key) {
   const std::string pat = "\"" + std::string(key) + "\":";
@@ -142,7 +145,11 @@ std::optional<std::string_view> field(std::string_view line,
   if (line[i] == '"') {
     ++i;
     std::size_t j = i;
-    while (j < line.size() && !(line[j] == '"' && line[j - 1] != '\\')) ++j;
+    while (j < line.size() && line[j] != '"') {
+      if (line[j] == '\\') ++j;  // consume the escaped character too
+      ++j;
+    }
+    if (j > line.size()) j = line.size();  // trailing lone backslash
     return line.substr(i, j - i);
   }
   std::size_t j = i;
@@ -172,8 +179,18 @@ std::string TraceSink::to_jsonl() const {
     out += std::to_string(e.a);
     out += ",\"b\":";
     out += std::to_string(e.b);
+    if (e.trace != 0) {
+      // Causal coordinates only when present keeps untraced lines stable
+      // for pre-span consumers.
+      out += ",\"trace\":";
+      out += std::to_string(e.trace);
+      out += ",\"span\":";
+      out += std::to_string(e.span);
+      out += ",\"parent\":";
+      out += std::to_string(e.parent);
+    }
     out += ",\"detail\":\"";
-    append_escaped(out, e.detail);
+    append_json_escaped(out, e.detail);
     out += "\"}\n";
   }
   return out;
@@ -208,7 +225,16 @@ std::vector<TraceEvent> TraceSink::parse_jsonl(std::string_view text) {
     if (const auto v = field(line, "b")) {
       e.b = parse_int<std::int64_t>(*v).value_or(0);
     }
-    if (const auto v = field(line, "detail")) e.detail = unescape(*v);
+    if (const auto v = field(line, "trace")) {
+      e.trace = parse_int<std::uint64_t>(*v).value_or(0);
+    }
+    if (const auto v = field(line, "span")) {
+      e.span = parse_int<std::uint64_t>(*v).value_or(0);
+    }
+    if (const auto v = field(line, "parent")) {
+      e.parent = parse_int<std::uint64_t>(*v).value_or(0);
+    }
+    if (const auto v = field(line, "detail")) e.detail = json_unescape(*v);
     out.push_back(std::move(e));
   }
   return out;

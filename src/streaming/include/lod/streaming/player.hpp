@@ -246,6 +246,9 @@ class Player {
     // Content bytes are dropped after demux; the renderer only needs meta.
   };
 
+  /// Mint the per-session trace + root span (user-facing opens only; a
+  /// failover reopen stays inside the original session's trace).
+  void begin_session_trace();
   /// Shared open path for `open_and_play` / `open_and_play_via` / failover.
   void open_to(net::HostId server, std::string content, net::SimDuration from);
   /// (Re)start the progress watchdog (selector-driven sessions only).
@@ -357,6 +360,15 @@ class Player {
   std::vector<InteractionRecord> interactions_;
   PlayerObserver* observer_{nullptr};
   obs::TraceSink* trace_{nullptr};
+  /// Causal tracing: one trace per user-facing session, rooted at a
+  /// "player.session" span; the context rides the control protocol so the
+  /// serving site's spans link under ours. Invalid (all no-op) when the
+  /// sink is disabled at open time.
+  obs::TraceContext session_ctx_;
+  std::uint64_t session_span_{0};   ///< "player.session" root span
+  std::uint64_t describe_span_{0};  ///< open_to -> kDescribeOk
+  std::uint64_t startup_span_{0};   ///< kPlayIssued -> rendering starts
+  std::uint64_t failover_span_{0};  ///< do_failover -> rendering resumes
   obs::Counter m_packets_received_;
   obs::Counter m_units_rendered_;
   obs::Counter m_units_lost_;

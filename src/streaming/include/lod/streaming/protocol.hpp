@@ -4,6 +4,7 @@
 
 #include "lod/net/bytes.hpp"
 #include "lod/net/network.hpp"
+#include "lod/obs/trace.hpp"
 
 /// \file protocol.hpp
 /// Wire protocol between streaming server and players.
@@ -13,6 +14,11 @@
 /// synchronization) travel over the reliable endpoint. Media data packets
 /// travel over datagrams — late media is dead media, retransmission would
 /// only add delay.
+///
+/// Causal trace context (trace_id u64 + parent_span_id u64) piggybacks at
+/// the TAIL of kDescribe and kPlay payloads (and of the edge tier's RPC
+/// bodies). Readers take it with `read_trace_context` only when bytes
+/// remain, so payloads from pre-span senders still parse.
 
 namespace lod::streaming::proto {
 
@@ -50,5 +56,23 @@ inline constexpr net::Port kWebPort = 80;        // slide/web server RPC
 /// identifies the file packet (repair requests + dedup — a repaired packet
 /// arrives with a fresh seq but the same index).
 inline constexpr std::uint32_t kDataMagic = 0x4c4f4444;  // "LODD"
+
+/// Read the optional trailing trace context. Returns an invalid (all-zero)
+/// context when the sender predates span propagation or had tracing off.
+inline obs::TraceContext read_trace_context(net::ByteReader& r) {
+  obs::TraceContext ctx;
+  if (r.remaining() >= 16) {
+    ctx.trace_id = r.u64();
+    ctx.parent_span_id = r.u64();
+  }
+  return ctx;
+}
+
+/// Append a trace context at the tail of an outgoing payload.
+inline void write_trace_context(net::ByteWriter& w,
+                                const obs::TraceContext& ctx) {
+  w.u64(ctx.trace_id);
+  w.u64(ctx.parent_span_id);
+}
 
 }  // namespace lod::streaming::proto

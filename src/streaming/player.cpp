@@ -60,6 +60,27 @@ void Player::enter_finished() {
   const bool was_finished = state_ == State::kFinished;
   state_ = State::kFinished;
   if (!was_finished && observer_) observer_->on_finished();
+  if (session_span_ != 0) {
+    // Close the in-flight phase spans before the session root so the tree
+    // nests cleanly even when the session ends mid-open or mid-failover.
+    if (describe_span_ != 0) {
+      trace_->end_span(session_ctx_, describe_span_, "player.describe", host_);
+      describe_span_ = 0;
+    }
+    if (startup_span_ != 0) {
+      trace_->end_span(session_ctx_, startup_span_, "player.startup", host_);
+      startup_span_ = 0;
+    }
+    if (failover_span_ != 0) {
+      trace_->end_span(session_ctx_, failover_span_, "player.failover", host_);
+      failover_span_ = 0;
+    }
+    const obs::TraceContext root{session_ctx_.trace_id, 0};
+    trace_->end_span(root, session_span_, "player.session", host_,
+                     static_cast<std::int64_t>(failovers_));
+    session_span_ = 0;
+    session_ctx_ = {};
+  }
   if (sync_timer_) {
     net_.simulator().cancel(*sync_timer_);
     sync_timer_.reset();
@@ -112,13 +133,23 @@ void Player::reset_session_state() {
 void Player::open_and_play(net::HostId server, std::string content,
                            net::SimDuration from) {
   selector_ = nullptr;
+  begin_session_trace();
   open_to(server, std::move(content), from);
 }
 
 void Player::open_and_play_via(SiteSelector& sel, std::string content,
                                net::SimDuration from) {
   selector_ = &sel;
+  begin_session_trace();
   open_to(sel.pick_site(), std::move(content), from);
+}
+
+void Player::begin_session_trace() {
+  // One trace per user-facing open; a failover reopen stays in the same
+  // trace so its spans land in the same tree.
+  const obs::TraceContext root = trace_->make_trace();
+  session_span_ = trace_->begin_span(root, "player.session", host_);
+  session_ctx_ = root.child(session_span_);
 }
 
 void Player::open_to(net::HostId server, std::string content,
@@ -130,9 +161,15 @@ void Player::open_to(net::HostId server, std::string content,
   state_ = State::kOpening;
   discard_below_ = from;  // render begins at the requested position
 
+  describe_span_ = trace_->begin_span(session_ctx_, "player.describe", host_,
+                                      static_cast<std::int64_t>(server_));
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Ctl::kDescribe));
   w.str(content_);
+  // Causal context piggybacks at the tail; pre-span receivers simply stop
+  // reading before it.
+  w.u64(session_ctx_.trace_id);
+  w.u64(describe_span_);
   describe_sent_ = net_.simulator().now();
   ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
   if (selector_) arm_failover_watchdog();
@@ -198,16 +235,23 @@ void Player::on_described(std::span<const std::byte> header_bytes) {
 }
 
 void Player::send_play(net::SimDuration from) {
+  // The startup span opens at the same instant kPlayIssued stamps, so its
+  // duration equals startup_delay() exactly.
+  startup_span_ =
+      trace_->begin_span(session_ctx_, "player.startup", host_, from.us);
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Ctl::kPlay));
   w.str(content_);
   w.i64(from.us);
   w.u16(cfg_.data_port);
   w.u32(channel_);
+  w.u64(session_ctx_.trace_id);
+  w.u64(startup_span_);
   ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
   play_issued_ = net_.simulator().now();
   if (trace_->enabled()) {
-    trace_->emit(obs::EventType::kPlayIssued, host_, from.us, 0, content_);
+    trace_->emit_in(session_ctx_, obs::EventType::kPlayIssued, host_, from.us,
+                    0, content_);
   }
   expected_seq_reset_ = true;
   eos_received_ = false;
@@ -273,9 +317,9 @@ void Player::watchdog_tick() {
 void Player::do_failover() {
   ++failovers_;
   m_failovers_.inc();
-  if (trace_->enabled()) {
-    trace_->emit(obs::EventType::kSpanBegin, host_,
-                 static_cast<std::int64_t>(server_), 0, "player.failover");
+  if (failover_span_ == 0) {
+    failover_span_ = trace_->begin_span(session_ctx_, "player.failover", host_,
+                                        static_cast<std::int64_t>(server_));
   }
   // Resume where the viewer actually is: the last rendered unit while
   // playing (position() keeps advancing through a stall), else the pending
@@ -328,6 +372,11 @@ void Player::handle_control(const net::ReliableEndpoint::Message& m) {
         // both ends are this host's schedule, no clock skew involved).
         selector_->observe(server_,
                            (net_.simulator().now() - describe_sent_) / 2);
+      }
+      if (describe_span_ != 0) {
+        trace_->end_span(session_ctx_, describe_span_, "player.describe",
+                         host_, static_cast<std::int64_t>(server_));
+        describe_span_ = 0;
       }
       const auto hb = r.blob();
       on_described(hb);
@@ -565,7 +614,8 @@ void Player::ingest(const media::asf::DataPacket& pkt) {
       m_stalls_.inc();
       m_stall_us_.observe(ev.duration.us);
       if (trace_->enabled()) {
-        trace_->emit(obs::EventType::kStall, host_, ev.duration.us);
+        trace_->emit_in(session_ctx_, obs::EventType::kStall, host_,
+                        ev.duration.us);
       }
       if (observer_) observer_->on_stall(ev);
     }
@@ -610,6 +660,16 @@ void Player::maybe_start_rendering() {
   if (startup_delay_.us < 0) {
     startup_delay_ = net_.simulator().now() - play_issued_;
     m_startup_us_.observe(startup_delay_.us);
+  }
+  if (startup_span_ != 0) {
+    trace_->end_span(session_ctx_, startup_span_, "player.startup", host_,
+                     startup_delay_.us);
+    startup_span_ = 0;
+  }
+  if (failover_span_ != 0) {
+    trace_->end_span(session_ctx_, failover_span_, "player.failover", host_,
+                     static_cast<std::int64_t>(server_));
+    failover_span_ = 0;
   }
   if (pending_slide_) {
     // Apply the slide that should already be on screen at this position.
@@ -693,8 +753,8 @@ void Player::render_due() {
     if (render_start_pending_) {
       render_start_pending_ = false;
       if (trace_->enabled()) {
-        trace_->emit(obs::EventType::kRenderStart, host_, meta.pts.us, 0,
-                     content_);
+        trace_->emit_in(session_ctx_, obs::EventType::kRenderStart, host_,
+                        meta.pts.us, 0, content_);
       }
     }
     if (observer_) observer_->on_render(ev);

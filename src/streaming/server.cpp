@@ -57,6 +57,13 @@ void StreamingServer::end_session(Session& s) {
   if (s.stopped) return;
   s.stopped = true;
   active_sessions_gauge_.add(-1);
+  // Cardinality hygiene: the session's labeled series leave the registry
+  // (long simulations would otherwise grow it without bound). The handles
+  // in s.stats stay valid — retire() moves the cells to a graveyard — so
+  // session_stats() still reads the final values.
+  net_.simulator().obs().metrics().retire(
+      "lod.server.session.", {{"host", std::to_string(host_)},
+                              {"session", std::to_string(s.id)}});
   if (trace_->enabled()) {
     trace_->emit(obs::EventType::kSessionStop, s.client,
                  static_cast<std::int64_t>(s.id));
@@ -168,6 +175,7 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
   switch (tag) {
     case Ctl::kDescribe: {
       const std::string name = r.str();
+      const obs::TraceContext ctx = proto::read_trace_context(r);
       const media::asf::Header* header = nullptr;
       if (auto it = files_.find(name); it != files_.end()) {
         header = &it->second.header;
@@ -178,6 +186,11 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
         send_error("no such content: " + name);
         return;
       }
+      // Instant span: the origin's handling is synchronous, but the marker
+      // pins this hop (and its actor) into the caller's span tree.
+      const std::uint64_t sp =
+          trace_->begin_span(ctx, "server.describe", host_);
+      trace_->end_span(ctx, sp, "server.describe", host_);
       ByteWriter w;
       w.u8(static_cast<std::uint8_t>(Ctl::kDescribeOk));
       w.blob(media::asf::serialize_header(*header));
@@ -190,6 +203,7 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
       const net::SimDuration from{r.i64()};
       const net::Port data_port = r.u16();
       const net::ChannelId channel = r.u32();
+      const obs::TraceContext ctx = proto::read_trace_context(r);
       auto it = files_.find(name);
       if (it == files_.end()) {
         send_error("no such content: " + name);
@@ -212,9 +226,13 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
       sessions_.emplace(id, std::move(s));
       sessions_opened_.inc();
       active_sessions_gauge_.add(1);
+      const std::uint64_t sp = trace_->begin_span(ctx, "server.open", host_,
+                                                  static_cast<std::int64_t>(id));
+      trace_->end_span(ctx, sp, "server.open", host_,
+                       static_cast<std::int64_t>(id));
       if (trace_->enabled()) {
-        trace_->emit(obs::EventType::kSessionOpen, m.src,
-                     static_cast<std::int64_t>(id), from.us, name);
+        trace_->emit_in(ctx, obs::EventType::kSessionOpen, m.src,
+                        static_cast<std::int64_t>(id), from.us, name);
       }
       ByteWriter w;
       w.u8(static_cast<std::uint8_t>(Ctl::kPlayOk));

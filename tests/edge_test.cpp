@@ -8,7 +8,9 @@
 #include "lod/edge/replica_selector.hpp"
 #include "lod/lod/wmps.hpp"
 #include "lod/net/network.hpp"
+#include "lod/obs/health.hpp"
 #include "lod/obs/hub.hpp"
+#include "lod/obs/spantree.hpp"
 #include "lod/streaming/encoder.hpp"
 #include "lod/streaming/player.hpp"
 #include "lod/streaming/server.hpp"
@@ -361,6 +363,121 @@ TEST_F(EdgeFixture, PlayerFailsOverToOriginWhenEdgeDies) {
   EXPECT_EQ(p.current_server(), origin_host);
   EXPECT_TRUE(sel.is_down(edge_host));
   EXPECT_TRUE(p.finished());
+}
+
+TEST_F(EdgeFixture, FailoverSessionYieldsOneSpanTreeWithoutOrphans) {
+  // The tentpole acceptance scenario: edge-relayed playout with a forced
+  // mid-session failover must reconstruct into a single span tree per
+  // session — every hop's spans (player, edge relay, origin gateway) linked
+  // under one root, no orphans — whose startup subtree decomposes into
+  // per-hop self-times that sum to the measured startup latency.
+  sim.obs().trace().set_enabled(true);
+  publish("lec", sec(30));
+  ReplicaSelector sel(network, client_host, origin_host, {edge_host});
+
+  auto cfg = player_cfg(5000);
+  cfg.failover_timeout = msec(1500);
+  streaming::Player p(network, client_host, cfg);
+  p.open_and_play_via(sel, "lec");
+  sim.run_until(SimTime{sec(5).us});
+  ASSERT_TRUE(p.playing());
+  ASSERT_EQ(p.current_server(), edge_host);
+
+  edge.reset();  // kill the edge mid-session
+  sim.run_until(SimTime{sec(60).us});
+  ASSERT_GE(p.failovers(), 1u);
+  ASSERT_TRUE(p.finished());
+
+  const auto trees =
+      obs::build_span_trees(sim.obs().trace().events());
+  ASSERT_EQ(trees.size(), 1u);
+  const obs::SpanTree& t = trees[0];
+  EXPECT_TRUE(t.orphans.empty());
+  ASSERT_EQ(t.roots.size(), 1u);
+  ASSERT_TRUE(t.root());
+  EXPECT_EQ(t.root()->name, "player.session");
+  EXPECT_TRUE(t.root()->closed);
+
+  // The root covers the whole player timeline: kPlayIssued through
+  // kRenderStart (and the failover machinery) land inside its window.
+  std::optional<obs::TimeUs> play_issued, render_start;
+  for (const auto& ev : t.points) {
+    if (ev.type == obs::EventType::kPlayIssued && !play_issued) {
+      play_issued = ev.t;
+    }
+    if (ev.type == obs::EventType::kRenderStart && !render_start) {
+      render_start = ev.t;
+    }
+  }
+  ASSERT_TRUE(play_issued.has_value());
+  ASSERT_TRUE(render_start.has_value());
+  EXPECT_GE(*play_issued, t.root()->begin);
+  EXPECT_LE(*render_start, t.root()->end);
+
+  // Every hop contributed spans to the one tree.
+  std::size_t startup_idx = t.nodes.size();
+  bool saw_edge = false, saw_origin = false, saw_failover = false;
+  for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+    const std::string& n = t.nodes[i].name;
+    if (n == "player.startup" && startup_idx == t.nodes.size()) {
+      startup_idx = i;
+    }
+    if (n.rfind("edge.", 0) == 0) saw_edge = true;
+    if (n.rfind("origin.", 0) == 0) saw_origin = true;
+    if (n == "player.failover") saw_failover = true;
+  }
+  EXPECT_TRUE(saw_edge);
+  EXPECT_TRUE(saw_origin);
+  EXPECT_TRUE(saw_failover);
+
+  // Critical-path decomposition of the startup subtree: the per-span
+  // self-times must sum exactly to the measured startup latency.
+  ASSERT_LT(startup_idx, t.nodes.size());
+  const obs::SpanNode& startup = t.nodes[startup_idx];
+  EXPECT_TRUE(startup.closed);
+  EXPECT_EQ(startup.end - startup.begin, p.startup_delay().us);
+  obs::TimeUs attributed = 0;
+  for (const auto& c : t.decompose(startup_idx)) attributed += c.self_us;
+  EXPECT_EQ(attributed, p.startup_delay().us);
+  EXPECT_EQ(*render_start - *play_issued, p.startup_delay().us);
+}
+
+TEST_F(EdgeFixture, HealthMonitorDemotesThrashingEdgeInSelector) {
+  // Satellite of the SLO monitor: induce cache thrash (budget far below one
+  // segment) so the edge's hit rate collapses; the monitor flags the site
+  // and the selector must stop picking it while the origin stays eligible.
+  publish("lec", sec(30));
+  EdgeConfig thrash;
+  thrash.origin = origin_host;
+  thrash.cache_budget_bytes = 1;  // every insert evicts: guaranteed misses
+  thrash.prefetch_depth = 0;
+  edge.reset();  // free the ports before rebinding with the thrash config
+  edge = std::make_unique<EdgeNode>(network, edge_host, thrash);
+
+  obs::HealthMonitor health(sim.obs());
+  health.add_rule(obs::slo_edge_cache_hit_rate(std::to_string(edge_host),
+                                               /*min_rate=*/0.5,
+                                               /*min_lookups=*/10));
+  ReplicaSelector sel(network, client_host, origin_host, {edge_host});
+  sel.set_health(&health);
+  ASSERT_EQ(sel.pick_site(), edge_host);  // healthy: LAN edge wins
+
+  streaming::Player p(network, client_host, player_cfg(5000));
+  p.open_and_play(edge_host, "lec");
+  sim.run_until(SimTime{sec(20).us});
+
+  ASSERT_EQ(health.evaluate(), 1u);
+  EXPECT_FALSE(health.site_healthy(std::to_string(edge_host)));
+  EXPECT_TRUE(health.site_healthy(std::to_string(origin_host)));
+  // Demoted — without being marked down, the edge no longer wins a pick.
+  EXPECT_FALSE(sel.is_down(edge_host));
+  EXPECT_EQ(sel.pick_site(), origin_host);
+  EXPECT_EQ(sim.obs()
+                .metrics()
+                .snapshot()
+                .counter("lod.health.violations",
+                         {{"rule", "edge_cache_hit_rate"}}),
+            1u);
 }
 
 TEST_F(EdgeFixture, EdgeAnswersDescribeAndTimesyncLikeTheOrigin) {

@@ -1,0 +1,89 @@
+// Exporter golden tests: byte-exact Prometheus text exposition and
+// structured JSON over a small fixed registry.
+
+#include <gtest/gtest.h>
+
+#include "lod/obs/export.hpp"
+#include "lod/obs/metrics.hpp"
+
+using namespace lod::obs;
+
+namespace {
+
+/// A tiny registry exercising every kind, label shapes, and name collation.
+Snapshot fixture() {
+  static MetricsRegistry reg;
+  static bool built = false;
+  if (!built) {
+    built = true;
+    reg.counter("lod.player.stalls", {{"host", "2"}}).inc(3);
+    reg.counter("lod.player.stalls", {{"host", "5"}}).inc(1);
+    // Same prefix, longer name: must not interleave with the group above.
+    reg.counter("lod.player.stalls_recovered", {{"host", "2"}}).inc(2);
+    reg.gauge("lod.edge.active_sessions", {{"host", "1"}}).set(4);
+    Histogram h = reg.histogram("lod.floor.grant_wait_us", {1000, 5000}, {});
+    h.observe(500);
+    h.observe(500);
+    h.observe(4000);
+    h.observe(99'000);
+    reg.counter("odd name+chars", {{"label key", "va\"lu\\e\n"}}).inc(7);
+  }
+  return reg.snapshot();
+}
+
+}  // namespace
+
+TEST(Export, PrometheusGolden) {
+  const char* expected =
+      "# TYPE lod_edge_active_sessions gauge\n"
+      "lod_edge_active_sessions{host=\"1\"} 4\n"
+      "# TYPE lod_floor_grant_wait_us histogram\n"
+      "lod_floor_grant_wait_us_bucket{le=\"1000\"} 2\n"
+      "lod_floor_grant_wait_us_bucket{le=\"5000\"} 3\n"
+      "lod_floor_grant_wait_us_bucket{le=\"+Inf\"} 4\n"
+      "lod_floor_grant_wait_us_sum 104000\n"
+      "lod_floor_grant_wait_us_count 4\n"
+      "# TYPE lod_player_stalls counter\n"
+      "lod_player_stalls{host=\"2\"} 3\n"
+      "lod_player_stalls{host=\"5\"} 1\n"
+      "# TYPE lod_player_stalls_recovered counter\n"
+      "lod_player_stalls_recovered{host=\"2\"} 2\n"
+      "# TYPE odd_name_chars counter\n"
+      "odd_name_chars{label_key=\"va\\\"lu\\\\e\\n\"} 7\n";
+  EXPECT_EQ(to_prometheus(fixture()), expected);
+}
+
+TEST(Export, JsonGolden) {
+  const char* expected =
+      "{\"series\":[\n"
+      "{\"name\":\"lod.edge.active_sessions\",\"kind\":\"gauge\","
+      "\"labels\":{\"host\":\"1\"},\"value\":4},\n"
+      "{\"name\":\"lod.floor.grant_wait_us\",\"kind\":\"histogram\","
+      "\"labels\":{},\"count\":4,\"sum\":104000,\"min\":500,\"max\":99000,"
+      "\"bounds\":[1000,5000],\"counts\":[2,1,1]},\n"
+      "{\"name\":\"lod.player.stalls\",\"kind\":\"counter\","
+      "\"labels\":{\"host\":\"2\"},\"value\":3},\n"
+      "{\"name\":\"lod.player.stalls\",\"kind\":\"counter\","
+      "\"labels\":{\"host\":\"5\"},\"value\":1},\n"
+      "{\"name\":\"lod.player.stalls_recovered\",\"kind\":\"counter\","
+      "\"labels\":{\"host\":\"2\"},\"value\":2},\n"
+      "{\"name\":\"odd name+chars\",\"kind\":\"counter\","
+      "\"labels\":{\"label key\":\"va\\\"lu\\\\e\\n\"},\"value\":7}\n"
+      "]}\n";
+  EXPECT_EQ(to_json(fixture()), expected);
+}
+
+TEST(Export, EmptySnapshot) {
+  MetricsRegistry reg;
+  EXPECT_EQ(to_prometheus(reg.snapshot()), "");
+  EXPECT_EQ(to_json(reg.snapshot()), "{\"series\":[\n]}\n");
+}
+
+TEST(Export, EmptyHistogramOmitsMinMaxInJson) {
+  MetricsRegistry reg;
+  reg.histogram("h", {10}, {});
+  const std::string json = to_json(reg.snapshot());
+  EXPECT_NE(json.find("\"count\":0,\"sum\":0,\"bounds\":[10]"),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"min\""), std::string::npos);
+}

@@ -103,6 +103,103 @@ TEST(Metrics, DefaultHistogramUsesLatencyBuckets) {
   EXPECT_EQ(h.data()->bounds, MetricsRegistry::latency_buckets_us());
 }
 
+TEST(Metrics, RetireRemovesSeriesButKeepsHandlesValid) {
+  MetricsRegistry reg;
+  Counter total = reg.counter("lod.server.sessions_opened");
+  Counter per = reg.counter("lod.server.session.packets_sent",
+                            {{"host", "0"}, {"session", "1"}});
+  Counter other = reg.counter("lod.server.session.packets_sent",
+                              {{"host", "0"}, {"session", "2"}});
+  total.inc();
+  per.inc(5);
+  other.inc(7);
+  ASSERT_EQ(reg.series_count(), 3u);
+
+  EXPECT_EQ(reg.retire("lod.server.session.", {{"session", "1"}}), 1u);
+  EXPECT_EQ(reg.series_count(), 2u);
+  EXPECT_EQ(reg.retired_count(), 1u);
+  // The aggregate and the other session survive; the retired series left
+  // the snapshot.
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("lod.server.sessions_opened"), 1u);
+  EXPECT_EQ(snap.counter("lod.server.session.packets_sent",
+                         {{"host", "0"}, {"session", "2"}}),
+            7u);
+  EXPECT_EQ(snap.counter("lod.server.session.packets_sent",
+                         {{"host", "0"}, {"session", "1"}}),
+            0u);
+  // The old handle still points at a live cell (the graveyard), and a
+  // re-request mints a fresh cell starting from zero.
+  per.inc();
+  EXPECT_EQ(per.value(), 6u);
+  Counter fresh = reg.counter("lod.server.session.packets_sent",
+                              {{"host", "0"}, {"session", "1"}});
+  EXPECT_EQ(fresh.value(), 0u);
+  EXPECT_EQ(reg.series_count(), 3u);
+}
+
+TEST(Metrics, RetireBoundsCardinalityAcrossSessionChurn) {
+  MetricsRegistry reg;
+  Counter opened = reg.counter("lod.server.sessions_opened");
+  for (int i = 0; i < 1000; ++i) {
+    const Labels id{{"host", "0"}, {"session", std::to_string(i)}};
+    reg.counter("lod.server.session.packets_sent", id).inc(3);
+    reg.counter("lod.server.session.bytes_sent", id).inc(400);
+    opened.inc();
+    // Session close: per-session series retire, aggregates stay.
+    EXPECT_EQ(reg.retire("lod.server.session.", id), 2u);
+    EXPECT_LE(reg.series_count(), 3u);
+  }
+  EXPECT_EQ(reg.series_count(), 1u);  // just the aggregate
+  EXPECT_EQ(reg.retired_count(), 2000u);
+  EXPECT_EQ(reg.snapshot().counter("lod.server.sessions_opened"), 1000u);
+}
+
+TEST(Metrics, MergedHistogramFallsBackToMomentsOnMismatchedBounds) {
+  MetricsRegistry reg;
+  Histogram a = reg.histogram("lat", {10, 20}, {{"host", "0"}});
+  Histogram b = reg.histogram("lat", {100, 200, 300}, {{"host", "1"}});
+  a.observe(5);
+  a.observe(15);
+  b.observe(250);
+  const HistogramData merged = reg.snapshot().merged_histogram("lat");
+  // Bucket layouts disagree: per-bucket counts are meaningless, so the
+  // merge keeps only the moments.
+  EXPECT_TRUE(merged.bounds.empty());
+  EXPECT_TRUE(merged.counts.empty());
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.sum, 270);
+  EXPECT_EQ(merged.min, 5);
+  EXPECT_EQ(merged.max, 250);
+  // Matching layouts still merge bucket-wise.
+  Histogram c = reg.histogram("lat2", {10, 20}, {{"host", "0"}});
+  Histogram d = reg.histogram("lat2", {10, 20}, {{"host", "1"}});
+  c.observe(5);
+  d.observe(15);
+  const HistogramData same = reg.snapshot().merged_histogram("lat2");
+  ASSERT_EQ(same.counts.size(), 3u);
+  EXPECT_EQ(same.counts[0], 1u);
+  EXPECT_EQ(same.counts[1], 1u);
+}
+
+TEST(Metrics, SinceSkipsSeriesRetiredBetweenSnapshots) {
+  MetricsRegistry reg;
+  Counter keep = reg.counter("keep");
+  Counter gone = reg.counter("gone", {{"session", "9"}});
+  keep.inc(2);
+  gone.inc(5);
+  const Snapshot before = reg.snapshot();
+  keep.inc(3);
+  reg.retire("gone", {{"session", "9"}});
+  const Snapshot after = reg.snapshot();
+  const Snapshot delta = after.since(before);
+  // The retired series is simply absent from the window — not a negative
+  // or stale entry.
+  EXPECT_EQ(delta.counter("keep"), 3u);
+  EXPECT_EQ(delta.entries().count(series_key("gone", {{"session", "9"}})), 0u);
+  EXPECT_EQ(delta.size(), 1u);
+}
+
 TEST(Metrics, SnapshotDiffIsolatesAPhase) {
   MetricsRegistry reg;
   Counter c = reg.counter("lod.test.n");
@@ -209,7 +306,7 @@ TEST(Trace, EventsFilterByType) {
 }
 
 TEST(Trace, EveryEventTypeNameRoundTrips) {
-  for (int i = 0; i <= static_cast<int>(EventType::kSpanEnd); ++i) {
+  for (int i = 0; i <= static_cast<int>(EventType::kSloViolation); ++i) {
     const auto t = static_cast<EventType>(i);
     const auto name = to_string(t);
     EXPECT_NE(name, "unknown") << i;
@@ -241,6 +338,36 @@ TEST(Trace, JsonlRoundTripsIncludingEscapes) {
   // Garbage lines are skipped, valid ones kept.
   const auto mixed = TraceSink::parse_jsonl("not json\n" + text + "\n{}\n");
   EXPECT_EQ(mixed.size(), 2u);
+}
+
+TEST(Trace, JsonlRoundTripsHostileContent) {
+  // Regression: control characters used to be emitted raw (invalid JSON)
+  // and a backslash-quote pair confused the field scanner.
+  const std::vector<std::string> hostile = {
+      std::string("ctrl\x01\x1f\x7fmix"),
+      "trailing backslash \\",
+      "\\\" starts with escaped quote",
+      "quote\"backslash\\quote\"",
+      std::string("embedded\x00null", 13),
+      "\b\f\n\r\t",
+      "plain",
+  };
+  TraceSink sink;
+  sink.set_enabled(true);
+  for (const std::string& s : hostile) {
+    sink.emit(EventType::kPublish, 1, 2, 3, s);
+  }
+  const auto parsed = TraceSink::parse_jsonl(sink.to_jsonl());
+  ASSERT_EQ(parsed.size(), hostile.size());
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    EXPECT_EQ(parsed[i].detail, hostile[i]) << i;
+  }
+  // The exported text may not leak raw control bytes (they'd make the line
+  // invalid JSON); everything below 0x20 must have been \u00XX-escaped.
+  for (const char c : sink.to_jsonl()) {
+    EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20)
+        << static_cast<int>(c);
+  }
 }
 
 namespace {
