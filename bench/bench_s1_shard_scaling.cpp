@@ -1,0 +1,102 @@
+// S1 — sharded load-harness scaling.
+//
+// Runs the SAME 1000-session mixed workload (straight playout, pause/seek
+// storms, mid-session failover, floor contention — see lod::LoadGen) at 1, 2
+// and 4 simulator shards and measures the parallel critical path: the
+// maximum per-shard CPU time, i.e. the run's wall time on a machine with one
+// uncontended core per shard. CPU time (not wall time) is the honest basis
+// here because CI boxes often have fewer cores than shards, and thread
+// timesharing would otherwise hide the speedup the architecture provides.
+//
+// Shape gates (exit nonzero on violation):
+//   1. every shard count runs all 1000 sessions and finishes >= 90% of them;
+//   2. two 4-shard runs from the same root seed produce byte-identical
+//      merged snapshots (the determinism contract of ShardedRunner);
+//   3. critical-path speedup at 4 shards vs 1 shard is >= 3x.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_json.hpp"
+#include "lod/lod/loadgen.hpp"
+#include "lod/obs/export.hpp"
+
+namespace {
+
+constexpr std::uint64_t kRootSeed = 0xC0FFEE5EEDULL;
+
+lod::lod::WorkloadSpec make_spec() {
+  lod::lod::WorkloadSpec spec;
+  spec.sessions = 1000;
+  spec.client_hosts = 16;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  using lod::lod::LoadGen;
+
+  const auto spec = make_spec();
+  std::printf("S1: sharded load harness, %zu mixed sessions, root seed %#llx\n",
+              spec.sessions,
+              static_cast<unsigned long long>(kRootSeed));
+  std::printf("%8s %16s %12s %10s %10s %10s\n", "shards", "critical_ms",
+              "wall_ms", "events", "finished", "speedup");
+
+  bool ok = true;
+  double base_critical_ms = 0.0;
+  double speedup4 = 0.0;
+  std::string snapshot_4shards;
+
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    const auto r = LoadGen::run_sharded(spec, shards, kRootSeed);
+    const double critical_ms =
+        static_cast<double>(r.critical_path_us) / 1000.0;
+    const double wall_ms = static_cast<double>(r.wall_us) / 1000.0;
+    const auto sessions = r.merged.counter("lod.loadgen.sessions");
+    const auto finished = r.merged.counter("lod.loadgen.finished");
+    if (shards == 1) base_critical_ms = critical_ms;
+    const double speedup =
+        critical_ms > 0.0 ? base_critical_ms / critical_ms : 0.0;
+    if (shards == 4) {
+      speedup4 = speedup;
+      snapshot_4shards = lod::obs::to_json(r.merged);
+    }
+    std::printf("%8zu %16.1f %12.1f %10llu %10llu %9.2fx\n", shards,
+                critical_ms, wall_ms,
+                static_cast<unsigned long long>(r.total_events_fired()),
+                static_cast<unsigned long long>(finished), speedup);
+
+    if (sessions != spec.sessions) {
+      std::printf("FAIL: %zu shards ran %llu sessions, expected %zu\n",
+                  shards, static_cast<unsigned long long>(sessions),
+                  spec.sessions);
+      ok = false;
+    }
+    if (finished * 10 < sessions * 9) {
+      std::printf("FAIL: %zu shards finished %llu/%llu sessions (< 90%%)\n",
+                  shards, static_cast<unsigned long long>(finished),
+                  static_cast<unsigned long long>(sessions));
+      ok = false;
+    }
+  }
+
+  // Determinism: an identical root seed must reproduce the 4-shard merge
+  // byte for byte.
+  {
+    const auto again = LoadGen::run_sharded(spec, 4, kRootSeed);
+    const bool identical = lod::obs::to_json(again.merged) == snapshot_4shards;
+    std::printf("determinism: repeated 4-shard run merged snapshot %s\n",
+                identical ? "byte-identical" : "DIFFERS");
+    if (!identical) ok = false;
+  }
+
+  if (speedup4 < 3.0) {
+    std::printf("FAIL: 4-shard critical-path speedup %.2fx < 3x\n", speedup4);
+    ok = false;
+  }
+
+  lod::bench::emit_json("bench_s1_shard_scaling", "speedup_4shards", speedup4);
+  return ok ? 0 : 1;
+}

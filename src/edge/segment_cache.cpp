@@ -37,7 +37,14 @@ void SegmentCache::put(SegmentKey key, std::vector<media::asf::DataPacket> packe
     lru_.erase(it->second);
     index_.erase(it);
   }
-  if (bytes > budget_) return;  // would evict the world and still not stay
+  if (bytes > budget_) {
+    // Would evict the world and still not stay. An overwrite still removed
+    // the old entry above, so the gauges must be refreshed on this path too
+    // or they keep reporting the replaced entry's bytes forever.
+    m_bytes_.set(static_cast<std::int64_t>(bytes_used_));
+    m_entries_.set(static_cast<std::int64_t>(index_.size()));
+    return;
+  }
   lru_.push_front(Entry{key, std::move(packets), bytes});
   index_[std::move(key)] = lru_.begin();
   bytes_used_ += bytes;

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lod/edge/edge_node.hpp"
+#include "lod/edge/replica_selector.hpp"
+#include "lod/lod/floor.hpp"
+#include "lod/net/network.hpp"
+#include "lod/net/sharded_runner.hpp"
+#include "lod/streaming/player.hpp"
+#include "lod/streaming/server.hpp"
+
+/// \file loadgen.hpp
+/// The multi-session load generator: scripts N mixed lecture-on-demand
+/// sessions — straight playout, pause/seek storms, mid-session failover via
+/// `open_and_play_via`, floor-control contention — against a self-contained
+/// per-shard deployment (origin server + gateway, a stable edge replica, a
+/// flaky edge that dies mid-run, a floor service, and a pool of client
+/// hosts), all from a declarative `WorkloadSpec`.
+///
+/// Sessions are identified by a GLOBAL index in [0, spec.sessions): the
+/// session's kind, arrival time and per-session action seed are pure
+/// functions of (root seed, global index), so re-partitioning the same
+/// workload across a different shard count runs the *same* thousand
+/// sessions — which is what makes the S1 scaling bench an apples-to-apples
+/// comparison. A `LoadGen` for shard k of K instantiates exactly the
+/// sessions with `index % K == k`.
+///
+/// Outcomes are published as `lod.loadgen.*` registry series (sessions /
+/// finished / interactions-issued per kind, plus totals), so a
+/// `ShardedRunner`'s merged snapshot carries the whole run's results.
+
+namespace lod::lod {
+
+/// What one scripted session does.
+enum class SessionKind : std::uint8_t {
+  kStraight,     ///< open_and_play, watch to the end
+  kInteractive,  ///< playout under a pause/resume/seek storm
+  kFailover,     ///< open_and_play_via a selector whose edge dies mid-run
+  kFloor,        ///< floor-control contention (request/speak/release cycle)
+};
+
+std::string_view to_string(SessionKind k);
+
+/// Session-kind mix, as relative weights (normalized internally; all-zero
+/// degenerates to all-straight).
+struct WorkloadMix {
+  double straight{0.55};
+  double interactive{0.20};
+  double failover{0.15};
+  double floor{0.10};
+};
+
+/// The declarative workload description.
+struct WorkloadSpec {
+  /// Total sessions across ALL shards.
+  std::size_t sessions{100};
+  WorkloadMix mix{};
+  /// Length of the published lecture every session plays.
+  net::SimDuration lecture_len{net::sec(8)};
+  /// Arrivals are uniform over [0, arrival_window).
+  net::SimDuration arrival_window{net::sec(10)};
+  /// Pause/resume/seek storm rounds per interactive session.
+  std::uint32_t interactions{3};
+  /// When the flaky edge host is killed (failover sessions re-home then).
+  net::SimDuration flaky_edge_up_for{net::sec(6)};
+  /// Hard stop: any session not finished by now is stopped and counted
+  /// unfinished. Generous by default — the queue normally drains first.
+  net::SimDuration horizon{net::sec(120)};
+  /// Encoder profile for the published lecture (see media::standard_profiles).
+  std::string profile{"Video 56k dial-up"};
+  /// Client hosts per shard; sessions round-robin over them.
+  std::size_t client_hosts{16};
+};
+
+/// Aggregated outcome of one shard's run (mirrors the `lod.loadgen.*`
+/// series; a merged snapshot sums these across shards).
+struct LoadGenTotals {
+  std::size_t sessions{0};
+  std::size_t finished{0};
+  std::uint64_t failovers{0};
+  std::uint64_t stalls{0};
+  std::uint64_t interactions_issued{0};
+  std::uint64_t floor_grants{0};
+  std::uint64_t packets_received{0};
+  std::uint64_t units_rendered{0};
+};
+
+/// Drives one shard's share of the workload inside one Simulator.
+class LoadGen {
+ public:
+  /// Builds the shard deployment in \p sim. \p root_seed is the RUN's root
+  /// seed (identical for every shard); per-shard and per-session streams
+  /// are derived from it, so a (root_seed, shard_count) pair fully
+  /// determines every shard's behaviour.
+  LoadGen(net::Simulator& sim, WorkloadSpec spec, std::uint64_t root_seed,
+          std::size_t shard = 0, std::size_t shard_count = 1);
+  ~LoadGen();
+  LoadGen(const LoadGen&) = delete;
+  LoadGen& operator=(const LoadGen&) = delete;
+
+  /// Schedule every local session and run the simulator until the workload
+  /// drains (bounded by spec.horizon), then publish outcome series.
+  void run();
+
+  const LoadGenTotals& totals() const { return totals_; }
+  const WorkloadSpec& spec() const { return spec_; }
+
+  /// Pure derivations (stable across shard counts — see file comment).
+  SessionKind kind_of(std::size_t global_index) const;
+  net::SimDuration arrival_of(std::size_t global_index) const;
+
+  /// Convenience: run \p spec across \p shards worker threads and return
+  /// the merged result. Equivalent to a ShardedRunner whose body builds one
+  /// LoadGen per shard.
+  static net::ShardedResult run_sharded(const WorkloadSpec& spec,
+                                        std::size_t shards,
+                                        std::uint64_t root_seed,
+                                        bool enable_trace = false);
+
+ private:
+  struct SessionRec {
+    std::size_t index{0};
+    SessionKind kind{SessionKind::kStraight};
+    net::HostId client{0};
+    net::Port base_port{0};
+    std::unique_ptr<streaming::Player> player;
+    std::unique_ptr<edge::ReplicaSelector> selector;
+    std::unique_ptr<FloorClient> floor;
+    std::uint32_t release_attempts{0};
+  };
+
+  void build_deployment();
+  void publish_lecture();
+  void start_session(SessionRec& rec);
+  void schedule_interactions(SessionRec& rec);
+  void schedule_floor_script(SessionRec& rec);
+  void floor_release_tick(SessionRec& rec);
+  void finalize_totals();
+
+  net::Simulator& sim_;
+  WorkloadSpec spec_;
+  std::uint64_t root_seed_;
+  std::size_t shard_;
+  std::size_t shard_count_;
+
+  net::Network net_;
+  net::HostId origin_host_{0};
+  net::HostId edge_host_{0};
+  net::HostId flaky_host_{0};
+  std::vector<net::HostId> client_hosts_;
+  std::unique_ptr<streaming::StreamingServer> server_;
+  std::unique_ptr<edge::OriginGateway> gateway_;
+  std::unique_ptr<edge::EdgeNode> edge_;
+  std::unique_ptr<edge::EdgeNode> flaky_;
+  std::unique_ptr<FloorService> floor_service_;
+
+  std::vector<SessionRec> sessions_;
+  LoadGenTotals totals_;
+  bool ran_{false};
+  std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
+};
+
+}  // namespace lod::lod

@@ -1,0 +1,333 @@
+#include "lod/lod/loadgen.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lod/media/profile.hpp"
+#include "lod/media/sources.hpp"
+#include "lod/net/rng.hpp"
+#include "lod/streaming/encoder.hpp"
+
+namespace lod::lod {
+
+namespace {
+
+// Salts XORed into the root seed so each derivation (network, kind,
+// arrival, per-session actions) draws from an unrelated splitmix64 stream.
+constexpr std::uint64_t kNetSalt = 0x6e65747325ULL;
+constexpr std::uint64_t kKindSalt = 0x6b696e6425ULL;
+constexpr std::uint64_t kArrivalSalt = 0x6172727625ULL;
+constexpr std::uint64_t kActionSalt = 0x6163743a25ULL;
+
+constexpr net::Port kFloorPort = 7100;
+constexpr net::Port kSessionPortBase = 10000;
+// Player takes ctl/data/data+1, a floor client base+3/base+4; one spare.
+constexpr std::uint16_t kPortsPerSession = 6;
+// Floor release pump: bounded retries so the queue always drains but a
+// straggler cannot ring past any sane horizon.
+constexpr std::uint32_t kMaxReleaseAttempts = 240;
+
+}  // namespace
+
+std::string_view to_string(SessionKind k) {
+  switch (k) {
+    case SessionKind::kStraight: return "straight";
+    case SessionKind::kInteractive: return "interactive";
+    case SessionKind::kFailover: return "failover";
+    case SessionKind::kFloor: return "floor";
+  }
+  return "?";
+}
+
+LoadGen::LoadGen(net::Simulator& sim, WorkloadSpec spec,
+                 std::uint64_t root_seed, std::size_t shard,
+                 std::size_t shard_count)
+    : sim_(sim),
+      spec_(std::move(spec)),
+      root_seed_(root_seed),
+      shard_(shard),
+      shard_count_(shard_count == 0 ? 1 : shard_count),
+      net_(sim, net::derive_shard_seed(root_seed ^ kNetSalt, shard)) {
+  if (spec_.client_hosts == 0) spec_.client_hosts = 1;
+  build_deployment();
+  publish_lecture();
+
+  // Materialize this shard's share of the global session list. The vector is
+  // sized once here and never resized, so SessionRec pointers stay stable
+  // for the scheduled-event closures.
+  std::vector<std::string> floor_users;
+  for (std::size_t i = shard_; i < spec_.sessions; i += shard_count_) {
+    SessionRec rec;
+    rec.index = i;
+    rec.kind = kind_of(i);
+    const std::size_t slot = sessions_.size();
+    rec.client = client_hosts_[slot % client_hosts_.size()];
+    rec.base_port = static_cast<net::Port>(
+        kSessionPortBase +
+        (slot / client_hosts_.size()) * kPortsPerSession);
+    if (rec.kind == SessionKind::kFloor) {
+      floor_users.push_back("u" + std::to_string(i));
+    }
+    sessions_.push_back(std::move(rec));
+  }
+  floor_service_ = std::make_unique<FloorService>(
+      net_, origin_host_, kFloorPort, std::move(floor_users));
+}
+
+LoadGen::~LoadGen() = default;
+
+SessionKind LoadGen::kind_of(std::size_t global_index) const {
+  // Derived from (root seed, GLOBAL index): identical regardless of how many
+  // shards the workload is split across.
+  net::Rng r(net::derive_shard_seed(root_seed_ ^ kKindSalt, global_index));
+  const double w[4] = {
+      std::max(spec_.mix.straight, 0.0),
+      std::max(spec_.mix.interactive, 0.0),
+      std::max(spec_.mix.failover, 0.0),
+      std::max(spec_.mix.floor, 0.0),
+  };
+  const double total = w[0] + w[1] + w[2] + w[3];
+  if (total <= 0.0) return SessionKind::kStraight;
+  double u = r.uniform01() * total;
+  for (int k = 0; k < 3; ++k) {
+    if (u < w[k]) return static_cast<SessionKind>(k);
+    u -= w[k];
+  }
+  return SessionKind::kFloor;
+}
+
+net::SimDuration LoadGen::arrival_of(std::size_t global_index) const {
+  net::Rng r(net::derive_shard_seed(root_seed_ ^ kArrivalSalt, global_index));
+  const std::int64_t span = std::max<std::int64_t>(spec_.arrival_window.us, 1);
+  return net::SimDuration{r.uniform_int(0, span - 1)};
+}
+
+void LoadGen::build_deployment() {
+  origin_host_ = net_.add_host("origin");
+  edge_host_ = net_.add_host("edge");
+  flaky_host_ = net_.add_host("edge-flaky");
+
+  net::LinkConfig wan;
+  wan.bandwidth_bps = 20'000'000;
+  wan.latency = net::msec(40);
+  net_.add_link(origin_host_, edge_host_, wan);
+  net_.add_link(origin_host_, flaky_host_, wan);
+
+  net::LinkConfig lan;
+  lan.bandwidth_bps = 10'000'000;
+  lan.latency = net::msec(2);
+  client_hosts_.reserve(spec_.client_hosts);
+  for (std::size_t i = 0; i < spec_.client_hosts; ++i) {
+    const net::HostId h = net_.add_host("client" + std::to_string(i));
+    net_.add_link(h, edge_host_, lan);
+    net_.add_link(h, flaky_host_, lan);
+    client_hosts_.push_back(h);
+  }
+
+  server_ = std::make_unique<streaming::StreamingServer>(net_, origin_host_);
+  gateway_ = std::make_unique<edge::OriginGateway>(net_, *server_);
+  edge::EdgeConfig ec;
+  ec.origin = origin_host_;
+  edge_ = std::make_unique<edge::EdgeNode>(net_, edge_host_, ec);
+  flaky_ = std::make_unique<edge::EdgeNode>(net_, flaky_host_, ec);
+}
+
+void LoadGen::publish_lecture() {
+  streaming::EncodeJob job;
+  auto prof = media::find_profile(spec_.profile);
+  if (!prof) prof = media::find_profile("Video 56k dial-up");
+  job.profile = *prof;
+  job.preroll = net::msec(2000);
+  media::LectureVideoSource v(spec_.lecture_len, job.profile.fps,
+                              job.profile.width, job.profile.height, 5);
+  media::LectureAudioSource a(spec_.lecture_len,
+                              job.profile.audio_sample_rate());
+  auto enc = streaming::encode_lecture(job, v, a, {});
+  server_->publish("lec", enc.file);
+}
+
+void LoadGen::start_session(SessionRec& rec) {
+  streaming::PlayerConfig cfg;
+  cfg.model = streaming::SyncModel::kEtpn;
+  cfg.ctl_port = rec.base_port;
+  cfg.data_port = static_cast<net::Port>(rec.base_port + 1);
+  cfg.web_server = origin_host_;
+  cfg.auto_stop_on_finish = true;
+
+  net::Rng r(net::derive_shard_seed(root_seed_ ^ kActionSalt, rec.index));
+  switch (rec.kind) {
+    case SessionKind::kStraight: {
+      rec.player =
+          std::make_unique<streaming::Player>(net_, rec.client, cfg);
+      // Mostly the nearby replica, a minority direct to the origin — keeps
+      // both serving paths warm under load.
+      const net::HostId target = r.bernoulli(0.85) ? edge_host_ : origin_host_;
+      rec.player->open_and_play(target, "lec");
+      break;
+    }
+    case SessionKind::kInteractive: {
+      rec.player =
+          std::make_unique<streaming::Player>(net_, rec.client, cfg);
+      rec.player->open_and_play(edge_host_, "lec");
+      schedule_interactions(rec);
+      break;
+    }
+    case SessionKind::kFailover: {
+      cfg.failover_timeout = net::msec(1500);
+      rec.selector = std::make_unique<edge::ReplicaSelector>(
+          net_, rec.client, origin_host_,
+          std::vector<net::HostId>{flaky_host_});
+      rec.player =
+          std::make_unique<streaming::Player>(net_, rec.client, cfg);
+      rec.player->open_and_play_via(*rec.selector, "lec");
+      break;
+    }
+    case SessionKind::kFloor: {
+      rec.player =
+          std::make_unique<streaming::Player>(net_, rec.client, cfg);
+      rec.player->open_and_play(edge_host_, "lec");
+      schedule_floor_script(rec);
+      break;
+    }
+  }
+}
+
+void LoadGen::schedule_interactions(SessionRec& rec) {
+  net::Rng r(
+      net::derive_shard_seed(root_seed_ ^ (kActionSalt + 1), rec.index));
+  const std::int64_t len = std::max<std::int64_t>(spec_.lecture_len.us, 1);
+  SessionRec* rp = &rec;
+  std::weak_ptr<bool> alive = alive_;
+  // First storm lands after the preroll so the session is actually playing.
+  net::SimDuration at = net::msec(3000 + r.uniform_int(0, 1000));
+  for (std::uint32_t k = 0; k < spec_.interactions; ++k) {
+    const net::SimDuration target{r.uniform_int(0, len - 1)};
+    const bool do_seek = r.bernoulli(0.5);
+    sim_.schedule_after(at, [rp, target, do_seek, alive] {
+      if (alive.expired() || !rp->player || rp->player->finished()) return;
+      if (do_seek) {
+        rp->player->seek(target);
+      } else {
+        rp->player->pause();
+      }
+    });
+    if (!do_seek) {
+      sim_.schedule_after(at + net::msec(400), [rp, alive] {
+        if (alive.expired() || !rp->player || rp->player->finished()) return;
+        rp->player->resume();
+      });
+    }
+    at = at + net::msec(800 + r.uniform_int(0, 700));
+  }
+}
+
+void LoadGen::schedule_floor_script(SessionRec& rec) {
+  rec.floor = std::make_unique<FloorClient>(
+      net_, rec.client, static_cast<net::Port>(rec.base_port + 3),
+      "u" + std::to_string(rec.index), origin_host_, kFloorPort,
+      [](const std::string&) {});
+  SessionRec* rp = &rec;
+  std::weak_ptr<bool> alive = alive_;
+  rec.floor->join([this, rp, alive](bool ok) {
+    if (alive.expired() || !ok) return;
+    rp->floor->request_floor([this, rp, alive](bool) {
+      if (alive.expired()) return;
+      sim_.schedule_after(net::msec(700), [this, rp, alive] {
+        if (alive.expired()) return;
+        // Speaks from non-holders are denied by the service — that IS the
+        // contention this session kind exists to generate.
+        rp->floor->speak("question from " + rp->floor->user());
+        floor_release_tick(*rp);
+      });
+    });
+  });
+}
+
+void LoadGen::floor_release_tick(SessionRec& rec) {
+  if (++rec.release_attempts > kMaxReleaseAttempts) return;
+  SessionRec* rp = &rec;
+  std::weak_ptr<bool> alive = alive_;
+  rec.floor->release_floor([this, rp, alive](bool ok) {
+    if (alive.expired() || ok) return;  // released: floor passed on
+    sim_.schedule_after(net::msec(500), [this, rp, alive] {
+      if (!alive.expired()) floor_release_tick(*rp);
+    });
+  });
+}
+
+void LoadGen::run() {
+  if (ran_) return;
+  ran_ = true;
+  const net::SimTime start = sim_.now();
+  std::weak_ptr<bool> alive = alive_;
+  for (auto& rec : sessions_) {
+    SessionRec* rp = &rec;
+    sim_.schedule_at(start + arrival_of(rec.index), [this, rp, alive] {
+      if (!alive.expired()) start_session(*rp);
+    });
+  }
+  sim_.schedule_at(start + spec_.flaky_edge_up_for, [this, alive] {
+    if (!alive.expired()) flaky_.reset();
+  });
+
+  sim_.run_until(start + spec_.horizon);
+
+  // Anything still going at the horizon is force-stopped and counted
+  // unfinished; give the teardown messages a moment to drain.
+  for (auto& rec : sessions_) {
+    if (rec.player && !rec.player->finished()) rec.player->stop();
+  }
+  sim_.run_until(sim_.now() + net::msec(500));
+  finalize_totals();
+}
+
+void LoadGen::finalize_totals() {
+  totals_ = {};
+  totals_.sessions = sessions_.size();
+  std::size_t by_kind[4] = {0, 0, 0, 0};
+  for (const auto& rec : sessions_) {
+    by_kind[static_cast<std::size_t>(rec.kind)]++;
+    if (!rec.player) continue;
+    if (rec.player->finished()) totals_.finished++;
+    totals_.failovers += rec.player->failovers();
+    totals_.stalls += rec.player->stalls().size();
+    totals_.interactions_issued += rec.player->interactions().size();
+    totals_.packets_received += rec.player->packets_received();
+    totals_.units_rendered += rec.player->units_rendered();
+  }
+  if (floor_service_) {
+    for (const auto& ev : floor_service_->control().log()) {
+      if (ev.kind == FloorControl::Event::Kind::kGrant) {
+        totals_.floor_grants++;
+      }
+    }
+  }
+
+  auto& m = sim_.obs().metrics();
+  m.counter("lod.loadgen.sessions").inc(totals_.sessions);
+  m.counter("lod.loadgen.finished").inc(totals_.finished);
+  m.counter("lod.loadgen.failovers").inc(totals_.failovers);
+  m.counter("lod.loadgen.stalls").inc(totals_.stalls);
+  m.counter("lod.loadgen.interactions").inc(totals_.interactions_issued);
+  m.counter("lod.loadgen.floor_grants").inc(totals_.floor_grants);
+  m.counter("lod.loadgen.packets_received").inc(totals_.packets_received);
+  m.counter("lod.loadgen.units_rendered").inc(totals_.units_rendered);
+  for (int k = 0; k < 4; ++k) {
+    m.counter("lod.loadgen.sessions_kind",
+              {{"kind", std::string(to_string(static_cast<SessionKind>(k)))}})
+        .inc(by_kind[k]);
+  }
+}
+
+net::ShardedResult LoadGen::run_sharded(const WorkloadSpec& spec,
+                                        std::size_t shards,
+                                        std::uint64_t root_seed,
+                                        bool enable_trace) {
+  net::ShardedRunner runner(shards, root_seed, enable_trace);
+  return runner.run([&](net::ShardEnv& env) {
+    LoadGen gen(env.sim, spec, root_seed, env.shard, env.shard_count);
+    gen.run();
+  });
+}
+
+}  // namespace lod::lod

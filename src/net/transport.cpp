@@ -7,10 +7,13 @@ namespace {
 constexpr std::uint8_t kData = 1;
 constexpr std::uint8_t kAck = 2;
 
-/// Process-unique incarnation source (single-threaded simulator: a plain
-/// counter is deterministic).
+/// Incarnation source. thread_local, not global: each simulation shard runs
+/// on its own thread (see net::ShardedRunner), and a process-wide counter
+/// would both race under TSan and make a shard's incarnation numbers depend
+/// on cross-thread interleaving, breaking per-shard determinism. Within one
+/// thread the single-threaded simulator keeps a plain counter deterministic.
 std::uint64_t next_incarnation() {
-  static std::uint64_t counter = 0x1c4b;
+  thread_local std::uint64_t counter = 0x1c4b;
   return ++counter;
 }
 // Rough per-segment framing overhead charged on the wire (TCP/IP-ish).

@@ -17,8 +17,11 @@ namespace lod::obs {
 void append_json_escaped(std::string& out, std::string_view s);
 
 /// Inverse of append_json_escaped. Also accepts the full \uXXXX form
-/// (encoded back to UTF-8) and unknown escapes verbatim, so any valid JSON
-/// string body parses.
+/// (encoded back to UTF-8, combining \uD800-\uDBFF + \uDC00-\uDFFF surrogate
+/// pairs into one supplementary-plane code point; unpaired surrogates decode
+/// to U+FFFD) and unknown escapes verbatim, so any valid JSON string body
+/// parses. A \uXXXX truncated by end-of-string is dropped, never read past
+/// the buffer.
 std::string json_unescape(std::string_view s);
 
 }  // namespace lod::obs

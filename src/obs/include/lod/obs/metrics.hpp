@@ -163,6 +163,17 @@ class Snapshot {
   /// this snapshot's value (a gauge delta is rarely what a bench means).
   Snapshot since(const Snapshot& earlier) const;
 
+  /// Merge per-shard snapshots (label, snapshot) into one, in shard order:
+  /// counters sum; histograms add bucket-wise when bounds agree (moments
+  /// only otherwise, as in merged_histogram); gauges are last-writer in the
+  /// aggregate series AND preserved per shard under an appended
+  /// {shard=<label>} label, so nothing a shard reported is lost. A series
+  /// key appearing with different kinds across shards throws
+  /// std::logic_error (the registry's re-registration contract). The result
+  /// is deterministic for a given input order.
+  static Snapshot merged(
+      const std::vector<std::pair<std::string, Snapshot>>& shards);
+
   std::size_t size() const { return entries_.size(); }
 
  private:

@@ -184,6 +184,19 @@ class TraceSink {
   std::function<TimeUs()> clock_;
 };
 
+/// Collate per-shard event streams (each time-ordered, as a TraceSink
+/// produces them) into one timeline ordered by (timestamp, shard index,
+/// intra-shard emit order). Deterministic for a given input, so merged
+/// traces from a ShardedRunner diff byte-stable. Give each shard's sink a
+/// distinct id seed (see set_id_seed) so span ids stay unique in the merge.
+std::vector<TraceEvent> collate_events(
+    std::vector<std::vector<TraceEvent>> shards);
+
+/// Serialize any event list in the sink's JSONL schema; feeding the output
+/// to parse_jsonl (or examples/obs_report) round-trips. TraceSink::to_jsonl
+/// is events_to_jsonl(events()).
+std::string events_to_jsonl(const std::vector<TraceEvent>& events);
+
 /// First buffered event matching \p type (and \p actor if given).
 std::optional<TraceEvent> first_event(
     const std::vector<TraceEvent>& events, EventType type,

@@ -1,6 +1,7 @@
 #include "lod/obs/json.hpp"
 
 #include <cstdint>
+#include <optional>
 
 namespace lod::obs {
 
@@ -55,11 +56,30 @@ void append_utf8(std::string& out, std::uint32_t cp) {
   } else if (cp < 0x800) {
     out += static_cast<char>(0xC0 | (cp >> 6));
     out += static_cast<char>(0x80 | (cp & 0x3F));
-  } else {
+  } else if (cp < 0x10000) {
     out += static_cast<char>(0xE0 | (cp >> 12));
     out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
     out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
   }
+}
+
+/// Parse the 4 hex digits of a `\uXXXX` escape whose 'u' sits at \p at.
+/// Requires at + 4 < s.size() to be checked by the caller's bounds test;
+/// returns nullopt on any non-hex digit.
+std::optional<std::uint32_t> parse_u16(std::string_view s, std::size_t at) {
+  if (at + 4 >= s.size()) return std::nullopt;  // truncated at end-of-string
+  std::uint32_t cp = 0;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const int h = hex_val(s[at + k]);
+    if (h < 0) return std::nullopt;
+    cp = (cp << 4) | static_cast<std::uint32_t>(h);
+  }
+  return cp;
 }
 }  // namespace
 
@@ -89,24 +109,41 @@ std::string json_unescape(std::string_view s) {
         out += '\t';
         break;
       case 'u': {
-        if (i + 4 < s.size()) {
-          std::uint32_t cp = 0;
-          bool ok = true;
-          for (int k = 1; k <= 4; ++k) {
-            const int h = hex_val(s[i + static_cast<std::size_t>(k)]);
-            if (h < 0) {
-              ok = false;
-              break;
-            }
-            cp = (cp << 4) | static_cast<std::uint32_t>(h);
+        const auto cp = parse_u16(s, i);
+        if (!cp) {
+          if (i + 4 < s.size()) {
+            // Malformed mid-string (non-hex digit): keep the escape's
+            // literal character, unknown-escape passthrough style.
+            out += 'u';
+          } else {
+            // Truncated by end-of-string: drop the whole partial escape
+            // (its stray hex digits included) rather than decode from
+            // bytes past the buffer.
+            i = s.size();
           }
-          if (ok) {
-            append_utf8(out, cp);
-            i += 4;
-            break;
-          }
+          break;
         }
-        out += 'u';  // malformed \u: keep the escape's literal character
+        std::uint32_t code = *cp;
+        i += 4;
+        if (code >= 0xD800 && code <= 0xDBFF) {
+          // High surrogate: valid only as the first half of a \uXXXX\uXXXX
+          // pair. Combine with the following low surrogate into one
+          // supplementary-plane code point (4-byte UTF-8), not two 3-byte
+          // CESU-8 sequences.
+          std::optional<std::uint32_t> low;
+          if (i + 2 < s.size() && s[i + 1] == '\\' && s[i + 2] == 'u') {
+            low = parse_u16(s, i + 2);
+          }
+          if (low && *low >= 0xDC00 && *low <= 0xDFFF) {
+            code = 0x10000 + ((code - 0xD800) << 10) + (*low - 0xDC00);
+            i += 6;  // the "\uXXXX" of the low half
+          } else {
+            code = 0xFFFD;  // unpaired high surrogate
+          }
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+          code = 0xFFFD;  // low surrogate with no preceding high half
+        }
+        append_utf8(out, code);
         break;
       }
       default:

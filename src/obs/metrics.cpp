@@ -37,8 +37,13 @@ void HistogramData::observe(std::int64_t v) {
 std::int64_t HistogramData::quantile_bound(double q) const {
   if (count == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(
-      q * static_cast<double>(count) + 0.5);
+  // The target is an ORDER STATISTIC (1-based rank), so it must stay inside
+  // [1, count]: a raw `q*count + 0.5` rounds to 0 for q -> 0 (or tiny
+  // counts), and `seen >= 0` holds at the very first bucket, reporting
+  // bounds[0] even when every sample sits in the overflow slot.
+  auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5);
+  target = std::clamp<std::uint64_t>(target, 1, count);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
     seen += counts[i];
@@ -193,6 +198,62 @@ HistogramData Snapshot::merged_histogram(std::string_view name) const {
     out.sum += h.sum;
     out.min = std::min(out.min, h.min);
     out.max = std::max(out.max, h.max);
+  }
+  return out;
+}
+
+Snapshot Snapshot::merged(
+    const std::vector<std::pair<std::string, Snapshot>>& shards) {
+  Snapshot out;
+  for (const auto& [shard_label, snap] : shards) {
+    for (const auto& [key, e] : snap.entries_) {
+      auto [it, inserted] = out.entries_.emplace(key, e);
+      if (!inserted) {
+        Entry& agg = it->second;
+        if (agg.kind != e.kind) {
+          throw std::logic_error("Snapshot::merged: series '" + key +
+                                 "' has conflicting kinds across shards");
+        }
+        switch (e.kind) {
+          case MetricKind::kCounter:
+            agg.counter += e.counter;
+            break;
+          case MetricKind::kGauge:
+            agg.gauge = e.gauge;  // last writer wins (shard order)
+            break;
+          case MetricKind::kHistogram: {
+            if (e.hist.count == 0) break;
+            if (agg.hist.count == 0) {
+              agg.hist = e.hist;
+              break;
+            }
+            if (agg.hist.bounds == e.hist.bounds) {
+              for (std::size_t i = 0; i < agg.hist.counts.size(); ++i) {
+                agg.hist.counts[i] += e.hist.counts[i];
+              }
+            } else {
+              // Incompatible layouts: aggregate moments only.
+              agg.hist.bounds.clear();
+              agg.hist.counts.clear();
+            }
+            agg.hist.count += e.hist.count;
+            agg.hist.sum += e.hist.sum;
+            agg.hist.min = std::min(agg.hist.min, e.hist.min);
+            agg.hist.max = std::max(agg.hist.max, e.hist.max);
+            break;
+          }
+        }
+      }
+      // Gauges cannot meaningfully aggregate, so each shard's value is also
+      // kept verbatim under an appended shard label.
+      if (e.kind == MetricKind::kGauge) {
+        Entry per_shard = e;
+        per_shard.labels.emplace_back("shard", shard_label);
+        out.entries_.insert_or_assign(
+            series_key(per_shard.name, per_shard.labels),
+            std::move(per_shard));
+      }
+    }
   }
   return out;
 }

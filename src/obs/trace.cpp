@@ -1,7 +1,9 @@
 #include "lod/obs/trace.hpp"
 
+#include <algorithm>
 #include <array>
 #include <charconv>
+#include <iterator>
 
 #include "lod/obs/json.hpp"
 
@@ -166,9 +168,31 @@ std::optional<T> parse_int(std::string_view s) {
 }
 }  // namespace
 
-std::string TraceSink::to_jsonl() const {
+std::vector<TraceEvent> collate_events(
+    std::vector<std::vector<TraceEvent>> shards) {
+  std::vector<TraceEvent> out;
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  out.reserve(total);
+  for (auto& s : shards) {
+    out.insert(out.end(), std::make_move_iterator(s.begin()),
+               std::make_move_iterator(s.end()));
+  }
+  // Concatenation put shards in index order and kept each shard's emit
+  // order; a stable sort by timestamp then yields exactly
+  // (t, shard, emit order).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t < b.t;
+                   });
+  return out;
+}
+
+std::string TraceSink::to_jsonl() const { return events_to_jsonl(events()); }
+
+std::string events_to_jsonl(const std::vector<TraceEvent>& events) {
   std::string out;
-  for (const auto& e : events()) {
+  for (const auto& e : events) {
     out += "{\"t\":";
     out += std::to_string(e.t);
     out += ",\"type\":\"";

@@ -87,6 +87,13 @@ struct PlayerConfig {
   net::SimDuration failover_timeout{net::msec(2000)};
   /// How often the failover watchdog samples progress.
   net::SimDuration failover_check_interval{net::msec(500)};
+  /// Send the session STOP automatically the moment playback finishes,
+  /// instead of waiting for an explicit stop(). Off by default — the paper's
+  /// player (and the existing benches) hold the session open until the user
+  /// closes it — but load harnesses driving thousands of scripted sessions
+  /// (see lod::LoadGen) switch it on so server/edge session state drains as
+  /// sessions complete and the event queue can run dry.
+  bool auto_stop_on_finish{false};
 };
 
 /// One rendered access unit, in three clocks at once.
@@ -288,6 +295,8 @@ class Player {
   void restart_from_top(net::SimDuration target);  // OCPN/XOCPN fallback
   /// Drop all per-session receive state (buffer, scripts, demux bookkeeping).
   void reset_session_state();
+  /// Tell the serving site this session is over (kStop / kLeaveLive), once.
+  void send_session_stop();
   /// Transition to kFinished and cancel all periodic timers.
   void enter_finished();
   /// True-time instant at which the unit with presentation time \p pts is due.

@@ -60,6 +60,7 @@ void Player::enter_finished() {
   const bool was_finished = state_ == State::kFinished;
   state_ = State::kFinished;
   if (!was_finished && observer_) observer_->on_finished();
+  if (!was_finished && cfg_.auto_stop_on_finish) send_session_stop();
   if (session_span_ != 0) {
     // Close the in-flight phase spans before the session root so the tree
     // nests cleanly even when the session ends mid-open or mid-failover.
@@ -258,13 +259,17 @@ void Player::send_play(net::SimDuration from) {
   state_ = State::kBuffering;
 }
 
+void Player::send_session_stop() {
+  if (session_ == 0) return;
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(live_ ? Ctl::kLeaveLive : Ctl::kStop));
+  w.u64(session_);
+  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  session_ = 0;  // closed: later stop()/finish paths must not re-send
+}
+
 void Player::stop() {
-  if (session_ != 0) {
-    ByteWriter w;
-    w.u8(static_cast<std::uint8_t>(live_ ? Ctl::kLeaveLive : Ctl::kStop));
-    w.u64(session_);
-    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
-  }
+  send_session_stop();
   enter_finished();
 }
 

@@ -85,6 +85,44 @@ TEST(SegmentCache, EraseFileDropsOnlyThatFile) {
   EXPECT_EQ(c.bytes_used(), 10u);
 }
 
+TEST(SegmentCache, OverwriteChargesOnlyTheNewBytes) {
+  SegmentCache c(1000);
+  c.put({"f", 0}, {}, 100);
+  c.put({"f", 1}, {}, 50);
+  // Replace segment 0 with a differently-sized payload: the old entry's
+  // bytes must be released, not accumulated.
+  c.put({"f", 0}, {}, 300);
+  EXPECT_EQ(c.bytes_used(), 350u);
+  EXPECT_EQ(c.entries(), 2u);
+  c.put({"f", 0}, {}, 10);  // shrink again
+  EXPECT_EQ(c.bytes_used(), 60u);
+  EXPECT_EQ(c.entries(), 2u);
+}
+
+TEST(SegmentCache, GaugesStayExactUnderOverwriteChurn) {
+  obs::MetricsRegistry reg;
+  SegmentCache c(1000, &reg);
+  const auto bytes_gauge = [&] { return reg.snapshot().gauge("lod.edge.cache.bytes"); };
+  const auto entries_gauge = [&] {
+    return reg.snapshot().gauge("lod.edge.cache.entries");
+  };
+  c.put({"f", 0}, {}, 100);
+  c.put({"f", 1}, {}, 200);
+  EXPECT_EQ(bytes_gauge(), 300);
+  EXPECT_EQ(entries_gauge(), 2);
+  c.put({"f", 0}, {}, 400);  // overwrite, grow
+  EXPECT_EQ(bytes_gauge(), 600);
+  EXPECT_EQ(entries_gauge(), 2);
+  // Overwrite with a payload larger than the whole budget: the entry is
+  // removed and NOT re-inserted — the gauges must reflect the removal
+  // rather than keep reporting the replaced entry's bytes.
+  c.put({"f", 0}, {}, 5000);
+  EXPECT_FALSE(c.contains({"f", 0}));
+  EXPECT_EQ(c.bytes_used(), 200u);
+  EXPECT_EQ(bytes_gauge(), 200);
+  EXPECT_EQ(entries_gauge(), 1);
+}
+
 // --- PrefetchController ------------------------------------------------------
 
 TEST(Prefetch, LinearWarmSetStartsAtAnchorSegment) {

@@ -290,5 +290,60 @@ TEST(Rng, ExponentialMeanApproximatesParameter) {
   EXPECT_NEAR(mean, 10'000.0, 500.0);
 }
 
+
+TEST(Simulator, PendingNeverUnderflowsWhenHandlersCancelMidRun) {
+  // The invariant behind pending() == queue size - cancelled size: every id
+  // in the cancelled set has exactly one live queue entry, including while
+  // handlers cancel (and double-cancel, and cancel already-fired ids) from
+  // INSIDE run_until. An underflow would show up as a wrapped, astronomically
+  // large pending() value.
+  Simulator sim;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(sim.schedule_at(SimTime{10 * (i + 1)}, [&] { ++fired; }));
+  }
+  // At t=5 (before any target fires): cancel one event twice and a second
+  // one once; pending must account each cancellation exactly once.
+  sim.schedule_at(SimTime{5}, [&] {
+    EXPECT_TRUE(sim.cancel(ids[7]));
+    EXPECT_FALSE(sim.cancel(ids[7]));  // double-cancel: no-op
+    EXPECT_TRUE(sim.cancel(ids[12]));
+    // 20 targets + the t=15/t=55 helpers + sibling still queued, minus the 2
+    // cancellations just made.
+    EXPECT_EQ(sim.pending(), 21u);
+  });
+  // At t=15 (after ids[0] fired): cancelling the fired id must be a no-op
+  // and must not disturb the count; cancelling a same-instant sibling and a
+  // future event from inside a handler keeps the books straight.
+  sim.schedule_at(SimTime{15}, [&] {
+    EXPECT_FALSE(sim.cancel(ids[0]));  // already fired
+    EXPECT_TRUE(sim.cancel(ids[15]));
+    EXPECT_LT(sim.pending(), 100u);  // no size_t wraparound
+  });
+  // Same-instant pair where the first cancels the second AND schedules a
+  // replacement that cancels itself -- the cancelled set may briefly hold
+  // entries swept lazily by the popper.
+  EventId sibling{};
+  sim.schedule_at(SimTime{55}, [&] {
+    EXPECT_TRUE(sim.cancel(sibling));
+    const EventId self = sim.schedule_at(SimTime{56}, [&] { ++fired; });
+    EXPECT_TRUE(sim.cancel(self));
+    EXPECT_LT(sim.pending(), 100u);
+  });
+  sibling = sim.schedule_at(SimTime{55}, [&] { ++fired; });
+
+  std::size_t steps = 0;
+  while (sim.pending() > 0) {
+    ASSERT_LT(sim.pending(), 100u) << "pending() underflowed";
+    ASSERT_LT(++steps, 1000u) << "runaway";
+    sim.run_steps(1);
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+  // 20 targets minus the 3 cancelled (7, 12, 15); sibling and the
+  // self-cancelling replacement never fire.
+  EXPECT_EQ(fired, 17);
+}
+
 }  // namespace
 }  // namespace lod::net

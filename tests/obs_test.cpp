@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <stdexcept>
 
 #include "lod/obs/hub.hpp"
+#include "lod/obs/json.hpp"
 #include "lod/obs/metrics.hpp"
 #include "lod/obs/trace.hpp"
 
@@ -427,4 +429,174 @@ TEST(Hub, SharesClockBetweenMetricsAndTrace) {
 
   hub.metrics().counter("lod.test.n").inc(2);
   EXPECT_EQ(hub.snapshot().counter("lod.test.n"), 2u);
+}
+
+// --- histogram quantile edge cases ------------------------------------------------
+
+TEST(Metrics, QuantileBoundEdgeCases) {
+  HistogramData h;
+  h.bounds = {10, 100, 1000};
+  h.counts.assign(4, 0);
+  EXPECT_EQ(h.quantile_bound(0.5), 0);  // empty
+
+  h.observe(7);  // single sample in the first bucket
+  // Any quantile of a one-sample distribution is that sample's bucket: the
+  // target order statistic must clamp into [1, count], so q -> 0 cannot
+  // round down to "the zeroth observation" and fall through to the overflow
+  // bucket's max.
+  EXPECT_EQ(h.quantile_bound(0.0001), 10);
+  EXPECT_EQ(h.quantile_bound(0.5), 10);
+  EXPECT_EQ(h.quantile_bound(1.0), 10);
+}
+
+TEST(Metrics, QuantileBoundTinyQOverManySamples) {
+  HistogramData h;
+  h.bounds = {10, 100};
+  h.counts.assign(3, 0);
+  for (int i = 0; i < 100; ++i) h.observe(i < 50 ? 5 : 50);
+  // q so small the rounded target would be 0 without clamping.
+  EXPECT_EQ(h.quantile_bound(0.001), 10);
+  EXPECT_EQ(h.quantile_bound(0.5), 10);
+  EXPECT_EQ(h.quantile_bound(0.51), 100);
+  EXPECT_EQ(h.quantile_bound(1.0), 100);
+}
+
+TEST(Metrics, QuantileBoundAllOverflowReportsMax) {
+  HistogramData h;
+  h.bounds = {10};
+  h.counts.assign(2, 0);
+  h.observe(500);
+  h.observe(900);
+  EXPECT_EQ(h.quantile_bound(0.01), 900);  // overflow bucket -> observed max
+  EXPECT_EQ(h.quantile_bound(1.0), 900);
+}
+
+// --- snapshot merge ---------------------------------------------------------------
+
+TEST(Metrics, MergedDisjointShardsIsUnion) {
+  MetricsRegistry a, b;
+  a.counter("lod.a").inc(3);
+  b.counter("lod.b").inc(4);
+  const auto m =
+      Snapshot::merged({{"0", a.snapshot()}, {"1", b.snapshot()}});
+  EXPECT_EQ(m.counter("lod.a"), 3u);
+  EXPECT_EQ(m.counter("lod.b"), 4u);
+}
+
+TEST(Metrics, MergedOverlappingCountersSumAndHistogramsAddBucketwise) {
+  MetricsRegistry a, b;
+  a.counter("lod.n").inc(3);
+  b.counter("lod.n").inc(5);
+  a.histogram("lod.h", std::vector<std::int64_t>{10, 100}).observe(7);
+  b.histogram("lod.h", std::vector<std::int64_t>{10, 100}).observe(70);
+  const auto m =
+      Snapshot::merged({{"0", a.snapshot()}, {"1", b.snapshot()}});
+  EXPECT_EQ(m.counter("lod.n"), 8u);
+  const auto* h = m.histogram("lod.h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->sum, 77);
+  ASSERT_EQ(h->counts.size(), 3u);
+  EXPECT_EQ(h->counts[0], 1u);
+  EXPECT_EQ(h->counts[1], 1u);
+  EXPECT_EQ(h->quantile_bound(1.0), 100);
+}
+
+TEST(Metrics, MergedHistogramsWithMismatchedBoundsKeepMomentsOnly) {
+  MetricsRegistry a, b;
+  a.histogram("lod.h", std::vector<std::int64_t>{10}).observe(5);
+  b.histogram("lod.h", std::vector<std::int64_t>{99}).observe(50);
+  const auto m =
+      Snapshot::merged({{"0", a.snapshot()}, {"1", b.snapshot()}});
+  const auto* h = m.histogram("lod.h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->sum, 55);
+  EXPECT_EQ(h->min, 5);
+  EXPECT_EQ(h->max, 50);
+  EXPECT_TRUE(h->bounds.empty());  // bucket shapes disagreed
+}
+
+TEST(Metrics, MergedGaugesLastWriterPlusPerShardSeries) {
+  MetricsRegistry a, b;
+  a.gauge("lod.depth").set(11);
+  b.gauge("lod.depth").set(22);
+  const auto m =
+      Snapshot::merged({{"s0", a.snapshot()}, {"s1", b.snapshot()}});
+  EXPECT_EQ(m.gauge("lod.depth"), 22);
+  EXPECT_EQ(m.gauge("lod.depth", {{"shard", "s0"}}), 11);
+  EXPECT_EQ(m.gauge("lod.depth", {{"shard", "s1"}}), 22);
+}
+
+TEST(Metrics, MergedKindConflictThrows) {
+  MetricsRegistry a, b;
+  a.counter("lod.x").inc();
+  b.gauge("lod.x").set(1);
+  EXPECT_THROW(
+      Snapshot::merged({{"0", a.snapshot()}, {"1", b.snapshot()}}),
+      std::logic_error);
+}
+
+TEST(Metrics, MergedEmptyInputIsEmptySnapshot) {
+  const auto m = Snapshot::merged({});
+  EXPECT_EQ(m.size(), 0u);
+}
+
+// --- JSON escape/unescape ---------------------------------------------------------
+
+TEST(Json, UnescapeDecodesBmpAndSupplementaryEscapes) {
+  EXPECT_EQ(json_unescape("\\u0041"), "A");
+  EXPECT_EQ(json_unescape("\\u00e9"), "\xC3\xA9");          // é, 2-byte UTF-8
+  EXPECT_EQ(json_unescape("\\u20AC"), "\xE2\x82\xAC");      // €, 3-byte UTF-8
+  // Surrogate pair U+1F600 (😀): 4-byte UTF-8.
+  EXPECT_EQ(json_unescape("\\uD83D\\uDE00"), "\xF0\x9F\x98\x80");
+  EXPECT_EQ(json_unescape("x\\uD83D\\uDE00y"), "x\xF0\x9F\x98\x80y");
+}
+
+TEST(Json, UnescapeUnpairedSurrogatesBecomeReplacementChar) {
+  const std::string fffd = "\xEF\xBF\xBD";
+  EXPECT_EQ(json_unescape("\\uD83D"), fffd);          // lone high at end
+  EXPECT_EQ(json_unescape("\\uD83Dxy"), fffd + "xy");  // high, no low follows
+  EXPECT_EQ(json_unescape("\\uDE00"), fffd);          // lone low
+  // High followed by a non-surrogate \u escape: both decode independently.
+  EXPECT_EQ(json_unescape("\\uD83D\\u0041"), fffd + "A");
+}
+
+TEST(Json, UnescapeTruncatedEscapesAtEndOfStringAreDropped) {
+  // A \uXXXX cut off by end-of-string must not read past the buffer.
+  EXPECT_EQ(json_unescape("\\u"), "");
+  EXPECT_EQ(json_unescape("\\u00"), "");
+  EXPECT_EQ(json_unescape("\\u123"), "");
+  EXPECT_EQ(json_unescape("ab\\u12"), "ab");
+  // A trailing lone backslash (no escape char at all) is kept verbatim.
+  EXPECT_EQ(json_unescape("ab\\"), "ab\\");
+  // Malformed mid-string keeps the literal characters.
+  EXPECT_EQ(json_unescape("\\uZZZZtail"), "uZZZZtail");
+}
+
+TEST(Json, EscapeUnescapeRoundTripsRandomBytes) {
+  // Fuzz-style: random byte strings (including NULs, control characters,
+  // quotes, backslashes, and non-UTF-8 garbage) must survive
+  // append_json_escaped -> json_unescape byte for byte.
+  std::mt19937 rng(0xC0DE);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string s;
+    const int len = static_cast<int>(rng() % 64);
+    for (int i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng() % 256));
+    }
+    std::string escaped;
+    append_json_escaped(escaped, s);
+    EXPECT_EQ(json_unescape(escaped), s) << "iter " << iter;
+  }
+}
+
+TEST(Json, EscapeUnescapeRoundTripsAdversarialSuffixes) {
+  // Strings that END in escape-like prefixes are the truncation minefield.
+  for (const char* raw : {"\\", "\\u", "\\u0", "\\u00", "\\u004",
+                          "text\\", "text\\u12", "\"\\\"", "\\\\u0041"}) {
+    std::string escaped;
+    append_json_escaped(escaped, raw);
+    EXPECT_EQ(json_unescape(escaped), raw) << "raw: " << raw;
+  }
 }
