@@ -1,0 +1,199 @@
+// H1 — the hot-path contracts introduced by the perf overhaul.
+//
+// Three claims, each gated:
+//
+//  1. Pre-resolved metric handles: bumping a Counter through a handle
+//     resolved once at construction is >= 5x faster than re-resolving the
+//     (name, labels) identity through the string API on every increment.
+//  2. Zero-copy payloads: relaying a message across H transport hops copies
+//     its bytes ZERO additional times — Payload::stats().bytes_copied stays
+//     flat as the hop count grows (bytes are copied once, at encode, never
+//     per hop).
+//  3. Timing-wheel scheduler: reported as raw schedule+dispatch throughput
+//     (events/sec) so regressions show up in bench_results.json history.
+//
+// Exit is nonzero when gate 1 or 2 is violated.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "lod/net/payload.hpp"
+#include "lod/net/transport.hpp"
+#include "lod/obs/metrics.hpp"
+
+#include "bench_json.hpp"
+
+using namespace lod;
+using lod::net::msec;
+using lod::net::usec;
+
+namespace {
+
+/// Min-of-reps wall time: the noise-robust statistic for a fixed workload.
+template <typename Fn>
+double min_seconds(Fn&& fn, int reps) {
+  double best = std::numeric_limits<double>::max();
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+// --- 1. handle vs string metric increments ----------------------------------
+
+struct MetricTimes {
+  double handle_ns{0};
+  double string_ns{0};
+  double speedup() const { return string_ns > 0 ? string_ns / handle_ns : 0; }
+};
+
+MetricTimes bench_metric_ops() {
+  constexpr int kOps = 1'000'000;
+  constexpr int kReps = 7;
+
+  obs::MetricsRegistry reg;
+  const obs::Labels labels{{"host", "3"}, {"session", "17"}};
+  const obs::Counter handle = reg.counter("lod.bench.hot_counter", labels);
+
+  // Interleave the two paths so frequency drift hits both equally.
+  double handle_s = std::numeric_limits<double>::max();
+  double string_s = std::numeric_limits<double>::max();
+  for (int round = 0; round < kReps; ++round) {
+    handle_s = std::min(handle_s, min_seconds([&] {
+                 for (int i = 0; i < kOps; ++i) handle.inc();
+               }, 1));
+    string_s = std::min(string_s, min_seconds([&] {
+                 for (int i = 0; i < kOps; ++i) {
+                   reg.counter("lod.bench.hot_counter", labels).inc();
+                 }
+               }, 1));
+  }
+  if (handle.value() == 0) std::abort();  // keep the loops observable
+
+  MetricTimes t;
+  t.handle_ns = handle_s / kOps * 1e9;
+  t.string_ns = string_s / kOps * 1e9;
+  return t;
+}
+
+// --- 2. bytes copied stays flat across relay hops ---------------------------
+
+/// Relay kMessages of kMsgBytes across a chain of `hops` reliable links
+/// (h0 -> h1 -> ... -> h<hops>); each intermediate forwards the received
+/// Payload as-is. Returns Payload's bytes_copied delta for the whole run.
+std::uint64_t relay_bytes_copied(int hops) {
+  constexpr int kMessages = 64;
+  constexpr std::size_t kMsgBytes = 4096;
+
+  net::Simulator sim;
+  net::Network netw(sim, 7);
+  std::vector<net::HostId> hosts;
+  for (int i = 0; i <= hops; ++i) {
+    hosts.push_back(netw.add_host("h" + std::to_string(i)));
+    if (i > 0) {
+      net::LinkConfig cfg;
+      cfg.bandwidth_bps = 100'000'000;
+      cfg.latency = msec(1);
+      netw.add_link(hosts[i - 1], hosts[i], cfg);
+    }
+  }
+
+  constexpr net::Port kPort = 900;
+  std::vector<std::unique_ptr<net::ReliableEndpoint>> eps;
+  for (int i = 0; i <= hops; ++i) {
+    eps.push_back(std::make_unique<net::ReliableEndpoint>(netw, hosts[i], kPort));
+  }
+  std::size_t delivered_bytes = 0;
+  for (int i = 1; i <= hops; ++i) {
+    if (i == hops) {
+      eps[i]->on_receive(
+          [&delivered_bytes](const net::ReliableEndpoint::Message& m) {
+            delivered_bytes += m.payload.size();
+          });
+    } else {
+      net::ReliableEndpoint* self = eps[i].get();
+      const net::HostId next_host = hosts[i + 1];
+      eps[i]->on_receive(
+          [self, next_host](const net::ReliableEndpoint::Message& m) {
+            self->send_to(next_host, kPort, m.payload);  // zero-copy forward
+          });
+    }
+  }
+
+  const std::uint64_t copied_before = net::Payload::stats().bytes_copied;
+  for (int i = 0; i < kMessages; ++i) {
+    std::vector<std::byte> msg(kMsgBytes, std::byte{static_cast<unsigned char>(i)});
+    eps[0]->send_to(hosts[1], kPort, net::Payload{std::move(msg)});
+  }
+  sim.run();
+  const std::uint64_t copied = net::Payload::stats().bytes_copied - copied_before;
+
+  if (delivered_bytes != kMessages * kMsgBytes) {
+    std::printf("relay(%d hops): delivered %zu bytes, expected %zu\n", hops,
+                delivered_bytes, kMessages * kMsgBytes);
+    std::exit(1);
+  }
+  return copied;
+}
+
+// --- 3. scheduler throughput -------------------------------------------------
+
+double scheduler_events_per_sec() {
+  constexpr int kEvents = 200'000;
+  constexpr int kReps = 5;
+  const double s = min_seconds([&] {
+    net::Simulator sim;
+    std::uint64_t fired = 0;
+    // A mix of near (wheel level 0-1) and far (upper levels / heap) delays.
+    for (int i = 0; i < kEvents; ++i) {
+      const std::int64_t delay = (i % 97) * 13 + (i % 11) * 70'000 +
+                                 (i % 3 == 0 ? 5'000'000'000LL : 0);
+      sim.schedule_after(usec(delay), [&fired] { ++fired; });
+    }
+    sim.run();
+    if (fired != kEvents) std::abort();
+  }, kReps);
+  return kEvents / s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== H1: hot-path overhaul ===\n\n");
+
+  const MetricTimes mt = bench_metric_ops();
+  std::printf("metric increment       handle %7.1f ns/op   string %7.1f ns/op   "
+              "speedup %.1fx\n",
+              mt.handle_ns, mt.string_ns, mt.speedup());
+
+  std::printf("\nrelay bytes copied (64 msgs x 4 KiB, per hop count):\n");
+  std::uint64_t copied_1 = 0, copied_max = 0;
+  for (int hops = 1; hops <= 4; ++hops) {
+    const std::uint64_t c = relay_bytes_copied(hops);
+    if (hops == 1) copied_1 = c;
+    copied_max = std::max(copied_max, c);
+    std::printf("  %d hop%s: %llu bytes copied\n", hops, hops == 1 ? " " : "s",
+                static_cast<unsigned long long>(c));
+  }
+
+  const double evps = scheduler_events_per_sec();
+  std::printf("\ntiming-wheel scheduler: %.2fM events/sec (schedule+dispatch)\n",
+              evps / 1e6);
+
+  const bool handle_ok = mt.speedup() >= 5.0;
+  const bool copies_flat = copied_max == copied_1;
+  std::printf("\ncontract (handle speedup >= 5x):          %s\n",
+              handle_ok ? "holds" : "VIOLATED");
+  std::printf("contract (bytes copied flat across hops): %s\n",
+              copies_flat ? "holds" : "VIOLATED");
+
+  ::lod::bench::emit_json("bench_h1_hotpath", "handle_speedup_x", mt.speedup());
+  return handle_ok && copies_flat ? 0 : 1;
+}

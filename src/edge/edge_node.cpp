@@ -547,16 +547,17 @@ void EdgeNode::deliver_due(std::uint64_t sid) {
   }
 }
 
-void EdgeNode::send_packet(Session& s, const media::asf::DataPacket& pkt,
+void EdgeNode::send_packet(Session& s, const net::Payload& bytes,
                            std::uint32_t packet_index) {
   const ContentMeta& meta = contents_.at(s.content);
+  // Per-send frame header only; the cached serialized packet rides as a
+  // shared body — the edge relays media it never copied or parsed.
   ByteWriter w;
   w.u32(streaming::proto::kDataMagic);
   w.u64(s.id);
   w.u32(s.epoch);
   w.u64(s.next_seq++);
   w.u32(packet_index);
-  w.blob(media::asf::serialize_packet(pkt));
 
   net::Packet p;
   p.src = host_;
@@ -564,10 +565,12 @@ void EdgeNode::send_packet(Session& s, const media::asf::DataPacket& pkt,
   p.src_port = data_.port();
   p.dst_port = s.data_port;
   p.payload = std::move(w).take();
+  p.body = bytes;
   const std::uint32_t nominal = meta.header.props.packet_bytes + 20u;
   p.wire_size =
-      std::max<std::uint32_t>(static_cast<std::uint32_t>(p.payload.size()),
-                              nominal) +
+      std::max<std::uint32_t>(
+          static_cast<std::uint32_t>(p.payload.size() + p.body.size()),
+          nominal) +
       28;
   p.channel = s.channel;
   m_packets_sent_.inc();
@@ -601,15 +604,15 @@ void EdgeNode::start_fetch(const std::string& content, std::uint32_t segment,
   auto alive = alive_;
   origin_rpc_.call(config_.origin, config_.origin_gateway_port, "/edge/segment",
                    std::move(w).take(),
-                   [this, alive, content, segment](
-                       int status, std::span<const std::byte> body) {
+                   [this, alive, content, segment](int status,
+                                                   const net::Payload& body) {
                      if (!*alive) return;
                      on_segment(content, segment, status, body);
                    });
 }
 
 void EdgeNode::on_segment(const std::string& content, std::uint32_t segment,
-                          int status, std::span<const std::byte> body) {
+                          int status, const net::Payload& body) {
   const SegmentKey key{content, segment};
   Fetch fetch;
   if (auto it = inflight_.find(key); it != inflight_.end()) {
@@ -633,10 +636,15 @@ void EdgeNode::on_segment(const std::string& content, std::uint32_t segment,
 
   ByteReader r(body);
   const std::uint32_t count = r.u32();
-  std::vector<media::asf::DataPacket> packets;
+  // Cache zero-copy slices of the fetch response: each cached packet is a
+  // refcounted view of the one buffer the RPC already delivered. The edge
+  // never parses media it only relays.
+  std::vector<net::Payload> packets;
   packets.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    packets.push_back(media::asf::parse_packet(r.blob()));
+    const std::uint32_t n = r.u32();
+    packets.push_back(body.slice(r.offset(), n));
+    r.raw(n);
   }
   m_fetch_bytes_.inc(body.size());
   if (fetch.demand) m_miss_fill_us_.observe(elapsed.us);

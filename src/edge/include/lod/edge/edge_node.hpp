@@ -175,12 +175,14 @@ class EdgeNode {
   void on_meta(const std::string& content, std::span<const std::byte> body);
   void schedule_next(Session& s);
   void deliver_due(std::uint64_t sid);
-  void send_packet(Session& s, const media::asf::DataPacket& pkt,
+  /// Send one cached wire packet: per-send frame header in the payload, the
+  /// cached serialized bytes as a shared body — no byte copy per send.
+  void send_packet(Session& s, const net::Payload& bytes,
                    std::uint32_t packet_index);
   void start_fetch(const std::string& content, std::uint32_t segment,
                    bool demand, const obs::TraceContext& ctx = {});
   void on_segment(const std::string& content, std::uint32_t segment,
-                  int status, std::span<const std::byte> body);
+                  int status, const net::Payload& body);
   void prefetch_tick(const std::string& content, std::uint32_t playhead);
   std::uint32_t packet_for(const ContentMeta& meta, net::SimDuration t) const;
   Session* find_session(std::uint64_t id);

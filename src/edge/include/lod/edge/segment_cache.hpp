@@ -6,7 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "lod/media/asf.hpp"
+#include "lod/net/payload.hpp"
 #include "lod/obs/metrics.hpp"
 
 /// \file segment_cache.hpp
@@ -17,6 +17,11 @@
 /// are what the edge fetches from the origin on a miss and what the
 /// prefetcher warms ahead of the playhead, so cache, transfer and prefetch
 /// all speak the same granularity.
+///
+/// Entries hold each packet's SERIALIZED wire bytes as refcounted
+/// `net::Payload` slices of the origin's fetch response — the edge never
+/// parses media it only relays, and serving a packet to N sessions costs
+/// zero byte copies.
 ///
 /// Accounting is published as `lod.edge.cache.*{host}` registry series:
 /// hits / misses (serve-path lookups only — prefetch probes use `contains`
@@ -46,10 +51,10 @@ class SegmentCache {
   SegmentCache(std::size_t budget_bytes, obs::MetricsRegistry* registry = nullptr,
                obs::Labels labels = {});
 
-  /// Serve-path lookup: returns the packets and freshens the entry's LRU
-  /// position, counting a hit; nullptr counts a miss. The pointer stays
-  /// valid until the entry is evicted or replaced.
-  const std::vector<media::asf::DataPacket>* get(const SegmentKey& key);
+  /// Serve-path lookup: returns the serialized packets and freshens the
+  /// entry's LRU position, counting a hit; nullptr counts a miss. The
+  /// pointer stays valid until the entry is evicted or replaced.
+  const std::vector<net::Payload>* get(const SegmentKey& key);
 
   /// Prefetch-path probe: no stats, no LRU touch.
   bool contains(const SegmentKey& key) const { return index_.count(key) > 0; }
@@ -58,7 +63,7 @@ class SegmentCache {
   /// evicting least-recently-used entries until the budget holds. A segment
   /// larger than the whole budget is not cached at all (it would evict
   /// everything and then be evicted by the next insert anyway).
-  void put(SegmentKey key, std::vector<media::asf::DataPacket> packets,
+  void put(SegmentKey key, std::vector<net::Payload> packets,
            std::size_t bytes);
 
   /// Drop every segment of \p file (e.g. the origin republished it).
@@ -84,7 +89,7 @@ class SegmentCache {
  private:
   struct Entry {
     SegmentKey key;
-    std::vector<media::asf::DataPacket> packets;
+    std::vector<net::Payload> packets;
     std::size_t bytes{0};
   };
 

@@ -16,8 +16,7 @@ SegmentCache::SegmentCache(std::size_t budget_bytes,
   }
 }
 
-const std::vector<media::asf::DataPacket>* SegmentCache::get(
-    const SegmentKey& key) {
+const std::vector<net::Payload>* SegmentCache::get(const SegmentKey& key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -30,7 +29,7 @@ const std::vector<media::asf::DataPacket>* SegmentCache::get(
   return &it->second->packets;
 }
 
-void SegmentCache::put(SegmentKey key, std::vector<media::asf::DataPacket> packets,
+void SegmentCache::put(SegmentKey key, std::vector<net::Payload> packets,
                        std::size_t bytes) {
   if (auto it = index_.find(key); it != index_.end()) {
     bytes_used_ -= it->second->bytes;

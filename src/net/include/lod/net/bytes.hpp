@@ -90,6 +90,9 @@ class ByteReader {
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return remaining() == 0; }
+  /// Bytes consumed so far — lets a caller slice a shared buffer at the
+  /// reader's position instead of copying a blob out of it.
+  std::size_t offset() const { return pos_; }
 
  private:
   std::span<const std::byte> take(std::size_t n) {

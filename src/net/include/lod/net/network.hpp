@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "lod/net/clock.hpp"
+#include "lod/net/payload.hpp"
 #include "lod/net/rng.hpp"
 #include "lod/net/simulator.hpp"
 #include "lod/net/time.hpp"
@@ -32,14 +33,22 @@ using Port = std::uint16_t;
 using ChannelId = std::uint32_t;
 
 /// Wire unit. `wire_size` is what consumes link capacity (payload plus
-/// header/framing overhead); `payload` is what the receiver sees.
+/// header/framing overhead); `payload` (+ optional `body`) is what the
+/// receiver sees.
 struct Packet {
   HostId src{0};
   HostId dst{0};
   Port src_port{0};
   Port dst_port{0};
   std::uint32_t wire_size{0};  ///< bytes on the wire
-  std::vector<std::byte> payload;
+  /// Frame header / whole message, refcounted (hops and loopback never copy).
+  Payload payload;
+  /// Optional scatter-gather attachment: logically the bytes that follow
+  /// `payload` on the wire. Senders with a shared immutable body (cached
+  /// media segments, inflight transport messages) attach it here so per-hop
+  /// and per-session sends copy nothing; receivers that frame with a body
+  /// read their header fields from `payload` and take `body` as the blob.
+  Payload body;
   /// Non-zero when the packet travels on a reserved QoS channel.
   ChannelId channel{0};
   std::uint64_t id{0};  ///< unique per network, for tracing

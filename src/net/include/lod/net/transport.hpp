@@ -2,13 +2,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "lod/net/bytes.hpp"
 #include "lod/net/network.hpp"
+#include "lod/net/payload.hpp"
 
 /// \file transport.hpp
 /// End-host transport over the simulated network.
@@ -38,9 +38,16 @@ class DatagramSocket {
 
   /// Fire-and-forget send. \p header_overhead models UDP/IP framing cost on
   /// the wire without polluting the payload. Tag \p channel to ride a QoS
-  /// reservation.
-  bool send_to(HostId dst, Port dst_port, std::vector<std::byte> payload,
+  /// reservation. A freshly-encoded vector adopts into the Payload with no
+  /// byte copy.
+  bool send_to(HostId dst, Port dst_port, Payload payload,
                std::uint32_t header_overhead = 28, ChannelId channel = 0);
+
+  /// Scatter-gather send: \p header is the per-send frame header, \p body a
+  /// shared immutable attachment (cached segment, inflight message). Neither
+  /// is copied; the wire charges header + body + overhead.
+  bool send_to(HostId dst, Port dst_port, Payload header, Payload body,
+               std::uint32_t header_overhead, ChannelId channel = 0);
 
   HostId host() const { return host_; }
   Port port() const { return port_; }
@@ -65,11 +72,12 @@ class DatagramSocket {
 /// TCP's ISN randomization does).
 class ReliableEndpoint {
  public:
-  /// Delivered message: who sent it and its payload.
+  /// Delivered message: who sent it and its payload (a zero-copy view of
+  /// the received datagram's shared body).
   struct Message {
     HostId src;
     Port src_port;
-    std::vector<std::byte> payload;
+    Payload payload;
   };
   using Handler = std::function<void(const Message&)>;
 
@@ -81,8 +89,10 @@ class ReliableEndpoint {
 
   void on_receive(Handler h) { handler_ = std::move(h); }
 
-  /// Queue a message for reliable in-order delivery to the peer.
-  void send_to(HostId dst, Port dst_port, std::vector<std::byte> payload);
+  /// Queue a message for reliable in-order delivery to the peer. The bytes
+  /// are never copied again: the inflight buffer holds the same shared body
+  /// every (re)transmission attaches to its frame.
+  void send_to(HostId dst, Port dst_port, Payload payload);
 
   /// True when every message sent so far has been acknowledged.
   bool all_acked() const;
@@ -107,12 +117,12 @@ class ReliableEndpoint {
   struct TxState {
     std::uint64_t next_seq{0};
     std::uint64_t acked_upto{0};  ///< all seq < this are acknowledged
-    std::map<std::uint64_t, std::vector<std::byte>> inflight;
+    std::unordered_map<std::uint64_t, Payload> inflight;
   };
   struct RxState {
     std::uint64_t peer_incarnation{0};
     std::uint64_t next_expected{0};
-    std::map<std::uint64_t, std::vector<std::byte>> out_of_order;
+    std::unordered_map<std::uint64_t, Payload> out_of_order;
   };
 
   void handle_packet(const Packet& p);
@@ -162,8 +172,10 @@ class RpcServer {
 /// Client side of `RpcServer`.
 class RpcClient {
  public:
-  using Callback =
-      std::function<void(int status, std::span<const std::byte> body)>;
+  /// Response callback. The body is a zero-copy slice of the response
+  /// message; implicit conversion keeps span-taking lambdas compiling, and
+  /// callers that stash the body (edge segment cache) keep it refcounted.
+  using Callback = std::function<void(int status, const Payload& body)>;
 
   RpcClient(Network& net, HostId host, Port port);
 

@@ -107,8 +107,9 @@ bool Network::send(Packet p) {
   }
   if (p.src == p.dst) {
     // Loopback: deliver after the current handler unwinds, keeping the
-    // "receive is always asynchronous" invariant callers rely on.
-    sim_.schedule_after(usec(0), [this, p] { deliver(p); });
+    // "receive is always asynchronous" invariant callers rely on. Move the
+    // packet in — refcounted payloads make this pointer-cheap.
+    sim_.schedule_after(usec(0), [this, p = std::move(p)] { deliver(p); });
     return true;
   }
   auto path = std::make_shared<const std::vector<HostId>>(route(p.src, p.dst));

@@ -32,45 +32,61 @@ Simulator::Simulator() {
 
 EventId Simulator::schedule_at(SimTime t, Handler h) {
   if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id});
-  handlers_.emplace(id, std::move(h));
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(cells_.size());
+    cells_.emplace_back();
+  }
+  Cell& c = cells_[slot];
+  c.h = std::move(h);
+  c.live = true;
+  ++live_;
+  const EventId id = (std::uint64_t{slot} << 32) | c.gen;
+  wheel_.schedule(TimingWheel::Item{t.us, next_seq_++, id});
   events_scheduled_.inc();
   return id;
 }
 
+void Simulator::free_cell(std::uint32_t slot) {
+  Cell& c = cells_[slot];
+  c.h = nullptr;
+  ++c.gen;
+  c.live = false;
+  free_.push_back(slot);
+  --live_;
+}
+
 bool Simulator::cancel(EventId id) {
-  auto it = handlers_.find(id);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
-  cancelled_.insert(id);
+  const std::uint32_t slot = id_slot(id);
+  if (slot >= cells_.size()) return false;
+  Cell& c = cells_[slot];
+  if (!c.live || c.gen != id_gen(id)) return false;
+  // The wheel item stays in place; its generation no longer matches, so it
+  // is swept when its slot drains — O(1) cancel without hunting the wheel.
+  free_cell(slot);
   events_cancelled_.inc();
   return true;
 }
 
-bool Simulator::pop_next(Entry& out) {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    auto c = cancelled_.find(e.id);
-    if (c != cancelled_.end()) {
-      cancelled_.erase(c);
-      continue;  // was cancelled; skip
-    }
-    out = e;
-    return true;
+bool Simulator::pop_next(TimingWheel::Item& out) {
+  while (wheel_.pop(out)) {
+    const Cell& c = cells_[id_slot(out.id)];
+    if (c.live && c.gen == id_gen(out.id)) return true;
+    // Stale generation: the event was cancelled; sweep and keep looking.
   }
   return false;
 }
 
 bool Simulator::step() {
-  Entry e;
-  if (!pop_next(e)) return false;
-  now_ = e.at;
-  auto it = handlers_.find(e.id);
-  // pop_next already filtered cancelled events, so the handler must exist.
-  Handler h = std::move(it->second);
-  handlers_.erase(it);
+  TimingWheel::Item it;
+  if (!pop_next(it)) return false;
+  now_ = SimTime{it.at};
+  const std::uint32_t slot = id_slot(it.id);
+  Handler h = std::move(cells_[slot].h);
+  free_cell(slot);
   events_fired_.inc();
   h();
   return true;
@@ -84,20 +100,22 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(SimTime t) {
   std::size_t n = 0;
-  Entry e;
-  while (!queue_.empty()) {
-    // Peek: find earliest non-cancelled without popping irrevocably.
-    Entry top = queue_.top();
-    if (cancelled_.count(top.id)) {
-      queue_.pop();
-      cancelled_.erase(top.id);
-      continue;
-    }
-    if (top.at > t) break;
-    step();
+  TimingWheel::Item it;
+  while (wheel_.pop_due(t.us, it)) {
+    const std::uint32_t slot = id_slot(it.id);
+    Cell& c = cells_[slot];
+    if (!c.live || c.gen != id_gen(it.id)) continue;  // cancelled; sweep
+    now_ = SimTime{it.at};
+    Handler h = std::move(c.h);
+    free_cell(slot);
+    events_fired_.inc();
+    h();
     ++n;
   }
   if (now_ < t) now_ = t;
+  // Keep the wheel's cursor in lockstep with the clock so the next schedule
+  // computes distances from the right origin.
+  wheel_.fast_forward(t.us);
   return n;
 }
 

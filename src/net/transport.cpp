@@ -31,8 +31,7 @@ DatagramSocket::DatagramSocket(Network& net, HostId host, Port port)
 
 DatagramSocket::~DatagramSocket() { net_.unbind(host_, port_); }
 
-bool DatagramSocket::send_to(HostId dst, Port dst_port,
-                             std::vector<std::byte> payload,
+bool DatagramSocket::send_to(HostId dst, Port dst_port, Payload payload,
                              std::uint32_t header_overhead, ChannelId channel) {
   Packet p;
   p.src = host_;
@@ -41,6 +40,22 @@ bool DatagramSocket::send_to(HostId dst, Port dst_port,
   p.dst_port = dst_port;
   p.wire_size = static_cast<std::uint32_t>(payload.size()) + header_overhead;
   p.payload = std::move(payload);
+  p.channel = channel;
+  return net_.send(std::move(p));
+}
+
+bool DatagramSocket::send_to(HostId dst, Port dst_port, Payload header,
+                             Payload body, std::uint32_t header_overhead,
+                             ChannelId channel) {
+  Packet p;
+  p.src = host_;
+  p.dst = dst;
+  p.src_port = port_;
+  p.dst_port = dst_port;
+  p.wire_size = static_cast<std::uint32_t>(header.size() + body.size()) +
+                header_overhead;
+  p.payload = std::move(header);
+  p.body = std::move(body);
   p.channel = channel;
   return net_.send(std::move(p));
 }
@@ -68,8 +83,7 @@ ReliableEndpoint::~ReliableEndpoint() {
   net_.unbind(host_, port_);
 }
 
-void ReliableEndpoint::send_to(HostId dst, Port dst_port,
-                               std::vector<std::byte> payload) {
+void ReliableEndpoint::send_to(HostId dst, Port dst_port, Payload payload) {
   const PeerKey peer{dst, dst_port};
   TxState& tx = tx_[peer];
   const std::uint64_t seq = tx.next_seq++;
@@ -84,11 +98,12 @@ void ReliableEndpoint::transmit(const PeerKey& peer, std::uint64_t seq) {
   auto it = tx.inflight.find(seq);
   if (it == tx.inflight.end()) return;  // already acked
 
+  // Per-transmit frame header only; the message bytes ride as a shared body
+  // attachment, so retransmissions re-send the same buffer copy-free.
   ByteWriter w;
   w.u8(kData);
   w.u64(incarnation_);
   w.u64(seq);
-  w.blob(it->second);
 
   Packet p;
   p.src = host_;
@@ -96,7 +111,9 @@ void ReliableEndpoint::transmit(const PeerKey& peer, std::uint64_t seq) {
   p.src_port = port_;
   p.dst_port = peer.port;
   p.payload = std::move(w).take();
-  p.wire_size = static_cast<std::uint32_t>(p.payload.size()) + kSegmentOverhead;
+  p.body = it->second;
+  p.wire_size = static_cast<std::uint32_t>(p.payload.size() + p.body.size()) +
+                kSegmentOverhead;
   net_.send(std::move(p));
 }
 
@@ -145,8 +162,8 @@ void ReliableEndpoint::handle_packet(const Packet& p) {
     const std::uint64_t upto = r.u64();
     TxState& tx = tx_[peer];
     if (upto > tx.acked_upto) {
+      for (std::uint64_t s = tx.acked_upto; s < upto; ++s) tx.inflight.erase(s);
       tx.acked_upto = upto;
-      tx.inflight.erase(tx.inflight.begin(), tx.inflight.lower_bound(upto));
     }
     return;
   }
@@ -154,7 +171,16 @@ void ReliableEndpoint::handle_packet(const Packet& p) {
   if (tag != kData) return;  // unknown frame; drop
   const std::uint64_t incarnation = r.u64();
   const std::uint64_t seq = r.u64();
-  auto payload = r.blob();
+  // Message bytes: the body attachment (scatter-gather frames), else a
+  // length-prefixed blob inline after the header (legacy framing). Either
+  // way, a zero-copy view — never a byte copy.
+  Payload msg;
+  if (r.done()) {
+    msg = p.body;
+  } else {
+    const std::uint32_t n = r.u32();
+    msg = p.payload.slice(r.offset(), n);
+  }
 
   RxState& rx = rx_[peer];
   if (rx.peer_incarnation != incarnation) {
@@ -169,18 +195,24 @@ void ReliableEndpoint::handle_packet(const Packet& p) {
     rx.peer_incarnation = incarnation;
     if (reincarnated) tx_.erase(peer);
   }
-  if (seq >= rx.next_expected && !rx.out_of_order.count(seq)) {
-    rx.out_of_order.emplace(seq, std::move(payload));
-  }
-  // Deliver any now-contiguous prefix, in order.
-  while (!rx.out_of_order.empty() &&
-         rx.out_of_order.begin()->first == rx.next_expected) {
-    auto node = rx.out_of_order.extract(rx.out_of_order.begin());
+  if (seq == rx.next_expected) {
+    // Fast path: the common in-order case delivers without touching the
+    // out-of-order buffer at all.
     ++rx.next_expected;
     messages_delivered_.inc();
-    if (handler_) {
-      handler_(Message{peer.host, peer.port, std::move(node.mapped())});
+    if (handler_) handler_(Message{peer.host, peer.port, std::move(msg)});
+    // Drain any now-contiguous stash (gap fill), still in seq order.
+    for (auto hole = rx.out_of_order.find(rx.next_expected);
+         hole != rx.out_of_order.end();
+         hole = rx.out_of_order.find(rx.next_expected)) {
+      Payload next = std::move(hole->second);
+      rx.out_of_order.erase(hole);
+      ++rx.next_expected;
+      messages_delivered_.inc();
+      if (handler_) handler_(Message{peer.host, peer.port, std::move(next)});
     }
+  } else if (seq > rx.next_expected) {
+    rx.out_of_order.emplace(seq, std::move(msg));  // no-op on duplicates
   }
   // Cumulative ACK (also re-ACKs duplicates so the sender can stop retrying).
   send_ack(peer, rx.next_expected);
@@ -214,7 +246,8 @@ void RpcServer::dispatch(const ReliableEndpoint::Message& m) {
   if (r.u8() != kRpcRequest) return;
   const std::uint64_t req_id = r.u64();
   const std::string path = r.str();
-  const auto body = r.blob();
+  const std::uint32_t body_len = r.u32();
+  const auto body = r.raw(body_len);
 
   int status = 404;
   std::vector<std::byte> resp_body;
@@ -240,7 +273,9 @@ RpcClient::RpcClient(Network& net, HostId host, Port port)
     if (r.u8() != kRpcResponse) return;
     const std::uint64_t req_id = r.u64();
     const int status = static_cast<int>(r.u32());
-    const auto body = r.blob();
+    const std::uint32_t body_len = r.u32();
+    // Zero-copy: the callback's body is a slice of the response message.
+    const Payload body = m.payload.slice(r.offset(), body_len);
     auto it = pending_.find(req_id);
     if (it == pending_.end()) return;
     Callback cb = std::move(it->second);

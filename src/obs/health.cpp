@@ -26,6 +26,9 @@ void HealthMonitor::add_rule(SloRule rule) {
   st.site = rule.site;
   st.threshold = rule.threshold;
   statuses_.push_back(std::move(st));
+  // Resolve the rule's violation counter once here, not per crossing.
+  violation_counters_.push_back(
+      hub_.metrics().counter("lod.health.violations", {{"rule", rule.name}}));
   rules_.push_back(std::move(rule));
 }
 
@@ -58,9 +61,7 @@ std::size_t HealthMonitor::evaluate() {
       hub_.trace().emit(EventType::kSloViolation, actor_of(rule.site),
                         std::llround(*v * 1000.0),
                         std::llround(rule.threshold * 1000.0), rule.name);
-      hub_.metrics()
-          .counter("lod.health.violations", {{"rule", rule.name}})
-          .inc();
+      violation_counters_[i].inc();
     }
     st.healthy = !bad;
   }

@@ -100,6 +100,8 @@ class HealthMonitor {
   Hub& hub_;
   std::vector<SloRule> rules_;
   std::vector<SloStatus> statuses_;
+  /// Pre-resolved lod.health.violations{rule} handles, parallel to rules_.
+  std::vector<Counter> violation_counters_;
   Scheduler sched_;
   TimeUs period_us_{0};
   /// Guards queued scheduler callbacks against outliving the monitor.

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -40,6 +42,14 @@ using Labels = std::vector<Label>;
 /// Canonical series key: `name{k1=v1,k2=v2}` with labels sorted by key
 /// (label order at the call site does not create distinct series).
 std::string series_key(std::string_view name, Labels labels);
+
+/// Append the canonical key for ALREADY-SORTED labels into \p out (cleared
+/// first, capacity reserved up front). The allocation-free building block
+/// behind `series_key` and the registry's cold-path lookups: callers that
+/// sorted once must not pay a second sort, and a reused \p out buffer stops
+/// paying the key allocation after warm-up.
+void series_key_sorted(std::string& out, std::string_view name,
+                       const Labels& labels);
 
 enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 
@@ -224,10 +234,26 @@ class MetricsRegistry {
   Snapshot snapshot() const;
 
  private:
+  /// Transparent heterogeneous hash/eq so lookups by string_view (the
+  /// reusable key buffer) never allocate a temporary std::string.
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   detail::Series* resolve(MetricKind kind, std::string_view name,
                           Labels labels);
 
-  std::map<std::string, std::unique_ptr<detail::Series>> series_;
+  /// Key -> series. Unordered on purpose: resolve() is the cold path of the
+  /// handle API but still sits on session-open paths; snapshot() re-sorts
+  /// into its std::map, so snapshots stay deterministically ordered.
+  std::unordered_map<std::string, std::unique_ptr<detail::Series>, KeyHash,
+                     std::equal_to<>>
+      series_;
+  /// Reused key-building buffer: cold lookups stop allocating after warm-up.
+  std::string key_buf_;
   /// Graveyard: cells stay allocated so outstanding handles never dangle.
   std::vector<std::unique_ptr<detail::Series>> retired_;
 };

@@ -5,19 +5,34 @@
 
 namespace lod::obs {
 
+void series_key_sorted(std::string& out, std::string_view name,
+                       const Labels& labels) {
+  out.clear();
+  std::size_t need = name.size();
+  if (!labels.empty()) {
+    need += 2;  // '{' '}'
+    for (const Label& l : labels) {
+      need += l.first.size() + l.second.size() + 2;  // '=' ','
+    }
+  }
+  out.reserve(need);
+  out.append(name);
+  if (!labels.empty()) {
+    out += '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i) out += ',';
+      out += labels[i].first;
+      out += '=';
+      out += labels[i].second;
+    }
+    out += '}';
+  }
+}
+
 std::string series_key(std::string_view name, Labels labels) {
   std::sort(labels.begin(), labels.end());
-  std::string key(name);
-  if (!labels.empty()) {
-    key += '{';
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      if (i) key += ',';
-      key += labels[i].first;
-      key += '=';
-      key += labels[i].second;
-    }
-    key += '}';
-  }
+  std::string key;
+  series_key_sorted(key, name, labels);
   return key;
 }
 
@@ -65,12 +80,14 @@ const std::vector<std::int64_t>& MetricsRegistry::latency_buckets_us() {
 detail::Series* MetricsRegistry::resolve(MetricKind kind,
                                          std::string_view name,
                                          Labels labels) {
+  // One sort, one key build into the reused buffer, one hash probe. The
+  // heterogeneous find means a repeat lookup allocates nothing at all.
   std::sort(labels.begin(), labels.end());
-  std::string key = series_key(name, labels);
-  auto it = series_.find(key);
+  series_key_sorted(key_buf_, name, labels);
+  auto it = series_.find(std::string_view(key_buf_));
   if (it != series_.end()) {
     if (it->second->kind != kind) {
-      throw std::logic_error("metric '" + key +
+      throw std::logic_error("metric '" + key_buf_ +
                              "' re-registered with a different kind");
     }
     return it->second.get();
@@ -80,7 +97,7 @@ detail::Series* MetricsRegistry::resolve(MetricKind kind,
   s->name = std::string(name);
   s->labels = std::move(labels);
   detail::Series* raw = s.get();
-  series_.emplace(std::move(key), std::move(s));
+  series_.emplace(key_buf_, std::move(s));
   return raw;
 }
 

@@ -265,6 +265,10 @@ class Player {
   void do_failover();
   void handle_control(const net::ReliableEndpoint::Message& m);
   void handle_data(const net::Packet& p);
+  /// Terminal decode: parse serialized packet bytes (dropping malformed
+  /// input) and feed the demuxer. The single point where data-plane bytes
+  /// are read out of their shared buffer.
+  void ingest_bytes(const net::Payload& bytes);
   /// Push one ASF packet through the demuxer and the buffering state machine.
   void ingest(const media::asf::DataPacket& pkt);
   /// Drain the reordering buffer's contiguous prefix into ingest().
@@ -347,8 +351,10 @@ class Player {
   std::uint64_t repairs_requested_{0};
   std::uint64_t repairs_received_{0};
   /// Reordering buffer (repair mode): packets held until holes fill or the
-  /// per-hole give-up timer fires, so the demuxer always sees in-order input.
-  std::map<std::uint32_t, media::asf::DataPacket> reorder_;
+  /// per-hole give-up timer fires, so the demuxer always sees in-order
+  /// input. Holds refcounted views of the received datagrams' bodies —
+  /// parsing waits until drain, so a held packet costs no byte copy.
+  std::map<std::uint32_t, net::Payload> reorder_;
   std::int64_t next_feed_{-1};
   bool eos_received_{false};
   std::optional<net::EventId> render_timer_;

@@ -189,8 +189,14 @@ class StreamingServer {
   void reply(const Session& s, std::vector<std::byte> payload);
   void reply_to(net::HostId h, net::Port p, std::vector<std::byte> payload);
   void schedule_next(Session& s);
-  void send_packet(Session& s, const media::asf::DataPacket& pkt,
+  /// Send one already-serialized data packet: a small per-send frame header
+  /// plus \p bytes as a shared body attachment — no per-session byte copy.
+  void send_packet(Session& s, const net::Payload& bytes,
                    std::uint32_t packet_index);
+  /// Serialized form of file packet \p idx, encoded once and shared by every
+  /// session (and every repair resend) of that file.
+  const net::Payload& cached_packet(const media::asf::File* f,
+                                    std::size_t idx);
   Session* find_session(std::uint64_t id);
   SessionCounters make_session_counters(std::uint64_t id);
   void end_session(Session& s);
@@ -207,6 +213,11 @@ class StreamingServer {
   obs::Counter sessions_opened_;
   obs::Gauge active_sessions_gauge_;
   std::unordered_map<std::string, media::asf::File> files_;
+  /// Lazily-filled serialized packets, keyed by stored file. unordered_map
+  /// nodes are address-stable, so the File* key survives republishing the
+  /// same name (publish() drops the stale cache entry first).
+  std::unordered_map<const media::asf::File*, std::vector<net::Payload>>
+      packet_cache_;
   std::unordered_map<std::string, LiveChannel> live_;
   std::unordered_map<std::uint64_t, Session> sessions_;
   std::uint64_t next_session_{1};

@@ -444,10 +444,10 @@ void Player::handle_eos() {
     // Flush whatever is still held (holes included) before finishing.
     while (!reorder_.empty()) {
       auto it = reorder_.begin();
-      media::asf::DataPacket pkt = std::move(it->second);
+      net::Payload bytes = std::move(it->second);
       next_feed_ = static_cast<std::int64_t>(it->first) + 1;
       reorder_.erase(it);
-      ingest(pkt);
+      ingest_bytes(bytes);
     }
   }
   eos_received_ = true;
@@ -463,7 +463,7 @@ void Player::handle_data(const net::Packet& p) {
   ByteReader r(p.payload);
   std::uint64_t seq = 0;
   std::uint32_t index = 0;
-  media::asf::DataPacket pkt;
+  net::Payload bytes;
   try {
     if (r.u32() != proto::kDataMagic) return;
     const std::uint64_t sess = r.u64();
@@ -472,8 +472,15 @@ void Player::handle_data(const net::Packet& p) {
     if (epoch != stream_epoch_) return;  // straggler from before a seek
     seq = r.u64();
     index = r.u32();
-    const auto blob = r.blob();
-    pkt = media::asf::parse_packet(blob);
+    // The packet bytes ride as a shared body attachment (or, from legacy
+    // senders, as an inline blob the payload is sliced at). Either way a
+    // zero-copy view; parsing waits until ingest.
+    if (r.done()) {
+      bytes = p.body;
+    } else {
+      const std::uint32_t n = r.u32();
+      bytes = p.payload.slice(r.offset(), n);
+    }
   } catch (const std::exception&) {
     return;  // malformed datagram: drop
   }
@@ -505,14 +512,14 @@ void Player::handle_data(const net::Packet& p) {
   }
 
   if (!cfg_.repair_losses || live_) {
-    ingest(pkt);
+    ingest_bytes(bytes);
     return;
   }
   // Repair mode: hold out-of-order packets so the demuxer sees a contiguous
   // stream; give a NACKed hole a grace period before skipping it.
   if (next_feed_ < 0) next_feed_ = static_cast<std::int64_t>(index);
   if (static_cast<std::int64_t>(index) < next_feed_) return;  // stale
-  reorder_.emplace(index, std::move(pkt));
+  reorder_.emplace(index, std::move(bytes));
   drain_reorder();
   if (!reorder_.empty()) arm_hole_timer();
 }
@@ -573,11 +580,21 @@ void Player::drain_reorder() {
       continue;
     }
     if (static_cast<std::int64_t>(it->first) != next_feed_) break;  // hole
-    media::asf::DataPacket pkt = std::move(it->second);
+    net::Payload bytes = std::move(it->second);
     reorder_.erase(it);
     ++next_feed_;
-    ingest(pkt);
+    ingest_bytes(bytes);
   }
+}
+
+void Player::ingest_bytes(const net::Payload& bytes) {
+  media::asf::DataPacket pkt;
+  try {
+    pkt = media::asf::parse_packet(bytes);
+  } catch (const std::exception&) {
+    return;  // malformed packet body: drop
+  }
+  ingest(pkt);
 }
 
 void Player::ingest(const media::asf::DataPacket& pkt) {

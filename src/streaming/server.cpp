@@ -71,7 +71,15 @@ void StreamingServer::end_session(Session& s) {
 }
 
 void StreamingServer::publish(std::string name, media::asf::File file) {
-  files_[std::move(name)] = std::move(file);
+  auto it = files_.find(name);
+  if (it != files_.end()) {
+    // Republish keeps the node (and thus the File*) alive with new content;
+    // the serialized-packet cache for the old content must go.
+    packet_cache_.erase(&it->second);
+    it->second = std::move(file);
+    return;
+  }
+  files_.emplace(std::move(name), std::move(file));
 }
 
 std::function<void(const media::asf::DataPacket&)>
@@ -80,10 +88,12 @@ StreamingServer::open_live_channel(std::string name, media::asf::Header header) 
   return [this, name](const media::asf::DataPacket& pkt) {
     auto it = live_.find(name);
     if (it == live_.end() || !it->second.open) return;
+    // Serialize once; every subscriber's datagram shares the same body.
+    const net::Payload bytes{media::asf::serialize_packet(pkt)};
     for (std::uint64_t sid : it->second.subscribers) {
       if (Session* s = find_session(sid); s && !s->stopped && !s->paused) {
         // Live packets are unrepeatable; index mirrors the seq counter.
-        send_packet(*s, pkt, static_cast<std::uint32_t>(s->next_seq));
+        send_packet(*s, bytes, static_cast<std::uint32_t>(s->next_seq));
       }
     }
   };
@@ -372,7 +382,7 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
             trace_->emit(obs::EventType::kRepairResend, s->client,
                          static_cast<std::int64_t>(s->id), idx);
           }
-          send_packet(*s, s->file->packets[idx], idx);
+          send_packet(*s, cached_packet(s->file, idx), idx);
         }
       }
       return;
@@ -463,22 +473,33 @@ void StreamingServer::schedule_next(Session& s) {
     if (!sp || sp->stopped || sp->paused || !sp->file) return;
     sp->timer.reset();
     sp->last_send = net_.simulator().now();
-    send_packet(*sp, sp->file->packets[sp->next_packet],
+    send_packet(*sp, cached_packet(sp->file, sp->next_packet),
                 static_cast<std::uint32_t>(sp->next_packet));
     ++sp->next_packet;
     schedule_next(*sp);
   });
 }
 
-void StreamingServer::send_packet(Session& s, const media::asf::DataPacket& pkt,
+const net::Payload& StreamingServer::cached_packet(const media::asf::File* f,
+                                                   std::size_t idx) {
+  auto& cache = packet_cache_[f];
+  if (cache.size() != f->packets.size()) cache.resize(f->packets.size());
+  net::Payload& slot = cache[idx];
+  if (slot.empty()) slot = net::Payload{media::asf::serialize_packet(f->packets[idx])};
+  return slot;
+}
+
+void StreamingServer::send_packet(Session& s, const net::Payload& bytes,
                                   std::uint32_t packet_index) {
+  // Per-send frame header only; the serialized packet rides as a shared
+  // body, so unicast fan-out, repairs and live broadcast all reuse the
+  // same encoded bytes.
   ByteWriter w;
   w.u32(proto::kDataMagic);
   w.u64(s.id);
   w.u32(s.epoch);
   w.u64(s.next_seq++);
   w.u32(packet_index);
-  w.blob(media::asf::serialize_packet(pkt));
 
   net::Packet p;
   p.src = host_;
@@ -486,14 +507,16 @@ void StreamingServer::send_packet(Session& s, const media::asf::DataPacket& pkt,
   p.src_port = data_.port();
   p.dst_port = s.data_port;
   p.payload = std::move(w).take();
+  p.body = bytes;
   // ASF ships FIXED-size data packets (padding included), so the wire cost
   // is the nominal packet size + session framing + UDP/IP — never less,
   // even for a padded packet.
   const std::uint32_t nominal =
       (s.file ? s.file->header.props.packet_bytes : 1400u) + 20u;
   p.wire_size =
-      std::max<std::uint32_t>(static_cast<std::uint32_t>(p.payload.size()),
-                              nominal) +
+      std::max<std::uint32_t>(
+          static_cast<std::uint32_t>(p.payload.size() + p.body.size()),
+          nominal) +
       28;
   p.channel = s.channel;
   s.stats.packets_sent.inc();

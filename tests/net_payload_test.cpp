@@ -1,0 +1,122 @@
+// Unit tests for net::Payload — the refcounted immutable byte buffer the
+// zero-copy data plane is built on. The invariants: adopting never copies,
+// copy_of/to_vector are the ONLY counted byte copies, slices share the body,
+// and stats() account exactly for what happened.
+
+#include "lod/net/payload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string_view>
+
+namespace lod::net {
+namespace {
+
+std::vector<std::byte> bytes_of(std::string_view s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+std::string string_of(std::span<const std::byte> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+TEST(Payload, DefaultIsEmpty) {
+  Payload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.data(), nullptr);
+  EXPECT_EQ(p.owners(), 0);
+  EXPECT_TRUE(p.view().empty());
+}
+
+TEST(Payload, AdoptTakesOwnershipWithoutCopying) {
+  auto v = bytes_of("hello world");
+  const std::byte* raw = v.data();
+  const std::uint64_t copied_before = Payload::stats().bytes_copied;
+  const Payload p{std::move(v)};
+  EXPECT_EQ(p.size(), 11u);
+  EXPECT_EQ(p.data(), raw);  // the very same buffer, not a duplicate
+  EXPECT_EQ(Payload::stats().bytes_copied, copied_before);
+  EXPECT_EQ(string_of(p), "hello world");
+}
+
+TEST(Payload, CopyingAViewSharesTheBody) {
+  const Payload p{bytes_of("shared")};
+  const Payload q = p;  // refcount bump, no byte copy
+  EXPECT_EQ(p.owners(), 2);
+  EXPECT_EQ(q.data(), p.data());
+}
+
+TEST(Payload, CopyOfIsTheCountedCopy) {
+  const auto v = bytes_of("precious");
+  const Payload::Stats before = Payload::stats();
+  const Payload p = Payload::copy_of(v);
+  const Payload::Stats after = Payload::stats();
+  EXPECT_EQ(after.copies, before.copies + 1);
+  EXPECT_EQ(after.bytes_copied, before.bytes_copied + 8);
+  EXPECT_NE(p.data(), v.data());
+  EXPECT_EQ(string_of(p), "precious");
+}
+
+TEST(Payload, SliceIsAZeroCopyViewOfTheSameBody) {
+  const Payload p{bytes_of("0123456789")};
+  const Payload::Stats before = Payload::stats();
+  const Payload mid = p.slice(3, 4);
+  EXPECT_EQ(string_of(mid), "3456");
+  EXPECT_EQ(mid.data(), p.data() + 3);
+  EXPECT_EQ(p.owners(), 2);  // slice holds the body alive
+  EXPECT_EQ(Payload::stats().bytes_copied, before.bytes_copied);
+
+  // Slicing a slice composes offsets against the original body.
+  const Payload inner = mid.slice(1, 2);
+  EXPECT_EQ(string_of(inner), "45");
+  EXPECT_EQ(inner.data(), p.data() + 4);
+}
+
+TEST(Payload, SliceClampsToBounds) {
+  const Payload p{bytes_of("abcdef")};
+  EXPECT_EQ(string_of(p.slice(4, 100)), "ef");  // length clamped
+  EXPECT_TRUE(p.slice(100, 5).empty());         // offset clamped to end
+  EXPECT_TRUE(p.slice(6, 0).empty());
+  EXPECT_EQ(string_of(p.slice(0, 6)), "abcdef");
+}
+
+TEST(Payload, SliceOutlivesTheOriginalView) {
+  Payload tail;
+  {
+    const Payload p{bytes_of("head|tail")};
+    tail = p.slice(5, 4);
+  }  // p destroyed; the shared body must survive through the slice
+  EXPECT_EQ(string_of(tail), "tail");
+  EXPECT_EQ(tail.owners(), 1);
+}
+
+TEST(Payload, ToVectorMaterializesAndCounts) {
+  const Payload p{bytes_of("copy me")};
+  const Payload::Stats before = Payload::stats();
+  const std::vector<std::byte> v = p.to_vector();
+  EXPECT_EQ(string_of(v), "copy me");
+  EXPECT_EQ(Payload::stats().bytes_copied, before.bytes_copied + 7);
+  EXPECT_EQ(Payload::stats().copies, before.copies + 1);
+}
+
+TEST(Payload, ImplicitSpanConversionKeepsLegacyCallSitesWorking) {
+  const Payload p{bytes_of("span")};
+  const auto takes_span = [](std::span<const std::byte> b) { return b.size(); };
+  EXPECT_EQ(takes_span(p), 4u);
+}
+
+TEST(Payload, StatsCountAdoptsAndSlices) {
+  const Payload::Stats before = Payload::stats();
+  const Payload p{bytes_of("x")};
+  (void)p.slice(0, 1);
+  const Payload::Stats after = Payload::stats();
+  EXPECT_EQ(after.adopts, before.adopts + 1);
+  EXPECT_EQ(after.slices, before.slices + 1);
+  EXPECT_EQ(after.bytes_copied, before.bytes_copied);
+}
+
+}  // namespace
+}  // namespace lod::net

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <vector>
 
 #include "lod/net/clock.hpp"
@@ -343,6 +345,111 @@ TEST(Simulator, PendingNeverUnderflowsWhenHandlersCancelMidRun) {
   // 20 targets minus the 3 cancelled (7, 12, 15); sibling and the
   // self-cancelling replacement never fire.
   EXPECT_EQ(fired, 17);
+}
+
+// --- timing wheel ----------------------------------------------------------------
+// The simulator's queue is a hierarchical timing wheel with a far-future heap
+// (timing_wheel.hpp). These tests pin the contract the wheel must preserve
+// from the binary heap it replaced: strict (time, insertion-seq) firing order
+// across every level, cascade boundary, and the heap spill.
+
+TEST(TimingWheel, MatchesReferenceOrderingDifferential) {
+  // Pseudo-random schedule spanning all four levels AND the far-future heap
+  // (delays up to 2^33 us > the 2^32 us wheel horizon), with heavy same-time
+  // collisions. The firing order must equal a stable sort by time — i.e.
+  // exactly what the (time, seq) heap produced.
+  Simulator sim;
+  std::mt19937 rng(42);
+  const int n = 4000;
+  std::vector<std::int64_t> at(n);
+  std::vector<int> fired;
+  fired.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    switch (rng() % 4) {
+      case 0: at[i] = static_cast<std::int64_t>(rng() % 256); break;        // L0
+      case 1: at[i] = static_cast<std::int64_t>(rng() % 65'536); break;     // L1
+      case 2: at[i] = static_cast<std::int64_t>(rng() % 50) * 1'000; break; // dups
+      default:                                                              // L2+..heap
+        at[i] = static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(rng()) << 12) % (1ULL << 33));
+    }
+    sim.schedule_at(SimTime{at[i]}, [&fired, i] { fired.push_back(i); });
+  }
+  EXPECT_EQ(sim.run(), static_cast<std::size_t>(n));
+
+  std::vector<int> expect(n);
+  for (int i = 0; i < n; ++i) expect[i] = i;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [&](int x, int y) { return at[x] < at[y]; });
+  EXPECT_EQ(fired, expect);
+  EXPECT_EQ(sim.now().us, *std::max_element(at.begin(), at.end()));
+}
+
+TEST(TimingWheel, FarFutureEventsBeyondHorizonFire) {
+  // > 2^32 us (~71.6 min) lands in the far heap, refilled into the wheel at
+  // horizon boundaries. Order across the refill must hold.
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_after(sec(3*3600), [&] { fired.push_back(3); });
+  sim.schedule_after(sec(2*3600), [&] { fired.push_back(2); });
+  sim.schedule_after(usec(1), [&] { fired.push_back(0); });
+  sim.schedule_after(sec(3600), [&] { fired.push_back(1); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now().us, sec(3*3600).us);
+}
+
+TEST(TimingWheel, CancelFarFutureEvent) {
+  Simulator sim;
+  int fired = 0;
+  const EventId doomed = sim.schedule_after(sec(2*3600), [&] { fired += 10; });
+  sim.schedule_after(sec(2*3600), [&] { fired += 1; });
+  EXPECT_TRUE(sim.cancel(doomed));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(TimingWheel, SameInstantInsertionOrderAcrossCascades) {
+  // Two events at one far instant scheduled in a known order, with enough
+  // intervening traffic to force cascades between their insertions.
+  Simulator sim;
+  std::vector<int> fired;
+  const SimTime t{70'000'000};  // level 3 territory
+  sim.schedule_at(t, [&] { fired.push_back(1); });
+  for (int i = 0; i < 32; ++i) {
+    sim.schedule_after(usec(i * 777), [] {});
+  }
+  sim.schedule_at(t, [&] { fired.push_back(2); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(TimingWheel, RunUntilKeepsRelativeDelaysAligned) {
+  // run_until advances the wheel cursor in lockstep with the clock, so a
+  // schedule_after() issued afterwards fires at exactly now + delay.
+  Simulator sim;
+  sim.run_until(SimTime{123'456'789});
+  std::int64_t fired_at = -1;
+  sim.schedule_after(usec(5), [&] { fired_at = sim.now().us; });
+  sim.run();
+  EXPECT_EQ(fired_at, 123'456'794);
+}
+
+TEST(TimingWheel, HandlersScheduleAtCurrentInstantAfterCascade) {
+  // An event that fires after a cascade schedules a same-instant follow-up;
+  // it must run at the same time, after the current handler, before later
+  // events.
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_after(usec(100'000), [&] {
+    fired.push_back(1);
+    sim.schedule_after(usec(0), [&] { fired.push_back(2); });
+  });
+  sim.schedule_after(usec(100'001), [&] { fired.push_back(3); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().us, 100'001);
 }
 
 }  // namespace

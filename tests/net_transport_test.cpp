@@ -273,6 +273,74 @@ TEST_F(TransportFixture, FirstContactDoesNotResetSender) {
   EXPECT_EQ(got_b, (std::vector<std::string>{"one", "two"}));
 }
 
+TEST_F(TransportFixture, GapFillDeliversStashedMessagesInSeqOrder) {
+  // Regression for the out_of_order std::map -> unordered_map move: raw data
+  // frames injected out of order (2, 0, 3, 1) must still come out 0,1,2,3 —
+  // the hole at the front stashes 2 and 3, and each fill drains the stash in
+  // seq order, not in hash-iteration order.
+  link();
+  ReliableEndpoint eb(net, b, 200);
+  std::vector<std::string> got;
+  eb.on_receive([&](const ReliableEndpoint::Message& m) {
+    got.push_back(string_of(m.payload));
+  });
+
+  DatagramSocket raw(net, a, 100);
+  const auto frame = [](std::uint64_t seq, std::string_view body) {
+    // Legacy inline framing: [kData=1][incarnation u64][seq u64][u32 n][bytes]
+    ByteWriter w;
+    w.u8(1);
+    w.u64(7);  // any nonzero incarnation
+    w.u64(seq);
+    w.u32(static_cast<std::uint32_t>(body.size()));
+    w.raw(bytes_of(body));
+    return std::move(w).take();
+  };
+  for (const std::uint64_t seq : {2u, 0u, 3u, 1u}) {
+    raw.send_to(b, 200, frame(seq, "m" + std::to_string(seq)));
+  }
+  sim.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"m0", "m1", "m2", "m3"}));
+}
+
+TEST_F(TransportFixture, ReliableDeliveryIsZeroCopy) {
+  // The delivered message must BE the sender's buffer (same body, not a
+  // duplicate), and the whole exchange must not copy payload bytes at all.
+  link();
+  ReliableEndpoint ea(net, a, 100);
+  ReliableEndpoint eb(net, b, 200);
+  const Payload sent{bytes_of(std::string(4096, 'z'))};
+  const std::byte* delivered_data = nullptr;
+  std::size_t delivered_size = 0;
+  eb.on_receive([&](const ReliableEndpoint::Message& m) {
+    delivered_data = m.payload.data();
+    delivered_size = m.payload.size();
+  });
+
+  const std::uint64_t copied_before = Payload::stats().bytes_copied;
+  ea.send_to(b, 200, sent);
+  sim.run();
+  EXPECT_EQ(delivered_data, sent.data());  // same bytes, not a lookalike
+  EXPECT_EQ(delivered_size, sent.size());
+  EXPECT_EQ(Payload::stats().bytes_copied - copied_before, 0u);
+}
+
+TEST_F(TransportFixture, RetransmissionsDoNotCopyPayloadBytes) {
+  link(0.4);
+  ReliableEndpoint ea(net, a, 100, msec(20));
+  ReliableEndpoint eb(net, b, 200, msec(20));
+  int count = 0;
+  eb.on_receive([&](const ReliableEndpoint::Message&) { ++count; });
+  const std::uint64_t copied_before = Payload::stats().bytes_copied;
+  for (int i = 0; i < 20; ++i) {
+    ea.send_to(b, 200, bytes_of(std::string(1024, 'a' + i % 26)));
+  }
+  sim.run();
+  EXPECT_EQ(count, 20);
+  EXPECT_GT(ea.retransmissions(), 0u);  // loss forced re-sends...
+  EXPECT_EQ(Payload::stats().bytes_copied - copied_before, 0u);  // ...copy-free
+}
+
 // --- RpcServer / RpcClient --------------------------------------------------------
 
 TEST_F(TransportFixture, RpcRoundTrip) {

@@ -157,6 +157,78 @@ TEST(Metrics, RetireBoundsCardinalityAcrossSessionChurn) {
   EXPECT_EQ(reg.snapshot().counter("lod.server.sessions_opened"), 1000u);
 }
 
+// --- handle semantics ------------------------------------------------------------
+// The handle API is the hot path; the string API is the cold resolver. These
+// pin the contract between them across kind conflicts, retirement, and
+// re-registration.
+
+TEST(Metrics, HandleAndStringWritesLandInTheSameCell) {
+  MetricsRegistry reg;
+  const Labels at{{"host", "2"}};
+  const Counter h = reg.counter("lod.test.mixed", at);
+  h.inc(3);                              // handle write
+  reg.counter("lod.test.mixed", at).inc(4);  // string-API write
+  h.inc(5);
+  // One series, one value: a snapshot cannot tell the two paths apart.
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("lod.test.mixed", at), 12u);
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(Metrics, KindConflictThrowsRegardlessOfResolutionOrder) {
+  MetricsRegistry reg;
+  reg.counter("lod.test.kc");
+  EXPECT_THROW(reg.gauge("lod.test.kc"), std::logic_error);
+  EXPECT_THROW(reg.histogram("lod.test.kc"), std::logic_error);
+  reg.gauge("lod.test.kc2");
+  EXPECT_THROW(reg.counter("lod.test.kc2"), std::logic_error);
+}
+
+TEST(Metrics, BumpAfterRetireIsSafeAndInvisible) {
+  MetricsRegistry reg;
+  const Counter h = reg.counter("lod.test.session.bytes", {{"session", "9"}});
+  h.inc(100);
+  ASSERT_EQ(reg.retire("lod.test.session.", {{"session", "9"}}), 1u);
+  // The handle still points at a live cell (the graveyard) — bumping it must
+  // not crash, and must not resurrect the series in any snapshot.
+  h.inc(50);
+  EXPECT_EQ(h.value(), 150u);
+  EXPECT_EQ(reg.snapshot().counter("lod.test.session.bytes",
+                                   {{"session", "9"}}), 0u);
+  EXPECT_EQ(reg.series_count(), 0u);
+}
+
+TEST(Metrics, ReRegisterAfterRetireIsAFreshCell) {
+  MetricsRegistry reg;
+  const Counter old_h = reg.counter("lod.test.session.bytes", {{"session", "9"}});
+  old_h.inc(100);
+  reg.retire("lod.test.session.", {{"session", "9"}});
+
+  // Same identity requested again (session id reused): a NEW series starting
+  // from zero, not the graveyard cell.
+  const Counter new_h = reg.counter("lod.test.session.bytes", {{"session", "9"}});
+  EXPECT_EQ(new_h.value(), 0u);
+  new_h.inc(7);
+  old_h.inc(1);  // still writes the graveyard, not the new cell
+  EXPECT_EQ(new_h.value(), 7u);
+  EXPECT_EQ(old_h.value(), 101u);
+  EXPECT_EQ(reg.snapshot().counter("lod.test.session.bytes",
+                                   {{"session", "9"}}), 7u);
+  // And a kind flip on the reused identity is still a conflict.
+  EXPECT_THROW(reg.gauge("lod.test.session.bytes", {{"session", "9"}}),
+               std::logic_error);
+}
+
+TEST(Metrics, ResolveIsLabelOrderInsensitiveForHandles) {
+  MetricsRegistry reg;
+  const Counter a = reg.counter("lod.test.lo", {{"x", "1"}, {"y", "2"}});
+  const Counter b = reg.counter("lod.test.lo", {{"y", "2"}, {"x", "1"}});
+  a.inc();
+  b.inc();
+  EXPECT_EQ(a.value(), 2u);  // same cell either way
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
 TEST(Metrics, MergedHistogramFallsBackToMomentsOnMismatchedBounds) {
   MetricsRegistry reg;
   Histogram a = reg.histogram("lat", {10, 20}, {{"host", "0"}});
