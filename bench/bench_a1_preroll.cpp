@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "lod/lod/wmps.hpp"
+#include "lod/net/network.hpp"
 #include "lod/obs/metrics.hpp"
 #include "lod/streaming/player.hpp"
 

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "lod/lod/adaptive.hpp"
+#include "lod/net/network.hpp"
 
 #include "bench_json.hpp"
 

@@ -14,6 +14,7 @@
 #include <limits>
 
 #include "lod/lod/classroom.hpp"
+#include "lod/net/network.hpp"
 #include "lod/obs/metrics.hpp"
 
 #include "bench_json.hpp"

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "lod/lod/wmps.hpp"
+#include "lod/net/network.hpp"
 #include "lod/streaming/player.hpp"
 
 #include "bench_json.hpp"

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "lod/lod/classroom.hpp"
+#include "lod/net/network.hpp"
 #include "lod/obs/metrics.hpp"
 #include "lod/obs/trace.hpp"
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "lod/edge/edge_node.hpp"
+#include "lod/net/network.hpp"
 #include "lod/streaming/encoder.hpp"
 #include "lod/streaming/player.hpp"
 #include "lod/streaming/server.hpp"

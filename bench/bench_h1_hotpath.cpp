@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "lod/net/network.hpp"
 #include "lod/net/payload.hpp"
 #include "lod/net/transport.hpp"
 #include "lod/obs/metrics.hpp"

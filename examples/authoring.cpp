@@ -14,6 +14,7 @@
 #include "lod/core/etpn.hpp"
 #include "lod/core/speclang.hpp"
 #include "lod/core/xocpn.hpp"
+#include "lod/net/network.hpp"
 
 int main() {
   using namespace lod;

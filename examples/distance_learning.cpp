@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "lod/lod/classroom.hpp"
+#include "lod/net/network.hpp"
 
 int main() {
   using namespace lod;

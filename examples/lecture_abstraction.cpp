@@ -10,6 +10,7 @@
 
 #include "lod/core/etpn.hpp"
 #include "lod/lod/abstraction.hpp"
+#include "lod/net/network.hpp"
 
 int main() {
   using namespace lod;

@@ -23,6 +23,7 @@
 #include "lod/edge/edge_node.hpp"
 #include "lod/edge/replica_selector.hpp"
 #include "lod/media/sources.hpp"
+#include "lod/net/network.hpp"
 #include "lod/obs/export.hpp"
 #include "lod/obs/health.hpp"
 #include "lod/obs/spantree.hpp"

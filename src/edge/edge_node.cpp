@@ -12,11 +12,11 @@ using streaming::proto::Ctl;
 
 // --- OriginGateway -----------------------------------------------------------
 
-OriginGateway::OriginGateway(net::Network& net,
+OriginGateway::OriginGateway(net::Transport& net,
                              streaming::StreamingServer& origin, net::Port port)
     : origin_(origin), rpc_(net, origin.host(), port) {
-  auto& reg = net.simulator().obs().metrics();
-  trace_ = &net.simulator().obs().trace();
+  auto& reg = net.obs().metrics();
+  trace_ = &net.obs().trace();
   const obs::Labels host_label{{"host", std::to_string(origin.host())}};
   m_meta_requests_ = reg.counter("lod.edge.origin.meta_requests", host_label);
   m_segment_requests_ =
@@ -84,17 +84,17 @@ OriginGateway::OriginGateway(net::Network& net,
 
 // --- EdgeNode ----------------------------------------------------------------
 
-EdgeNode::EdgeNode(net::Network& net, net::HostId host, EdgeConfig cfg)
+EdgeNode::EdgeNode(net::Transport& net, net::HostId host, EdgeConfig cfg)
     : net_(net),
       host_(host),
       config_(cfg.validated()),
       ctl_(net, host, config_.control_port),
       data_(net, host, static_cast<net::Port>(config_.control_port + 1)),
       origin_rpc_(net, host, static_cast<net::Port>(config_.control_port + 2)),
-      cache_(config_.cache_budget_bytes, &net.simulator().obs().metrics(),
+      cache_(config_.cache_budget_bytes, &net.obs().metrics(),
              obs::Labels{{"host", std::to_string(host)}}) {
-  auto& reg = net_.simulator().obs().metrics();
-  trace_ = &net_.simulator().obs().trace();
+  auto& reg = net_.obs().metrics();
+  trace_ = &net_.obs().trace();
   const obs::Labels host_label{{"host", std::to_string(host_)}};
   m_packets_sent_ = reg.counter("lod.edge.packets_sent", host_label);
   m_bytes_sent_ = reg.counter("lod.edge.bytes_sent", host_label);
@@ -115,7 +115,7 @@ EdgeNode::~EdgeNode() {
   // guarded by `alive_` instead, because the simulator owns those callbacks.
   *alive_ = false;
   for (auto& [id, s] : sessions_) {
-    if (s.timer) net_.simulator().cancel(*s.timer);
+    if (s.timer) net_.cancel(*s.timer);
   }
 }
 
@@ -171,9 +171,9 @@ EdgeNode::ContentMeta& EdgeNode::ensure_meta(const std::string& content,
   auto alive = alive_;
   origin_rpc_.call(config_.origin, config_.origin_gateway_port, "/edge/meta",
                    std::move(w).take(),
-                   [this, alive, content](int status,
-                                          std::span<const std::byte> body) {
+                   [this, alive, content](net::Result<net::RpcReply> r) {
                      if (!*alive) return;
+                     const int status = r ? r->status : 0;
                      if (status != 200) {
                        ContentMeta& m = contents_[content];
                        m.fetching = false;
@@ -191,7 +191,7 @@ EdgeNode::ContentMeta& EdgeNode::ensure_meta(const std::string& content,
                        m.waiting_describe.clear();
                        return;
                      }
-                     on_meta(content, body);
+                     on_meta(content, r->body);
                    });
   return meta;
 }
@@ -303,7 +303,7 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
       s.content = name;
       s.ctx = ctx;
       s.next_packet = packet_for(meta, from);
-      s.pace_epoch = net_.simulator().now();
+      s.pace_epoch = net_.now();
       s.pace_offset = s.next_packet < meta.packet_count
                           ? net::SimDuration{meta.send_times_us[s.next_packet]}
                           : net::SimDuration{0};
@@ -336,7 +336,7 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
                        static_cast<std::int64_t>(s->id));
         }
         if (s->timer) {
-          net_.simulator().cancel(*s->timer);
+          net_.cancel(*s->timer);
           s->timer.reset();
         }
       }
@@ -351,7 +351,7 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
                        static_cast<std::int64_t>(s->id));
         }
         const ContentMeta& meta = contents_.at(s->content);
-        s->pace_epoch = net_.simulator().now();
+        s->pace_epoch = net_.now();
         s->pace_offset =
             s->next_packet < meta.packet_count
                 ? net::SimDuration{meta.send_times_us[s->next_packet]}
@@ -371,7 +371,7 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
         }
         ++s->epoch;  // packets from before the jump are now stale
         if (s->timer) {
-          net_.simulator().cancel(*s->timer);
+          net_.cancel(*s->timer);
           s->timer.reset();
         }
         // Any in-flight miss fill belongs to the abandoned position; the
@@ -380,7 +380,7 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
         s->waiting_on.reset();
         const ContentMeta& meta = contents_.at(s->content);
         s->next_packet = packet_for(meta, to);
-        s->pace_epoch = net_.simulator().now();
+        s->pace_epoch = net_.now();
         s->pace_offset =
             s->next_packet < meta.packet_count
                 ? net::SimDuration{meta.send_times_us[s->next_packet]}
@@ -402,12 +402,12 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
         }
         s->channel = channel;
         if (s->timer) {
-          net_.simulator().cancel(*s->timer);
+          net_.cancel(*s->timer);
           s->timer.reset();
         }
         s->rate = static_cast<double>(permille) / 1000.0;
         const ContentMeta& meta = contents_.at(s->content);
-        s->pace_epoch = net_.simulator().now();
+        s->pace_epoch = net_.now();
         s->pace_offset =
             s->next_packet < meta.packet_count
                 ? net::SimDuration{meta.send_times_us[s->next_packet]}
@@ -449,7 +449,7 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
       if (Session* s = find_session(sid)) {
         end_session(*s);
         if (s->timer) {
-          net_.simulator().cancel(*s->timer);
+          net_.cancel(*s->timer);
           s->timer.reset();
         }
       }
@@ -474,7 +474,7 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
 void EdgeNode::schedule_next(Session& s) {
   if (s.stopped || s.paused || s.waiting_on) return;
   if (s.timer) {
-    net_.simulator().cancel(*s.timer);
+    net_.cancel(*s.timer);
     s.timer.reset();
   }
   const ContentMeta& meta = contents_.at(s.content);
@@ -503,9 +503,8 @@ void EdgeNode::schedule_next(Session& s) {
       std::max<std::int64_t>(meta.header.props.avg_bitrate_bps, 8'000);
   double burst_bps = config_.fast_start_multiplier * static_cast<double>(bps);
   if (s.channel != 0) {
-    if (const auto info = net_.channel_info(s.channel)) {
-      burst_bps =
-          std::min(burst_bps, static_cast<double>(info->rate_bps) * 0.95);
+    if (const std::int64_t rate = net_.channel_rate_bps(s.channel)) {
+      burst_bps = std::min(burst_bps, static_cast<double>(rate) * 0.95);
     }
   }
   const net::SimDuration min_gap{static_cast<std::int64_t>(
@@ -514,10 +513,10 @@ void EdgeNode::schedule_next(Session& s) {
   if (s.last_send.us > 0 && due < s.last_send + min_gap) {
     due = s.last_send + min_gap;
   }
-  const net::SimTime now = net_.simulator().now();
+  const net::SimTime now = net_.now();
   if (due < now) due = now;
   const std::uint64_t sid = s.id;
-  s.timer = net_.simulator().schedule_at(due, [this, sid] { deliver_due(sid); });
+  s.timer = net_.schedule_at(due, [this, sid] { deliver_due(sid); });
 }
 
 void EdgeNode::deliver_due(std::uint64_t sid) {
@@ -528,7 +527,7 @@ void EdgeNode::deliver_due(std::uint64_t sid) {
   const std::uint32_t seg = idx / config_.packets_per_segment;
   const SegmentKey key{s->content, seg};
   if (const auto* pkts = cache_.get(key)) {
-    s->last_send = net_.simulator().now();
+    s->last_send = net_.now();
     send_packet(*s, (*pkts)[idx - seg * config_.packets_per_segment], idx);
     ++s->next_packet;
     if (s->next_packet % config_.packets_per_segment == 0) {
@@ -559,7 +558,7 @@ void EdgeNode::send_packet(Session& s, const net::Payload& bytes,
   w.u64(s.next_seq++);
   w.u32(packet_index);
 
-  net::Packet p;
+  net::Datagram p;
   p.src = host_;
   p.dst = s.client;
   p.src_port = data_.port();
@@ -584,7 +583,7 @@ void EdgeNode::start_fetch(const std::string& content, std::uint32_t segment,
   auto [it, inserted] = inflight_.try_emplace(key);
   it->second.demand |= demand;
   if (!inserted) return;  // already on the wire; callers just park on it
-  fetch_started_[key] = net_.simulator().now();
+  fetch_started_[key] = net_.now();
   (demand ? m_demand_fetches_ : m_prefetch_fetches_).inc();
   const char* span_name = demand ? "edge.miss_fill" : "edge.prefetch";
   if (ctx.valid()) {
@@ -604,10 +603,13 @@ void EdgeNode::start_fetch(const std::string& content, std::uint32_t segment,
   auto alive = alive_;
   origin_rpc_.call(config_.origin, config_.origin_gateway_port, "/edge/segment",
                    std::move(w).take(),
-                   [this, alive, content, segment](int status,
-                                                   const net::Payload& body) {
+                   [this, alive, content, segment](net::Result<net::RpcReply> r) {
                      if (!*alive) return;
-                     on_segment(content, segment, status, body);
+                     if (r) {
+                       on_segment(content, segment, r->status, r->body);
+                     } else {
+                       on_segment(content, segment, 0, net::Payload{});
+                     }
                    });
 }
 
@@ -621,7 +623,7 @@ void EdgeNode::on_segment(const std::string& content, std::uint32_t segment,
   }
   net::SimDuration elapsed{0};
   if (auto it = fetch_started_.find(key); it != fetch_started_.end()) {
-    elapsed = net_.simulator().now() - it->second;
+    elapsed = net_.now() - it->second;
     fetch_started_.erase(it);
   }
   if (fetch.span != 0) {

@@ -40,8 +40,13 @@ inline constexpr net::Port kOriginGatewayPort = 8554;
 /// Serves the origin's published files to edge nodes, segment-wise.
 class OriginGateway {
  public:
-  OriginGateway(net::Network& net, streaming::StreamingServer& origin,
+  OriginGateway(net::Transport& net, streaming::StreamingServer& origin,
                 net::Port port = kOriginGatewayPort);
+
+  /// The gateway's RPC route table. Alternate control planes (the real
+  /// backend's TCP length-prefixed framing) bridge into the same routes
+  /// via `RpcServer::handle`.
+  net::RpcServer& rpc() { return rpc_; }
 
   std::uint64_t meta_requests() const { return m_meta_requests_.value(); }
   std::uint64_t segment_requests() const {
@@ -87,7 +92,7 @@ struct EdgeConfig {
 /// The edge relay server on one host.
 class EdgeNode {
  public:
-  EdgeNode(net::Network& net, net::HostId host, EdgeConfig cfg);
+  EdgeNode(net::Transport& net, net::HostId host, EdgeConfig cfg);
   ~EdgeNode();
   EdgeNode(const EdgeNode&) = delete;
   EdgeNode& operator=(const EdgeNode&) = delete;
@@ -188,7 +193,7 @@ class EdgeNode {
   Session* find_session(std::uint64_t id);
   void end_session(Session& s);
 
-  net::Network& net_;
+  net::Transport& net_;
   net::HostId host_;
   EdgeConfig config_;
   net::ReliableEndpoint ctl_;

@@ -4,7 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "lod/net/network.hpp"
+#include "lod/net/transport_base.hpp"
 #include "lod/obs/health.hpp"
 #include "lod/streaming/selector.hpp"
 
@@ -29,7 +29,7 @@ class ReplicaSelector : public streaming::SiteSelector {
  public:
   /// \p edges may be empty (the selector degenerates to "always origin").
   /// \p alpha is the EWMA gain for new observations.
-  ReplicaSelector(net::Network& net, net::HostId client, net::HostId origin,
+  ReplicaSelector(net::Transport& net, net::HostId client, net::HostId origin,
                   std::vector<net::HostId> edges, double alpha = 0.25);
 
   // --- SiteSelector ----------------------------------------------------------

@@ -5,16 +5,16 @@
 
 namespace lod::edge {
 
-ReplicaSelector::ReplicaSelector(net::Network& net, net::HostId client,
+ReplicaSelector::ReplicaSelector(net::Transport& net, net::HostId client,
                                  net::HostId origin,
                                  std::vector<net::HostId> edges, double alpha)
-    : hub_(&net.simulator().obs()),
+    : hub_(&net.obs()),
       client_(client),
       origin_(origin),
       alpha_(alpha) {
   sites_ = std::move(edges);
   sites_.push_back(origin_);
-  auto& reg = net.simulator().obs().metrics();
+  auto& reg = net.obs().metrics();
   const obs::Labels at_client{{"host", std::to_string(client_)}};
   picks_ = reg.counter("lod.edge.selector.picks", at_client);
   observations_ = reg.counter("lod.edge.selector.observations", at_client);

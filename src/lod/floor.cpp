@@ -253,8 +253,8 @@ FloorClient::FloorClient(net::Network& net, net::HostId host,
 void FloorClient::call(const std::string& path, std::vector<std::byte> body,
                        std::function<void(bool)> done) {
   rpc_.call(service_host_, service_port_, path, std::move(body),
-            [done = std::move(done)](int status, std::span<const std::byte>) {
-              if (done) done(status == 200);
+            [done = std::move(done)](net::Result<net::RpcReply> r) {
+              if (done) done(r && r->status == 200);
             });
 }
 

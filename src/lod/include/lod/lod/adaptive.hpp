@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "lod/lod/wmps.hpp"
+#include "lod/net/network.hpp"
 #include "lod/streaming/player.hpp"
 
 /// \file adaptive.hpp

@@ -7,6 +7,7 @@
 
 #include "lod/lod/floor.hpp"
 #include "lod/lod/wmps.hpp"
+#include "lod/net/network.hpp"
 #include "lod/streaming/player.hpp"
 
 /// \file classroom.hpp

@@ -10,6 +10,7 @@
 
 #include "lod/core/analysis.hpp"
 #include "lod/core/petri.hpp"
+#include "lod/net/network.hpp"
 #include "lod/net/transport.hpp"
 #include "lod/obs/hub.hpp"
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "lod/media/drm.hpp"
+#include "lod/net/network.hpp"
 #include "lod/obs/trace.hpp"
 #include "lod/media/sources.hpp"
 #include "lod/streaming/encoder.hpp"

@@ -14,9 +14,10 @@
 #include "lod/net/rng.hpp"
 #include "lod/net/simulator.hpp"
 #include "lod/net/time.hpp"
+#include "lod/net/transport_base.hpp"
 
 /// \file network.hpp
-/// The simulated packet network.
+/// The simulated packet network — the `SimTransport` backend.
 ///
 /// Hosts are connected by point-to-point links with finite bandwidth,
 /// propagation latency, random jitter, a loss rate and a drop-tail queue.
@@ -25,34 +26,16 @@
 ///
 /// This is the substitute for the paper's campus LAN / Internet transport
 /// between Windows Media Encoder, Windows Media Services and the browsers.
+/// Together with its `Simulator` it implements the abstract `net::Transport`
+/// seam (transport_base.hpp); the stack above packets sees only that seam,
+/// while tests and benches keep full access to the fabric (links, loss,
+/// QoS reservations, routing) declared here.
 
 namespace lod::net {
 
-using HostId = std::uint32_t;
-using Port = std::uint16_t;
-using ChannelId = std::uint32_t;
-
-/// Wire unit. `wire_size` is what consumes link capacity (payload plus
-/// header/framing overhead); `payload` (+ optional `body`) is what the
-/// receiver sees.
-struct Packet {
-  HostId src{0};
-  HostId dst{0};
-  Port src_port{0};
-  Port dst_port{0};
-  std::uint32_t wire_size{0};  ///< bytes on the wire
-  /// Frame header / whole message, refcounted (hops and loopback never copy).
-  Payload payload;
-  /// Optional scatter-gather attachment: logically the bytes that follow
-  /// `payload` on the wire. Senders with a shared immutable body (cached
-  /// media segments, inflight transport messages) attach it here so per-hop
-  /// and per-session sends copy nothing; receivers that frame with a body
-  /// read their header fields from `payload` and take `body` as the blob.
-  Payload body;
-  /// Non-zero when the packet travels on a reserved QoS channel.
-  ChannelId channel{0};
-  std::uint64_t id{0};  ///< unique per network, for tracing
-};
+/// Historical name for the transport's delivery unit within the simulated
+/// fabric; hop-by-hop forwarding deals in the same struct the seam exposes.
+using Packet = Datagram;
 
 /// Static properties of one direction of a link.
 struct LinkConfig {
@@ -90,11 +73,21 @@ struct ChannelReservation {
 };
 
 /// The network fabric. Owns topology, routing, queues and delivery timing.
-class Network {
+/// Implements the `Transport` seam on top of its paired `Simulator`.
+class Network : public Transport {
  public:
-  using Receiver = std::function<void(const Packet&)>;
+  using Receiver = Transport::Receiver;
 
   Network(Simulator& sim, std::uint64_t seed = 42);
+
+  // --- Transport seam: observability, time & timers -------------------------
+
+  obs::Hub& obs() override { return sim_.obs(); }
+  SimTime now() const override { return sim_.now(); }
+  EventId schedule_at(SimTime t, TimerFn fn) override {
+    return sim_.schedule_at(t, std::move(fn));
+  }
+  bool cancel(EventId id) override { return sim_.cancel(id); }
 
   // --- topology -----------------------------------------------------------
 
@@ -109,21 +102,28 @@ class Network {
 
   std::size_t host_count() const { return hosts_.size(); }
   const std::string& host_name(HostId h) const { return hosts_.at(h).name; }
-  HostClock& clock(HostId h) { return hosts_.at(h).clock; }
+  HostClock& clock(HostId h) override { return hosts_.at(h).clock; }
   const HostClock& clock(HostId h) const { return hosts_.at(h).clock; }
 
+  std::string endpoint_name(HostId h) const override {
+    return h < hosts_.size() ? hosts_[h].name : std::string{};
+  }
+  std::optional<HostId> find_endpoint(std::string_view name) const override;
+
   /// The host's local clock reading right now.
-  SimTime local_now(HostId h) const { return clock(h).local_time(sim_.now()); }
+  SimTime local_now(HostId h) const override {
+    return clock(h).local_time(sim_.now());
+  }
 
   // --- sockets ------------------------------------------------------------
 
   /// Register a receiver for (host, port). Overwrites any previous binding.
-  void bind(HostId h, Port port, Receiver r);
-  void unbind(HostId h, Port port);
+  void bind(HostId h, Port port, Receiver r) override;
+  void unbind(HostId h, Port port) override;
 
   /// Inject a packet. Returns false if src/dst are unknown or unroutable
   /// (the packet is silently dropped, as IP would).
-  bool send(Packet p);
+  bool send(Packet p) override;
 
   // --- QoS channels (XOCPN-style) ------------------------------------------
 
@@ -131,14 +131,16 @@ class Network {
   /// on-path link lacks spare capacity. Reservations compose: admission
   /// control tracks the sum of reserved rates per link direction.
   std::optional<ChannelId> reserve_channel(HostId src, HostId dst,
-                                           std::int64_t rate_bps);
+                                           std::int64_t rate_bps) override;
   /// Release a reservation. Unknown ids are ignored.
-  void release_channel(ChannelId id);
+  void release_channel(ChannelId id) override;
 
   /// Change a reservation's rate in place (same path, same serializer — no
   /// packet reordering, unlike release+reserve). Fails if any on-path link
   /// lacks capacity for the increase; the old rate stays in effect then.
-  bool resize_channel(ChannelId id, std::int64_t new_rate_bps);
+  bool resize_channel(ChannelId id, std::int64_t new_rate_bps) override;
+
+  std::int64_t channel_rate_bps(ChannelId id) const override;
 
   std::optional<ChannelReservation> channel_info(ChannelId id) const;
 
@@ -152,7 +154,7 @@ class Network {
   /// delay floor of the path, before queueing or jitter. Negative (-1us)
   /// when unreachable; zero for a == b. Replica selection seeds its per-site
   /// delay estimates from this.
-  SimDuration path_latency(HostId a, HostId b) const;
+  SimDuration path_latency(HostId a, HostId b) const override;
 
   const LinkStats& link_stats(HostId from, HostId to) const;
 
@@ -201,5 +203,9 @@ class Network {
   ChannelId next_channel_{1};
   std::uint64_t next_packet_{1};
 };
+
+/// The simulated backend's seam-facing name: one `Network` riding one
+/// `Simulator` IS the deterministic transport implementation.
+using SimTransport = Network;
 
 }  // namespace lod::net

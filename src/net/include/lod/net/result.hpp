@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+/// \file result.hpp
+/// A small expected-style result for the RPC/transport surface.
+///
+/// Real sockets fail in ways the simulator never did (ECONNREFUSED, wall
+/// clock timeouts, peers closing mid-frame). Instead of sentinel status
+/// codes and bools, calls that can fail in transit report a uniform
+/// `Result<T>`: either the value, or a `net::Error` that means the same
+/// thing on both backends — a sim RPC to an unreachable host and a real
+/// RPC to a dead server both surface `Error::kTimeout`.
+
+namespace lod::net {
+
+enum class Error : std::uint8_t {
+  kUnroutable = 1,  ///< no route / unknown endpoint; send was never possible
+  kRefused,         ///< peer actively refused (ECONNREFUSED)
+  kTimeout,         ///< no reply within the caller's deadline
+  kClosed,          ///< connection closed mid-exchange
+  kTooLarge,        ///< message exceeds the backend's datagram/frame limit
+  kMalformed,       ///< peer sent bytes that do not parse as the protocol
+  kIo,              ///< any other socket/OS error
+};
+
+inline const char* to_string(Error e) {
+  switch (e) {
+    case Error::kUnroutable: return "unroutable";
+    case Error::kRefused: return "refused";
+    case Error::kTimeout: return "timeout";
+    case Error::kClosed: return "closed";
+    case Error::kTooLarge: return "too_large";
+    case Error::kMalformed: return "malformed";
+    case Error::kIo: return "io";
+  }
+  return "unknown";
+}
+
+/// Value-or-error. `T` must not itself be `E`. Deliberately tiny: the
+/// handful of accessors the call sites actually use, nothing more.
+template <typename T, typename E = Error>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit on purpose
+  Result(E error) : v_(error) {}             // NOLINT: implicit on purpose
+
+  static Result ok(T value) { return Result(std::move(value)); }
+  static Result err(E error) { return Result(error); }
+
+  bool has_value() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() {
+    if (!has_value()) throw std::logic_error("Result: no value");
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    if (!has_value()) throw std::logic_error("Result: no value");
+    return std::get<T>(v_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  E error() const {
+    if (has_value()) throw std::logic_error("Result: not an error");
+    return std::get<E>(v_);
+  }
+
+  T value_or(T fallback) const {
+    return has_value() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> v_;
+};
+
+/// Success-or-error (no payload).
+template <typename E>
+class Result<void, E> {
+ public:
+  Result() = default;
+  Result(E error) : err_(error), ok_(false) {}  // NOLINT: implicit on purpose
+
+  static Result ok() { return Result(); }
+  static Result err(E error) { return Result(error); }
+
+  bool has_value() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  E error() const {
+    if (ok_) throw std::logic_error("Result: not an error");
+    return err_;
+  }
+
+ private:
+  E err_{};
+  bool ok_{true};
+};
+
+}  // namespace lod::net

@@ -3,15 +3,19 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "lod/net/bytes.hpp"
-#include "lod/net/network.hpp"
 #include "lod/net/payload.hpp"
+#include "lod/net/result.hpp"
+#include "lod/net/transport_base.hpp"
 
 /// \file transport.hpp
-/// End-host transport over the simulated network.
+/// End-host transport over the abstract `net::Transport` seam.
 ///
 /// Two layers, mirroring what the paper's stack used:
 ///  - `DatagramSocket`  — raw, unreliable, unordered (UDP-like). Media data
@@ -20,16 +24,20 @@
 ///    positive ACKs and timer-based retransmission (a deliberately small TCP
 ///    stand-in). Control traffic (publishing, floor control, RTSP-like
 ///    commands, HTTP-ish requests) rides here.
+///
+/// Everything here is backend-agnostic: the same socket/endpoint/RPC objects
+/// run over the simulated fabric (`SimTransport`) and over real kernel UDP
+/// sockets (`RealTransport`) without a line of difference.
 
 namespace lod::net {
 
 /// UDP-like socket: unreliable, unordered message delivery.
 class DatagramSocket {
  public:
-  using Handler = std::function<void(const Packet&)>;
+  using Handler = std::function<void(const Datagram&)>;
 
   /// Binds (host, port) on construction and unbinds on destruction.
-  DatagramSocket(Network& net, HostId host, Port port);
+  DatagramSocket(Transport& net, HostId host, Port port);
   ~DatagramSocket();
   DatagramSocket(const DatagramSocket&) = delete;
   DatagramSocket& operator=(const DatagramSocket&) = delete;
@@ -53,7 +61,7 @@ class DatagramSocket {
   Port port() const { return port_; }
 
  private:
-  Network& net_;
+  Transport& net_;
   HostId host_;
   Port port_;
   Handler handler_;
@@ -81,7 +89,7 @@ class ReliableEndpoint {
   };
   using Handler = std::function<void(const Message&)>;
 
-  ReliableEndpoint(Network& net, HostId host, Port port,
+  ReliableEndpoint(Transport& net, HostId host, Port port,
                    SimDuration rto = msec(200), int max_retries = 20);
   ~ReliableEndpoint();
   ReliableEndpoint(const ReliableEndpoint&) = delete;
@@ -125,7 +133,7 @@ class ReliableEndpoint {
     std::unordered_map<std::uint64_t, Payload> out_of_order;
   };
 
-  void handle_packet(const Packet& p);
+  void handle_packet(const Datagram& p);
   void transmit(const PeerKey& peer, std::uint64_t seq);
   void arm_retransmit(const PeerKey& peer, std::uint64_t seq, int tries_left);
   void send_ack(const PeerKey& peer, std::uint64_t ack_upto);
@@ -133,7 +141,7 @@ class ReliableEndpoint {
   /// This endpoint's incarnation (unique per constructed endpoint).
   const std::uint64_t incarnation_;
 
-  Network& net_;
+  Transport& net_;
   HostId host_;
   Port port_;
   SimDuration rto_;
@@ -157,10 +165,18 @@ class RpcServer {
   using Handler = std::function<std::pair<int, std::vector<std::byte>>(
       std::string_view path, std::span<const std::byte> body)>;
 
-  RpcServer(Network& net, HostId host, Port port);
+  RpcServer(Transport& net, HostId host, Port port);
 
   /// Register a handler for an exact path (e.g. "/publish").
   void route(std::string path, Handler h);
+
+  /// Dispatch a request synchronously through the route table, exactly as a
+  /// transport-delivered request would be. This is the bridge other control
+  /// planes use — `RealTransport`'s TCP listener serves its length-prefixed
+  /// RPC framing by funneling decoded frames through here, so one route
+  /// table answers both the reliable-datagram and the TCP path.
+  std::pair<int, std::vector<std::byte>> handle(
+      std::string_view path, std::span<const std::byte> body) const;
 
  private:
   void dispatch(const ReliableEndpoint::Message& m);
@@ -169,23 +185,52 @@ class RpcServer {
   std::unordered_map<std::string, Handler> routes_;
 };
 
+/// A decoded RPC response: the application-level status plus a zero-copy
+/// slice of the response message (callers that stash the body — the edge
+/// segment cache — keep it refcounted).
+struct RpcReply {
+  int status{0};
+  Payload body;
+};
+
 /// Client side of `RpcServer`.
 class RpcClient {
  public:
-  /// Response callback. The body is a zero-copy slice of the response
-  /// message; implicit conversion keeps span-taking lambdas compiling, and
-  /// callers that stash the body (edge segment cache) keep it refcounted.
-  using Callback = std::function<void(int status, const Payload& body)>;
+  /// Response callback: the reply, or the uniform transport error
+  /// (`Error::kTimeout` when the deadline passed with no response).
+  using Callback = std::function<void(Result<RpcReply>)>;
 
-  RpcClient(Network& net, HostId host, Port port);
+  /// Per-call knobs.
+  struct CallOptions {
+    /// Give up and report `Error::kTimeout` after this long. Negative (the
+    /// default) disarms the deadline: the callback fires only if a response
+    /// arrives. Deterministic sim workloads keep the default so no extra
+    /// timer events exist; real-socket callers should always set one.
+    SimDuration timeout{usec(-1)};
+  };
 
-  /// Issue a request; \p cb fires when the response arrives.
+  RpcClient(Transport& net, HostId host, Port port);
+  ~RpcClient();
+
+  /// Issue a request; \p cb fires when the response arrives (or the timeout
+  /// in \p opts expires, whichever is first).
   void call(HostId server, Port server_port, std::string_view path,
-            std::vector<std::byte> body, Callback cb);
+            std::vector<std::byte> body, Callback cb, CallOptions opts);
+  void call(HostId server, Port server_port, std::string_view path,
+            std::vector<std::byte> body, Callback cb) {
+    call(server, server_port, path, std::move(body), std::move(cb),
+         CallOptions{});
+  }
 
  private:
+  struct Pending {
+    Callback cb;
+    EventId deadline{0};  ///< 0 = no deadline armed
+  };
+
+  Transport& net_;
   ReliableEndpoint ep_;
-  std::unordered_map<std::uint64_t, Callback> pending_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
   std::uint64_t next_req_{1};
 };
 

@@ -269,6 +269,18 @@ std::optional<ChannelReservation> Network::channel_info(ChannelId id) const {
   return it->second;
 }
 
+std::int64_t Network::channel_rate_bps(ChannelId id) const {
+  auto it = channels_.find(id);
+  return it == channels_.end() ? 0 : it->second.rate_bps;
+}
+
+std::optional<HostId> Network::find_endpoint(std::string_view name) const {
+  for (HostId h = 0; h < hosts_.size(); ++h) {
+    if (hosts_[h].name == name) return h;
+  }
+  return std::nullopt;
+}
+
 const LinkStats& Network::link_stats(HostId from, HostId to) const {
   const LinkDir* d = find_dir(from, to);
   if (!d) throw std::invalid_argument("link_stats: no such link");

@@ -22,9 +22,9 @@ constexpr std::uint32_t kSegmentOverhead = 40;
 
 // --- DatagramSocket ---------------------------------------------------------
 
-DatagramSocket::DatagramSocket(Network& net, HostId host, Port port)
+DatagramSocket::DatagramSocket(Transport& net, HostId host, Port port)
     : net_(net), host_(host), port_(port) {
-  net_.bind(host_, port_, [this](const Packet& p) {
+  net_.bind(host_, port_, [this](const Datagram& p) {
     if (handler_) handler_(p);
   });
 }
@@ -33,7 +33,7 @@ DatagramSocket::~DatagramSocket() { net_.unbind(host_, port_); }
 
 bool DatagramSocket::send_to(HostId dst, Port dst_port, Payload payload,
                              std::uint32_t header_overhead, ChannelId channel) {
-  Packet p;
+  Datagram p;
   p.src = host_;
   p.dst = dst;
   p.src_port = port_;
@@ -47,7 +47,7 @@ bool DatagramSocket::send_to(HostId dst, Port dst_port, Payload payload,
 bool DatagramSocket::send_to(HostId dst, Port dst_port, Payload header,
                              Payload body, std::uint32_t header_overhead,
                              ChannelId channel) {
-  Packet p;
+  Datagram p;
   p.src = host_;
   p.dst = dst;
   p.src_port = port_;
@@ -62,7 +62,7 @@ bool DatagramSocket::send_to(HostId dst, Port dst_port, Payload header,
 
 // --- ReliableEndpoint -------------------------------------------------------
 
-ReliableEndpoint::ReliableEndpoint(Network& net, HostId host, Port port,
+ReliableEndpoint::ReliableEndpoint(Transport& net, HostId host, Port port,
                                    SimDuration rto, int max_retries)
     : incarnation_(next_incarnation()),
       net_(net),
@@ -70,12 +70,12 @@ ReliableEndpoint::ReliableEndpoint(Network& net, HostId host, Port port,
       port_(port),
       rto_(rto),
       max_retries_(max_retries) {
-  auto& reg = net_.simulator().obs().metrics();
+  auto& reg = net_.obs().metrics();
   messages_sent_ = reg.counter("lod.transport.messages_sent");
   messages_delivered_ = reg.counter("lod.transport.messages_delivered");
   retransmissions_metric_ = reg.counter("lod.transport.retransmissions");
-  trace_ = &net_.simulator().obs().trace();
-  net_.bind(host_, port_, [this](const Packet& p) { handle_packet(p); });
+  trace_ = &net_.obs().trace();
+  net_.bind(host_, port_, [this](const Datagram& p) { handle_packet(p); });
 }
 
 ReliableEndpoint::~ReliableEndpoint() {
@@ -105,7 +105,7 @@ void ReliableEndpoint::transmit(const PeerKey& peer, std::uint64_t seq) {
   w.u64(incarnation_);
   w.u64(seq);
 
-  Packet p;
+  Datagram p;
   p.src = host_;
   p.dst = peer.host;
   p.src_port = port_;
@@ -120,7 +120,7 @@ void ReliableEndpoint::transmit(const PeerKey& peer, std::uint64_t seq) {
 void ReliableEndpoint::arm_retransmit(const PeerKey& peer, std::uint64_t seq,
                                       int tries_left) {
   if (tries_left <= 0) return;  // give up; peer is unreachable
-  net_.simulator().schedule_after(
+  net_.schedule_after(
       rto_, [this, alive = alive_, peer, seq, tries_left] {
         if (!*alive) return;
         auto it = tx_.find(peer);
@@ -141,7 +141,7 @@ void ReliableEndpoint::send_ack(const PeerKey& peer, std::uint64_t ack_upto) {
   w.u8(kAck);
   w.u64(rx_[peer].peer_incarnation);  // which incarnation this ACK answers
   w.u64(ack_upto);
-  Packet p;
+  Datagram p;
   p.src = host_;
   p.dst = peer.host;
   p.src_port = port_;
@@ -151,7 +151,7 @@ void ReliableEndpoint::send_ack(const PeerKey& peer, std::uint64_t ack_upto) {
   net_.send(std::move(p));
 }
 
-void ReliableEndpoint::handle_packet(const Packet& p) {
+void ReliableEndpoint::handle_packet(const Datagram& p) {
   ByteReader r(p.payload);
   const std::uint8_t tag = r.u8();
   const PeerKey peer{p.src, p.src_port};
@@ -232,13 +232,20 @@ constexpr std::uint8_t kRpcRequest = 1;
 constexpr std::uint8_t kRpcResponse = 2;
 }  // namespace
 
-RpcServer::RpcServer(Network& net, HostId host, Port port)
+RpcServer::RpcServer(Transport& net, HostId host, Port port)
     : ep_(net, host, port) {
   ep_.on_receive([this](const ReliableEndpoint::Message& m) { dispatch(m); });
 }
 
 void RpcServer::route(std::string path, Handler h) {
   routes_[std::move(path)] = std::move(h);
+}
+
+std::pair<int, std::vector<std::byte>> RpcServer::handle(
+    std::string_view path, std::span<const std::byte> body) const {
+  auto it = routes_.find(std::string(path));
+  if (it == routes_.end()) return {404, {}};
+  return it->second(path, body);
 }
 
 void RpcServer::dispatch(const ReliableEndpoint::Message& m) {
@@ -249,14 +256,7 @@ void RpcServer::dispatch(const ReliableEndpoint::Message& m) {
   const std::uint32_t body_len = r.u32();
   const auto body = r.raw(body_len);
 
-  int status = 404;
-  std::vector<std::byte> resp_body;
-  auto it = routes_.find(path);
-  if (it != routes_.end()) {
-    auto [s, b] = it->second(path, body);
-    status = s;
-    resp_body = std::move(b);
-  }
+  auto [status, resp_body] = handle(path, body);
 
   ByteWriter w;
   w.u8(kRpcResponse);
@@ -266,8 +266,8 @@ void RpcServer::dispatch(const ReliableEndpoint::Message& m) {
   ep_.send_to(m.src, m.src_port, std::move(w).take());
 }
 
-RpcClient::RpcClient(Network& net, HostId host, Port port)
-    : ep_(net, host, port) {
+RpcClient::RpcClient(Transport& net, HostId host, Port port)
+    : net_(net), ep_(net, host, port) {
   ep_.on_receive([this](const ReliableEndpoint::Message& m) {
     ByteReader r(m.payload);
     if (r.u8() != kRpcResponse) return;
@@ -277,17 +277,37 @@ RpcClient::RpcClient(Network& net, HostId host, Port port)
     // Zero-copy: the callback's body is a slice of the response message.
     const Payload body = m.payload.slice(r.offset(), body_len);
     auto it = pending_.find(req_id);
-    if (it == pending_.end()) return;
-    Callback cb = std::move(it->second);
+    if (it == pending_.end()) return;  // late reply after a timeout fired
+    Pending p = std::move(it->second);
     pending_.erase(it);
-    cb(status, body);
+    if (p.deadline != 0) net_.cancel(p.deadline);
+    p.cb(RpcReply{status, body});
   });
 }
 
+RpcClient::~RpcClient() {
+  // Disarm outstanding deadlines; their closures reference this object.
+  for (auto& [id, p] : pending_) {
+    if (p.deadline != 0) net_.cancel(p.deadline);
+  }
+}
+
 void RpcClient::call(HostId server, Port server_port, std::string_view path,
-                     std::vector<std::byte> body, Callback cb) {
+                     std::vector<std::byte> body, Callback cb,
+                     CallOptions opts) {
   const std::uint64_t id = next_req_++;
-  pending_.emplace(id, std::move(cb));
+  Pending p;
+  p.cb = std::move(cb);
+  if (opts.timeout.us >= 0) {
+    p.deadline = net_.schedule_after(opts.timeout, [this, id] {
+      auto it = pending_.find(id);
+      if (it == pending_.end()) return;
+      Callback cb = std::move(it->second.cb);
+      pending_.erase(it);
+      cb(Error::kTimeout);
+    });
+  }
+  pending_.emplace(id, std::move(p));
   ByteWriter w;
   w.u8(kRpcRequest);
   w.u64(id);

@@ -1,0 +1,28 @@
+#include "lod/net/transport_base.hpp"
+
+namespace lod::net {
+
+bool is_valid_ipv4(std::string_view s) {
+  int octets = 0;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (octets == 4) return false;
+    std::size_t start = i;
+    int value = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      value = value * 10 + (s[i] - '0');
+      if (value > 255 || i - start >= 3) return false;
+      ++i;
+    }
+    if (i == start) return false;  // empty octet ("1..2", ".1.2.3")
+    ++octets;
+    if (i < s.size()) {
+      if (s[i] != '.') return false;
+      ++i;
+      if (i == s.size()) return false;  // trailing dot
+    }
+  }
+  return octets == 4;
+}
+
+}  // namespace lod::net

@@ -56,6 +56,12 @@ struct PlayerConfig {
   SyncModel model{SyncModel::kEtpn};
   net::Port ctl_port{5000};
   net::Port data_port{5001};
+  /// The serving site's control port. The paper-era default (554, RTSP's
+  /// homage) is privileged on real kernels; real-backend deployments point
+  /// this at an unprivileged port instead of hard-wiring the well-known one.
+  net::Port server_port{proto::kControlPort};
+  /// The web server's RPC port for slide fetches.
+  net::Port web_port{proto::kWebPort};
   /// Buffer this much media before starting (<=0: use the header's preroll).
   net::SimDuration preroll_override{-1};
   /// ETPN only: how often to re-run clock synchronization.
@@ -161,7 +167,7 @@ class Player {
  public:
   /// \p drm is the license authority (nullable for unprotected content);
   /// the player asks it for a license at open time, as "rendering" requires.
-  Player(net::Network& net, net::HostId host, PlayerConfig cfg,
+  Player(net::Transport& net, net::HostId host, PlayerConfig cfg,
          media::DrmSystem* drm = nullptr);
   ~Player();
   Player(const Player&) = delete;
@@ -264,7 +270,7 @@ class Player {
   /// Abandon the current site and reopen at the selector's next pick.
   void do_failover();
   void handle_control(const net::ReliableEndpoint::Message& m);
-  void handle_data(const net::Packet& p);
+  void handle_data(const net::Datagram& p);
   /// Terminal decode: parse serialized packet bytes (dropping malformed
   /// input) and feed the demuxer. The single point where data-plane bytes
   /// are read out of their shared buffer.
@@ -306,7 +312,7 @@ class Player {
   /// True-time instant at which the unit with presentation time \p pts is due.
   net::SimTime unit_due(net::SimDuration pts) const;
 
-  net::Network& net_;
+  net::Transport& net_;
   net::HostId host_;
   PlayerConfig cfg_;
   media::DrmSystem* drm_;

@@ -3,7 +3,7 @@
 #include <cstdint>
 
 #include "lod/net/bytes.hpp"
-#include "lod/net/network.hpp"
+#include "lod/net/transport_base.hpp"
 #include "lod/obs/trace.hpp"
 
 /// \file protocol.hpp

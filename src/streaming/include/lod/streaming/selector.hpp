@@ -1,6 +1,6 @@
 #pragma once
 
-#include "lod/net/network.hpp"
+#include "lod/net/transport_base.hpp"
 
 /// \file selector.hpp
 /// The player-side site selection seam.

@@ -51,10 +51,20 @@ struct ServerConfig {
   /// real time would mean the session can never keep up).
   double fast_start_multiplier{4.0};
 
+  /// Real-backend listeners (the TCP control plane serving HTTP metrics and
+  /// length-prefixed RPC) bind this address. The simulated backend has no
+  /// addresses and ignores it; it is still validated so a config is legal
+  /// on every backend. Dotted-quad IPv4 only.
+  std::string bind_address{"0.0.0.0"};
+
+  /// listen(2) backlog for the TCP control plane. Must be positive.
+  int listen_backlog{64};
+
   /// Normalized copy with every tunable forced into its legal range.
   /// Structural fields cannot be fixed up, only rejected: throws
   /// std::invalid_argument for control_port 0 (unbindable) or 65535 (the
-  /// data socket rides on control_port + 1, which would overflow).
+  /// data socket rides on control_port + 1, which would overflow), for a
+  /// malformed `bind_address`, and for a non-positive `listen_backlog`.
   ServerConfig validated() const {
     if (control_port == 0) {
       throw std::invalid_argument("ServerConfig: control_port must be nonzero");
@@ -62,6 +72,15 @@ struct ServerConfig {
     if (control_port == 65535) {
       throw std::invalid_argument(
           "ServerConfig: control_port 65535 leaves no room for the data port");
+    }
+    if (!net::is_valid_ipv4(bind_address)) {
+      throw std::invalid_argument("ServerConfig: bind_address '" +
+                                  bind_address +
+                                  "' is not a dotted-quad IPv4 address");
+    }
+    if (listen_backlog <= 0) {
+      throw std::invalid_argument(
+          "ServerConfig: listen_backlog must be positive");
     }
     ServerConfig c = *this;
     if (!(c.fast_start_multiplier >= 1.0)) c.fast_start_multiplier = 1.0;
@@ -95,10 +114,12 @@ class ServerMetrics {
 class StreamingServer {
  public:
   /// Binds `cfg.control_port` on \p host. \p cfg is validated on entry.
-  StreamingServer(net::Network& net, net::HostId host, ServerConfig cfg = {});
+  StreamingServer(net::Transport& net, net::HostId host, ServerConfig cfg = {});
 
   /// Legacy constructor (pre-ServerConfig); forwards to the primary one.
-  StreamingServer(net::Network& net, net::HostId host, net::Port control_port);
+  [[deprecated("construct with ServerConfig{.control_port = ...}")]]
+  StreamingServer(net::Transport& net, net::HostId host,
+                  net::Port control_port);
 
   // --- content ---------------------------------------------------------------
 
@@ -201,7 +222,7 @@ class StreamingServer {
   SessionCounters make_session_counters(std::uint64_t id);
   void end_session(Session& s);
 
-  net::Network& net_;
+  net::Transport& net_;
   net::HostId host_;
   ServerConfig config_;
   net::ReliableEndpoint ctl_;

@@ -18,7 +18,7 @@ std::string to_string(SyncModel m) {
   return "?";
 }
 
-Player::Player(net::Network& net, net::HostId host, PlayerConfig cfg,
+Player::Player(net::Transport& net, net::HostId host, PlayerConfig cfg,
                media::DrmSystem* drm)
     : net_(net),
       host_(host),
@@ -27,8 +27,8 @@ Player::Player(net::Network& net, net::HostId host, PlayerConfig cfg,
       ctl_(net, host, cfg.ctl_port),
       data_(net, host, cfg.data_port),
       web_(net, host, static_cast<net::Port>(cfg.data_port + 1)) {
-  auto& reg = net_.simulator().obs().metrics();
-  trace_ = &net_.simulator().obs().trace();
+  auto& reg = net_.obs().metrics();
+  trace_ = &net_.obs().trace();
   const obs::Labels l{{"host", std::to_string(host_)}};
   m_packets_received_ = reg.counter("lod.player.packets_received", l);
   m_units_rendered_ = reg.counter("lod.player.units_rendered", l);
@@ -43,14 +43,14 @@ Player::Player(net::Network& net, net::HostId host, PlayerConfig cfg,
   m_render_offset_us_ = reg.histogram("lod.player.render_offset_us", l);
   ctl_.on_receive(
       [this](const net::ReliableEndpoint::Message& m) { handle_control(m); });
-  data_.on_receive([this](const net::Packet& p) { handle_data(p); });
+  data_.on_receive([this](const net::Datagram& p) { handle_data(p); });
 }
 
 Player::~Player() {
   *alive_ = false;
-  if (render_timer_) net_.simulator().cancel(*render_timer_);
-  if (sync_timer_) net_.simulator().cancel(*sync_timer_);
-  if (failover_timer_) net_.simulator().cancel(*failover_timer_);
+  if (render_timer_) net_.cancel(*render_timer_);
+  if (sync_timer_) net_.cancel(*sync_timer_);
+  if (failover_timer_) net_.cancel(*failover_timer_);
   if (channel_ != 0) net_.release_channel(channel_);
 }
 
@@ -83,15 +83,15 @@ void Player::enter_finished() {
     session_ctx_ = {};
   }
   if (sync_timer_) {
-    net_.simulator().cancel(*sync_timer_);
+    net_.cancel(*sync_timer_);
     sync_timer_.reset();
   }
   if (render_timer_) {
-    net_.simulator().cancel(*render_timer_);
+    net_.cancel(*render_timer_);
     render_timer_.reset();
   }
   if (failover_timer_) {
-    net_.simulator().cancel(*failover_timer_);
+    net_.cancel(*failover_timer_);
     failover_timer_.reset();
   }
 }
@@ -126,7 +126,7 @@ void Player::reset_session_state() {
   stream_epoch_ = 0;
   waiting_since_.reset();
   if (render_timer_) {
-    net_.simulator().cancel(*render_timer_);
+    net_.cancel(*render_timer_);
     render_timer_.reset();
   }
 }
@@ -171,8 +171,8 @@ void Player::open_to(net::HostId server, std::string content,
   // reading before it.
   w.u64(session_ctx_.trace_id);
   w.u64(describe_span_);
-  describe_sent_ = net_.simulator().now();
-  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  describe_sent_ = net_.now();
+  ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
   if (selector_) arm_failover_watchdog();
 }
 
@@ -186,7 +186,7 @@ void Player::join_live(net::HostId server, std::string name) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Ctl::kDescribe));
   w.str(content_);
-  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
 }
 
 void Player::on_described(std::span<const std::byte> header_bytes) {
@@ -222,8 +222,8 @@ void Player::on_described(std::span<const std::byte> header_bytes) {
     w.u8(static_cast<std::uint8_t>(Ctl::kJoinLive));
     w.str(content_);
     w.u16(cfg_.data_port);
-    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
-    play_issued_ = net_.simulator().now();
+    ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
+    play_issued_ = net_.now();
     if (trace_->enabled()) {
       trace_->emit(obs::EventType::kPlayIssued, host_, 0, 1, content_);
     }
@@ -248,8 +248,8 @@ void Player::send_play(net::SimDuration from) {
   w.u32(channel_);
   w.u64(session_ctx_.trace_id);
   w.u64(startup_span_);
-  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
-  play_issued_ = net_.simulator().now();
+  ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
+  play_issued_ = net_.now();
   if (trace_->enabled()) {
     trace_->emit_in(session_ctx_, obs::EventType::kPlayIssued, host_, from.us,
                     0, content_);
@@ -264,7 +264,7 @@ void Player::send_session_stop() {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(live_ ? Ctl::kLeaveLive : Ctl::kStop));
   w.u64(session_);
-  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
   session_ = 0;  // closed: later stop()/finish paths must not re-send
 }
 
@@ -277,13 +277,13 @@ void Player::stop() {
 
 void Player::arm_failover_watchdog() {
   if (failover_timer_) {
-    net_.simulator().cancel(*failover_timer_);
+    net_.cancel(*failover_timer_);
     failover_timer_.reset();
   }
   if (!selector_ || cfg_.failover_timeout.us <= 0) return;
   watchdog_last_packets_ = packets_received_;
-  watchdog_stuck_since_ = net_.simulator().now();
-  failover_timer_ = net_.simulator().schedule_after(
+  watchdog_stuck_since_ = net_.now();
+  failover_timer_ = net_.schedule_after(
       cfg_.failover_check_interval, [this, alive = alive_] {
         if (!*alive) return;
         failover_timer_.reset();
@@ -295,7 +295,7 @@ void Player::watchdog_tick() {
   if (!selector_ || state_ == State::kFinished || state_ == State::kIdle) {
     return;
   }
-  const net::SimTime now = net_.simulator().now();
+  const net::SimTime now = net_.now();
   // Starvation = the site owes us data and none is arriving. A paused
   // session and smooth playback owe nothing.
   bool starved = false;
@@ -311,7 +311,7 @@ void Player::watchdog_tick() {
     do_failover();
     return;  // open_to re-armed the watchdog
   }
-  failover_timer_ = net_.simulator().schedule_after(
+  failover_timer_ = net_.schedule_after(
       cfg_.failover_check_interval, [this, alive = alive_] {
         if (!*alive) return;
         failover_timer_.reset();
@@ -354,9 +354,9 @@ void Player::run_clock_sync() {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Ctl::kTimeSync));
   w.i64(local_now().us);
-  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
   if (cfg_.clock_sync_interval.us > 0) {
-    sync_timer_ = net_.simulator().schedule_after(
+    sync_timer_ = net_.schedule_after(
         cfg_.clock_sync_interval, [this, alive = alive_] {
           if (!*alive) return;
           sync_timer_.reset();
@@ -376,7 +376,7 @@ void Player::handle_control(const net::ReliableEndpoint::Message& m) {
         // One-way delay estimate from the DESCRIBE round trip (true time:
         // both ends are this host's schedule, no clock skew involved).
         selector_->observe(server_,
-                           (net_.simulator().now() - describe_sent_) / 2);
+                           (net_.now() - describe_sent_) / 2);
       }
       if (describe_span_ != 0) {
         trace_->end_span(session_ctx_, describe_span_, "player.describe",
@@ -434,7 +434,7 @@ void Player::handle_eos() {
     if (holes_pending && eos_deferrals_ < 5) {
       ++eos_deferrals_;
       if (!reorder_.empty()) arm_hole_timer();
-      net_.simulator().schedule_after(net::msec(500),
+      net_.schedule_after(net::msec(500),
                                       [this, alive = alive_] {
                                         if (!*alive) return;
                                         handle_eos();
@@ -459,7 +459,7 @@ void Player::handle_eos() {
 
 // --- data plane -------------------------------------------------------------------------
 
-void Player::handle_data(const net::Packet& p) {
+void Player::handle_data(const net::Datagram& p) {
   ByteReader r(p.payload);
   std::uint64_t seq = 0;
   std::uint32_t index = 0;
@@ -547,12 +547,12 @@ void Player::request_repair(std::uint32_t first, std::uint32_t last) {
   w.u64(session_);
   w.u32(count);
   w.raw(idxw.bytes());
-  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
 }
 
 void Player::arm_hole_timer() {
   const std::uint32_t hole = static_cast<std::uint32_t>(next_feed_);
-  net_.simulator().schedule_after(net::msec(400), [this, alive = alive_,
+  net_.schedule_after(net::msec(400), [this, alive = alive_,
                                                    hole] {
     if (!*alive) return;
     if (next_feed_ != static_cast<std::int64_t>(hole) ||
@@ -626,12 +626,12 @@ void Player::ingest(const media::asf::DataPacket& pkt) {
     // Stall recovery: rebase the render clock by how late we are.
     const net::SimDuration pts{buffer_.begin()->first};
     const net::SimTime deadline_true = unit_due(pts);
-    const net::SimTime now_true = net_.simulator().now();
+    const net::SimTime now_true = net_.now();
     if (now_true > deadline_true) {
       const net::SimDuration late = now_true - deadline_true;
       epoch_local_ += late;
       const StallEvent ev{*waiting_since_,
-                          net_.simulator().now() - *waiting_since_};
+                          net_.now() - *waiting_since_};
       stalls_.push_back(ev);
       m_stalls_.inc();
       m_stall_us_.observe(ev.duration.us);
@@ -680,7 +680,7 @@ void Player::maybe_start_rendering() {
   state_ = State::kPlaying;
   render_start_pending_ = true;
   if (startup_delay_.us < 0) {
-    startup_delay_ = net_.simulator().now() - play_issued_;
+    startup_delay_ = net_.now() - play_issued_;
     m_startup_us_.observe(startup_delay_.us);
   }
   if (startup_span_ != 0) {
@@ -724,7 +724,7 @@ net::SimDuration Player::position() const {
 
 void Player::arm_render_timer() {
   if (render_timer_) {
-    net_.simulator().cancel(*render_timer_);
+    net_.cancel(*render_timer_);
     render_timer_.reset();
   }
   if (state_ != State::kPlaying) return;
@@ -734,15 +734,15 @@ void Player::arm_render_timer() {
           std::numeric_limits<std::int64_t>::max() / 2});
       enter_finished();
     } else {
-      waiting_since_ = net_.simulator().now();  // underrun: wait for data
+      waiting_since_ = net_.now();  // underrun: wait for data
     }
     return;
   }
   const net::SimDuration pts{buffer_.begin()->first};
   net::SimTime due = unit_due(pts);
-  const net::SimTime now = net_.simulator().now();
+  const net::SimTime now = net_.now();
   if (due < now) due = now;
-  render_timer_ = net_.simulator().schedule_at(due, [this, alive = alive_] {
+  render_timer_ = net_.schedule_at(due, [this, alive = alive_] {
     if (!*alive) return;
     render_timer_.reset();
     render_due();
@@ -761,7 +761,7 @@ net::SimTime Player::unit_due(net::SimDuration pts) const {
 
 void Player::render_due() {
   if (state_ != State::kPlaying) return;
-  const net::SimTime now = net_.simulator().now();
+  const net::SimTime now = net_.now();
   const net::SimTime now_local = local_now();
 
   while (!buffer_.empty() &&
@@ -792,11 +792,10 @@ void Player::render_due() {
 
 void Player::start_prefetch(const std::string& url) {
   prefetched_[url] = std::nullopt;  // in flight
-  web_.call(cfg_.web_server, proto::kWebPort, "/" + url, {},
-            [this, alive = alive_, url](int status,
-                                        std::span<const std::byte>) {
-              if (!*alive || status != 200) return;
-              const net::SimTime now = net_.simulator().now();
+  web_.call(cfg_.web_server, cfg_.web_port, "/" + url, {},
+            [this, alive = alive_, url](net::Result<net::RpcReply> r) {
+              if (!*alive || !r || r->status != 200) return;
+              const net::SimTime now = net_.now();
               prefetched_[url] = now;
               // If the flip time already passed, the slide appears the
               // instant its bytes land.
@@ -810,7 +809,7 @@ void Player::start_prefetch(const std::string& url) {
 }
 
 void Player::show_slide(const std::string& url, net::SimDuration at) {
-  const net::SimTime now = net_.simulator().now();
+  const net::SimTime now = net_.now();
   if (cfg_.prefetch_slides) {
     auto it = prefetched_.find(url);
     if (it != prefetched_.end() && it->second.has_value()) {
@@ -825,11 +824,11 @@ void Player::show_slide(const std::string& url, net::SimDuration at) {
     }
     // Never prefetched (e.g. landed via pending_slide_): fall through.
   }
-  web_.call(cfg_.web_server, proto::kWebPort, "/" + url, {},
+  web_.call(cfg_.web_server, cfg_.web_port, "/" + url, {},
             [this, alive = alive_, asked = now, at, url](
-                int status, std::span<const std::byte>) {
-              if (!*alive || status != 200) return;
-              const net::SimTime done = net_.simulator().now();
+                net::Result<net::RpcReply> r) {
+              if (!*alive || !r || r->status != 200) return;
+              const net::SimTime done = net_.now();
               record_slide(SlideEvent{url, at, done, done - asked});
             });
 }
@@ -853,7 +852,7 @@ void Player::execute_scripts_upto(net::SimDuration pos) {
         show_slide(cmd.param, cmd.at);
       } else if (cmd.type == "ANNOT") {
         annotations_.push_back(
-            AnnotationEvent{cmd.param, cmd.at, net_.simulator().now()});
+            AnnotationEvent{cmd.param, cmd.at, net_.now()});
         if (trace_->enabled()) {
           trace_->emit(obs::EventType::kAnnotation, host_, cmd.at.us, 0,
                        cmd.param);
@@ -879,7 +878,7 @@ void Player::pause() {
   if (state_ != State::kPlaying && state_ != State::kBuffering) return;
   paused_pos_ = position();
   interactions_.push_back(InteractionRecord{InteractionRecord::Kind::kPause,
-                                            net_.simulator().now(),
+                                            net_.now(),
                                             {},
                                             net::SimTime::max(),
                                             true});  // pause needs no resync
@@ -889,7 +888,7 @@ void Player::pause() {
   }
   if (observer_) observer_->on_interaction(interactions_.back());
   if (render_timer_) {
-    net_.simulator().cancel(*render_timer_);
+    net_.cancel(*render_timer_);
     render_timer_.reset();
   }
   waiting_since_.reset();
@@ -899,13 +898,13 @@ void Player::pause() {
     // The extended model pauses the schedule in place.
     w.u8(static_cast<std::uint8_t>(Ctl::kPause));
     w.u64(session_);
-    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+    ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
   } else {
     // OCPN/XOCPN have no pause transition: the only legal move is to tear
     // the pre-orchestrated playout down. Resume must restart from the top.
     w.u8(static_cast<std::uint8_t>(Ctl::kStop));
     w.u64(session_);
-    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+    ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
     session_ = 0;
     buffer_.clear();
     scripts_.clear();
@@ -918,7 +917,7 @@ void Player::pause() {
 void Player::resume() {
   if (state_ != State::kPaused) return;
   interactions_.push_back(InteractionRecord{InteractionRecord::Kind::kResume,
-                                            net_.simulator().now(),
+                                            net_.now(),
                                             {},
                                             net::SimTime::max(),
                                             false});
@@ -931,7 +930,7 @@ void Player::resume() {
     ByteWriter w;
     w.u8(static_cast<std::uint8_t>(Ctl::kResume));
     w.u64(session_);
-    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+    ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
     // Rebase the render clock and keep going with whatever is buffered.
     base_pts_ = paused_pos_;
     epoch_local_ = local_now();
@@ -946,7 +945,7 @@ void Player::resume() {
 void Player::seek(net::SimDuration to) {
   if (state_ == State::kIdle || state_ == State::kOpening || live_) return;
   interactions_.push_back(InteractionRecord{InteractionRecord::Kind::kSeek,
-                                            net_.simulator().now(), to,
+                                            net_.now(), to,
                                             net::SimTime::max(), false});
   if (trace_->enabled()) {
     trace_->emit(obs::EventType::kSessionSeek, host_,
@@ -954,7 +953,7 @@ void Player::seek(net::SimDuration to) {
   }
   if (observer_) observer_->on_interaction(interactions_.back());
   if (render_timer_) {
-    net_.simulator().cancel(*render_timer_);
+    net_.cancel(*render_timer_);
     render_timer_.reset();
   }
   waiting_since_.reset();
@@ -964,7 +963,7 @@ void Player::seek(net::SimDuration to) {
     w.u8(static_cast<std::uint8_t>(Ctl::kSeek));
     w.u64(session_);
     w.i64(to.us);
-    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+    ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
     buffer_.clear();
     scripts_.clear();
     pending_slide_.reset();
@@ -989,7 +988,7 @@ void Player::seek(net::SimDuration to) {
     ByteWriter w;
     w.u8(static_cast<std::uint8_t>(Ctl::kStop));
     w.u64(session_);
-    ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+    ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
     session_ = 0;
     restart_from_top(to);
   }
@@ -1014,7 +1013,7 @@ void Player::set_rate(double rate) {
     return;
   }
   interactions_.push_back(InteractionRecord{InteractionRecord::Kind::kRate,
-                                            net_.simulator().now(),
+                                            net_.now(),
                                             {},
                                             net::SimTime::max(),
                                             false});
@@ -1052,10 +1051,10 @@ void Player::set_rate(double rate) {
   w.u64(session_);
   w.u32(static_cast<std::uint32_t>(rate * 1000.0 + 0.5));
   w.u32(channel_);
-  ctl_.send_to(server_, proto::kControlPort, std::move(w).take());
+  ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
   if (state_ == State::kPlaying) {
     if (render_timer_) {
-      net_.simulator().cancel(*render_timer_);
+      net_.cancel(*render_timer_);
       render_timer_.reset();
     }
     arm_render_timer();

@@ -8,15 +8,15 @@ using net::ByteReader;
 using net::ByteWriter;
 using proto::Ctl;
 
-StreamingServer::StreamingServer(net::Network& net, net::HostId host,
+StreamingServer::StreamingServer(net::Transport& net, net::HostId host,
                                  ServerConfig cfg)
     : net_(net),
       host_(host),
       config_(cfg.validated()),
       ctl_(net, host, config_.control_port),
       data_(net, host, static_cast<net::Port>(config_.control_port + 1)) {
-  auto& reg = net_.simulator().obs().metrics();
-  trace_ = &net_.simulator().obs().trace();
+  auto& reg = net_.obs().metrics();
+  trace_ = &net_.obs().trace();
   const obs::Labels host_label{{"host", std::to_string(host_)}};
   packets_sent_ = reg.counter("lod.server.packets_sent", host_label);
   bytes_sent_ = reg.counter("lod.server.bytes_sent", host_label);
@@ -27,7 +27,7 @@ StreamingServer::StreamingServer(net::Network& net, net::HostId host,
       [this](const net::ReliableEndpoint::Message& m) { handle_control(m); });
 }
 
-StreamingServer::StreamingServer(net::Network& net, net::HostId host,
+StreamingServer::StreamingServer(net::Transport& net, net::HostId host,
                                  net::Port control_port)
     : StreamingServer(net, host, ServerConfig{control_port, 4.0}) {}
 
@@ -41,7 +41,7 @@ void StreamingServer::configure(ServerConfig cfg) {
 
 StreamingServer::SessionCounters StreamingServer::make_session_counters(
     std::uint64_t id) {
-  auto& reg = net_.simulator().obs().metrics();
+  auto& reg = net_.obs().metrics();
   const obs::Labels labels{{"host", std::to_string(host_)},
                            {"session", std::to_string(id)}};
   SessionCounters c;
@@ -61,7 +61,7 @@ void StreamingServer::end_session(Session& s) {
   // (long simulations would otherwise grow it without bound). The handles
   // in s.stats stay valid — retire() moves the cells to a graveyard — so
   // session_stats() still reads the final values.
-  net_.simulator().obs().metrics().retire(
+  net_.obs().metrics().retire(
       "lod.server.session.", {{"host", std::to_string(host_)},
                               {"session", std::to_string(s.id)}});
   if (trace_->enabled()) {
@@ -155,7 +155,7 @@ std::optional<SessionStats> ServerMetrics::session(std::uint64_t id) const {
   return server_->session_stats(id);
 }
 obs::Snapshot ServerMetrics::snapshot() const {
-  return server_->net_.simulator().obs().snapshot();
+  return server_->net_.obs().snapshot();
 }
 
 StreamingServer::Session* StreamingServer::find_session(std::uint64_t id) {
@@ -227,7 +227,7 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
       s.channel = channel;
       s.file = &it->second;
       s.next_packet = media::asf::seek_packet(*s.file, from);
-      s.pace_epoch = net_.simulator().now();
+      s.pace_epoch = net_.now();
       s.pace_offset = s.next_packet < s.file->packets.size()
                           ? s.file->packets[s.next_packet].send_time
                           : net::SimDuration{0};
@@ -293,7 +293,7 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
                        static_cast<std::int64_t>(s->id));
         }
         if (s->timer) {
-          net_.simulator().cancel(*s->timer);
+          net_.cancel(*s->timer);
           s->timer.reset();
         }
       }
@@ -307,7 +307,7 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
           trace_->emit(obs::EventType::kSessionResume, s->client,
                        static_cast<std::int64_t>(s->id));
         }
-        s->pace_epoch = net_.simulator().now();
+        s->pace_epoch = net_.now();
         s->pace_offset = s->next_packet < s->file->packets.size()
                              ? s->file->packets[s->next_packet].send_time
                              : net::SimDuration{0};
@@ -327,11 +327,11 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
         }
         ++s->epoch;  // packets from before the jump are now stale
         if (s->timer) {
-          net_.simulator().cancel(*s->timer);
+          net_.cancel(*s->timer);
           s->timer.reset();
         }
         s->next_packet = media::asf::seek_packet(*s->file, to);
-        s->pace_epoch = net_.simulator().now();
+        s->pace_epoch = net_.now();
         s->pace_offset = s->next_packet < s->file->packets.size()
                              ? s->file->packets[s->next_packet].send_time
                              : net::SimDuration{0};
@@ -352,11 +352,11 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
         s->channel = channel;  // the client renegotiated its QoS reservation
         // Re-anchor the pacing at the new speed, like resume does.
         if (s->timer) {
-          net_.simulator().cancel(*s->timer);
+          net_.cancel(*s->timer);
           s->timer.reset();
         }
         s->rate = static_cast<double>(permille) / 1000.0;
-        s->pace_epoch = net_.simulator().now();
+        s->pace_epoch = net_.now();
         s->pace_offset = s->next_packet < s->file->packets.size()
                              ? s->file->packets[s->next_packet].send_time
                              : net::SimDuration{0};
@@ -394,7 +394,7 @@ void StreamingServer::handle_control(const net::ReliableEndpoint::Message& m) {
       if (Session* s = find_session(sid)) {
         end_session(*s);
         if (s->timer) {
-          net_.simulator().cancel(*s->timer);
+          net_.cancel(*s->timer);
           s->timer.reset();
         }
         if (!s->live_name.empty()) {
@@ -454,9 +454,8 @@ void StreamingServer::schedule_next(Session& s) {
   // channel serializer would just queue the excess and add head-of-line
   // delay in front of everything (including repair resends).
   if (s.channel != 0) {
-    if (const auto info = net_.channel_info(s.channel)) {
-      burst_bps = std::min(burst_bps,
-                           static_cast<double>(info->rate_bps) * 0.95);
+    if (const std::int64_t rate = net_.channel_rate_bps(s.channel)) {
+      burst_bps = std::min(burst_bps, static_cast<double>(rate) * 0.95);
     }
   }
   const net::SimDuration min_gap{static_cast<std::int64_t>(
@@ -465,14 +464,14 @@ void StreamingServer::schedule_next(Session& s) {
   if (s.last_send.us > 0 && due < s.last_send + min_gap) {
     due = s.last_send + min_gap;
   }
-  const net::SimTime now = net_.simulator().now();
+  const net::SimTime now = net_.now();
   if (due < now) due = now;
   const std::uint64_t sid = s.id;
-  s.timer = net_.simulator().schedule_at(due, [this, sid] {
+  s.timer = net_.schedule_at(due, [this, sid] {
     Session* sp = find_session(sid);
     if (!sp || sp->stopped || sp->paused || !sp->file) return;
     sp->timer.reset();
-    sp->last_send = net_.simulator().now();
+    sp->last_send = net_.now();
     send_packet(*sp, cached_packet(sp->file, sp->next_packet),
                 static_cast<std::uint32_t>(sp->next_packet));
     ++sp->next_packet;
@@ -501,7 +500,7 @@ void StreamingServer::send_packet(Session& s, const net::Payload& bytes,
   w.u64(s.next_seq++);
   w.u32(packet_index);
 
-  net::Packet p;
+  net::Datagram p;
   p.src = host_;
   p.dst = s.client;
   p.src_port = data_.port();

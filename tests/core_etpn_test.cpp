@@ -4,6 +4,7 @@
 
 #include "lod/core/ocpn.hpp"
 #include "lod/core/xocpn.hpp"
+#include "lod/net/network.hpp"
 
 namespace lod::core {
 namespace {

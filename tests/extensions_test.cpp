@@ -9,6 +9,7 @@
 #include "lod/lod/classroom.hpp"
 #include "lod/lod/floor.hpp"
 #include "lod/lod/wmps.hpp"
+#include "lod/net/network.hpp"
 #include "lod/streaming/player.hpp"
 
 namespace lod {

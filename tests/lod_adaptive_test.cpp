@@ -1,4 +1,5 @@
 #include "lod/lod/adaptive.hpp"
+#include "lod/net/network.hpp"
 
 #include <gtest/gtest.h>
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "lod/net/network.hpp"
 #include "lod/net/rng.hpp"
 
 namespace lod::lod {

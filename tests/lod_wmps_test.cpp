@@ -4,6 +4,7 @@
 
 #include "lod/lod/abstraction.hpp"
 #include "lod/lod/classroom.hpp"
+#include "lod/net/network.hpp"
 
 namespace lod::lod {
 namespace {
@@ -129,9 +130,10 @@ TEST_F(WmpsFixture, RemotePublishOverRpc) {
   std::string url;
   browser.call(server_host, streaming::proto::kWebPort, "/publish",
                WmpsNode::serialize_form(lecture_form()),
-               [&](int s, std::span<const std::byte> body) {
-                 status = s;
-                 net::ByteReader r(body);
+               [&](net::Result<net::RpcReply> reply) {
+                 if (!reply) return;
+                 status = reply->status;
+                 net::ByteReader r(reply->body);
                  if (r.u8() == 1) url = r.str();
                });
   sim.run();
@@ -145,7 +147,9 @@ TEST_F(WmpsFixture, RemotePublishBadFormRejected) {
   int status = 0;
   browser.call(server_host, streaming::proto::kWebPort, "/publish",
                media::asf::pattern_bytes(10, 1),
-               [&](int s, std::span<const std::byte>) { status = s; });
+               [&](net::Result<net::RpcReply> reply) {
+                 status = reply ? reply->status : -1;
+               });
   sim.run();
   EXPECT_NE(status, 200);
 }

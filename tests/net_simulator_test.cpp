@@ -1,3 +1,4 @@
+#include "lod/net/network.hpp"
 #include "lod/net/simulator.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+#include "lod/net/network.hpp"
 #include "lod/net/transport.hpp"
 
 #include <gtest/gtest.h>
@@ -353,9 +354,10 @@ TEST_F(TransportFixture, RpcRoundTrip) {
   int status = 0;
   std::string body;
   client.call(b, 80, "/echo", bytes_of("payload"),
-              [&](int s, std::span<const std::byte> b2) {
-                status = s;
-                body = string_of(b2);
+              [&](net::Result<net::RpcReply> r) {
+                ASSERT_TRUE(r.has_value());
+                status = r->status;
+                body = string_of(r->body);
               });
   sim.run();
   EXPECT_EQ(status, 200);
@@ -367,7 +369,8 @@ TEST_F(TransportFixture, RpcUnknownPathIs404) {
   RpcServer server(net, b, 80);
   RpcClient client(net, a, 4000);
   int status = 0;
-  client.call(b, 80, "/nope", {}, [&](int s, auto) { status = s; });
+  client.call(b, 80, "/nope", {},
+              [&](net::Result<net::RpcReply> r) { status = r ? r->status : -1; });
   sim.run();
   EXPECT_EQ(status, 404);
 }
@@ -381,8 +384,9 @@ TEST_F(TransportFixture, RpcSurvivesLoss) {
   RpcClient client(net, a, 4000);
   int calls_done = 0;
   for (int i = 0; i < 10; ++i) {
-    client.call(b, 80, "/ok", {}, [&](int s, auto) {
-      EXPECT_EQ(s, 200);
+    client.call(b, 80, "/ok", {}, [&](net::Result<net::RpcReply> r) {
+      ASSERT_TRUE(r.has_value());
+      EXPECT_EQ(r->status, 200);
       ++calls_done;
     });
   }
@@ -401,8 +405,10 @@ TEST_F(TransportFixture, RpcMultipleRoutes) {
   });
   RpcClient client(net, a, 4000);
   int s1 = 0, s2 = 0;
-  client.call(b, 80, "/one", {}, [&](int s, auto) { s1 = s; });
-  client.call(b, 80, "/two", {}, [&](int s, auto) { s2 = s; });
+  client.call(b, 80, "/one",
+              {}, [&](net::Result<net::RpcReply> r) { s1 = r ? r->status : -1; });
+  client.call(b, 80, "/two",
+              {}, [&](net::Result<net::RpcReply> r) { s2 = r ? r->status : -1; });
   sim.run();
   EXPECT_EQ(s1, 201);
   EXPECT_EQ(s2, 202);

@@ -1,3 +1,4 @@
+#include "lod/net/network.hpp"
 #include "lod/net/sharded_runner.hpp"
 
 #include <gtest/gtest.h>

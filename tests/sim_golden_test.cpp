@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "lod/net/network.hpp"
+#include "lod/obs/export.hpp"
+#include "lod/streaming/encoder.hpp"
+#include "lod/streaming/player.hpp"
+#include "lod/streaming/server.hpp"
+
+/// \file sim_golden_test.cpp
+/// Byte-identical regression gate for the simulated transport.
+///
+/// Runs one fixed lecture scenario (lossy LAN, ETPN player with selective
+/// repair, slide script-commands fetched over RPC) and compares the full
+/// Prometheus export of the simulation's metrics snapshot against a golden
+/// generated on the pre-Transport-seam tree. Any behavioral drift in the
+/// simulator, network, transport, RPC or streaming layers — one extra
+/// scheduled event, one more retransmission — changes a counter and fails
+/// the byte comparison. This is what "SimTransport is byte-identical to the
+/// old SimNetwork+Simulator pair" means, mechanically.
+///
+/// Regenerate (ONLY for an intentional, reviewed behavior change):
+///   LOD_WRITE_GOLDEN=1 build/tests/sim_golden_tests
+
+#ifndef LOD_GOLDEN_DIR
+#define LOD_GOLDEN_DIR "."
+#endif
+
+namespace lod::streaming {
+namespace {
+
+using media::asf::ScriptCommand;
+using net::msec;
+using net::sec;
+
+std::string run_fixed_scenario() {
+  net::Simulator sim;
+  net::Network network(sim, 20020617);  // fixed seed: the paper's ICDCS year
+  const net::HostId server_host = network.add_host("server");
+  const net::HostId client_host =
+      network.add_host("client", net::HostClock(msec(40), 80.0));
+  net::LinkConfig lan;
+  lan.bandwidth_bps = 10'000'000;
+  lan.latency = msec(2);
+  lan.jitter = net::usec(300);
+  lan.loss_rate = 0.02;
+  network.add_link(server_host, client_host, lan);
+
+  StreamingServer server(network, server_host);
+  net::RpcServer web(network, server_host, proto::kWebPort);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    web.route("/slides/" + std::to_string(i),
+              [](std::string_view, std::span<const std::byte>) {
+                return std::make_pair(200, media::asf::pattern_bytes(20'000, 1));
+              });
+  }
+
+  EncodeJob job;
+  job.profile = *media::find_profile("Video 250k DSL/cable");
+  job.title = "Golden Lecture";
+  job.author = "Prof";
+  job.preroll = msec(2000);
+  media::LectureVideoSource v(sec(30), job.profile.fps, job.profile.width,
+                              job.profile.height, 7);
+  media::LectureAudioSource a(sec(30), job.profile.audio_sample_rate());
+  const auto times = media::make_slide_schedule(3, sec(30), 17);
+  auto scripts = slide_flip_commands(times, "slides/");
+  auto enc = encode_lecture(job, v, a, scripts);
+  server.publish("golden", std::move(enc.file));
+
+  PlayerConfig cfg;
+  cfg.model = SyncModel::kEtpn;
+  cfg.ctl_port = 5000;
+  cfg.data_port = 5001;
+  cfg.web_server = server_host;
+  cfg.repair_losses = true;
+  cfg.auto_stop_on_finish = true;
+  Player player(network, client_host, cfg);
+  player.open_and_play(server_host, "golden");
+  sim.run();
+
+  EXPECT_TRUE(player.finished());
+  return obs::to_prometheus(sim.obs().snapshot());
+}
+
+TEST(SimGolden, PrometheusSnapshotByteIdenticalToPreSeamTree) {
+  const std::string got = run_fixed_scenario();
+  const std::string path = std::string(LOD_GOLDEN_DIR) + "/sim_transport.prom";
+
+  if (std::getenv("LOD_WRITE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << got;
+    GTEST_SKIP() << "golden regenerated at " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::stringstream want;
+  want << in.rdbuf();
+  ASSERT_EQ(got, want.str())
+      << "SimTransport behavior drifted from the pre-seam golden; if the "
+         "change is intentional, regenerate with LOD_WRITE_GOLDEN=1";
+}
+
+/// The scenario itself is deterministic: two back-to-back runs in one
+/// process produce the same export (guards against the golden comparison
+/// passing only by accident of a fresh process).
+TEST(SimGolden, ScenarioIsRunToRunDeterministic) {
+  EXPECT_EQ(run_fixed_scenario(), run_fixed_scenario());
+}
+
+}  // namespace
+}  // namespace lod::streaming

@@ -1,3 +1,4 @@
+#include "lod/net/network.hpp"
 #include "lod/streaming/player.hpp"
 
 #include <gtest/gtest.h>
