@@ -9,13 +9,24 @@
 // linearly with the clock error (they trust the local clock), ETPN stays
 // flat at network-asymmetry level (it synchronizes clocks over the net).
 
+// A second scenario measures the sync subsystem's DESYNC RECOVERY (ISSUE 7):
+// a lossy 4-student classroom replicates the teacher's floor state through
+// sync epochs; after an interaction burst we report how many epochs the
+// slowest replica needed to reconverge and how many bytes the delta
+// resynchronization moved compared to a full state re-describe.
+
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <memory>
+#include <vector>
 
 #include "lod/lod/classroom.hpp"
+#include "lod/lod/floor.hpp"
 #include "lod/net/network.hpp"
 #include "lod/obs/metrics.hpp"
+#include "lod/sync/agent.hpp"
+#include "lod/sync/blocks.hpp"
 
 #include "bench_json.hpp"
 
@@ -67,6 +78,113 @@ static Skew run(streaming::SyncModel model, net::SimDuration offset_range,
   return Skew{hi - lo};
 }
 
+/// Desync-recovery numbers from one lossy replicated-floor session.
+struct Recovery {
+  bool converged{false};
+  std::uint64_t epochs_to_converge{0};  ///< slowest replica, epochs
+  double avg_delta_bytes{0};            ///< per resync image received
+  double full_bytes{0};                 ///< a full state re-describe
+};
+
+static Recovery run_recovery(std::uint64_t seed) {
+  net::Simulator sim;
+  net::Network network(sim, seed);
+  const std::vector<std::string> users{"teacher", "s0", "s1", "s2", "s3"};
+  constexpr std::size_t kStudents = 4;
+
+  struct Site {
+    app::FloorControl floor;
+    sync::SessionState state;
+    std::unique_ptr<sync::SyncAgent> agent;
+    std::uint64_t resync_epoch{0};
+    explicit Site(const std::vector<std::string>& u) : floor(u) {}
+  };
+
+  const net::HostId teacher = network.add_host("teacher");
+  net::LinkConfig lossy;
+  lossy.latency = net::msec(8);
+  lossy.jitter = net::msec(4);
+  lossy.loss_rate = 0.10;
+
+  Site authority(users);
+  std::vector<std::unique_ptr<Site>> replicas;
+
+  // A chunky static block stands in for the session's described state (the
+  // slide deck): the cost a full re-describe would pay and a delta must not.
+  const auto deck_block = [](sync::SessionState& s) {
+    s.register_block(
+        1, "deck",
+        [](sync::StateWriter& w) {
+          std::vector<std::byte> deck(8192);
+          for (std::size_t i = 0; i < deck.size(); ++i) {
+            deck[i] = static_cast<std::byte>(i * 131 + 17);
+          }
+          w.blob(deck);
+        },
+        [](sync::StateReader& r) { (void)r.blob(); });
+  };
+
+  sync::SyncConfig base;
+  base.epoch_interval = net::msec(200);
+  base.persistent_after = 2;
+  base.structure = authority.floor.net().structure_hash();
+
+  const auto wire = [&](Site& site, net::HostId host, bool authoritative) {
+    deck_block(site.state);
+    sync::register_floor_block(site.state, 2, "floor", &site.floor);
+    sync::SyncConfig cfg = base;
+    cfg.authoritative = authoritative;
+    site.agent =
+        std::make_unique<sync::SyncAgent>(network, host, site.state, cfg);
+  };
+  wire(authority, teacher, true);
+  for (std::size_t i = 0; i < kStudents; ++i) {
+    const auto h = network.add_host("student" + std::to_string(i));
+    network.add_link(teacher, h, lossy);
+    replicas.push_back(std::make_unique<Site>(users));
+    wire(*replicas.back(), h, false);
+    authority.agent->add_peer(h);
+    replicas.back()->agent->on_resync(
+        [r = replicas.back().get()](std::uint64_t epoch, std::size_t) {
+          r->resync_epoch = epoch;
+        });
+  }
+  authority.agent->start();
+  for (auto& r : replicas) r->agent->start();
+
+  // The interaction burst the replicas must catch up with.
+  network.schedule_after(net::sec(2), [&] {
+    authority.floor.request("teacher");
+    authority.floor.request("s1");
+    authority.floor.request("s2");
+  });
+  const std::uint64_t burst_epoch =
+      static_cast<std::uint64_t>(net::sec(2).us / base.epoch_interval.us);
+  sim.run_until(net::SimTime{net::sec(12).us});
+
+  Recovery rec;
+  authority.state.refresh();
+  rec.full_bytes = static_cast<double>(authority.state.full_size_bytes());
+  rec.converged = true;
+  double delta_sum = 0;
+  std::uint64_t replies = 0;
+  for (auto& r : replicas) {
+    r->state.refresh();
+    const sync::SyncStats& st = r->agent->stats();
+    rec.converged = rec.converged && !r->agent->detector().desynced() &&
+                    r->state.checksum() == authority.state.checksum() &&
+                    st.resync_ok >= 1 && r->resync_epoch > burst_epoch;
+    if (r->resync_epoch > burst_epoch) {
+      rec.epochs_to_converge =
+          std::max(rec.epochs_to_converge, r->resync_epoch - burst_epoch);
+    }
+    delta_sum += static_cast<double>(st.delta_bytes);
+    replies += st.resync_ok + st.resync_fail;
+  }
+  if (replies > 0) rec.avg_delta_bytes = delta_sum / static_cast<double>(replies);
+  return rec;
+}
+
 int main() {
   std::printf(
       "=== C1: cross-platform synchronization, scheduled presentation ===\n\n");
@@ -94,7 +212,26 @@ int main() {
   std::printf(
       "\nshape check (OCPN/XOCPN skew >> ETPN skew once clocks err): %s\n",
       shape_ok ? "holds" : "VIOLATED");
-    ::lod::bench::emit_json("bench_c1_distributed_sync", "shape_holds",
-                        shape_ok ? 1.0 : 0.0);
-  return shape_ok ? 0 : 1;
+
+  const Recovery rec = run_recovery(4242);
+  std::printf(
+      "\n=== desync recovery: replicated floor state, 10%% loss ===\n\n");
+  std::printf("converged after interaction burst:   %s\n",
+              rec.converged ? "yes (all 4 replicas)" : "NO");
+  std::printf("epochs to converge (slowest):        %llu\n",
+              static_cast<unsigned long long>(rec.epochs_to_converge));
+  std::printf("avg resync delta:                    %.0f bytes\n",
+              rec.avg_delta_bytes);
+  std::printf("full state re-describe:              %.0f bytes (%.1fx)\n",
+              rec.full_bytes,
+              rec.avg_delta_bytes > 0 ? rec.full_bytes / rec.avg_delta_bytes
+                                      : 0.0);
+
+  const bool ok = shape_ok && rec.converged;
+  ::lod::bench::emit_json(
+      "bench_c1_distributed_sync", "shape_holds", ok ? 1.0 : 0.0,
+      {{"recovery_epochs", static_cast<double>(rec.epochs_to_converge)},
+       {"resync_delta_bytes", rec.avg_delta_bytes},
+       {"full_state_bytes", rec.full_bytes}});
+  return ok ? 0 : 1;
 }

@@ -9,13 +9,27 @@
 // human-readable tables above it. Pass-fail shape benches report their
 // verdict as 1/0 under a "*_holds" or "mismatches" metric.
 
+// A bench may carry extra numeric fields after the headline "value" (e.g.
+// bench_c1's desync-recovery numbers); scrapers keyed on "value" are
+// unaffected because the headline triple always comes first.
+
 #include <cstdio>
+#include <initializer_list>
 
 namespace lod::bench {
 
-inline void emit_json(const char* bench, const char* metric, double value) {
-  std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %g}\n", bench,
+/// One extra `"name": value` field appended to the JSON line.
+struct Extra {
+  const char* name;
+  double value;
+};
+
+inline void emit_json(const char* bench, const char* metric, double value,
+                      std::initializer_list<Extra> extra = {}) {
+  std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %g", bench,
               metric, value);
+  for (const Extra& e : extra) std::printf(", \"%s\": %g", e.name, e.value);
+  std::printf("}\n");
 }
 
 }  // namespace lod::bench

@@ -118,6 +118,14 @@ class PetriNet {
   /// Render the net structure as a GraphViz dot string (debugging aid).
   std::string to_dot(const Marking* marking = nullptr) const;
 
+  /// Stable 64-bit digest of the net STRUCTURE — places (name, capacity),
+  /// transitions (name, priority) and arcs (endpoints, weights, kinds) — and
+  /// nothing about any marking. Two sites replicating markings over the
+  /// network (src/sync) guard with this that they are running the same net
+  /// before applying a foreign marking: a marking is meaningless against a
+  /// different structure.
+  std::uint64_t structure_hash() const;
+
  private:
   struct PlaceRec {
     std::string name;

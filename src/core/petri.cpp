@@ -157,4 +157,50 @@ std::string PetriNet::to_dot(const Marking* marking) const {
   return os.str();
 }
 
+namespace {
+
+// FNV-1a 64, the same digest the sync layer uses for state checksums.
+void fnv(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+}
+
+void fnv_str(std::uint64_t& h, const std::string& s) {
+  fnv(h, s.size());
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+}
+
+}  // namespace
+
+std::uint64_t PetriNet::structure_hash() const {
+  std::uint64_t h = 14695981039346656037ull;
+  fnv(h, places_.size());
+  for (const PlaceRec& p : places_) {
+    fnv_str(h, p.name);
+    fnv(h, p.capacity);
+  }
+  fnv(h, transitions_.size());
+  for (const TransitionRec& t : transitions_) {
+    fnv_str(h, t.name);
+    fnv(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(t.priority)));
+    fnv(h, t.inputs.size());
+    for (const Arc& a : t.inputs) {
+      fnv(h, a.place);
+      fnv(h, a.weight);
+      fnv(h, static_cast<std::uint64_t>(a.kind));
+    }
+    fnv(h, t.outputs.size());
+    for (const Arc& a : t.outputs) {
+      fnv(h, a.place);
+      fnv(h, a.weight);
+    }
+  }
+  return h;
+}
+
 }  // namespace lod::core

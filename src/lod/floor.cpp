@@ -160,6 +160,46 @@ std::vector<std::string> FloorControl::waiting() const {
   return {fifo_.begin(), fifo_.end()};
 }
 
+FloorControl::State FloorControl::state() const {
+  return State{marking_, {fifo_.begin(), fifo_.end()}};
+}
+
+void FloorControl::restore(const State& s) {
+  if (s.marking.size() != net_.place_count()) {
+    throw std::invalid_argument("FloorControl::restore: marking size " +
+                                std::to_string(s.marking.size()) +
+                                " != place count " +
+                                std::to_string(net_.place_count()));
+  }
+  for (core::PlaceId p = 0; p < s.marking.size(); ++p) {
+    const std::uint32_t cap = net_.place_capacity(p);
+    if (cap > 0 && s.marking[p] > cap) {
+      throw std::invalid_argument("FloorControl::restore: place " +
+                                  net_.place_name(p) + " over capacity");
+    }
+  }
+  for (auto it = s.fifo.begin(); it != s.fifo.end(); ++it) {
+    if (find(*it) == nullptr) {
+      throw std::invalid_argument("FloorControl::restore: unknown user " + *it);
+    }
+    if (std::find(s.fifo.begin(), it, *it) != it) {
+      throw std::invalid_argument("FloorControl::restore: duplicate queued " +
+                                  *it);
+    }
+  }
+  marking_ = s.marking;
+  fifo_.assign(s.fifo.begin(), s.fifo.end());
+  const auto queued = [this](const std::string& u) {
+    return std::find(fifo_.begin(), fifo_.end(), u) != fifo_.end();
+  };
+  for (auto it = asked_at_.begin(); it != asked_at_.end();) {
+    it = queued(it->first) ? std::next(it) : asked_at_.erase(it);
+  }
+  for (auto it = request_spans_.begin(); it != request_spans_.end();) {
+    it = queued(it->first) ? std::next(it) : request_spans_.erase(it);
+  }
+}
+
 std::vector<std::int64_t> FloorControl::exclusion_invariant() const {
   std::vector<std::int64_t> w(net_.place_count(), 0);
   w[floor_free_] = 1;
@@ -252,10 +292,32 @@ FloorClient::FloorClient(net::Network& net, net::HostId host,
 
 void FloorClient::call(const std::string& path, std::vector<std::byte> body,
                        std::function<void(bool)> done) {
+  call_result(path, std::move(body),
+              [done = std::move(done)](net::Result<bool> r) {
+                if (done) done(r && *r);
+              });
+}
+
+void FloorClient::call_result(const std::string& path,
+                              std::vector<std::byte> body, ResultFn done) {
   rpc_.call(service_host_, service_port_, path, std::move(body),
             [done = std::move(done)](net::Result<net::RpcReply> r) {
-              if (done) done(r && r->status == 200);
-            });
+              if (!done) return;
+              if (!r) {
+                done(r.error());
+              } else {
+                done(r->status == 200);
+              }
+            },
+            net::RpcClient::CallOptions{timeout_});
+}
+
+void FloorClient::request_floor_result(ResultFn done) {
+  call_result("/floor/request", str_bytes(user_), std::move(done));
+}
+
+void FloorClient::release_floor_result(ResultFn done) {
+  call_result("/floor/release", str_bytes(user_), std::move(done));
 }
 
 void FloorClient::join(std::function<void(bool)> done) {

@@ -76,6 +76,24 @@ class FloorControl {
   /// True by construction; tests verify it holds over random schedules.
   std::vector<std::int64_t> exclusion_invariant() const;
 
+  /// Replication snapshot of the MUTABLE floor state: the marking plus the
+  /// arrival-ordered request queue. The structure (user set, net shape) is
+  /// deliberately not included — replicating sites guard against structural
+  /// divergence with `net().structure_hash()` instead.
+  struct State {
+    core::Marking marking;
+    std::vector<std::string> fifo;
+  };
+  State state() const;
+
+  /// Install a replicated snapshot verbatim. No transitions fire — the
+  /// authoritative site already fired them, and firing anything here would
+  /// diverge from the state being copied. Throws std::invalid_argument when
+  /// the snapshot does not fit this net (wrong marking size, token over
+  /// capacity, unknown or duplicated queued user). Wait-time and trace
+  /// bookkeeping for users no longer queued is dropped.
+  void restore(const State& s);
+
  private:
   struct UserRec {
     core::PlaceId requesting;
@@ -151,17 +169,34 @@ class FloorClient {
   /// Speak while holding the floor; relayed to every member.
   void speak(const std::string& text, std::function<void(bool)> done = {});
 
+  /// Error-aware variants: the callback gets the transport verdict
+  /// (`net::Error::kRefused`, `kTimeout`, `kClosed`, ...) instead of a
+  /// collapsed bool, so call sites can tell "the service said no" apart
+  /// from "the request never reached the service". The success value is
+  /// the service's verdict (true == granted/released).
+  using ResultFn = std::function<void(net::Result<bool>)>;
+  void request_floor_result(ResultFn done);
+  void release_floor_result(ResultFn done);
+
+  /// Deadline applied to every RPC this client issues. Default: disarmed
+  /// (negative), so simulated event streams are unchanged; real-backend
+  /// callers should always arm one.
+  void set_call_timeout(net::SimDuration t) { timeout_ = t; }
+
   const std::string& user() const { return user_; }
 
  private:
   void call(const std::string& path, std::vector<std::byte> body,
             std::function<void(bool)> done);
+  void call_result(const std::string& path, std::vector<std::byte> body,
+                   ResultFn done);
 
   net::RpcClient rpc_;
   net::ReliableEndpoint inbox_;
   std::string user_;
   net::HostId service_host_;
   net::Port service_port_;
+  net::SimDuration timeout_{net::usec(-1)};
 };
 
 }  // namespace lod::lod

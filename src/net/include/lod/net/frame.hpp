@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+
+#include "lod/net/transport_base.hpp"
+
+/// \file frame.hpp
+/// The RealTransport wire formats — LODU datagram frames and LODR RPC
+/// request frames — as pure, socket-free codecs over byte spans.
+///
+/// Extracted from the epoll loop so the parsers can be property-tested (and
+/// fuzzed) without a kernel socket in sight: arbitrary bytes in, a verdict
+/// out, never undefined behaviour. The transport's contract for malformed
+/// input is COUNT AND DROP (`lod.net.frames_dropped`), never crash — a
+/// stray or corrupt datagram on a shared loopback must not take the node
+/// down.
+///
+/// Both formats are little-endian via memcpy: every end of a loopback
+/// exchange shares one machine, and the frames never leave it.
+
+namespace lod::net::frame {
+
+constexpr char kUdpMagic[4] = {'L', 'O', 'D', 'U'};
+constexpr char kRpcMagic[4] = {'L', 'O', 'D', 'R'};
+
+/// LODU header: magic, src host, src port, channel, payload length.
+constexpr std::size_t kUdpHeaderSize = 4 + 4 + 2 + 4 + 4;
+
+/// LODR sanity bounds: no path is kilobytes long, no body is gigabytes.
+constexpr std::uint32_t kMaxRpcPathLen = 4096;
+constexpr std::uint32_t kMaxRpcBodyLen = 1u << 28;
+
+namespace detail {
+inline void put_u32(std::byte* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+inline void put_u16(std::byte* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
+inline std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline std::uint16_t get_u16(const std::byte* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+}  // namespace detail
+
+/// The decoded LODU header fields.
+struct UdpHeader {
+  HostId src{0};
+  Port src_port{0};
+  ChannelId channel{0};
+  std::uint32_t payload_len{0};
+};
+
+/// Encode \p h into exactly `kUdpHeaderSize` bytes at \p out.
+inline void encode_udp_header(std::byte* out, const UdpHeader& h) {
+  std::memcpy(out, kUdpMagic, 4);
+  detail::put_u32(out + 4, h.src);
+  detail::put_u16(out + 8, h.src_port);
+  detail::put_u32(out + 10, h.channel);
+  detail::put_u32(out + 14, h.payload_len);
+}
+
+/// Decode one received datagram. nullopt == malformed: shorter than a
+/// header, wrong magic, or a payload length claiming more bytes than the
+/// datagram actually carries. (`dgram.size() - kUdpHeaderSize -
+/// payload_len` is then the scatter-gather body's length.)
+inline std::optional<UdpHeader> decode_udp_header(
+    std::span<const std::byte> dgram) {
+  if (dgram.size() < kUdpHeaderSize) return std::nullopt;
+  if (std::memcmp(dgram.data(), kUdpMagic, 4) != 0) return std::nullopt;
+  UdpHeader h;
+  h.src = detail::get_u32(dgram.data() + 4);
+  h.src_port = detail::get_u16(dgram.data() + 8);
+  h.channel = detail::get_u32(dgram.data() + 10);
+  h.payload_len = detail::get_u32(dgram.data() + 14);
+  if (h.payload_len > dgram.size() - kUdpHeaderSize) return std::nullopt;
+  return h;
+}
+
+/// Incremental LODR request parse over the front of a connection buffer:
+/// [LODR][u32 path_len][path][u32 body_len][body].
+enum class RpcParse : std::uint8_t {
+  kNeedMore,   ///< valid prefix; wait for more bytes
+  kFrame,      ///< one complete frame decoded into the out-param
+  kMalformed,  ///< bad magic or insane length — close the connection
+};
+
+/// One decoded request frame, as offsets into the connection buffer (the
+/// caller slices path/body out of its own storage; nothing is copied here).
+struct RpcFrame {
+  std::size_t path_offset{0};
+  std::uint32_t path_len{0};
+  std::size_t body_offset{0};
+  std::uint32_t body_len{0};
+  std::size_t frame_size{0};  ///< total bytes to consume from the buffer
+};
+
+inline RpcParse parse_rpc_frame(std::span<const std::byte> buf,
+                                RpcFrame& out) {
+  if (buf.size() < 8) return RpcParse::kNeedMore;
+  if (std::memcmp(buf.data(), kRpcMagic, 4) != 0) return RpcParse::kMalformed;
+  const std::uint32_t path_len = detail::get_u32(buf.data() + 4);
+  if (path_len > kMaxRpcPathLen) return RpcParse::kMalformed;
+  if (buf.size() < 8 + static_cast<std::size_t>(path_len) + 4) {
+    return RpcParse::kNeedMore;
+  }
+  const std::uint32_t body_len = detail::get_u32(buf.data() + 8 + path_len);
+  if (body_len > kMaxRpcBodyLen) return RpcParse::kMalformed;
+  const std::size_t frame =
+      8 + static_cast<std::size_t>(path_len) + 4 + body_len;
+  if (buf.size() < frame) return RpcParse::kNeedMore;
+  out.path_offset = 8;
+  out.path_len = path_len;
+  out.body_offset = 8 + static_cast<std::size_t>(path_len) + 4;
+  out.body_len = body_len;
+  out.frame_size = frame;
+  return RpcParse::kFrame;
+}
+
+}  // namespace lod::net::frame

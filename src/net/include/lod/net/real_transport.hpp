@@ -203,6 +203,8 @@ class RealTransport : public Transport {
   obs::Counter m_dg_recv_;     ///< lod.realnet.datagrams_received
   obs::Counter m_dg_dropped_;  ///< lod.realnet.datagrams_dropped (send fail)
   obs::Counter m_bind_fail_;   ///< lod.realnet.bind_failures
+  /// lod.net.frames_dropped — malformed LODU/LODR frames counted+dropped.
+  obs::Counter m_frames_dropped_;
 };
 
 // --- blocking client helpers -------------------------------------------------

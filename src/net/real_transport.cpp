@@ -16,6 +16,7 @@
 #include <cstring>
 #include <functional>
 
+#include "lod/net/frame.hpp"
 #include "lod/net/transport.hpp"
 #include "lod/obs/export.hpp"
 
@@ -23,28 +24,12 @@ namespace lod::net {
 
 namespace {
 
-/// UDP frame header: magic, src host, src port, channel, payload length.
-/// Everything little-endian; both ends of a loopback exchange share one
-/// machine, and the header never leaves it.
-constexpr char kUdpMagic[4] = {'L', 'O', 'D', 'U'};
-constexpr std::size_t kUdpHeader = 4 + 4 + 2 + 4 + 4;
-
-/// TCP RPC frame magic; also what the listener sniffs to tell RPC
-/// connections from HTTP ones (no HTTP method starts with "LODR").
-constexpr char kRpcMagic[4] = {'L', 'O', 'D', 'R'};
+/// Frame codecs live in frame.hpp (socket-free, property-tested); the
+/// listener also sniffs `frame::kRpcMagic` to tell RPC connections from
+/// HTTP ones (no HTTP method starts with "LODR").
+constexpr std::size_t kUdpHeader = frame::kUdpHeaderSize;
 
 void put_u32(std::byte* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
-void put_u16(std::byte* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
-std::uint32_t get_u32(const std::byte* p) {
-  std::uint32_t v;
-  std::memcpy(&v, p, 4);
-  return v;
-}
-std::uint16_t get_u16(const std::byte* p) {
-  std::uint16_t v;
-  std::memcpy(&v, p, 2);
-  return v;
-}
 
 /// One monotonic microsecond timeline per process: every RealTransport
 /// instance (one per modeled machine) reads the same clock, so cross-node
@@ -178,6 +163,7 @@ RealTransport::RealTransport(Config cfg) {
   m_dg_recv_ = reg.counter("lod.realnet.datagrams_received");
   m_dg_dropped_ = reg.counter("lod.realnet.datagrams_dropped");
   m_bind_fail_ = reg.counter("lod.realnet.bind_failures");
+  m_frames_dropped_ = reg.counter("lod.net.frames_dropped");
 }
 
 RealTransport::~RealTransport() {
@@ -304,11 +290,9 @@ bool RealTransport::send(Datagram d) {
     return false;
   }
   std::byte hdr[kUdpHeader];
-  std::memcpy(hdr, kUdpMagic, 4);
-  put_u32(hdr + 4, d.src);
-  put_u16(hdr + 8, d.src_port);
-  put_u32(hdr + 10, d.channel);
-  put_u32(hdr + 14, static_cast<std::uint32_t>(d.payload.size()));
+  frame::encode_udp_header(
+      hdr, {d.src, d.src_port, d.channel,
+            static_cast<std::uint32_t>(d.payload.size())});
 
   sockaddr_in dst{};
   dst.sin_family = AF_INET;
@@ -469,17 +453,19 @@ void RealTransport::on_udp_readable(UdpSocket& s) {
     if (n < 0) return;  // EAGAIN (drained) or a transient error
     const auto it = udp_.find(fd);
     if (it == udp_.end()) return;  // a callback unbound this socket
-    if (n < static_cast<ssize_t>(kUdpHeader) ||
-        std::memcmp(rx_buf_.data(), kUdpMagic, 4) != 0) {
-      continue;  // stray datagram from something else on loopback
+    const auto hdr = frame::decode_udp_header(
+        {rx_buf_.data(), static_cast<std::size_t>(n)});
+    if (!hdr) {
+      // Stray loopback traffic, truncation, or corruption: count and drop.
+      m_frames_dropped_.inc();
+      continue;
     }
     Datagram d;
-    d.src = get_u32(rx_buf_.data() + 4);
-    d.src_port = get_u16(rx_buf_.data() + 8);
-    d.channel = get_u32(rx_buf_.data() + 10);
-    const std::uint32_t payload_len = get_u32(rx_buf_.data() + 14);
+    d.src = hdr->src;
+    d.src_port = hdr->src_port;
+    d.channel = hdr->channel;
+    const std::uint32_t payload_len = hdr->payload_len;
     const std::size_t data_len = static_cast<std::size_t>(n) - kUdpHeader;
-    if (payload_len > data_len) continue;  // malformed; drop
     d.dst = it->second.host;
     d.dst_port = it->second.port;
     d.wire_size = static_cast<std::uint32_t>(n) + 28;  // UDP/IP framing
@@ -532,36 +518,39 @@ void RealTransport::on_tcp_readable(int fd) {
 bool RealTransport::drain_tcp_conn(TcpConn& c) {
   if (c.mode == TcpConn::Mode::kSniff) {
     if (c.buf.size() < 4) return true;
-    c.mode = std::memcmp(c.buf.data(), kRpcMagic, 4) == 0
+    c.mode = std::memcmp(c.buf.data(), frame::kRpcMagic, 4) == 0
                  ? TcpConn::Mode::kRpc
                  : TcpConn::Mode::kHttp;
   }
 
   if (c.mode == TcpConn::Mode::kRpc) {
     // [LODR][u32 path_len][path][u32 body_len][body], repeated per request;
-    // each answered with [u32 status][u32 body_len][body].
+    // each answered with [u32 status][u32 body_len][body]. The codec is
+    // frame::parse_rpc_frame; a malformed frame is counted and the
+    // connection closed (mid-stream garbage means framing is lost for good).
     while (true) {
-      if (c.buf.size() < 8) return true;
-      if (std::memcmp(c.buf.data(), kRpcMagic, 4) != 0) return false;
-      const std::uint32_t path_len = get_u32(c.buf.data() + 4);
-      if (path_len > 4096) return false;
-      if (c.buf.size() < 8 + path_len + 4) return true;
-      const std::uint32_t body_len = get_u32(c.buf.data() + 8 + path_len);
-      const std::size_t frame = 8 + path_len + 4 + body_len;
-      if (body_len > (1u << 28) || c.buf.size() < frame) {
-        return body_len <= (1u << 28);
+      frame::RpcFrame f;
+      switch (frame::parse_rpc_frame(c.buf, f)) {
+        case frame::RpcParse::kNeedMore:
+          return true;
+        case frame::RpcParse::kMalformed:
+          m_frames_dropped_.inc();
+          return false;
+        case frame::RpcParse::kFrame:
+          break;
       }
       const std::string_view path(
-          reinterpret_cast<const char*>(c.buf.data() + 8), path_len);
-      const std::span<const std::byte> body(c.buf.data() + 8 + path_len + 4,
-                                            body_len);
+          reinterpret_cast<const char*>(c.buf.data() + f.path_offset),
+          f.path_len);
+      const std::span<const std::byte> body(c.buf.data() + f.body_offset,
+                                            f.body_len);
       auto [status, resp] = c.rpc->handle(path, body);
       std::vector<std::byte> out(8 + resp.size());
       put_u32(out.data(), static_cast<std::uint32_t>(status));
       put_u32(out.data() + 4, static_cast<std::uint32_t>(resp.size()));
       std::copy(resp.begin(), resp.end(), out.begin() + 8);
       if (!write_fully(c.fd, out.data(), out.size())) return false;
-      c.buf.erase(c.buf.begin(), c.buf.begin() + frame);
+      c.buf.erase(c.buf.begin(), c.buf.begin() + f.frame_size);
     }
   }
 
@@ -667,14 +656,14 @@ Result<RpcReply> TcpRpcClient::call(std::string_view path,
                                     std::span<const std::byte> body,
                                     int timeout_ms) {
   if (Result<void> c = ensure_connected(timeout_ms); !c) return c.error();
-  std::vector<std::byte> frame(8 + path.size() + 4 + body.size());
-  std::memcpy(frame.data(), kRpcMagic, 4);
-  put_u32(frame.data() + 4, static_cast<std::uint32_t>(path.size()));
-  std::memcpy(frame.data() + 8, path.data(), path.size());
-  put_u32(frame.data() + 8 + path.size(),
+  std::vector<std::byte> req(8 + path.size() + 4 + body.size());
+  std::memcpy(req.data(), frame::kRpcMagic, 4);
+  put_u32(req.data() + 4, static_cast<std::uint32_t>(path.size()));
+  std::memcpy(req.data() + 8, path.data(), path.size());
+  put_u32(req.data() + 8 + path.size(),
           static_cast<std::uint32_t>(body.size()));
-  std::copy(body.begin(), body.end(), frame.begin() + 8 + path.size() + 4);
-  if (!write_fully(fd_, frame.data(), frame.size())) {
+  std::copy(body.begin(), body.end(), req.begin() + 8 + path.size() + 4);
+  if (!write_fully(fd_, req.data(), req.size())) {
     ::close(fd_);
     fd_ = -1;
     return Error::kIo;
@@ -685,8 +674,8 @@ Result<RpcReply> TcpRpcClient::call(std::string_view path,
     fd_ = -1;
     return r.error();
   }
-  const int status = static_cast<int>(get_u32(head));
-  const std::uint32_t body_len = get_u32(head + 4);
+  const int status = static_cast<int>(frame::detail::get_u32(head));
+  const std::uint32_t body_len = frame::detail::get_u32(head + 4);
   if (body_len > (1u << 28)) {
     ::close(fd_);
     fd_ = -1;

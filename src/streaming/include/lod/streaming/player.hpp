@@ -146,6 +146,22 @@ struct InteractionRecord {
   }
 };
 
+/// The render-timeline portion of a player's state, as replicated across
+/// sites by `src/sync`: the render-clock mapping (media pts `base_pts` is on
+/// screen at local instant `epoch_local`), the pause position and rate, and
+/// the reorder-buffer cursor. Deliberately EXCLUDES the session lifecycle —
+/// state machine, serving site, buffered media — because sync repairs where
+/// the playhead is, not what the session is doing.
+struct PlayerSyncCursor {
+  std::int64_t base_pts_us{0};
+  std::int64_t epoch_local_us{0};
+  std::int64_t paused_pos_us{0};
+  double rate{1.0};
+  std::int64_t next_feed{-1};
+  std::int64_t highest_index{-1};
+  std::uint32_t stream_epoch{0};
+};
+
 /// Subscriber interface for the player's typed events: the uniform
 /// replacement for scraping the record vectors. All callbacks default to
 /// no-ops; override what you need. Events fire synchronously at the moment
@@ -218,6 +234,16 @@ class Player {
   bool paused_state() const { return state_ == State::kPaused; }
   /// Current media position per the render clock.
   net::SimDuration position() const;
+
+  /// Export the render-timeline state for sync-layer replication.
+  PlayerSyncCursor sync_cursor() const;
+
+  /// Install a replicated cursor. While playing, the player immediately
+  /// rolls forward through buffered script commands up to the restored
+  /// position (the catch-up half of a resync) and re-arms the renderer on
+  /// the restored timeline; in any other state the fields land silently and
+  /// take effect when rendering (re)starts.
+  void restore_sync_cursor(const PlayerSyncCursor& c);
 
   // --- observability (what the benches read) ---------------------------------------
 

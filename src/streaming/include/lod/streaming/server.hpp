@@ -116,11 +116,6 @@ class StreamingServer {
   /// Binds `cfg.control_port` on \p host. \p cfg is validated on entry.
   StreamingServer(net::Transport& net, net::HostId host, ServerConfig cfg = {});
 
-  /// Legacy constructor (pre-ServerConfig); forwards to the primary one.
-  [[deprecated("construct with ServerConfig{.control_port = ...}")]]
-  StreamingServer(net::Transport& net, net::HostId host,
-                  net::Port control_port);
-
   // --- content ---------------------------------------------------------------
 
   /// Publish a stored file under \p name (overwrites an existing entry).

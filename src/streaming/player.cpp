@@ -722,6 +722,35 @@ net::SimDuration Player::position() const {
   }
 }
 
+PlayerSyncCursor Player::sync_cursor() const {
+  PlayerSyncCursor c;
+  c.base_pts_us = base_pts_.us;
+  c.epoch_local_us = epoch_local_.us;
+  c.paused_pos_us = paused_pos_.us;
+  c.rate = rate_;
+  c.next_feed = next_feed_;
+  c.highest_index = highest_index_;
+  c.stream_epoch = stream_epoch_;
+  return c;
+}
+
+void Player::restore_sync_cursor(const PlayerSyncCursor& c) {
+  base_pts_ = net::SimDuration{c.base_pts_us};
+  epoch_local_ = net::SimTime{c.epoch_local_us};
+  paused_pos_ = net::SimDuration{c.paused_pos_us};
+  if (c.rate > 0) rate_ = c.rate;
+  next_feed_ = c.next_feed;
+  highest_index_ = c.highest_index;
+  stream_epoch_ = c.stream_epoch;
+  if (state_ == State::kPlaying) {
+    // The restored mapping may have jumped the playhead forward: catch up
+    // through every script command now due, then reschedule rendering on
+    // the restored timeline.
+    execute_scripts_upto(position());
+    arm_render_timer();
+  }
+}
+
 void Player::arm_render_timer() {
   if (render_timer_) {
     net_.cancel(*render_timer_);

@@ -27,10 +27,6 @@ StreamingServer::StreamingServer(net::Transport& net, net::HostId host,
       [this](const net::ReliableEndpoint::Message& m) { handle_control(m); });
 }
 
-StreamingServer::StreamingServer(net::Transport& net, net::HostId host,
-                                 net::Port control_port)
-    : StreamingServer(net, host, ServerConfig{control_port, 4.0}) {}
-
 void StreamingServer::configure(ServerConfig cfg) {
   // Pin the port before validating: the port is fixed at construction, so a
   // caller passing a default/stale struct must not be rejected for a field

@@ -1,0 +1,99 @@
+#include "lod/sync/blocks.hpp"
+
+#include <utility>
+
+namespace lod::sync {
+
+namespace {
+
+// Section markers: cheap structural guards between logical fields (see
+// serialize.hpp). Values are arbitrary but stable — they are wire format.
+constexpr std::uint32_t kMarkMarking = 0x4d41524bu;  // 'MARK'
+constexpr std::uint32_t kMarkFloor = 0x464c4f52u;    // 'FLOR'
+constexpr std::uint32_t kMarkCursor = 0x43555253u;   // 'CURS'
+
+void save_cursor(StateWriter& w, const streaming::PlayerSyncCursor& c) {
+  w.marker(kMarkCursor);
+  w.i64(c.base_pts_us);
+  w.i64(c.epoch_local_us);
+  w.i64(c.paused_pos_us);
+  w.f64(c.rate);
+  w.i64(c.next_feed);
+  w.i64(c.highest_index);
+  w.u32(c.stream_epoch);
+}
+
+streaming::PlayerSyncCursor load_cursor(StateReader& r) {
+  r.expect_marker(kMarkCursor);
+  streaming::PlayerSyncCursor c;
+  c.base_pts_us = r.i64();
+  c.epoch_local_us = r.i64();
+  c.paused_pos_us = r.i64();
+  c.rate = r.f64();
+  c.next_feed = r.i64();
+  c.highest_index = r.i64();
+  c.stream_epoch = r.u32();
+  return c;
+}
+
+}  // namespace
+
+void save_marking(StateWriter& w, const core::Marking& m) {
+  w.marker(kMarkMarking);
+  w.u32(static_cast<std::uint32_t>(m.size()));
+  for (const std::uint32_t tokens : m) w.u32(tokens);
+}
+
+void load_marking(StateReader& r, core::Marking& m) {
+  r.expect_marker(kMarkMarking);
+  const std::uint32_t n = r.u32();
+  m.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) m[i] = r.u32();
+}
+
+void register_marking_block(SessionState& s, std::uint32_t id,
+                            std::string name, core::Marking* m) {
+  s.register_block(
+      id, std::move(name), [m](StateWriter& w) { save_marking(w, *m); },
+      [m](StateReader& r) { load_marking(r, *m); });
+}
+
+void register_floor_block(SessionState& s, std::uint32_t id, std::string name,
+                          ::lod::lod::FloorControl* f) {
+  s.register_block(
+      id, std::move(name),
+      [f](StateWriter& w) {
+        const auto st = f->state();
+        w.marker(kMarkFloor);
+        save_marking(w, st.marking);
+        w.u32(static_cast<std::uint32_t>(st.fifo.size()));
+        for (const std::string& u : st.fifo) w.str(u);
+      },
+      [f](StateReader& r) {
+        r.expect_marker(kMarkFloor);
+        ::lod::lod::FloorControl::State st;
+        load_marking(r, st.marking);
+        const std::uint32_t n = r.u32();
+        st.fifo.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) st.fifo.push_back(r.str());
+        f->restore(st);
+      });
+}
+
+void register_player_block(SessionState& s, std::uint32_t id, std::string name,
+                           streaming::Player* p) {
+  s.register_block(
+      id, std::move(name),
+      [p](StateWriter& w) { save_cursor(w, p->sync_cursor()); },
+      [p](StateReader& r) { p->restore_sync_cursor(load_cursor(r)); });
+}
+
+void register_player_cursor_block(SessionState& s, std::uint32_t id,
+                                  std::string name,
+                                  streaming::PlayerSyncCursor* c) {
+  s.register_block(
+      id, std::move(name), [c](StateWriter& w) { save_cursor(w, *c); },
+      [c](StateReader& r) { *c = load_cursor(r); });
+}
+
+}  // namespace lod::sync

@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "lod/net/transport.hpp"
+#include "lod/obs/hub.hpp"
+#include "lod/sync/detector.hpp"
+#include "lod/sync/state.hpp"
+
+/// \file agent.hpp
+/// `SyncAgent`: the per-site sync-epoch driver.
+///
+/// Every site runs one agent over the `net::Transport` seam (so the same
+/// code gossips over the simulated fabric and over real UDP). Time is cut
+/// into fixed EPOCHS at absolute boundaries — epoch e covers
+/// [e*interval, (e+1)*interval) of transport time — so all sites agree on
+/// epoch numbers without any coordination. At each boundary the agent
+/// refreshes its `SessionState`, records `{epoch, checksum}` in a short
+/// history, and the AUTHORITATIVE site (the floor-holding/teacher site in a
+/// WMPS session) gossips its checksum to every peer.
+///
+/// Replicas compare the authority's checksum for epoch e against their own
+/// history entry for e and feed the verdict to a `DesyncDetector`. On
+/// persistent drift the replica sends its per-block checksums to the
+/// authority, which answers with a DELTA image carrying only the disagreeing
+/// blocks — resynchronization without the full re-describe the paper's
+/// system would need. Lost request or reply datagrams need no special
+/// handling: the next epoch's gossip still mismatches, the verdict is still
+/// persistent, and the request is simply sent again.
+///
+/// Everything is published as `lod.sync.*{host}` series plus parent-linked
+/// "sync.resync" spans (a=epoch in, a=blocks/b=bytes out) under the trace
+/// context installed with `set_trace_context` (a fresh root otherwise).
+
+namespace lod::sync {
+
+struct SyncConfig {
+  /// UDP-style port the agent binds for gossip + delta transfer.
+  net::Port port{7100};
+  /// Epoch length. All sites of a session must use the same interval.
+  net::SimDuration epoch_interval{net::msec(500)};
+  /// Consecutive mismatched epochs before a resync is triggered.
+  int persistent_after{3};
+  /// The authoritative site gossips checksums and serves delta requests;
+  /// replicas compare and request. Flippable at runtime when the floor
+  /// moves (`set_authoritative`).
+  bool authoritative{false};
+  /// Structure guard: a stable hash of the replicated machinery (e.g.
+  /// `core::PetriNet::structure_hash()`). Sites only compare/serve state
+  /// when structures agree — a marking means nothing against a different
+  /// net.
+  std::uint64_t structure{0};
+  /// Epochs of {checksum, stamp} history kept for late-arriving gossip.
+  std::size_t history{16};
+};
+
+/// Statistics mirror of the agent's `lod.sync.*` counters, for tests and
+/// benches that want numbers without a snapshot.
+struct SyncStats {
+  std::uint64_t epochs{0};
+  std::uint64_t gossip_tx{0};
+  std::uint64_t gossip_rx{0};
+  std::uint64_t mismatches{0};
+  std::uint64_t transient{0};
+  std::uint64_t persistent{0};
+  std::uint64_t resync_requests{0};
+  std::uint64_t resync_serves{0};
+  std::uint64_t resync_ok{0};
+  std::uint64_t resync_fail{0};
+  std::uint64_t delta_bytes{0};
+  std::uint64_t blocks_transferred{0};
+  std::uint64_t malformed{0};
+  std::uint64_t stale{0};
+  std::uint64_t structure_mismatches{0};
+};
+
+class SyncAgent {
+ public:
+  /// Fired after a successful resync applied \p blocks blocks at \p epoch —
+  /// the hook where a player rolls forward through buffered script commands
+  /// to catch up with the restored clock.
+  using ResyncFn = std::function<void(std::uint64_t epoch, std::size_t blocks)>;
+
+  SyncAgent(net::Transport& net, net::HostId host, SessionState& state,
+            SyncConfig cfg = {});
+  ~SyncAgent();
+  SyncAgent(const SyncAgent&) = delete;
+  SyncAgent& operator=(const SyncAgent&) = delete;
+
+  /// Add a gossip peer (port 0 = the configured sync port).
+  void add_peer(net::HostId h, net::Port port = 0);
+
+  void set_authoritative(bool on) { cfg_.authoritative = on; }
+  bool authoritative() const { return cfg_.authoritative; }
+
+  /// Parent spans under \p ctx (e.g. the classroom session trace).
+  void set_trace_context(obs::TraceContext ctx) { ctx_ = ctx; }
+
+  void on_resync(ResyncFn fn) { on_resync_ = std::move(fn); }
+
+  /// Arm the first epoch timer. Without start() the agent is completely
+  /// inert — no timers, no sends — which is what keeps sync strictly
+  /// opt-in (the sim golden is unchanged when no agent starts).
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  std::uint64_t current_epoch() const { return last_epoch_; }
+  const DesyncDetector& detector() const { return detector_; }
+  const SyncStats& stats() const { return stats_; }
+  SessionState& state() { return state_; }
+  net::HostId host() const { return host_; }
+
+ private:
+  struct EpochRecord {
+    std::uint64_t epoch;
+    std::uint64_t checksum;
+    std::int64_t local_stamp_us;
+  };
+  struct PeerAddr {
+    net::HostId host;
+    net::Port port;
+  };
+  struct EpochReport {
+    std::uint64_t checksum;
+    std::int64_t local_stamp_us;
+    net::HostId from;
+    net::Port from_port;
+  };
+
+  void arm_epoch_timer();
+  void epoch_tick();
+  void handle_datagram(const net::Datagram& d);
+  void handle_epoch_report(std::uint64_t epoch, const EpochReport& rep);
+  /// Compare a (known-local) epoch against the authority's view.
+  void compare(std::uint64_t epoch, const EpochReport& rep);
+  void send_resync_request(std::uint64_t epoch, const PeerAddr& to);
+  void handle_delta_request(const net::Datagram& d, net::ByteReader& r);
+  void handle_delta_reply(net::ByteReader& r);
+  const EpochRecord* history_find(std::uint64_t epoch) const;
+  void broadcast(const std::vector<std::byte>& msg);
+
+  net::Transport& net_;
+  net::HostId host_;
+  SessionState& state_;
+  SyncConfig cfg_;
+  net::DatagramSocket sock_;
+  DesyncDetector detector_;
+  std::vector<PeerAddr> peers_;
+  std::deque<EpochRecord> history_;
+  /// Authority reports that arrived before our own tick for that epoch.
+  std::map<std::uint64_t, EpochReport> pending_;
+  std::optional<net::EventId> epoch_timer_;
+  bool running_{false};
+  std::uint64_t last_epoch_{0};
+  bool ticked_any_{false};
+  /// Epoch of the resync request in flight (nullopt = none). A lost reply
+  /// clears itself: the next persistent verdict for a LATER epoch
+  /// re-requests.
+  std::optional<std::uint64_t> resync_inflight_;
+  ResyncFn on_resync_;
+  SyncStats stats_;
+
+  obs::TraceContext ctx_;
+  std::uint64_t resync_span_{0};
+  obs::Counter m_epochs_;
+  obs::Counter m_gossip_tx_;
+  obs::Counter m_gossip_rx_;
+  obs::Counter m_mismatch_;
+  obs::Counter m_transient_;
+  obs::Counter m_persistent_;
+  obs::Counter m_resync_request_;
+  obs::Counter m_resync_serve_;
+  obs::Counter m_resync_ok_;
+  obs::Counter m_resync_fail_;
+  obs::Counter m_delta_bytes_;
+  obs::Counter m_blocks_transferred_;
+  obs::Counter m_malformed_;
+  obs::Counter m_stale_;
+  obs::Counter m_structure_mismatch_;
+  obs::Gauge m_full_bytes_;
+  obs::Histogram m_drift_us_;
+};
+
+}  // namespace lod::sync

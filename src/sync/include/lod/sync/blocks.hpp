@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lod/core/petri.hpp"
+#include "lod/lod/floor.hpp"
+#include "lod/streaming/player.hpp"
+#include "lod/sync/state.hpp"
+
+/// \file blocks.hpp
+/// Adapters that register the session-critical state of the lower layers as
+/// `SessionState` blocks. The providers (core, lod, streaming) know nothing
+/// about sync — they expose plain snapshot structs (`core::Marking`,
+/// `FloorControl::State`, `streaming::PlayerSyncCursor`) and this file owns
+/// the byte layout. Block ids are caller-chosen and must be identical on
+/// every site of a session.
+
+namespace lod::sync {
+
+/// Serialize/deserialize a Petri-net marking (bare token vector).
+void save_marking(StateWriter& w, const core::Marking& m);
+void load_marking(StateReader& r, core::Marking& m);
+
+/// Register \p m (borrowed; must outlive the state) as a block.
+void register_marking_block(SessionState& s, std::uint32_t id,
+                            std::string name, core::Marking* m);
+
+/// Register a floor-control instance: marking + FIFO request queue. Loads
+/// go through `FloorControl::restore`, so a snapshot that does not fit the
+/// local net fails the apply instead of corrupting it.
+void register_floor_block(SessionState& s, std::uint32_t id, std::string name,
+                          ::lod::lod::FloorControl* f);
+
+/// Register a live player's render-timeline cursor. Loads go through
+/// `Player::restore_sync_cursor`, which rolls the player forward through
+/// buffered script commands when it is mid-playout.
+void register_player_block(SessionState& s, std::uint32_t id, std::string name,
+                           streaming::Player* p);
+
+/// Register a detached cursor struct (replica bookkeeping, tests).
+void register_player_cursor_block(SessionState& s, std::uint32_t id,
+                                  std::string name,
+                                  streaming::PlayerSyncCursor* c);
+
+}  // namespace lod::sync

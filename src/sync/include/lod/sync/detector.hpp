@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file detector.hpp
+/// Desync classification: one checksum mismatch on a lossy link means very
+/// little (an in-flight floor grant lands a few hundred microseconds later
+/// on one site than another), but a run of them means the replica genuinely
+/// diverged and needs a state transfer. The detector turns the per-epoch
+/// match/mismatch stream into a three-way verdict so the sync agent resyncs
+/// on persistence, not on noise.
+
+namespace lod::sync {
+
+class DesyncDetector {
+ public:
+  enum class Verdict : std::uint8_t {
+    kInSync,     ///< checksums matched this epoch
+    kTransient,  ///< mismatched, but not long enough to act on
+    kPersistent  ///< mismatched for >= persistent_after consecutive epochs
+  };
+
+  struct Config {
+    /// Consecutive mismatched epochs before drift is ruled persistent.
+    /// (No default member initializer: an in-class default argument may not
+    /// depend on one before the enclosing class is complete.)
+    int persistent_after;
+  };
+
+  explicit DesyncDetector(Config cfg = Config{3}) : cfg_(cfg) {
+    if (cfg_.persistent_after < 1) cfg_.persistent_after = 1;
+  }
+
+  /// Record one epoch's comparison. Epochs may arrive with gaps (lost
+  /// gossip); only forward progress is recorded — a stale or repeated epoch
+  /// returns the current verdict without changing state.
+  Verdict observe(std::uint64_t epoch, bool match) {
+    if (seen_any_ && epoch <= last_epoch_) return verdict_;
+    seen_any_ = true;
+    last_epoch_ = epoch;
+    if (match) {
+      streak_ = 0;
+      verdict_ = Verdict::kInSync;
+    } else {
+      ++streak_;
+      verdict_ = streak_ >= cfg_.persistent_after ? Verdict::kPersistent
+                                                  : Verdict::kTransient;
+    }
+    return verdict_;
+  }
+
+  /// A completed resync cleared the divergence; restart the streak so the
+  /// next mismatch is judged fresh.
+  void note_resynced() {
+    streak_ = 0;
+    verdict_ = Verdict::kInSync;
+  }
+
+  int streak() const { return streak_; }
+  std::uint64_t last_epoch() const { return last_epoch_; }
+  bool desynced() const { return verdict_ == Verdict::kPersistent; }
+  Verdict verdict() const { return verdict_; }
+
+ private:
+  Config cfg_;
+  int streak_{0};
+  std::uint64_t last_epoch_{0};
+  bool seen_any_{false};
+  Verdict verdict_{Verdict::kInSync};
+};
+
+}  // namespace lod::sync

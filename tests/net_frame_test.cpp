@@ -1,0 +1,178 @@
+#include "lod/net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+/// Property tests for the RealTransport wire codecs (frame.hpp): arbitrary
+/// bytes in, a verdict out, never a crash. The fuzz loops use a fixed-seed
+/// PRNG so failures reproduce.
+
+namespace lod::net::frame {
+namespace {
+
+std::vector<std::byte> encode_rpc(std::string_view path,
+                                  std::span<const std::byte> body) {
+  std::vector<std::byte> out(8 + path.size() + 4 + body.size());
+  std::memcpy(out.data(), kRpcMagic, 4);
+  detail::put_u32(out.data() + 4, static_cast<std::uint32_t>(path.size()));
+  std::memcpy(out.data() + 8, path.data(), path.size());
+  detail::put_u32(out.data() + 8 + path.size(),
+                  static_cast<std::uint32_t>(body.size()));
+  if (!body.empty()) {
+    std::memcpy(out.data() + 8 + path.size() + 4, body.data(), body.size());
+  }
+  return out;
+}
+
+// --- LODU datagram header ---------------------------------------------------------
+
+TEST(LodcFrame, UdpHeaderRoundTripsRandomFields) {
+  std::mt19937_64 rng(2002);
+  for (int i = 0; i < 2000; ++i) {
+    UdpHeader h;
+    h.src = static_cast<HostId>(rng());
+    h.src_port = static_cast<Port>(rng());
+    h.channel = static_cast<ChannelId>(rng());
+    h.payload_len = static_cast<std::uint32_t>(rng() % 512);
+    const std::size_t body = rng() % 256;
+
+    std::vector<std::byte> dgram(kUdpHeaderSize + h.payload_len + body);
+    encode_udp_header(dgram.data(), h);
+    const auto got = decode_udp_header(dgram);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->src, h.src);
+    EXPECT_EQ(got->src_port, h.src_port);
+    EXPECT_EQ(got->channel, h.channel);
+    EXPECT_EQ(got->payload_len, h.payload_len);
+  }
+}
+
+TEST(LodcFrame, UdpHeaderRejectsTruncationEverywhere) {
+  UdpHeader h;
+  h.src = 3;
+  h.src_port = 4242;
+  h.channel = 9;
+  h.payload_len = 32;
+  std::vector<std::byte> dgram(kUdpHeaderSize + 32);
+  encode_udp_header(dgram.data(), h);
+  for (std::size_t len = 0; len < kUdpHeaderSize; ++len) {
+    EXPECT_FALSE(decode_udp_header({dgram.data(), len}).has_value()) << len;
+  }
+  // Header intact but the claimed payload exceeds the datagram.
+  for (std::size_t len = kUdpHeaderSize; len < dgram.size(); ++len) {
+    EXPECT_FALSE(decode_udp_header({dgram.data(), len}).has_value()) << len;
+  }
+  EXPECT_TRUE(decode_udp_header(dgram).has_value());
+}
+
+TEST(LodcFrame, UdpHeaderRejectsBadMagic) {
+  UdpHeader h;
+  h.payload_len = 0;
+  std::vector<std::byte> dgram(kUdpHeaderSize);
+  encode_udp_header(dgram.data(), h);
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto bad = dgram;
+    bad[i] ^= std::byte{0x20};
+    EXPECT_FALSE(decode_udp_header(bad).has_value()) << i;
+  }
+}
+
+TEST(LodcFrame, UdpHeaderSurvivesRandomGarbage) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<std::byte> junk(rng() % 64);
+    for (auto& b : junk) b = static_cast<std::byte>(rng());
+    // Must never crash; magic makes an accidental accept astronomically
+    // unlikely, so assert the decode verdict is internally consistent
+    // instead of a fixed answer.
+    const auto got = decode_udp_header(junk);
+    if (got) {
+      EXPECT_LE(got->payload_len + kUdpHeaderSize, junk.size());
+    }
+  }
+}
+
+// --- LODR request framing ---------------------------------------------------------
+
+TEST(LodcFrame, RpcFrameRoundTripsRandomRequests) {
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    std::string path(rng() % 80, 'p');
+    for (auto& c : path) c = static_cast<char>('a' + rng() % 26);
+    std::vector<std::byte> body(rng() % 300);
+    for (auto& b : body) b = static_cast<std::byte>(rng());
+
+    auto wire = encode_rpc(path, body);
+    // Trailing bytes of the NEXT frame must not confuse the parse.
+    wire.resize(wire.size() + rng() % 16, std::byte{0x4c});
+
+    RpcFrame f;
+    ASSERT_EQ(parse_rpc_frame(wire, f), RpcParse::kFrame);
+    EXPECT_EQ(f.path_len, path.size());
+    EXPECT_EQ(f.body_len, body.size());
+    EXPECT_EQ(f.frame_size, 8 + path.size() + 4 + body.size());
+    EXPECT_EQ(0, std::memcmp(wire.data() + f.path_offset, path.data(),
+                             path.size()));
+    if (!body.empty()) {
+      EXPECT_EQ(0, std::memcmp(wire.data() + f.body_offset, body.data(),
+                               body.size()));
+    }
+  }
+}
+
+TEST(LodcFrame, RpcFrameByteByByteFeedNeedsMoreThenCompletes) {
+  const std::vector<std::byte> body(19, std::byte{0xab});
+  const auto wire = encode_rpc("/floor/request", body);
+  RpcFrame f;
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_EQ(parse_rpc_frame({wire.data(), len}, f), RpcParse::kNeedMore)
+        << len;
+  }
+  EXPECT_EQ(parse_rpc_frame(wire, f), RpcParse::kFrame);
+}
+
+TEST(LodcFrame, RpcFrameRejectsInsaneLengths) {
+  // Path length beyond the sanity bound.
+  auto wire = encode_rpc("/x", {});
+  detail::put_u32(wire.data() + 4, kMaxRpcPathLen + 1);
+  RpcFrame f;
+  EXPECT_EQ(parse_rpc_frame(wire, f), RpcParse::kMalformed);
+
+  // Body length beyond the sanity bound.
+  wire = encode_rpc("/x", {});
+  detail::put_u32(wire.data() + 8 + 2, kMaxRpcBodyLen + 1);
+  EXPECT_EQ(parse_rpc_frame(wire, f), RpcParse::kMalformed);
+
+  // At the bounds the verdict is kNeedMore (the frame just isn't here yet),
+  // never kMalformed.
+  wire = encode_rpc("/x", {});
+  detail::put_u32(wire.data() + 8 + 2, kMaxRpcBodyLen);
+  EXPECT_EQ(parse_rpc_frame(wire, f), RpcParse::kNeedMore);
+}
+
+TEST(LodcFrame, RpcFrameRejectsBadMagicOnceSniffable) {
+  std::vector<std::byte> wire(16, std::byte{'G'});  // "GGGG..." != LODR
+  RpcFrame f;
+  EXPECT_EQ(parse_rpc_frame({wire.data(), 4}, f), RpcParse::kNeedMore);
+  EXPECT_EQ(parse_rpc_frame(wire, f), RpcParse::kMalformed);
+}
+
+TEST(LodcFrame, RpcFrameSurvivesRandomGarbage) {
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<std::byte> junk(rng() % 128);
+    for (auto& b : junk) b = static_cast<std::byte>(rng());
+    RpcFrame f;
+    const auto verdict = parse_rpc_frame(junk, f);
+    if (verdict == RpcParse::kFrame) {
+      EXPECT_LE(f.frame_size, junk.size());
+      EXPECT_LE(f.body_offset + f.body_len, junk.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lod::net::frame

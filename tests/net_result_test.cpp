@@ -1,0 +1,211 @@
+#include "lod/net/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "lod/edge/edge_node.hpp"
+#include "lod/lod/floor.hpp"
+#include "lod/net/frame.hpp"
+#include "lod/net/network.hpp"
+#include "lod/net/real_transport.hpp"
+#include "lod/net/transport.hpp"
+#include "lod/streaming/server.hpp"
+
+/// \file net_result_test.cpp
+/// `net::Result<T, net::Error>` propagation through real call sites: the
+/// floor-control client, the origin gateway, and the blocking TCP RPC
+/// client. The point of the error-aware surfaces is that "the service said
+/// no" (a value) and "the request never made it" (an error — refused,
+/// deadline, EOF) stay distinguishable all the way up, on both backends.
+
+namespace lod {
+namespace {
+
+using net::msec;
+using net::sec;
+
+// --- simulated backend ------------------------------------------------------------
+
+struct SimResultTest : ::testing::Test {
+  net::Simulator sim;
+  net::Network network{sim, 42};
+  net::HostId teacher{};
+  net::HostId student{};
+
+  SimResultTest() {
+    teacher = network.add_host("teacher");
+    student = network.add_host("student");
+    net::LinkConfig lan;
+    lan.bandwidth_bps = 10'000'000;
+    lan.latency = msec(2);
+    network.add_link(teacher, student, lan);
+  }
+
+  void run(net::SimDuration d) { sim.run_until(network.now() + d); }
+};
+
+TEST_F(SimResultTest, FloorVerdictsArriveAsValuesNotErrors) {
+  lod::FloorService service(network, teacher, 8100, {"ann", "bob"});
+  lod::FloorClient ann(network, student, 6000, "ann", teacher, 8100, {});
+  lod::FloorClient bob(network, student, 6010, "bob", teacher, 8100, {});
+
+  std::optional<net::Result<bool>> granted, denied, released;
+  ann.request_floor_result([&](net::Result<bool> r) { granted = r; });
+  run(sec(1));
+  ASSERT_TRUE(granted.has_value());
+  ASSERT_TRUE(granted->has_value()) << "transport error where a verdict "
+                                       "was expected";
+  EXPECT_TRUE(**granted);  // the floor was free: granted
+
+  // A non-holder releasing is a SERVICE no — ok(false), not an error.
+  bob.release_floor_result([&](net::Result<bool> r) { released = r; });
+  // Requesting twice is also a service no.
+  ann.request_floor_result([&](net::Result<bool> r) { denied = r; });
+  run(sec(1));
+  ASSERT_TRUE(released.has_value() && denied.has_value());
+  ASSERT_TRUE(released->has_value());
+  ASSERT_TRUE(denied->has_value());
+  EXPECT_FALSE(**released);
+  EXPECT_FALSE(**denied);
+}
+
+TEST_F(SimResultTest, ArmedDeadlineMapsSilenceToKTimeout) {
+  // Nothing listens on this port; without a deadline the callback would
+  // simply never fire. With one armed, silence becomes an explicit error.
+  lod::FloorClient ghost(network, student, 6020, "ann", teacher, 8999, {});
+  ghost.set_call_timeout(msec(250));
+  std::optional<net::Result<bool>> r;
+  ghost.request_floor_result([&](net::Result<bool> v) { r = v; });
+  run(sec(2));
+  ASSERT_TRUE(r.has_value());
+  ASSERT_FALSE(r->has_value());
+  EXPECT_EQ(r->error(), net::Error::kTimeout);
+}
+
+TEST_F(SimResultTest, GatewayStatusAndDeadlineStayDistinguishable) {
+  streaming::StreamingServer server(network, teacher);
+  edge::OriginGateway gateway(network, server);
+  net::RpcClient cli(network, student, 6500);
+
+  // Unknown content: the gateway ANSWERS (404). That is a value.
+  net::ByteWriter w;
+  w.str("no-such-lecture");
+  std::optional<net::Result<net::RpcReply>> got;
+  cli.call(teacher, edge::kOriginGatewayPort, "/edge/meta",
+           std::move(w).take(),
+           [&](net::Result<net::RpcReply> r) { got = std::move(r); });
+  run(sec(1));
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ((*got)->status, 404);
+
+  // Wrong port: nobody answers, and the armed deadline says so.
+  std::optional<net::Result<net::RpcReply>> dead;
+  net::ByteWriter w2;
+  w2.str("no-such-lecture");
+  cli.call(teacher, 9999, "/edge/meta", std::move(w2).take(),
+           [&](net::Result<net::RpcReply> r) { dead = std::move(r); },
+           net::RpcClient::CallOptions{msec(250)});
+  run(sec(2));
+  ASSERT_TRUE(dead.has_value());
+  ASSERT_FALSE(dead->has_value());
+  EXPECT_EQ(dead->error(), net::Error::kTimeout);
+}
+
+// --- real backend -----------------------------------------------------------------
+
+TEST(RealResultTest, ConnectToSilentPortMapsToKRefused) {
+  net::RealTransport rt;  // never run — we only want an address nobody serves
+  const net::HostId h = rt.add_host("lonely");
+  net::TcpRpcClient cli(rt.host_address(h), 19999);
+  const auto r = cli.call("/ping", {}, 1000);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), net::Error::kRefused);
+}
+
+TEST(RealResultTest, MalformedFrameGetsConnectionClosedCountedAndRecovered) {
+  net::RealTransport rt;
+  const net::HostId h = rt.add_host("origin");
+  net::RpcServer rpc(rt, h, 7200);
+  rpc.route("/ping", [](std::string_view, std::span<const std::byte>) {
+    return std::make_pair(200, std::vector<std::byte>{});
+  });
+  const net::Result<void> listening = rt.listen_tcp(h, 7300, rpc);
+  ASSERT_TRUE(listening.has_value())
+      << "listen_tcp: " << net::to_string(listening.error());
+  std::thread loop([&] { rt.run(); });
+
+  net::TcpRpcClient cli(rt.host_address(h), 7300);
+  const auto ok1 = cli.call("/ping", {}, 2000);
+  ASSERT_TRUE(ok1.has_value()) << net::to_string(ok1.error());
+  EXPECT_EQ(ok1->status, 200);
+
+  // A path over the sanity bound is malformed on the wire: the server
+  // counts it, drops the connection, and the client surfaces the EOF as
+  // kClosed — not a crash, not a silent hang.
+  const std::string absurd(net::frame::kMaxRpcPathLen + 1, 'p');
+  const auto closed = cli.call(absurd, {}, 2000);
+  ASSERT_FALSE(closed.has_value());
+  EXPECT_EQ(closed.error(), net::Error::kClosed);
+
+  // The client reconnects on the next call; the node is still serving.
+  const auto ok2 = cli.call("/ping", {}, 2000);
+  ASSERT_TRUE(ok2.has_value()) << net::to_string(ok2.error());
+  EXPECT_EQ(ok2->status, 200);
+
+  rt.stop();
+  loop.join();
+  EXPECT_GE(rt.obs().metrics().snapshot().counter("lod.net.frames_dropped"),
+            1u);
+}
+
+TEST(RealResultTest, UdpGarbageIsCountedDroppedAndNotDelivered) {
+  net::RealTransport rt;
+  const net::HostId h = rt.add_host("receiver");
+  std::atomic<int> delivered{0};
+  rt.bind(h, 7400, [&](const net::Datagram&) { ++delivered; });
+  std::thread loop([&] { rt.run(); });
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_port = htons(7400);
+  ASSERT_EQ(::inet_pton(AF_INET, rt.host_address(h).c_str(), &to.sin_addr), 1);
+
+  // Garbage first: short runt, then full-size junk with a wrong magic.
+  const char runt[3] = {'L', 'O', 'D'};
+  ::sendto(fd, runt, sizeof runt, 0, reinterpret_cast<sockaddr*>(&to),
+           sizeof to);
+  std::vector<std::byte> junk(64, std::byte{0x5a});
+  ::sendto(fd, junk.data(), junk.size(), 0, reinterpret_cast<sockaddr*>(&to),
+           sizeof to);
+
+  // Then one well-formed LODU frame, which must still get through.
+  std::vector<std::byte> good(net::frame::kUdpHeaderSize + 4);
+  net::frame::encode_udp_header(good.data(), {9, 1234, 0, 4});
+  ::sendto(fd, good.data(), good.size(), 0, reinterpret_cast<sockaddr*>(&to),
+           sizeof to);
+  ::close(fd);
+
+  for (int i = 0; i < 200 && delivered.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  rt.stop();
+  loop.join();
+  EXPECT_EQ(delivered.load(), 1);
+  EXPECT_GE(rt.obs().metrics().snapshot().counter("lod.net.frames_dropped"),
+            2u);
+}
+
+}  // namespace
+}  // namespace lod
