@@ -143,6 +143,10 @@ struct PlayObs {
   obs::TraceSink* trace{nullptr};
   /// Incremented once per firing (e.g. `lod.petri.transitions_fired`).
   obs::Counter fired;
+  /// Journals a kSimEvent per firing into the dispatch lane (actor =
+  /// transition id, a = firing instant). Always-on path — its cost is part
+  /// of bench_obs_overhead's recorder-enabled measurement.
+  obs::FlightRecorder* flight{nullptr};
 };
 
 /// Instrumented playout: identical semantics to `play`, publishing into

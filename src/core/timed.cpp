@@ -4,6 +4,8 @@
 #include <queue>
 #include <set>
 
+#include "lod/obs/flight.hpp"
+
 namespace lod::core {
 
 std::optional<PlaceInterval> PlayoutTrace::interval_of(
@@ -125,6 +127,16 @@ PlayoutTrace play_impl(const TimedPetriNet& net, const Marking& initial,
     hooks.fired.inc();
     if (hooks.trace && hooks.trace->enabled()) {
       hooks.trace->emit(obs::EventType::kTransitionFire, t, now.us);
+    }
+    // The engine fires every ~50ns, so even a ~2.5ns journal write per
+    // firing would bust the <2% obs-overhead contract: sample the firehose
+    // lane 1-in-16. Control-lane events (verdicts, drops, SLO, spans) are
+    // never sampled; `b` carries the firing ordinal so gaps are explicit.
+    if (hooks.flight && (trace.firings.size() & 15u) == 0) {
+      hooks.flight->record_at(now.us, obs::FlightType::kSimEvent, t,
+                              static_cast<std::uint64_t>(now.us),
+                              trace.firings.size(),
+                              obs::FlightRecorder::kLaneDispatch);
     }
     for (const auto& a : net.outputs(t)) {
       const SimDuration hop =

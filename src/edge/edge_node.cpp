@@ -585,6 +585,11 @@ void EdgeNode::start_fetch(const std::string& content, std::uint32_t segment,
   if (!inserted) return;  // already on the wire; callers just park on it
   fetch_started_[key] = net_.now();
   (demand ? m_demand_fetches_ : m_prefetch_fetches_).inc();
+  if (demand) {
+    // A demand fetch IS a cache miss on the session's critical path.
+    net_.obs().flight().record(obs::FlightType::kCacheMiss,
+                               static_cast<std::uint32_t>(host_), segment);
+  }
   const char* span_name = demand ? "edge.miss_fill" : "edge.prefetch";
   if (ctx.valid()) {
     it->second.ctx = ctx;

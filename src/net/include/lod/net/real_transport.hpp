@@ -15,6 +15,7 @@
 #include "lod/net/result.hpp"
 #include "lod/net/transport_base.hpp"
 #include "lod/obs/hub.hpp"
+#include "lod/obs/rollup.hpp"
 
 /// \file real_transport.hpp
 /// The kernel-socket backend of the `net::Transport` seam.
@@ -65,6 +66,11 @@ class RealTransport : public Transport {
     /// Host-order base IPv4 for the `HostId -> 127.x.y.z` mapping. 0 (the
     /// default) derives a per-process base inside 127.0.0.0/8 from the pid.
     std::uint32_t base_ip{0};
+    /// Metrics rollup window (see obs::RollupStore): `run()` snapshots the
+    /// registry every `rollup_window_us` and retains `rollup_windows`
+    /// deltas, which `/debug/vars` turns into rates. 0 disables rolling.
+    std::int64_t rollup_window_us{1'000'000};
+    std::size_t rollup_windows{64};
   };
 
   /// Largest sendable datagram (header + payload + body), conservatively
@@ -110,10 +116,16 @@ class RealTransport : public Transport {
 
   // --- TCP control plane ----------------------------------------------------
 
-  /// Listen on (host, port) serving HTTP (`GET /metrics` -> Prometheus
-  /// text) and LODR-framed RPC bridged into \p rpc's route table. The
-  /// listener binds \p bind_address when nonempty (must be this host's
-  /// address or a wildcard), else the host's own loopback address.
+  /// Listen on (host, port) serving HTTP and LODR-framed RPC bridged into
+  /// \p rpc's route table. The HTTP side serves the introspection plane:
+  /// `GET /metrics` (Prometheus text) plus the `/debug/*` catalog —
+  /// `/debug/vars` (JSON snapshot + rollup rates), `/debug/sessions`,
+  /// `/debug/sync`, `/debug/trace[?trace_id=N]` (SpanTree JSON) and
+  /// `/debug/flight` (live journal JSONL); see docs/OBSERVABILITY.md.
+  /// Unknown paths get a 404 with a body, non-GET a 405, an oversized
+  /// request line a 431. The listener binds \p bind_address when nonempty
+  /// (must be this host's address or a wildcard), else the host's own
+  /// loopback address.
   Result<void> listen_tcp(HostId h, Port port, RpcServer& rpc,
                           const std::string& bind_address = {},
                           int backlog = 64);
@@ -174,8 +186,16 @@ class RealTransport : public Transport {
   void on_tcp_readable(int fd);
   bool drain_tcp_conn(TcpConn& c);  ///< false -> close the connection
   void close_conn(int fd);
+  /// Serve one parsed HTTP request line (loop thread). Returns the full
+  /// response; routing lives here, rendering in obs/debug.hpp.
+  std::string http_respond(std::string_view method, std::string_view target);
+  /// Snapshot the registry into the rollup and re-arm the periodic timer.
+  void rollup_tick();
 
   obs::Hub hub_;
+  obs::RollupStore rollup_;
+  std::int64_t rollup_window_us_{0};  ///< 0 = rolling disabled
+  bool rollup_armed_{false};
   std::uint32_t base_ip_;
   int epoll_fd_{-1};
   int wake_fd_{-1};

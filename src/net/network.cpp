@@ -129,6 +129,9 @@ void Network::forward(Packet p, std::size_t hop_index,
   if (rng_.bernoulli(dir->cfg.loss_rate)) {
     ++dir->stats.packets_dropped_loss;
     packets_dropped_loss_.inc();
+    sim_.obs().flight().record(
+        obs::FlightType::kFrameDrop, static_cast<std::uint32_t>(from), p.id,
+        static_cast<std::uint64_t>(obs::DropCause::kLoss));
     if (trace_->enabled()) {
       trace_->emit(obs::EventType::kPacketDropLoss, from,
                    static_cast<std::int64_t>(p.id), to);
@@ -154,6 +157,9 @@ void Network::forward(Packet p, std::size_t hop_index,
     if (dir->queued_bytes + p.wire_size > dir->cfg.queue_bytes) {
       ++dir->stats.packets_dropped_queue;
       packets_dropped_queue_.inc();
+      sim_.obs().flight().record(
+          obs::FlightType::kFrameDrop, static_cast<std::uint32_t>(from), p.id,
+          static_cast<std::uint64_t>(obs::DropCause::kQueue));
       if (trace_->enabled()) {
         trace_->emit(obs::EventType::kPacketDropQueue, from,
                      static_cast<std::int64_t>(p.id), to);

@@ -18,6 +18,7 @@
 
 #include "lod/net/frame.hpp"
 #include "lod/net/transport.hpp"
+#include "lod/obs/debug.hpp"
 #include "lod/obs/export.hpp"
 
 namespace lod::net {
@@ -45,6 +46,20 @@ std::string ip_to_string(std::uint32_t host_order) {
   char buf[INET_ADDRSTRLEN] = {};
   inet_ntop(AF_INET, &a, buf, sizeof buf);
   return buf;
+}
+
+/// Assemble one complete HTTP/1.1 response (always Connection: close).
+std::string http_response_string(int status, std::string_view reason,
+                                 std::string_view body,
+                                 std::string_view content_type) {
+  std::string resp = "HTTP/1.1 " + std::to_string(status) + " ";
+  resp += reason;
+  resp += "\r\nContent-Type: ";
+  resp += content_type;
+  resp += "\r\nContent-Length: " + std::to_string(body.size());
+  resp += "\r\nConnection: close\r\n\r\n";
+  resp += body;
+  return resp;
 }
 
 /// Write all of \p n bytes, polling briefly on a full socket buffer.
@@ -158,6 +173,11 @@ RealTransport::RealTransport(Config cfg) {
   tx_fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
   rx_buf_.resize(1 << 16);
   hub_.set_clock([this] { return now().us; });
+  obs::RollupStore::Config rcfg;
+  rcfg.window_us = cfg.rollup_window_us;
+  rcfg.windows = cfg.rollup_windows;
+  rollup_ = obs::RollupStore(rcfg);
+  rollup_window_us_ = cfg.rollup_window_us;
   auto& reg = hub_.metrics();
   m_dg_sent_ = reg.counter("lod.realnet.datagrams_sent");
   m_dg_recv_ = reg.counter("lod.realnet.datagrams_received");
@@ -287,6 +307,9 @@ bool RealTransport::send(Datagram d) {
   const std::size_t total = kUdpHeader + d.payload.size() + d.body.size();
   if (total > kMaxDatagram || tx_fd_ < 0) {
     m_dg_dropped_.inc();
+    hub_.flight().record(
+        obs::FlightType::kFrameDrop, static_cast<std::uint32_t>(d.dst), total,
+        static_cast<std::uint64_t>(obs::DropCause::kUndeliverable));
     return false;
   }
   std::byte hdr[kUdpHeader];
@@ -317,6 +340,9 @@ bool RealTransport::send(Datagram d) {
   msg.msg_iovlen = static_cast<std::size_t>(iov_n);
   if (::sendmsg(tx_fd_, &msg, 0) < 0) {
     m_dg_dropped_.inc();
+    hub_.flight().record(
+        obs::FlightType::kFrameDrop, static_cast<std::uint32_t>(d.dst), total,
+        static_cast<std::uint64_t>(obs::DropCause::kUndeliverable));
     return false;
   }
   m_dg_sent_.inc();
@@ -405,10 +431,22 @@ void RealTransport::fire_due_timers() {
   }
 }
 
+void RealTransport::rollup_tick() {
+  rollup_.roll(hub_.snapshot(), now().us);
+  schedule_at(SimTime{now().us + rollup_window_us_}, [this] { rollup_tick(); });
+}
+
 void RealTransport::run() {
   loop_thread_ = std::this_thread::get_id();
   stop_.store(false);
   running_.store(true);
+  if (rollup_window_us_ > 0 && !rollup_armed_) {
+    // Prime the rollup baseline now; every subsequent tick appends one
+    // window of Snapshot deltas for /debug/vars rates. The timer chain
+    // stops firing with the loop and re-arms on a later run().
+    rollup_armed_ = true;
+    rollup_tick();
+  }
   std::array<epoll_event, 64> events;
   while (!stop_.load()) {
     fire_due_timers();
@@ -458,6 +496,10 @@ void RealTransport::on_udp_readable(UdpSocket& s) {
     if (!hdr) {
       // Stray loopback traffic, truncation, or corruption: count and drop.
       m_frames_dropped_.inc();
+      hub_.flight().record(
+          obs::FlightType::kFrameDrop, static_cast<std::uint32_t>(it->second.host),
+          static_cast<std::uint64_t>(n),
+          static_cast<std::uint64_t>(obs::DropCause::kBadFrame));
       continue;
     }
     Datagram d;
@@ -478,6 +520,10 @@ void RealTransport::on_udp_readable(UdpSocket& s) {
     d.payload = whole.slice(0, payload_len);
     d.body = whole.slice(payload_len, data_len - payload_len);
     m_dg_recv_.inc();
+    hub_.flight().record(obs::FlightType::kNetEvent,
+                         static_cast<std::uint32_t>(d.dst), d.id,
+                         static_cast<std::uint64_t>(n),
+                         obs::FlightRecorder::kLaneDispatch);
     const Receiver recv = it->second.receiver;  // callback may rebind
     if (recv) recv(d);
     if (!udp_.count(fd)) return;
@@ -535,6 +581,9 @@ bool RealTransport::drain_tcp_conn(TcpConn& c) {
           return true;
         case frame::RpcParse::kMalformed:
           m_frames_dropped_.inc();
+          hub_.flight().record(
+              obs::FlightType::kFrameDrop, 0, c.buf.size(),
+              static_cast<std::uint64_t>(obs::DropCause::kBadFrame));
           return false;
         case frame::RpcParse::kFrame:
           break;
@@ -555,13 +604,27 @@ bool RealTransport::drain_tcp_conn(TcpConn& c) {
   }
 
   // HTTP: one request, answered and closed (Connection: close keeps the
-  // state machine trivial; Prometheus scrapers are fine with it).
+  // state machine trivial; Prometheus scrapers are fine with it). The
+  // parser survives arbitrarily split reads — it only acts once the full
+  // header has arrived — and bounds what a client can make it buffer: the
+  // request line at kMaxRequestLine (431 past that), the whole header at
+  // 64 KB (dropped without a response; nothing legitimate is that large).
   static constexpr char kCrlf2[] = "\r\n\r\n";
+  static constexpr std::size_t kMaxRequestLine = 8192;
   const auto* begin = reinterpret_cast<const char*>(c.buf.data());
   const std::string_view have(begin, c.buf.size());
+  const std::size_t line_end = have.find("\r\n");
+  if (line_end == std::string_view::npos
+          ? have.size() > kMaxRequestLine
+          : line_end > kMaxRequestLine) {
+    const std::string resp = http_response_string(
+        431, "Request Header Fields Too Large", "request line too long\n",
+        "text/plain; charset=utf-8");
+    write_fully(c.fd, resp.data(), resp.size());
+    return false;
+  }
   const std::size_t head_end = have.find(kCrlf2);
   if (head_end == std::string_view::npos) return c.buf.size() < (64u << 10);
-  const std::size_t line_end = have.find("\r\n");
   const std::string_view line = have.substr(0, line_end);
   const std::size_t sp1 = line.find(' ');
   const std::size_t sp2 = sp1 == std::string_view::npos
@@ -572,21 +635,75 @@ bool RealTransport::drain_tcp_conn(TcpConn& c) {
     method = line.substr(0, sp1);
     target = line.substr(sp1 + 1, sp2 - sp1 - 1);
   }
-  int status = 404;
-  std::string body = "not found\n";
-  std::string content_type = "text/plain; charset=utf-8";
-  if (method == "GET" && target == "/metrics") {
-    status = 200;
-    body = obs::to_prometheus(c.hub->snapshot());
-    content_type = "text/plain; version=0.0.4; charset=utf-8";
-  }
-  std::string resp = "HTTP/1.1 " + std::to_string(status) +
-                     (status == 200 ? " OK" : " Not Found") +
-                     "\r\nContent-Type: " + content_type +
-                     "\r\nContent-Length: " + std::to_string(body.size()) +
-                     "\r\nConnection: close\r\n\r\n" + body;
+  const std::string resp = http_respond(method, target);
   write_fully(c.fd, resp.data(), resp.size());
   return false;  // close after the one response
+}
+
+std::string RealTransport::http_respond(std::string_view method,
+                                        std::string_view target) {
+  // Split "?query" off the path; /debug/trace takes trace_id=<decimal>.
+  const std::size_t q = target.find('?');
+  const std::string_view path =
+      q == std::string_view::npos ? target : target.substr(0, q);
+  const std::string_view query =
+      q == std::string_view::npos ? std::string_view{} : target.substr(q + 1);
+
+  const bool known =
+      path == "/metrics" || path == "/debug/vars" ||
+      path == "/debug/sessions" || path == "/debug/sync" ||
+      path == "/debug/trace" || path == "/debug/flight";
+  if (!known) {
+    return http_response_string(404, "Not Found",
+                                "not found\n"
+                                "try: /metrics /debug/vars /debug/sessions "
+                                "/debug/sync /debug/trace /debug/flight\n",
+                                "text/plain; charset=utf-8");
+  }
+  if (method != "GET") {
+    return http_response_string(405, "Method Not Allowed",
+                                "method not allowed; use GET\n",
+                                "text/plain; charset=utf-8");
+  }
+
+  if (path == "/metrics") {
+    return http_response_string(200, "OK", obs::to_prometheus(hub_.snapshot()),
+                                "text/plain; version=0.0.4; charset=utf-8");
+  }
+  if (path == "/debug/vars") {
+    return http_response_string(
+        200, "OK", obs::debug_vars_json(hub_.snapshot(), &rollup_, now().us),
+        "application/json");
+  }
+  if (path == "/debug/sessions") {
+    return http_response_string(200, "OK",
+                                obs::debug_sessions_json(hub_.snapshot()),
+                                "application/json");
+  }
+  if (path == "/debug/sync") {
+    return http_response_string(200, "OK",
+                                obs::debug_sync_json(hub_.snapshot()),
+                                "application/json");
+  }
+  if (path == "/debug/trace") {
+    std::uint64_t trace_id = 0;
+    static constexpr std::string_view kKey = "trace_id=";
+    if (const std::size_t at = query.find(kKey);
+        at != std::string_view::npos) {
+      const std::string_view v = query.substr(at + kKey.size());
+      for (const char ch : v) {
+        if (ch < '0' || ch > '9') break;
+        trace_id = trace_id * 10 + static_cast<std::uint64_t>(ch - '0');
+      }
+    }
+    return http_response_string(
+        200, "OK", obs::debug_trace_json(hub_.trace().events(), trace_id),
+        "application/json");
+  }
+  // /debug/flight: the live journal in dump format (meta line + JSONL).
+  return http_response_string(
+      200, "OK", obs::debug_flight_jsonl(hub_.flight(), now().us),
+      "application/x-ndjson");
 }
 
 void RealTransport::close_conn(int fd) {

@@ -88,6 +88,9 @@ bool Simulator::step() {
   Handler h = std::move(cells_[slot].h);
   free_cell(slot);
   events_fired_.inc();
+  obs_.flight().record_at(now_.us, obs::FlightType::kSimEvent, slot, it.id,
+                          static_cast<std::uint64_t>(it.at),
+                          obs::FlightRecorder::kLaneDispatch);
   h();
   return true;
 }
@@ -109,6 +112,9 @@ std::size_t Simulator::run_until(SimTime t) {
     Handler h = std::move(c.h);
     free_cell(slot);
     events_fired_.inc();
+    obs_.flight().record_at(now_.us, obs::FlightType::kSimEvent, slot, it.id,
+                            static_cast<std::uint64_t>(it.at),
+                            obs::FlightRecorder::kLaneDispatch);
     h();
     ++n;
   }

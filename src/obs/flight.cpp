@@ -1,0 +1,278 @@
+#include "lod/obs/flight.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+
+#include "lod/obs/json.hpp"
+
+namespace lod::obs {
+
+namespace {
+
+// Keep in enum order; the round-trip test in obs_flight_test walks every
+// value.
+constexpr std::array<std::string_view, 11> kFlightNames = {
+    "span_begin", "span_end",     "sim_event",  "net_event",
+    "sync_verdict", "frame_drop", "slo_violation", "cache_miss",
+    "failover",   "resync",       "dump",
+};
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Find `"key":` in one JSON line; return the raw value token after it.
+std::optional<std::string_view> field(std::string_view line,
+                                      std::string_view key) {
+  const std::string pat = "\"" + std::string(key) + "\":";
+  const auto at = line.find(pat);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t i = at + pat.size();
+  if (i >= line.size()) return std::nullopt;
+  if (line[i] == '"') {
+    ++i;
+    const auto j = line.find('"', i);
+    if (j == std::string_view::npos) return std::nullopt;
+    return line.substr(i, j - i);
+  }
+  std::size_t j = i;
+  while (j < line.size() && line[j] != ',' && line[j] != '}') ++j;
+  return line.substr(i, j - i);
+}
+
+template <typename T>
+std::optional<T> parse_int(std::string_view s) {
+  T v{};
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{}) return std::nullopt;
+  return v;
+}
+
+void append_event_json(std::string& out, const FlightEvent& e) {
+  out += "{\"t\":";
+  out += std::to_string(e.t);
+  out += ",\"ft\":\"";
+  out += to_string(e.type);
+  out += "\",\"lane\":";
+  out += std::to_string(e.lane);
+  out += ",\"actor\":";
+  out += std::to_string(e.actor);
+  out += ",\"a\":";
+  out += std::to_string(e.a);
+  out += ",\"b\":";
+  out += std::to_string(e.b);
+  out += "}\n";
+}
+
+}  // namespace
+
+std::string_view to_string(FlightType t) {
+  const auto i = static_cast<std::size_t>(t);
+  return i < kFlightNames.size() ? kFlightNames[i] : "unknown";
+}
+
+std::optional<FlightType> flight_type_from_string(std::string_view s) {
+  for (std::size_t i = 0; i < kFlightNames.size(); ++i) {
+    if (kFlightNames[i] == s) return static_cast<FlightType>(i);
+  }
+  return std::nullopt;
+}
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Config()) {}
+
+FlightRecorder::FlightRecorder(Config cfg) {
+  const std::size_t lanes = pow2_at_least(cfg.lanes == 0 ? 1 : cfg.lanes);
+  const std::size_t cap = pow2_at_least(cfg.capacity == 0 ? 1 : cfg.capacity);
+  lane_mask_ = lanes - 1;
+  slot_mask_ = cap - 1;
+  lanes_ = std::make_unique<Lane[]>(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    // Value-initialized atomics: every word starts at 0, every head at 0.
+    lanes_[i].words =
+        std::make_unique<std::atomic<std::uint64_t>[]>(cap * 4);
+  }
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i <= lane_mask_; ++i) {
+    sum += lanes_[i].head.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  // Once a lane wraps, the readable window is capacity-1 (see events():
+  // the oldest slot may be mid-overwrite by an unpublished write at head).
+  const std::uint64_t window = slot_mask_;
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i <= lane_mask_; ++i) {
+    const std::uint64_t h = lanes_[i].head.load(std::memory_order_relaxed);
+    sum += h > window ? h - window : 0;
+  }
+  return sum;
+}
+
+std::vector<FlightEvent> FlightRecorder::events(std::size_t lane) const {
+  const Lane& ln = lanes_[lane & lane_mask_];
+  const std::uint64_t cap = slot_mask_ + 1;
+  const std::uint64_t h1 = ln.head.load(std::memory_order_acquire);
+  // A writer publishes head AFTER filling the slot, so when head == h the
+  // write of index h may still be in flight — and its slot is the one index
+  // h1 - capacity lives in. The oldest provably-stable event is therefore
+  // h1 - (capacity - 1): a full ring yields capacity-1 events.
+  const std::uint64_t first = h1 >= cap ? h1 - (cap - 1) : 0;
+
+  struct Raw {
+    std::uint64_t idx;
+    std::uint64_t w[4];
+  };
+  std::vector<Raw> raw;
+  raw.reserve(static_cast<std::size_t>(h1 - first));
+  for (std::uint64_t i = first; i < h1; ++i) {
+    const std::atomic<std::uint64_t>* w =
+        ln.words.get() + ((i & slot_mask_) << 2);
+    Raw r;
+    r.idx = i;
+    for (int k = 0; k < 4; ++k) {
+      r.w[k] = w[k].load(std::memory_order_relaxed);
+    }
+    raw.push_back(r);
+  }
+  // Overwrite guard: the writer may have lapped us mid-scan. After the
+  // scan, any event whose slot the writer could have touched — old index
+  // <= h2 - capacity, where h2 is the head now — is discarded as torn.
+  const std::uint64_t h2 = ln.head.load(std::memory_order_acquire);
+  std::vector<FlightEvent> out;
+  out.reserve(raw.size());
+  for (const Raw& r : raw) {
+    if (r.idx + cap <= h2) continue;
+    FlightEvent e;
+    e.t = static_cast<TimeUs>(r.w[0]);
+    e.type = static_cast<FlightType>((r.w[1] >> 48) & 0xFF);
+    e.lane = static_cast<std::uint16_t>((r.w[1] >> 32) & 0xFFFF);
+    e.actor = static_cast<std::uint32_t>(r.w[1]);
+    e.a = r.w[2];
+    e.b = r.w[3];
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  for (std::size_t i = 0; i <= lane_mask_; ++i) {
+    auto lane_events = events(i);
+    out.insert(out.end(), lane_events.begin(), lane_events.end());
+  }
+  // Lanes were appended in index order and each is time-ordered, so a
+  // stable sort yields (t, lane, intra-lane order).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     return a.t < b.t;
+                   });
+  return out;
+}
+
+std::string FlightRecorder::to_jsonl() const {
+  std::string out;
+  for (const FlightEvent& e : events()) append_event_json(out, e);
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::parse_jsonl(std::string_view text) {
+  std::vector<FlightEvent> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+
+    const auto t = field(line, "t");
+    const auto ft = field(line, "ft");
+    if (!t || !ft) continue;
+    const auto type = flight_type_from_string(*ft);
+    const auto tv = parse_int<TimeUs>(*t);
+    if (!type || !tv) continue;
+
+    FlightEvent e;
+    e.t = *tv;
+    e.type = *type;
+    if (const auto v = field(line, "lane")) {
+      e.lane = parse_int<std::uint16_t>(*v).value_or(0);
+    }
+    if (const auto v = field(line, "actor")) {
+      e.actor = parse_int<std::uint32_t>(*v).value_or(0);
+    }
+    if (const auto v = field(line, "a")) {
+      e.a = parse_int<std::uint64_t>(*v).value_or(0);
+    }
+    if (const auto v = field(line, "b")) {
+      e.b = parse_int<std::uint64_t>(*v).value_or(0);
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+void FlightRecorder::on_dump(std::function<void(const FlightDump&)> sink) {
+  std::lock_guard lk(dump_mu_);
+  sink_ = std::move(sink);
+}
+
+std::uint64_t FlightRecorder::trigger_dump(std::string reason) {
+  const std::uint64_t ordinal =
+      dumps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record(FlightType::kDump, 0, ordinal, 0);
+
+  std::function<void(const FlightDump&)> sink;
+  {
+    std::lock_guard lk(dump_mu_);
+    sink = sink_;
+  }
+  if (!sink) return ordinal;
+
+  FlightDump d;
+  d.reason = std::move(reason);
+  d.t = clock_ ? clock_() : 0;
+  d.dropped = dropped();
+  std::string body;
+  std::size_t n = 0;
+  for (const FlightEvent& e : events()) {
+    append_event_json(body, e);
+    ++n;
+  }
+  d.events = n;
+  d.jsonl = flight_dump_meta(d) + body;
+  {
+    std::lock_guard lk(dump_mu_);
+    last_ = d;
+  }
+  sink(d);
+  return ordinal;
+}
+
+FlightDump FlightRecorder::last_dump() const {
+  std::lock_guard lk(dump_mu_);
+  return last_;
+}
+
+std::string flight_dump_meta(const FlightDump& d) {
+  std::string out = "{\"flight_dump\":{\"reason\":\"";
+  append_json_escaped(out, d.reason);
+  out += "\",\"t\":";
+  out += std::to_string(d.t);
+  out += ",\"events\":";
+  out += std::to_string(d.events);
+  out += ",\"dropped\":";
+  out += std::to_string(d.dropped);
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace lod::obs

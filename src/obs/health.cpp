@@ -62,6 +62,15 @@ std::size_t HealthMonitor::evaluate() {
                         std::llround(*v * 1000.0),
                         std::llround(rule.threshold * 1000.0), rule.name);
       violation_counters_[i].inc();
+      // Ship the last N seconds of history with the violation: journal the
+      // crossing, then trigger a flight dump (a no-op beyond the marker
+      // when no dump sink is installed).
+      hub_.flight().record_at(
+          now, FlightType::kSloViolation,
+          static_cast<std::uint32_t>(actor_of(rule.site)),
+          static_cast<std::uint64_t>(std::llround(*v * 1000.0)),
+          static_cast<std::uint64_t>(std::llround(rule.threshold * 1000.0)));
+      hub_.flight().trigger_dump("slo." + rule.name);
     }
     st.healthy = !bad;
   }

@@ -1,0 +1,215 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lod/obs/metrics.hpp"  // TimeUs
+
+/// \file flight.hpp
+/// The flight recorder: an always-on, bounded, lock-free journal of compact
+/// binary events — the "last N seconds of history" that ships with every
+/// failure. Metrics answer "what is the state now"; the trace sink answers
+/// "what happened" but only when someone turned it on *before* the incident.
+/// The flight recorder closes that gap: recording is cheap enough to leave
+/// on in production (a handful of relaxed atomic stores per event, no
+/// allocation, no locks), and when a trigger fires (an SLO violation, a
+/// persistent desync) the journal is rendered to JSONL and handed to the
+/// installed dump sink, so the evidence survives the failure it describes.
+///
+/// Structure: LANES of power-of-two rings. Each lane is SINGLE-WRITER —
+/// per-shard/per-loop-thread, matching the stack's shard-per-thread model —
+/// while readers (dumps, the /debug/flight endpoint) may run concurrently
+/// with writers on any thread. Slots are published with a release store of
+/// the lane head; a reader validates each event against the head re-read
+/// after the scan, discarding anything the writer may have been overwriting
+/// mid-read. Event words are relaxed atomics, so a discarded torn read is
+/// harmless (and clean under TSan).
+///
+/// Lane 0 (`kLaneControl`) carries rare, high-value events (span open/close,
+/// sync verdicts, frame drops, SLO violations); lane 1 (`kLaneDispatch`)
+/// carries the firehose (per-event sim/transport dispatch), so the firehose
+/// can never evict the history that explains a failure.
+///
+/// The binary format (t, type, lane, actor, a, b — 32 bytes) is deliberately
+/// the seed of record-replay (ROADMAP item 4): a dispatch journal plus the
+/// sync layer's state images is exactly a replay log.
+
+namespace lod::obs {
+
+/// Every event the journal can carry. Values are stable — they appear in
+/// dumped JSONL — so append only.
+enum class FlightType : std::uint8_t {
+  kSpanBegin,     ///< trace span opened    (actor, a = span id, b = trace id)
+  kSpanEnd,       ///< trace span closed    (actor, a = span id, b = trace id)
+  kSimEvent,      ///< simulator dispatched (a = event id, b = seq)
+  kNetEvent,      ///< transport datagram   (actor = host, a = id, b = bytes)
+  kSyncVerdict,   ///< sync epoch compared  (actor = host, a = epoch, b = verdict)
+  kFrameDrop,     ///< media/frame dropped  (actor = host, a = id, b = cause)
+  kSloViolation,  ///< SLO crossed          (actor = site, a = value*1000, b = threshold*1000)
+  kCacheMiss,     ///< edge demand miss     (actor = host, a = segment, b = bytes)
+  kFailover,      ///< player switched site (actor = host, a = old, b = new)
+  kResync,        ///< sync delta applied   (actor = host, a = epoch, b = blocks)
+  kDump,          ///< a dump was triggered (a = dump ordinal)
+};
+
+std::string_view to_string(FlightType t);
+std::optional<FlightType> flight_type_from_string(std::string_view s);
+
+/// `kFrameDrop` causes carried in `b`.
+enum class DropCause : std::uint64_t {
+  kLoss = 1,       ///< random link loss (sim network)
+  kQueue = 2,      ///< drop-tail queue overflow (sim network)
+  kBadFrame = 3,   ///< malformed wire frame (count-and-drop)
+  kUnitLost = 4,   ///< player declared a sequence gap lost
+  kUndeliverable = 5,  ///< send failed (oversize datagram, dead socket)
+};
+
+/// One decoded journal entry.
+struct FlightEvent {
+  TimeUs t{0};
+  FlightType type{FlightType::kSimEvent};
+  std::uint16_t lane{0};
+  std::uint32_t actor{0};
+  std::uint64_t a{0};
+  std::uint64_t b{0};
+};
+
+/// What a dump sink receives: the trigger's reason plus the journal rendered
+/// to JSONL (meta line first, then one event per line, oldest first).
+struct FlightDump {
+  std::string reason;
+  TimeUs t{0};
+  std::size_t events{0};
+  std::uint64_t dropped{0};
+  std::string jsonl;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kLaneControl = 0;
+  static constexpr std::size_t kLaneDispatch = 1;
+
+  struct Config {
+    /// Writer lanes (rounded up to a power of two). Each lane is
+    /// single-writer; out-of-range lane arguments wrap, never overflow.
+    std::size_t lanes{2};
+    /// Ring slots per lane (rounded up to a power of two). Once a lane
+    /// wraps, readers retain capacity-1 events: the oldest slot is always
+    /// treated as potentially mid-overwrite by an unpublished write.
+    /// The default keeps a lane's ring at 64 KB (2048 x 32-byte slots) so
+    /// the write cursor stays cache-resident on the hot dispatch path —
+    /// an 8x larger ring measurably taxes the playout engine because every
+    /// record streams through a cold line.
+    std::size_t capacity{2048};
+  };
+
+  FlightRecorder();  ///< default Config
+  explicit FlightRecorder(Config cfg);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Recording on/off. On by default — the whole point is being already
+  /// there when something goes wrong; `bench_obs_overhead` keeps it honest.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Timestamp source for `record` (hot paths that already know the time
+  /// use `record_at` and skip the indirect call). Setup-time only.
+  void set_clock(std::function<TimeUs()> clock) { clock_ = std::move(clock); }
+
+  /// Journal one event at an explicit timestamp. The hot-path form: one
+  /// relaxed branch when disabled; a head load, four relaxed word stores
+  /// and a release head store when enabled. Single writer per lane.
+  void record_at(TimeUs t, FlightType type, std::uint32_t actor = 0,
+                 std::uint64_t a = 0, std::uint64_t b = 0,
+                 std::size_t lane = kLaneControl) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    const std::size_t li = lane & lane_mask_;
+    Lane& ln = lanes_[li];
+    const std::uint64_t h = ln.head.load(std::memory_order_relaxed);
+    std::atomic<std::uint64_t>* w = ln.words.get() + ((h & slot_mask_) << 2);
+    w[0].store(static_cast<std::uint64_t>(t), std::memory_order_relaxed);
+    w[1].store((static_cast<std::uint64_t>(type) << 48) |
+                   (static_cast<std::uint64_t>(li) << 32) | actor,
+               std::memory_order_relaxed);
+    w[2].store(a, std::memory_order_relaxed);
+    w[3].store(b, std::memory_order_relaxed);
+    ln.head.store(h + 1, std::memory_order_release);
+  }
+
+  /// Journal one event stamped with the installed clock (0 without one).
+  void record(FlightType type, std::uint32_t actor = 0, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::size_t lane = kLaneControl) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    record_at(clock_ ? clock_() : 0, type, actor, a, b, lane);
+  }
+
+  std::size_t lanes() const { return lane_mask_ + 1; }
+  std::size_t capacity() const { return slot_mask_ + 1; }  ///< per lane
+
+  /// Events ever recorded / aged out of the readable window (capacity-1
+  /// per wrapped lane), across lanes.
+  std::uint64_t total_recorded() const;
+  std::uint64_t dropped() const;
+
+  /// Retained events of one lane, oldest first. Safe concurrently with the
+  /// lane's writer; events the writer was overwriting mid-read are omitted.
+  std::vector<FlightEvent> events(std::size_t lane) const;
+  /// Retained events of every lane merged into one timeline (stable-sorted
+  /// by timestamp; ties keep control-lane events first).
+  std::vector<FlightEvent> events() const;
+
+  /// One JSON object per line: {"t":..,"ft":"sync_verdict","lane":0,
+  /// "actor":..,"a":..,"b":..}. The schema key is "ft" (not "type") so
+  /// flight lines and trace-sink lines can share a file unambiguously.
+  std::string to_jsonl() const;
+  /// Parse text produced by `to_jsonl` / a dump. Lines without an "ft" key
+  /// (meta lines, trace-sink lines, garbage) are skipped.
+  static std::vector<FlightEvent> parse_jsonl(std::string_view text);
+
+  /// --- dump-on-trigger ------------------------------------------------------
+
+  /// Install the dump sink. Without one, `trigger_dump` only counts (and
+  /// journals a kDump marker) — rendering ~capacity lines of JSONL on every
+  /// trigger would make triggers expensive exactly when the system hurts.
+  void on_dump(std::function<void(const FlightDump&)> sink);
+
+  /// Fire a dump: journal a kDump marker, and when a sink is installed
+  /// render the journal (meta line + events, oldest first) and deliver it.
+  /// Returns the dump ordinal (1-based). Callable from any thread.
+  std::uint64_t trigger_dump(std::string reason);
+
+  std::uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+  /// The most recent dump delivered to a sink (reason empty when none yet).
+  FlightDump last_dump() const;
+
+ private:
+  struct Lane {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> words;  ///< capacity * 4
+    std::atomic<std::uint64_t> head{0};
+  };
+
+  std::size_t lane_mask_;
+  std::size_t slot_mask_;
+  std::unique_ptr<Lane[]> lanes_;
+  std::atomic<bool> enabled_{true};
+  std::function<TimeUs()> clock_;
+
+  std::atomic<std::uint64_t> dumps_{0};
+  mutable std::mutex dump_mu_;  ///< guards sink_ and last_ (cold path)
+  std::function<void(const FlightDump&)> sink_;
+  FlightDump last_;
+};
+
+/// Render the meta header line of a dump:
+/// {"flight_dump":{"reason":"..","t":N,"events":N,"dropped":N}}
+std::string flight_dump_meta(const FlightDump& d);
+
+}  // namespace lod::obs

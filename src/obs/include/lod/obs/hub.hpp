@@ -3,6 +3,7 @@
 #include <functional>
 #include <utility>
 
+#include "lod/obs/flight.hpp"
 #include "lod/obs/metrics.hpp"
 #include "lod/obs/trace.hpp"
 
@@ -15,7 +16,7 @@ namespace lod::obs {
 
 class Hub {
  public:
-  Hub() = default;
+  Hub() { trace_.set_flight(&flight_); }
   Hub(const Hub&) = delete;
   Hub& operator=(const Hub&) = delete;
 
@@ -25,11 +26,17 @@ class Hub {
   TraceSink& trace() { return trace_; }
   const TraceSink& trace() const { return trace_; }
 
+  /// The always-on flight recorder (see flight.hpp). Spans mirror into it
+  /// automatically; layers journal their own events through this handle.
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
+
   /// Install the timestamp source (the simulator's clock). Shared with the
-  /// trace sink.
+  /// trace sink and the flight recorder.
   void set_clock(std::function<TimeUs()> clock) {
     clock_ = std::move(clock);
     trace_.set_clock(clock_);
+    flight_.set_clock(clock_);
   }
 
   /// Current time per the installed clock; 0 if none.
@@ -40,6 +47,7 @@ class Hub {
  private:
   MetricsRegistry metrics_;
   TraceSink trace_;
+  FlightRecorder flight_;
   std::function<TimeUs()> clock_;
 };
 

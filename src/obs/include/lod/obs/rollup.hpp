@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "lod/obs/metrics.hpp"
+
+/// \file rollup.hpp
+/// RollupStore: a bounded ring of windowed Snapshot *diffs* giving metrics a
+/// short time-series memory. The registry's counters are monotone totals —
+/// fine for "how many ever", useless for "how fast right now". The rollup
+/// keeps the last N windows of `Snapshot::since` deltas (one per roll), so
+/// `/debug/vars` can answer rate questions ("packets/s over the last 10 s")
+/// and dashboards get history without an external scraper.
+///
+/// Ownership: single-threaded. In RealTransport the store lives on the epoll
+/// loop thread and is rolled by a periodic timer; `/debug/*` handlers run on
+/// the same thread, so no locking is needed.
+
+namespace lod::obs {
+
+class RollupStore {
+ public:
+  struct Config {
+    TimeUs window_us{1'000'000};  ///< nominal roll period (informational)
+    std::size_t windows{64};      ///< windows retained (ring)
+  };
+
+  /// One retained window: the registry delta over [start, end).
+  struct Window {
+    TimeUs start{0};
+    TimeUs end{0};
+    Snapshot delta;
+  };
+
+  RollupStore();  ///< default Config
+  explicit RollupStore(Config cfg) : cfg_(cfg) {}
+
+  const Config& config() const { return cfg_; }
+
+  /// Ingest the current registry snapshot at time `now`. The first call
+  /// only primes the baseline; subsequent calls append a window holding
+  /// `snap.since(baseline)` and advance the baseline. Windows where `now`
+  /// did not advance are dropped (empty-window diff would divide by zero
+  /// and carry no information).
+  void roll(const Snapshot& snap, TimeUs now);
+
+  std::size_t size() const { return windows_.size(); }
+  bool primed() const { return primed_; }
+  const std::deque<Window>& windows() const { return windows_; }
+
+  /// Sum of a counter's deltas over up to the most recent `span` windows
+  /// (0 = all retained), with the covered wall time. Rate = delta/seconds.
+  struct Rate {
+    std::uint64_t delta{0};
+    TimeUs over_us{0};
+    double per_second() const {
+      return over_us > 0 ? static_cast<double>(delta) * 1e6 /
+                               static_cast<double>(over_us)
+                         : 0.0;
+    }
+  };
+  Rate rate(std::string_view name, std::size_t span = 0) const;
+
+  /// Merge one histogram's per-window deltas across up to `span` recent
+  /// windows (0 = all). Bucket layouts are merged when compatible,
+  /// moments-only otherwise (same policy as Snapshot::merged_histogram).
+  HistogramData merged_histogram(std::string_view name,
+                                 std::size_t span = 0) const;
+
+  /// Covered time range across the retained windows ({0,0} when empty).
+  TimeUs oldest_start() const {
+    return windows_.empty() ? 0 : windows_.front().start;
+  }
+  TimeUs newest_end() const {
+    return windows_.empty() ? 0 : windows_.back().end;
+  }
+
+ private:
+  Config cfg_;
+  bool primed_{false};
+  TimeUs last_t_{0};
+  Snapshot last_;
+  std::deque<Window> windows_;
+};
+
+}  // namespace lod::obs

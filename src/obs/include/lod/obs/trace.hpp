@@ -92,6 +92,8 @@ struct TraceContext {
 /// such as a content name or URL. `trace`/`span`/`parent` are the causal
 /// coordinates (0 = not part of a trace; span/parent are only meaningful on
 /// span markers and context-tagged events).
+class FlightRecorder;
+
 struct TraceEvent {
   TimeUs t{0};
   EventType type{EventType::kSpanBegin};
@@ -152,6 +154,12 @@ class TraceSink {
   /// sink a distinct seed (e.g. host << 32) so ids cannot collide.
   void set_id_seed(std::uint64_t seed) { next_id_ = seed ? seed : 1; }
 
+  /// Mirror span open/close markers into \p flight (control lane) so the
+  /// always-on journal carries span boundaries even though full tracing is
+  /// opt-in — a dump then brackets failures with the spans that contain
+  /// them. Setup-time only; nullptr disconnects.
+  void set_flight(FlightRecorder* flight) { flight_ = flight; }
+
   std::size_t size() const { return size_; }
   std::size_t capacity() const { return ring_.size(); }
   std::uint64_t dropped() const { return dropped_; }
@@ -182,6 +190,7 @@ class TraceSink {
   std::uint64_t next_id_{1};  ///< shared trace/span id counter
   bool enabled_{false};
   std::function<TimeUs()> clock_;
+  FlightRecorder* flight_{nullptr};
 };
 
 /// Collate per-shard event streams (each time-ordered, as a TraceSink

@@ -283,12 +283,21 @@ Snapshot Snapshot::since(const Snapshot& earlier) const {
     if (it != earlier.entries_.end()) {
       const Entry& prev = it->second;
       if (d.kind == MetricKind::kCounter) {
-        d.counter = d.counter >= prev.counter ? d.counter - prev.counter : 0;
+        // A total below the baseline means the series was retired and
+        // re-registered between snapshots: treat it as a counter reset and
+        // keep the current total whole (increments since the restart).
+        d.counter =
+            d.counter >= prev.counter ? d.counter - prev.counter : d.counter;
       } else if (d.kind == MetricKind::kHistogram &&
-                 d.hist.bounds == prev.hist.bounds) {
+                 d.hist.bounds == prev.hist.bounds &&
+                 d.hist.count >= prev.hist.count) {
+        // Same reset rule as the counter branch: on a reset the current
+        // tallies are kept whole (the bounds/count guard above routes the
+        // reset case here, skipping subtraction entirely).
         for (std::size_t i = 0;
              i < d.hist.counts.size() && i < prev.hist.counts.size(); ++i) {
-          d.hist.counts[i] -= prev.hist.counts[i];
+          const std::uint64_t p = prev.hist.counts[i];
+          d.hist.counts[i] = d.hist.counts[i] >= p ? d.hist.counts[i] - p : 0;
         }
         d.hist.count -= prev.hist.count;
         d.hist.sum -= prev.hist.sum;

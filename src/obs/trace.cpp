@@ -5,6 +5,7 @@
 #include <charconv>
 #include <iterator>
 
+#include "lod/obs/flight.hpp"
 #include "lod/obs/json.hpp"
 
 namespace lod::obs {
@@ -66,6 +67,15 @@ void TraceSink::emit_impl(EventType type, std::uint64_t actor, std::int64_t a,
   slot.span = span;
   slot.parent = parent;
   slot.detail = std::move(detail);
+  if (flight_ != nullptr &&
+      (type == EventType::kSpanBegin || type == EventType::kSpanEnd)) {
+    // Mirror span boundaries into the always-on journal: a = span id,
+    // b = trace id, actor truncated to the journal's 32-bit actor slot.
+    flight_->record_at(slot.t,
+                       type == EventType::kSpanBegin ? FlightType::kSpanBegin
+                                                     : FlightType::kSpanEnd,
+                       static_cast<std::uint32_t>(actor), span, trace);
+  }
   head_ = (head_ + 1) % ring_.size();
   if (size_ < ring_.size()) {
     ++size_;

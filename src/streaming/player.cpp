@@ -322,6 +322,8 @@ void Player::watchdog_tick() {
 void Player::do_failover() {
   ++failovers_;
   m_failovers_.inc();
+  net_.obs().flight().record(obs::FlightType::kFailover,
+                             static_cast<std::uint32_t>(host_), server_);
   if (failover_span_ == 0) {
     failover_span_ = trace_->begin_span(session_ctx_, "player.failover", host_,
                                         static_cast<std::int64_t>(server_));
@@ -492,6 +494,9 @@ void Player::handle_data(const net::Datagram& p) {
   } else if (seq > last_seq_ + 1) {
     units_lost_ += seq - last_seq_ - 1;  // packet-level loss estimate
     m_units_lost_.inc(seq - last_seq_ - 1);
+    net_.obs().flight().record(
+        obs::FlightType::kFrameDrop, static_cast<std::uint32_t>(host_), seq,
+        static_cast<std::uint64_t>(obs::DropCause::kUnitLost));
     last_seq_ = seq;
   } else if (seq > last_seq_) {
     last_seq_ = seq;

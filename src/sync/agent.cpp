@@ -228,7 +228,12 @@ void SyncAgent::compare(std::uint64_t epoch, const EpochReport& rep) {
     ++stats_.mismatches;
     m_mismatch_.inc();
   }
-  switch (detector_.observe(epoch, match)) {
+  const DesyncDetector::Verdict verdict = detector_.observe(epoch, match);
+  auto& flight = net_.obs().flight();
+  flight.record(obs::FlightType::kSyncVerdict,
+                static_cast<std::uint32_t>(rep.from), epoch,
+                static_cast<std::uint64_t>(verdict));
+  switch (verdict) {
     case DesyncDetector::Verdict::kInSync:
       break;
     case DesyncDetector::Verdict::kTransient:
@@ -242,6 +247,10 @@ void SyncAgent::compare(std::uint64_t epoch, const EpochReport& rep) {
       // a lost request or reply heals itself at the next epoch, when the
       // still-persistent verdict lands here again with a later epoch.
       if (!resync_inflight_ || *resync_inflight_ < epoch) {
+        // Dump before the resync starts: the journal at this instant is
+        // the evidence of HOW we desynced (one dump per resync attempt,
+        // not per persistent epoch).
+        flight.trigger_dump("sync.persistent_desync");
         send_resync_request(epoch, {rep.from, rep.from_port});
       }
       break;
@@ -336,6 +345,13 @@ void SyncAgent::handle_delta_reply(net::ByteReader& r) {
                      static_cast<std::int64_t>(res.bytes));
       resync_span_ = 0;
     }
+    // Journal the heal and dump again: this second journal covers the
+    // whole recovery (persistent verdict -> resync span -> delta applied),
+    // which is what the storm test asserts end-to-end.
+    auto& flight = net_.obs().flight();
+    flight.record(obs::FlightType::kResync, static_cast<std::uint32_t>(host_),
+                  epoch, res.blocks_applied);
+    flight.trigger_dump("sync.resync_complete");
     if (on_resync_) on_resync_(epoch, res.blocks_applied);
   } else if (res.ok) {
     // Blocks landed but the authority moved on while the delta was in

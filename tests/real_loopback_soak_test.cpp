@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <thread>
@@ -9,6 +11,7 @@
 #include "lod/edge/edge_node.hpp"
 #include "lod/media/sources.hpp"
 #include "lod/net/real_transport.hpp"
+#include "lod/obs/flight.hpp"
 #include "lod/obs/metrics.hpp"
 #include "lod/streaming/encoder.hpp"
 #include "lod/streaming/player.hpp"
@@ -122,11 +125,15 @@ TEST(RealLoopbackSoak, FullLectureThroughEdgeOverKernelSockets) {
   net::Result<net::HttpResponse> scraped = net::Error::kTimeout;
   net::Result<net::RpcReply> tcp_rpc = net::Error::kTimeout;
   net::Result<net::HttpResponse> not_found = net::Error::kTimeout;
+  net::Result<net::HttpResponse> debug_vars = net::Error::kTimeout;
+  net::Result<net::HttpResponse> debug_flight = net::Error::kTimeout;
   std::thread scraper([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(1200));
     const std::string origin_ip = origin_net.host_address(kOrigin);
     scraped = net::http_get(origin_ip, kHttpTcp, "/metrics");
     not_found = net::http_get(origin_ip, kHttpTcp, "/nope");
+    debug_vars = net::http_get(origin_ip, kHttpTcp, "/debug/vars");
+    debug_flight = net::http_get(origin_ip, kHttpTcp, "/debug/flight");
     net::TcpRpcClient rpc(origin_ip, kHttpTcp);
     tcp_rpc = rpc.call("/slides/0", {});
   });
@@ -180,6 +187,29 @@ TEST(RealLoopbackSoak, FullLectureThroughEdgeOverKernelSockets) {
       << "TCP RPC failed: " << net::to_string(tcp_rpc.error());
   EXPECT_EQ(tcp_rpc->status, 200);
   EXPECT_EQ(tcp_rpc->body.size(), 8'000u);
+
+  // --- the /debug plane answered mid-playout ------------------------------
+  ASSERT_TRUE(debug_vars.has_value())
+      << "/debug/vars scrape failed: " << net::to_string(debug_vars.error());
+  EXPECT_EQ(debug_vars->status, 200);
+  EXPECT_NE(debug_vars->body.find("\"series\""), std::string::npos);
+  ASSERT_TRUE(debug_flight.has_value())
+      << "/debug/flight scrape failed: "
+      << net::to_string(debug_flight.error());
+  EXPECT_EQ(debug_flight->status, 200);
+  EXPECT_EQ(debug_flight->body.find("{\"flight_dump\":"), 0u);
+  EXPECT_FALSE(obs::FlightRecorder::parse_jsonl(debug_flight->body).empty())
+      << "flight journal empty mid-playout";
+
+  // Persist the scraped journal so CI can upload it next to the bench
+  // results (path via LOD_FLIGHT_DUMP, default alongside the test binary).
+  const char* dump_env = std::getenv("LOD_FLIGHT_DUMP");
+  const std::string dump_path = dump_env ? dump_env : "flight_dump.jsonl";
+  {
+    std::ofstream out(dump_path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << dump_path;
+    out << debug_flight->body;
+  }
 
   // --- wall-clock guard: pacing ran in real time, not in minutes ---------
   const auto elapsed = std::chrono::steady_clock::now() - wall_start;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <random>
 #include <string>
@@ -7,6 +8,7 @@
 
 #include "lod/lod/floor.hpp"
 #include "lod/net/network.hpp"
+#include "lod/obs/flight.hpp"
 #include "lod/sync/agent.hpp"
 #include "lod/sync/blocks.hpp"
 #include "lod/sync/state.hpp"
@@ -155,6 +157,108 @@ TEST(SyncStorm, LossyFloorStormConvergesViaDeltasOnly) {
         << "resync images are not deltas (avg " << st.delta_bytes / replies
         << " bytes vs " << full << " full)";
   }
+}
+
+// A deliberately injected persistent desync must auto-dump the flight
+// journal — trigger to dump verified in-test: the persistent verdict dumps
+// BEFORE the resync starts (evidence of how we desynced), and the resync
+// completion dumps a journal whose events cover the whole resync span
+// (persistent verdict -> span open -> span close -> delta applied).
+TEST(SyncStorm, InjectedPersistentDesyncAutoDumpsFlightJournal) {
+  net::Simulator sim;
+  net::Network network(sim, 42);
+  const std::vector<std::string> users{"teacher", "ann"};
+
+  const net::HostId teacher_host = network.add_host("teacher");
+  const net::HostId student_host = network.add_host("student");
+  net::LinkConfig reliable;
+  reliable.bandwidth_bps = 10'000'000;
+  reliable.latency = msec(5);
+  network.add_link(teacher_host, student_host, reliable);
+
+  Site authority(users);
+  Site replica(users);
+
+  SyncConfig base;
+  base.epoch_interval = msec(100);
+  base.persistent_after = 2;
+  base.structure = authority.floor.net().structure_hash();
+
+  const auto wire = [&](Site& site, net::HostId host, bool authoritative) {
+    register_deck_block(site.state);
+    register_floor_block(site.state, 2, "floor", &site.floor);
+    SyncConfig cfg = base;
+    cfg.authoritative = authoritative;
+    site.agent = std::make_unique<SyncAgent>(network, host, site.state, cfg);
+  };
+  wire(authority, teacher_host, true);
+  wire(replica, student_host, false);
+  authority.agent->add_peer(student_host);
+
+  // Spans mirror into the flight journal only while tracing is on.
+  network.obs().trace().set_enabled(true);
+  std::vector<obs::FlightDump> dumps;
+  network.obs().flight().on_dump(
+      [&dumps](const obs::FlightDump& d) { dumps.push_back(d); });
+
+  authority.agent->start();
+  replica.agent->start();
+
+  // Settle: both sites in sync, nothing worth dumping.
+  sim.run_until(network.now() + sec(1));
+  ASSERT_TRUE(dumps.empty()) << "spurious dump before the injected fault";
+
+  // Inject: corrupt the REPLICA's floor locally. The authority never hears
+  // about it, so every later epoch mismatches until a resync overwrites it.
+  replica.floor.request("ann");
+  sim.run_until(network.now() + sec(2));
+
+  // The trigger fired and the replica healed through the dumped resync.
+  ASSERT_GE(dumps.size(), 2u);
+  EXPECT_EQ(dumps[0].reason, "sync.persistent_desync");
+  EXPECT_FALSE(replica.agent->detector().desynced());
+  replica.state.refresh();
+  authority.state.refresh();
+  EXPECT_EQ(replica.state.checksum(), authority.state.checksum());
+
+  const auto done = std::find_if(
+      dumps.begin(), dumps.end(), [](const obs::FlightDump& d) {
+        return d.reason == "sync.resync_complete";
+      });
+  ASSERT_NE(done, dumps.end()) << "resync completion never dumped";
+
+  // The completion journal covers the resync span end to end.
+  obs::TimeUs t_verdict = -1, t_begin = -1, t_end = -1, t_resync = -1;
+  for (const obs::FlightEvent& e :
+       obs::FlightRecorder::parse_jsonl(done->jsonl)) {
+    switch (e.type) {
+      case obs::FlightType::kSyncVerdict:
+        if (e.b == static_cast<std::uint64_t>(
+                       DesyncDetector::Verdict::kPersistent) &&
+            t_verdict < 0) {
+          t_verdict = e.t;
+        }
+        break;
+      case obs::FlightType::kSpanBegin:
+        if (t_begin < 0) t_begin = e.t;
+        break;
+      case obs::FlightType::kSpanEnd:
+        t_end = e.t;
+        break;
+      case obs::FlightType::kResync:
+        t_resync = e.t;
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_GE(t_verdict, 0) << "journal lost the persistent verdict";
+  ASSERT_GE(t_begin, 0) << "journal lost the resync span open";
+  ASSERT_GE(t_end, 0) << "journal lost the resync span close";
+  ASSERT_GE(t_resync, 0) << "journal lost the resync completion";
+  EXPECT_LE(t_verdict, t_begin);
+  EXPECT_LE(t_begin, t_end);
+  EXPECT_LE(t_end, t_resync);
 }
 
 }  // namespace
