@@ -1,6 +1,7 @@
 #include "lod/edge/edge_node.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <span>
 #include <utility>
 
@@ -91,6 +92,10 @@ EdgeNode::EdgeNode(net::Transport& net, net::HostId host, EdgeConfig cfg)
       ctl_(net, host, config_.control_port),
       data_(net, host, static_cast<net::Port>(config_.control_port + 1)),
       origin_rpc_(net, host, static_cast<net::Port>(config_.control_port + 2)),
+      migrate_rpc_(net, host,
+                   static_cast<net::Port>(
+                       config_.control_port +
+                       streaming::proto::kMigratePortOffset)),
       cache_(config_.cache_budget_bytes, &net.obs().metrics(),
              obs::Labels{{"host", std::to_string(host)}}) {
   auto& reg = net_.obs().metrics();
@@ -107,6 +112,11 @@ EdgeNode::EdgeNode(net::Transport& net, net::HostId host, EdgeConfig cfg)
   m_miss_fill_us_ = reg.histogram("lod.edge.miss_fill_us", host_label);
   ctl_.on_receive(
       [this](const net::ReliableEndpoint::Message& m) { handle_control(m); });
+  migrate_rpc_.route(
+      "/edge/migrate",
+      [this](std::string_view, std::span<const std::byte> body) {
+        return handle_migrate(body);
+      });
 }
 
 EdgeNode::~EdgeNode() {
@@ -469,6 +479,98 @@ void EdgeNode::handle_control(const net::ReliableEndpoint::Message& m) {
     default:
       return;  // live joins and client-only tags are origin business
   }
+}
+
+std::pair<int, std::vector<std::byte>> EdgeNode::handle_migrate(
+    std::span<const std::byte> body) {
+  std::string name;
+  net::HostId client = 0;
+  net::Port client_ctl_port = 0;
+  net::Port client_data_port = 0;
+  std::uint32_t resume_index = 0;
+  net::SimDuration position{0};
+  std::uint32_t epoch = 0;
+  double rate = 1.0;
+  bool paused = false;
+  obs::TraceContext ctx;
+  std::vector<std::byte> image;
+  try {
+    ByteReader r(body);
+    if (r.u32() != streaming::proto::kMigrateMagic) return {400, {}};
+    if (r.u16() != streaming::proto::kMigrateVersion) return {400, {}};
+    name = r.str();
+    client = static_cast<net::HostId>(r.u32());
+    client_ctl_port = r.u16();
+    client_data_port = r.u16();
+    resume_index = r.u32();
+    position = net::SimDuration{r.i64()};
+    epoch = r.u32();
+    rate = r.f64();
+    paused = r.u8() != 0;
+    ctx.trace_id = r.u64();
+    ctx.parent_span_id = r.u64();
+    image = r.blob();
+  } catch (const std::exception&) {
+    return {400, {}};
+  }
+
+  ContentMeta& meta = ensure_meta(name, ctx);
+  if (!meta.ready) {
+    // Adoption is synchronous — there is nowhere to park an RPC reply — so
+    // a cold replica refuses, warms the meta in the background, and leaves
+    // the player to its describe-path fallback (which knows how to park).
+    return {503, {}};
+  }
+
+  Session s;
+  s.id = next_session_++;
+  s.client = client;
+  s.client_ctl_port = client_ctl_port;
+  s.data_port = client_data_port;
+  s.content = name;
+  s.ctx = ctx;
+  // Resume exactly where the old replica's stream left off when the player
+  // knows the index; derive it from the render position when it does not
+  // (a session that never received a packet this epoch).
+  s.next_packet =
+      resume_index != std::numeric_limits<std::uint32_t>::max()
+          ? std::min(resume_index, meta.packet_count)
+          : packet_for(meta, position);
+  s.epoch = epoch;  // the player keeps its epoch; stragglers still filter
+  s.rate = rate > 0 ? rate : 1.0;
+  s.paused = paused;
+  // No QoS channel yet: the reservation is path-bound and the player can
+  // only re-reserve after adoption. A later kSetRate carries the new id.
+  s.pace_epoch = net_.now();
+  s.pace_offset = s.next_packet < meta.packet_count
+                      ? net::SimDuration{meta.send_times_us[s.next_packet]}
+                      : net::SimDuration{0};
+  const std::uint64_t id = s.id;
+  const std::uint32_t start = s.next_packet;
+  sessions_.emplace(id, std::move(s));
+  if (!image.empty()) adopted_images_[id] = std::move(image);
+  m_sessions_opened_.inc();
+  m_active_sessions_.add(1);
+  if (!m_migrations_adopted_) {
+    m_migrations_adopted_ = net_.obs().metrics().counter(
+        "lod.edge.migrations_adopted", {{"host", std::to_string(host_)}});
+  }
+  m_migrations_adopted_.inc();
+  const std::uint64_t sp = trace_->begin_span(ctx, "edge.adopt", host_,
+                                              static_cast<std::int64_t>(id));
+  trace_->end_span(ctx, sp, "edge.adopt", host_,
+                   static_cast<std::int64_t>(id), start);
+  if (trace_->enabled()) {
+    trace_->emit_in(ctx, obs::EventType::kSessionOpen, client,
+                    static_cast<std::int64_t>(id), position.us, name);
+  }
+  prefetch_tick(name, start);
+  if (!paused) schedule_next(sessions_.at(id));
+
+  ByteWriter w;
+  w.u64(id);
+  w.u32(start);
+  return {200, std::move(w).take()};
 }
 
 void EdgeNode::schedule_next(Session& s) {

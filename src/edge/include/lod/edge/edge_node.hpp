@@ -66,7 +66,8 @@ class OriginGateway {
 struct EdgeConfig {
   /// Control port; players hard-wire `proto::kControlPort`, so keep it there
   /// unless every client is configured to match. Data rides on +1, the
-  /// origin RPC client on +2.
+  /// origin RPC client on +2, the migration RPC server on +3
+  /// (`proto::kMigratePortOffset`).
   net::Port control_port{streaming::proto::kControlPort};
   /// The origin site and its gateway port.
   net::HostId origin{0};
@@ -115,6 +116,18 @@ class EdgeNode {
     return m_prefetch_fetches_.value();
   }
   std::uint64_t packets_sent() const { return m_packets_sent_.value(); }
+  /// Sessions adopted via the `/edge/migrate` handshake (counter is bound
+  /// lazily; 0 until the first adoption).
+  std::uint64_t migrations_adopted() const {
+    return m_migrations_adopted_ ? m_migrations_adopted_.value() : 0;
+  }
+  /// The state image shipped with an adopted session (nullptr when the
+  /// session is unknown or migrated with an empty image). The edge keeps it
+  /// verbatim — interpretation belongs to the sync layer on the client.
+  const std::vector<std::byte>* adopted_image(std::uint64_t session_id) const {
+    auto it = adopted_images_.find(session_id);
+    return it == adopted_images_.end() ? nullptr : &it->second;
+  }
 
  private:
   /// Everything the edge needs to pace and seek one content, fetched once
@@ -174,6 +187,11 @@ class EdgeNode {
   };
 
   void handle_control(const net::ReliableEndpoint::Message& m);
+  /// `/edge/migrate`: adopt a frozen session shipped by a failing-over
+  /// player. Synchronous: 200 + {session id, start index} when the content
+  /// meta is in hand, 503 (and a background meta warm) when it is not.
+  std::pair<int, std::vector<std::byte>> handle_migrate(
+      std::span<const std::byte> body);
   void reply_to(net::HostId h, net::Port p, std::vector<std::byte> payload);
   ContentMeta& ensure_meta(const std::string& content,
                            const obs::TraceContext& ctx = {});
@@ -199,6 +217,7 @@ class EdgeNode {
   net::ReliableEndpoint ctl_;
   net::DatagramSocket data_;
   net::RpcClient origin_rpc_;
+  net::RpcServer migrate_rpc_;
   SegmentCache cache_;
   obs::TraceSink* trace_{nullptr};
   obs::Counter m_packets_sent_;
@@ -209,7 +228,12 @@ class EdgeNode {
   obs::Counter m_prefetch_fetches_;
   obs::Counter m_fetch_bytes_;
   obs::Counter m_repairs_;
+  /// Lazily bound on first adoption (keeps migration-free goldens stable).
+  obs::Counter m_migrations_adopted_;
   obs::Histogram m_miss_fill_us_;
+  /// State images received with adopted sessions, kept verbatim for the
+  /// client-side sync layer (and the migration tests) to read back.
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> adopted_images_;
   std::unordered_map<std::string, ContentMeta> contents_;
   std::unordered_map<SegmentKey, Fetch, SegmentKeyHash> inflight_;
   std::unordered_map<SegmentKey, net::SimTime, SegmentKeyHash> fetch_started_;

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "lod/edge/edge_node.hpp"
@@ -46,6 +49,30 @@ enum class SessionKind : std::uint8_t {
 
 std::string_view to_string(SessionKind k);
 
+/// One scripted session input — the unit of the record-replay journal
+/// (`lod::sync::SessionRecorder`). Values are wire format; append only.
+enum class InputKind : std::uint8_t {
+  kOpen = 1,    ///< start the session (open_and_play / _via per its kind)
+  kPause = 2,
+  kResume = 3,
+  kSeek = 4,    ///< arg_us = target position
+};
+
+std::string_view to_string(InputKind k);
+
+/// A session input pinned to run-relative time. A LoadGen run IS a list of
+/// these: `planned_inputs()` derives the list from the seed, `run(script)`
+/// executes an explicit list, and replaying a recorded list byte-identically
+/// reproduces the original run's merged snapshot.
+struct SessionInput {
+  std::int64_t t_us{0};      ///< offset from run start
+  std::uint32_t session{0};  ///< GLOBAL session index
+  InputKind kind{InputKind::kOpen};
+  std::int64_t arg_us{0};    ///< kSeek target; 0 otherwise
+
+  friend bool operator==(const SessionInput&, const SessionInput&) = default;
+};
+
 /// Session-kind mix, as relative weights (normalized internally; all-zero
 /// degenerates to all-straight).
 struct WorkloadMix {
@@ -75,6 +102,12 @@ struct WorkloadSpec {
   std::string profile{"Video 56k dial-up"};
   /// Client hosts per shard; sessions round-robin over them.
   std::size_t client_hosts{16};
+  /// Failover sessions migrate (freeze → ship image → resume) instead of
+  /// re-describing: the selector is rewired so the post-kill pick is the
+  /// stable EdgeNode (which speaks `/edge/migrate`), and the player carries
+  /// `PlayerConfig::migrate_on_failover`. Off by default — the re-describe
+  /// path is what the legacy benches and goldens measure.
+  bool migrate_on_failover{false};
 };
 
 /// Aggregated outcome of one shard's run (mirrors the `lod.loadgen.*`
@@ -83,6 +116,7 @@ struct LoadGenTotals {
   std::size_t sessions{0};
   std::size_t finished{0};
   std::uint64_t failovers{0};
+  std::uint64_t migrations{0};  ///< failovers resolved by live migration
   std::uint64_t stalls{0};
   std::uint64_t interactions_issued{0};
   std::uint64_t floor_grants{0};
@@ -105,7 +139,27 @@ class LoadGen {
 
   /// Schedule every local session and run the simulator until the workload
   /// drains (bounded by spec.horizon), then publish outcome series.
+  /// Equivalent to `run(planned_inputs())`.
   void run();
+
+  /// Run an explicit input script instead of the seed-derived plan. Inputs
+  /// for sessions this shard does not own are dropped before anything is
+  /// scheduled (they must not even perturb the simulator's event counters),
+  /// so a full-run journal can be handed to every shard verbatim. This is
+  /// the replay half of record-replay.
+  void run(std::span<const SessionInput> script);
+
+  /// The seed-derived input list this shard's `run()` would execute, in
+  /// (session, time) order: one kOpen per session at its arrival, plus the
+  /// interactive sessions' pause/resume/seek storms. A pure function of
+  /// (root seed, spec, shard) — computing it does not perturb the run.
+  std::vector<SessionInput> planned_inputs() const;
+
+  /// Observe every input as it is applied (before any session-state guards
+  /// drop it), in execution order. The recording half of record-replay.
+  void set_input_tap(std::function<void(const SessionInput&)> tap) {
+    tap_ = std::move(tap);
+  }
 
   const LoadGenTotals& totals() const { return totals_; }
   const WorkloadSpec& spec() const { return spec_; }
@@ -137,7 +191,11 @@ class LoadGen {
   void build_deployment();
   void publish_lecture();
   void start_session(SessionRec& rec);
-  void schedule_interactions(SessionRec& rec);
+  /// Deliver one scripted input: tap first (unconditionally, so recordings
+  /// match the plan), then route to the owning session if any.
+  void apply_input(const SessionInput& in);
+  /// Shared body of both run() overloads.
+  void run_script(std::vector<SessionInput> script);
   void schedule_floor_script(SessionRec& rec);
   void floor_release_tick(SessionRec& rec);
   void finalize_totals();
@@ -160,6 +218,10 @@ class LoadGen {
   std::unique_ptr<FloorService> floor_service_;
 
   std::vector<SessionRec> sessions_;
+  /// GLOBAL session index -> this shard's record (stable: sessions_ is
+  /// sized once in the constructor and never resized).
+  std::unordered_map<std::uint32_t, SessionRec*> by_index_;
+  std::function<void(const SessionInput&)> tap_;
   LoadGenTotals totals_;
   bool ran_{false};
   std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};

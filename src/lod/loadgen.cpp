@@ -39,6 +39,16 @@ std::string_view to_string(SessionKind k) {
   return "?";
 }
 
+std::string_view to_string(InputKind k) {
+  switch (k) {
+    case InputKind::kOpen: return "open";
+    case InputKind::kPause: return "pause";
+    case InputKind::kResume: return "resume";
+    case InputKind::kSeek: return "seek";
+  }
+  return "?";
+}
+
 LoadGen::LoadGen(net::Simulator& sim, WorkloadSpec spec,
                  std::uint64_t root_seed, std::size_t shard,
                  std::size_t shard_count)
@@ -69,6 +79,10 @@ LoadGen::LoadGen(net::Simulator& sim, WorkloadSpec spec,
       floor_users.push_back("u" + std::to_string(i));
     }
     sessions_.push_back(std::move(rec));
+  }
+  by_index_.reserve(sessions_.size());
+  for (auto& rec : sessions_) {
+    by_index_.emplace(static_cast<std::uint32_t>(rec.index), &rec);
   }
   floor_service_ = std::make_unique<FloorService>(
       net_, origin_host_, kFloorPort, std::move(floor_users));
@@ -166,17 +180,29 @@ void LoadGen::start_session(SessionRec& rec) {
       break;
     }
     case SessionKind::kInteractive: {
+      // The pause/resume/seek storm arrives as scripted SessionInputs (see
+      // planned_inputs), so a recorded run can replay it verbatim.
       rec.player =
           std::make_unique<streaming::Player>(net_, rec.client, cfg);
       rec.player->open_and_play(edge_host_, "lec");
-      schedule_interactions(rec);
       break;
     }
     case SessionKind::kFailover: {
       cfg.failover_timeout = net::msec(1500);
-      rec.selector = std::make_unique<edge::ReplicaSelector>(
-          net_, rec.client, origin_host_,
-          std::vector<net::HostId>{flaky_host_});
+      if (spec_.migrate_on_failover) {
+        // Migration needs a post-kill pick that speaks /edge/migrate: make
+        // the stable EdgeNode the selector's floor (the flaky edge still
+        // wins the initial pick — sites_ lists edges first and the LAN
+        // latencies tie).
+        cfg.migrate_on_failover = true;
+        rec.selector = std::make_unique<edge::ReplicaSelector>(
+            net_, rec.client, edge_host_,
+            std::vector<net::HostId>{flaky_host_});
+      } else {
+        rec.selector = std::make_unique<edge::ReplicaSelector>(
+            net_, rec.client, origin_host_,
+            std::vector<net::HostId>{flaky_host_});
+      }
       rec.player =
           std::make_unique<streaming::Player>(net_, rec.client, cfg);
       rec.player->open_and_play_via(*rec.selector, "lec");
@@ -192,32 +218,60 @@ void LoadGen::start_session(SessionRec& rec) {
   }
 }
 
-void LoadGen::schedule_interactions(SessionRec& rec) {
-  net::Rng r(
-      net::derive_shard_seed(root_seed_ ^ (kActionSalt + 1), rec.index));
-  const std::int64_t len = std::max<std::int64_t>(spec_.lecture_len.us, 1);
-  SessionRec* rp = &rec;
-  std::weak_ptr<bool> alive = alive_;
-  // First storm lands after the preroll so the session is actually playing.
-  net::SimDuration at = net::msec(3000 + r.uniform_int(0, 1000));
-  for (std::uint32_t k = 0; k < spec_.interactions; ++k) {
-    const net::SimDuration target{r.uniform_int(0, len - 1)};
-    const bool do_seek = r.bernoulli(0.5);
-    sim_.schedule_after(at, [rp, target, do_seek, alive] {
-      if (alive.expired() || !rp->player || rp->player->finished()) return;
+std::vector<SessionInput> LoadGen::planned_inputs() const {
+  std::vector<SessionInput> plan;
+  for (const auto& rec : sessions_) {
+    const auto session = static_cast<std::uint32_t>(rec.index);
+    const std::int64_t arrival = arrival_of(rec.index).us;
+    plan.push_back({arrival, session, InputKind::kOpen, 0});
+    if (rec.kind != SessionKind::kInteractive) continue;
+    // The storm schedule, drawn exactly as the pre-script implementation
+    // drew it (same salt, same draw order), times made absolute by the
+    // session's arrival. First round lands after the preroll so the session
+    // is actually playing.
+    net::Rng r(
+        net::derive_shard_seed(root_seed_ ^ (kActionSalt + 1), rec.index));
+    const std::int64_t len = std::max<std::int64_t>(spec_.lecture_len.us, 1);
+    net::SimDuration at = net::msec(3000 + r.uniform_int(0, 1000));
+    for (std::uint32_t k = 0; k < spec_.interactions; ++k) {
+      const std::int64_t target = r.uniform_int(0, len - 1);
+      const bool do_seek = r.bernoulli(0.5);
       if (do_seek) {
-        rp->player->seek(target);
+        plan.push_back({arrival + at.us, session, InputKind::kSeek, target});
       } else {
-        rp->player->pause();
+        plan.push_back({arrival + at.us, session, InputKind::kPause, 0});
+        plan.push_back(
+            {arrival + (at + net::msec(400)).us, session, InputKind::kResume,
+             0});
       }
-    });
-    if (!do_seek) {
-      sim_.schedule_after(at + net::msec(400), [rp, alive] {
-        if (alive.expired() || !rp->player || rp->player->finished()) return;
-        rp->player->resume();
-      });
+      at = at + net::msec(800 + r.uniform_int(0, 700));
     }
-    at = at + net::msec(800 + r.uniform_int(0, 700));
+  }
+  return plan;
+}
+
+void LoadGen::apply_input(const SessionInput& in) {
+  // The tap sees every input BEFORE the session-state guards, so a recorded
+  // journal equals the plan that produced it (replay determinism contract).
+  if (tap_) tap_(in);
+  auto it = by_index_.find(in.session);
+  if (it == by_index_.end()) return;  // another shard's session
+  SessionRec& rec = *it->second;
+  switch (in.kind) {
+    case InputKind::kOpen:
+      start_session(rec);
+      return;
+    case InputKind::kPause:
+      if (rec.player && !rec.player->finished()) rec.player->pause();
+      return;
+    case InputKind::kResume:
+      if (rec.player && !rec.player->finished()) rec.player->resume();
+      return;
+    case InputKind::kSeek:
+      if (rec.player && !rec.player->finished()) {
+        rec.player->seek(net::SimDuration{in.arg_us});
+      }
+      return;
   }
 }
 
@@ -255,16 +309,32 @@ void LoadGen::floor_release_tick(SessionRec& rec) {
   });
 }
 
-void LoadGen::run() {
+void LoadGen::run() { run_script(planned_inputs()); }
+
+void LoadGen::run(std::span<const SessionInput> script) {
+  run_script(std::vector<SessionInput>(script.begin(), script.end()));
+}
+
+void LoadGen::run_script(std::vector<SessionInput> script) {
   if (ran_) return;
   ran_ = true;
   const net::SimTime start = sim_.now();
   std::weak_ptr<bool> alive = alive_;
-  for (auto& rec : sessions_) {
-    SessionRec* rp = &rec;
-    sim_.schedule_at(start + arrival_of(rec.index), [this, rp, alive] {
-      if (!alive.expired()) start_session(*rp);
-    });
+  // The script outlives run_script's frame via shared ownership; each
+  // scheduled closure borrows one element.
+  auto inputs =
+      std::make_shared<const std::vector<SessionInput>>(std::move(script));
+  for (const SessionInput& in : *inputs) {
+    // Foreign sessions (a full-run journal handed to every shard) are
+    // dropped HERE, before any event is scheduled: replay byte-identity
+    // includes the simulator's own event counters, so a no-op event per
+    // foreign input would already break it.
+    if (!by_index_.contains(in.session)) continue;
+    const SessionInput* ip = &in;
+    sim_.schedule_at(start + net::SimDuration{in.t_us},
+                     [this, ip, inputs, alive] {
+                       if (!alive.expired()) apply_input(*ip);
+                     });
   }
   sim_.schedule_at(start + spec_.flaky_edge_up_for, [this, alive] {
     if (!alive.expired()) flaky_.reset();
@@ -290,6 +360,7 @@ void LoadGen::finalize_totals() {
     if (!rec.player) continue;
     if (rec.player->finished()) totals_.finished++;
     totals_.failovers += rec.player->failovers();
+    totals_.migrations += rec.player->migrations();
     totals_.stalls += rec.player->stalls().size();
     totals_.interactions_issued += rec.player->interactions().size();
     totals_.packets_received += rec.player->packets_received();
@@ -307,6 +378,7 @@ void LoadGen::finalize_totals() {
   m.counter("lod.loadgen.sessions").inc(totals_.sessions);
   m.counter("lod.loadgen.finished").inc(totals_.finished);
   m.counter("lod.loadgen.failovers").inc(totals_.failovers);
+  m.counter("lod.loadgen.migrations").inc(totals_.migrations);
   m.counter("lod.loadgen.stalls").inc(totals_.stalls);
   m.counter("lod.loadgen.interactions").inc(totals_.interactions_issued);
   m.counter("lod.loadgen.floor_grants").inc(totals_.floor_grants);

@@ -12,10 +12,10 @@ namespace {
 
 // Keep in enum order; the round-trip test in obs_flight_test walks every
 // value.
-constexpr std::array<std::string_view, 11> kFlightNames = {
+constexpr std::array<std::string_view, 12> kFlightNames = {
     "span_begin", "span_end",     "sim_event",  "net_event",
     "sync_verdict", "frame_drop", "slo_violation", "cache_miss",
-    "failover",   "resync",       "dump",
+    "failover",   "resync",       "dump",       "input",
 };
 
 std::size_t pow2_at_least(std::size_t n) {

@@ -57,6 +57,8 @@ enum class FlightType : std::uint8_t {
   kFailover,      ///< player switched site (actor = host, a = old, b = new)
   kResync,        ///< sync delta applied   (actor = host, a = epoch, b = blocks)
   kDump,          ///< a dump was triggered (a = dump ordinal)
+  kInput,         ///< scripted session input (actor = session, a = kind,
+                  ///< b = argument) — the record-replay journal entry
 };
 
 std::string_view to_string(FlightType t);

@@ -93,6 +93,14 @@ struct PlayerConfig {
   net::SimDuration failover_timeout{net::msec(2000)};
   /// How often the failover watchdog samples progress.
   net::SimDuration failover_check_interval{net::msec(500)};
+  /// Selector-driven sessions only: on a watchdog failover, freeze the
+  /// session and ship a state image to the selector's next pick over the
+  /// `/edge/migrate` RPC instead of re-describing from scratch. The player
+  /// keeps rendering from its jitter buffer during the handshake; a replica
+  /// that cannot adopt (cold meta, pre-migration build, no reply before the
+  /// next watchdog timeout) falls back to the re-describe reopen. Not
+  /// applicable to live joins.
+  bool migrate_on_failover{false};
   /// Send the session STOP automatically the moment playback finishes,
   /// instead of waiting for an explicit stop(). Off by default — the paper's
   /// player (and the existing benches) hold the session open until the user
@@ -160,6 +168,36 @@ struct PlayerSyncCursor {
   std::int64_t next_feed{-1};
   std::int64_t highest_index{-1};
   std::uint32_t stream_epoch{0};
+};
+
+/// The reorder-buffer half of the receive pipeline (repair mode): every
+/// packet held waiting for a hole to fill, plus the feed cursor — what a
+/// migrated session needs so outstanding repairs survive the move.
+struct PlayerReorderSnapshot {
+  /// index -> serialized packet bytes, ascending index.
+  std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> held;
+  std::int64_t next_feed{-1};
+  std::int64_t repair_total{-1};
+  bool eos_received{false};
+};
+
+/// Pending NACK/repair bookkeeping: which file packets have landed and how
+/// many NACK attempts each outstanding hole has burned. Sorted, so the
+/// serialized form is deterministic across sites.
+struct PlayerRepairSnapshot {
+  std::vector<std::uint32_t> received;  ///< ascending
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> nacks;  ///< by index
+  std::int64_t highest_index{-1};
+  std::int64_t max_index_seen{-1};
+  std::uint64_t repairs_requested{0};
+  std::uint64_t repairs_received{0};
+};
+
+/// Slide-cache references: which slide URLs are fully prefetched. In-flight
+/// fetches are deliberately absent — a fetch is not state until it lands,
+/// and the restored session simply re-fetches on demand.
+struct PlayerSlideCacheSnapshot {
+  std::vector<std::string> cached;  ///< sorted
 };
 
 /// Subscriber interface for the player's typed events: the uniform
@@ -274,6 +312,47 @@ class Player {
   net::HostId current_server() const { return server_; }
   /// Times the watchdog abandoned a site and reopened elsewhere.
   std::uint64_t failovers() const { return failovers_; }
+  /// Times a failover moved the session via the migration handshake
+  /// (subset of failovers(); the rest re-described from scratch).
+  std::uint64_t migrations() const { return migrations_; }
+  /// The content this session is (or was last) playing.
+  const std::string& content() const { return content_; }
+  /// The server-side session id (0 before kPlayOk).
+  std::uint64_t session_id() const { return session_; }
+
+  // --- session snapshot (sync/migration surfaces) ----------------------------------
+
+  /// Export / restore the reorder-buffer contents (held packets + cursors).
+  PlayerReorderSnapshot reorder_snapshot() const;
+  /// Installing a snapshot drains whatever became contiguous and re-arms the
+  /// hole timer, exactly as if the held packets had just arrived.
+  void restore_reorder(const PlayerReorderSnapshot& s);
+
+  /// Export / restore the NACK/repair bookkeeping.
+  PlayerRepairSnapshot repair_snapshot() const;
+  void restore_repair(const PlayerRepairSnapshot& s);
+
+  /// Export / restore completed slide-cache references. Restore stamps each
+  /// URL as cached "now" — latency history does not migrate.
+  PlayerSlideCacheSnapshot slide_cache_snapshot() const;
+  void restore_slide_cache(const PlayerSlideCacheSnapshot& s);
+
+  /// The session's trace identity, for freezing alongside the media state so
+  /// a restored session keeps emitting spans under the original root.
+  const obs::TraceContext& session_context() const { return session_ctx_; }
+  std::uint64_t session_root_span() const { return session_span_; }
+  /// Adopt a frozen trace identity instead of minting a fresh one. The next
+  /// shared-path open reuses it (no new "player.session" root).
+  void restore_session_trace(std::uint64_t trace_id, std::uint64_t root_span);
+
+  /// Migration seam: called at failover time (migrate_on_failover only) to
+  /// produce the state image shipped in the `/edge/migrate` body. Installed
+  /// by the sync layer (`lod::sync::attach_migration_image`); without one
+  /// the handshake ships an empty image (cursor-only resume).
+  void set_session_image_provider(
+      std::function<std::vector<std::byte>()> provider) {
+    image_provider_ = std::move(provider);
+  }
 
  private:
   enum class State : std::uint8_t {
@@ -295,6 +374,13 @@ class Player {
   void watchdog_tick();
   /// Abandon the current site and reopen at the selector's next pick.
   void do_failover();
+  /// Freeze the session and ship its image to \p next over `/edge/migrate`;
+  /// on any failure fall back to the re-describe reopen at \p resume_at.
+  void start_migration(net::HostId next, net::SimDuration resume_at);
+  /// Adopt the replica's session (200 reply): swap the serving site without
+  /// touching the jitter buffer or the render clock.
+  void complete_migration(net::HostId next, std::uint64_t session_id,
+                          std::uint32_t start_index);
   void handle_control(const net::ReliableEndpoint::Message& m);
   void handle_data(const net::Datagram& p);
   /// Terminal decode: parse serialized packet bytes (dropping malformed
@@ -396,6 +482,23 @@ class Player {
   net::SimTime watchdog_stuck_since_{};
   net::SimTime describe_sent_{};
   std::uint64_t failovers_{0};
+  std::uint64_t migrations_{0};
+  /// Migration handshake state: one RPC in flight at most; the token
+  /// invalidates a stale reply after a newer failover superseded it.
+  bool migration_inflight_{false};
+  std::uint64_t migration_token_{0};
+  net::HostId migration_target_{0};
+  /// Lazily bound on first migration so migration-free runs publish no
+  /// `lod.player.migrations` series (keeps the sim-transport golden stable).
+  obs::Counter m_migrations_;
+  std::function<std::vector<std::byte>()> image_provider_;
+  /// Set by restore_session_trace: the next begin_session_trace keeps the
+  /// adopted identity instead of minting a fresh root.
+  bool adopted_trace_{false};
+  /// Highest file-packet index ever ingested this epoch (unlike
+  /// highest_index_, which only tracks repair-mode gap detection) — the
+  /// migration handshake resumes the new replica at max_index_seen_ + 1.
+  std::int64_t max_index_seen_{-1};
   std::optional<net::SimTime> waiting_since_;  ///< in a stall since then
   net::SimTime play_issued_{};
   net::SimDuration startup_delay_{-1};

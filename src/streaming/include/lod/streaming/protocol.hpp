@@ -57,6 +57,23 @@ inline constexpr net::Port kWebPort = 80;        // slide/web server RPC
 /// arrives with a fresh seq but the same index).
 inline constexpr std::uint32_t kDataMagic = 0x4c4f4444;  // "LODD"
 
+/// Live session migration (LODR RPC `/edge/migrate`, served by replicas at
+/// `control_port + kMigratePortOffset`). A player abandoning a dead site
+/// freezes the session, ships its state image to the selector's next pick,
+/// and resumes against the adopted session — no re-DESCRIBE, no replayed
+/// media. Request body:
+///   [magic u32][version u16][content str]
+///   [client_host u32][client_ctl_port u16][client_data_port u16]
+///   [resume_index u32 (u32::max = derive from position)]
+///   [position_us i64][stream_epoch u32][rate f64][paused u8]
+///   [trace_id u64][parent_span u64][state_image blob]
+/// Reply (status 200): [session_id u64][start_index u32]. A replica without
+/// the content meta in hand answers 503 (adoption is synchronous) and the
+/// player falls back to the describe path, which knows how to park.
+inline constexpr net::Port kMigratePortOffset = 3;
+inline constexpr std::uint32_t kMigrateMagic = 0x4c4d4947;  // "LMIG"
+inline constexpr std::uint16_t kMigrateVersion = 1;
+
 /// Read the optional trailing trace context. Returns an invalid (all-zero)
 /// context when the sender predates span propagation or had tracing off.
 inline obs::TraceContext read_trace_context(net::ByteReader& r) {

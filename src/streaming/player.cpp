@@ -124,6 +124,11 @@ void Player::reset_session_state() {
   repair_total_ = -1;
   eos_deferrals_ = 0;
   stream_epoch_ = 0;
+  max_index_seen_ = -1;
+  // Any in-flight migration handshake is obsolete the moment a reopen
+  // starts; the token bump makes its eventual reply a no-op.
+  migration_inflight_ = false;
+  ++migration_token_;
   waiting_since_.reset();
   if (render_timer_) {
     net_.cancel(*render_timer_);
@@ -147,10 +152,23 @@ void Player::open_and_play_via(SiteSelector& sel, std::string content,
 
 void Player::begin_session_trace() {
   // One trace per user-facing open; a failover reopen stays in the same
-  // trace so its spans land in the same tree.
+  // trace so its spans land in the same tree. A restored (migrated /
+  // replayed) session adopts the original identity instead of minting one.
+  if (adopted_trace_) {
+    adopted_trace_ = false;
+    return;
+  }
   const obs::TraceContext root = trace_->make_trace();
   session_span_ = trace_->begin_span(root, "player.session", host_);
   session_ctx_ = root.child(session_span_);
+}
+
+void Player::restore_session_trace(std::uint64_t trace_id,
+                                   std::uint64_t root_span) {
+  session_span_ = root_span;
+  session_ctx_.trace_id = trace_id;
+  session_ctx_.parent_span_id = root_span;
+  adopted_trace_ = trace_id != 0;
 }
 
 void Player::open_to(net::HostId server, std::string content,
@@ -177,16 +195,14 @@ void Player::open_to(net::HostId server, std::string content,
 }
 
 void Player::join_live(net::HostId server, std::string name) {
-  server_ = server;
-  content_ = std::move(name);
+  // Route the join through the shared open path: a reused Player would
+  // otherwise inherit the previous session's reorder/NACK/timer state, and
+  // its spans would dangle with no session root. open_to sends the DESCRIBE
+  // with the trace context piggybacked, exactly like a VOD open.
+  selector_ = nullptr;
+  begin_session_trace();
+  open_to(server, std::move(name), net::SimDuration{-1});
   live_ = true;
-  state_ = State::kOpening;
-  discard_below_ = {-1};
-
-  ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(Ctl::kDescribe));
-  w.str(content_);
-  ctl_.send_to(server_, cfg_.server_port, std::move(w).take());
 }
 
 void Player::on_described(std::span<const std::byte> header_bytes) {
@@ -328,13 +344,27 @@ void Player::do_failover() {
     failover_span_ = trace_->begin_span(session_ctx_, "player.failover", host_,
                                         static_cast<std::int64_t>(server_));
   }
-  // Resume where the viewer actually is: the last rendered unit while
-  // playing (position() keeps advancing through a stall), else the pending
-  // open/seek target.
+  // Resume where the viewer actually is, never before the pending open/seek
+  // target: the render cursor in smooth playback, the last unit actually
+  // shown while starved (position() keeps advancing through a stall and
+  // would overshoot media that never rendered), the pause position while
+  // paused. Resuming from the original `from` offset here used to replay
+  // every already-rendered segment on a mid-playout failover.
   net::SimDuration resume_at =
       discard_below_.us >= 0 ? discard_below_ : net::SimDuration{0};
-  if (state_ == State::kPlaying && !rendered_.empty()) {
-    resume_at = rendered_.back().pts;
+  if (state_ == State::kPlaying) {
+    if (waiting_since_) {
+      if (!rendered_.empty()) {
+        // +1us past the last unit actually shown: discard_below_ is a
+        // strict lower bound, so resuming AT the unit would show it twice.
+        resume_at =
+            std::max(resume_at, rendered_.back().pts + net::SimDuration{1});
+      }
+    } else {
+      resume_at = std::max(resume_at, position());
+    }
+  } else if (state_ == State::kPaused) {
+    resume_at = std::max(resume_at, paused_pos_);
   }
   // The QoS reservation follows the old path; drop it and let the reopen
   // reserve against the new site.
@@ -342,8 +372,135 @@ void Player::do_failover() {
     net_.release_channel(channel_);
     channel_ = 0;
   }
-  const net::HostId next = selector_->failover_from(server_);
+  // A watchdog firing while a migration RPC is still in flight means the
+  // migration TARGET went quiet too: that is the site to mark down, and the
+  // token bump turns the stale reply (if it ever lands) into a no-op.
+  const net::HostId failed = migration_inflight_ ? migration_target_ : server_;
+  migration_inflight_ = false;
+  ++migration_token_;
+  const net::HostId next = selector_->failover_from(failed);
+  if (cfg_.migrate_on_failover && !live_ && demux_ &&
+      state_ != State::kOpening) {
+    start_migration(next, resume_at);
+    return;
+  }
   open_to(next, content_, resume_at);
+}
+
+void Player::start_migration(net::HostId next, net::SimDuration resume_at) {
+  const std::uint64_t token = ++migration_token_;
+  migration_inflight_ = true;
+  migration_target_ = next;
+  if (!m_migrations_) {
+    // Bound lazily so migration-free runs publish no series at all.
+    m_migrations_ = net_.obs().metrics().counter(
+        "lod.player.migrations", {{"host", std::to_string(host_)}});
+  }
+  ByteWriter w;
+  w.u32(proto::kMigrateMagic);
+  w.u16(proto::kMigrateVersion);
+  w.str(content_);
+  w.u32(static_cast<std::uint32_t>(host_));
+  w.u16(cfg_.ctl_port);
+  w.u16(cfg_.data_port);
+  const std::uint32_t resume_index =
+      max_index_seen_ >= 0
+          ? static_cast<std::uint32_t>(max_index_seen_ + 1)
+          : std::numeric_limits<std::uint32_t>::max();
+  w.u32(resume_index);
+  w.i64(resume_at.us);
+  w.u32(stream_epoch_);
+  w.f64(rate_);
+  w.u8(state_ == State::kPaused ? 1 : 0);
+  w.u64(session_ctx_.trace_id);
+  w.u64(failover_span_ != 0 ? failover_span_ : session_ctx_.parent_span_id);
+  const std::vector<std::byte> image =
+      image_provider_ ? image_provider_() : std::vector<std::byte>{};
+  w.blob(image);
+
+  // The sim transport does not refuse sends to unbound ports, so a replica
+  // without the migrate RPC would hang the handshake forever without a
+  // deadline. Keep it well inside the watchdog timeout: the fallback reopen
+  // must fire before the watchdog declares this site dead too.
+  net::RpcClient::CallOptions opts;
+  opts.timeout = cfg_.failover_timeout.us > 0 ? cfg_.failover_timeout / 2
+                                              : net::msec(1000);
+  web_.call(
+      next,
+      static_cast<net::Port>(cfg_.server_port + proto::kMigratePortOffset),
+      "/edge/migrate", std::move(w).take(),
+      [this, alive = alive_, token, next,
+       resume_at](net::Result<net::RpcReply> r) {
+        if (!*alive || token != migration_token_) return;
+        migration_inflight_ = false;
+        if (!r || r->status != 200) {
+          // The replica cannot adopt (cold meta, pre-migration build,
+          // timeout): fall back to the re-describe reopen, which knows how
+          // to park and warm up.
+          open_to(next, content_, resume_at);
+          return;
+        }
+        std::uint64_t sid = 0;
+        std::uint32_t start = 0;
+        try {
+          ByteReader rr(r->body);
+          sid = rr.u64();
+          start = rr.u32();
+        } catch (const std::exception&) {
+          open_to(next, content_, resume_at);
+          return;
+        }
+        complete_migration(next, sid, start);
+      },
+      opts);
+  // Keep the watchdog running through the handshake; if the target answers
+  // nothing at all the next failover marks IT down (see do_failover).
+  arm_failover_watchdog();
+}
+
+void Player::complete_migration(net::HostId next, std::uint64_t session_id,
+                                std::uint32_t start_index) {
+  (void)start_index;  // informational: the replica's first packet index
+  ++migrations_;
+  m_migrations_.inc();
+  if (state_ == State::kFinished || state_ == State::kIdle) {
+    // Playback ended while the handshake was in flight: release the adopted
+    // session instead of leaking it on the new replica.
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(Ctl::kStop));
+    w.u64(session_id);
+    ctl_.send_to(next, cfg_.server_port, std::move(w).take());
+    return;
+  }
+  server_ = next;
+  session_ = session_id;
+  expected_seq_reset_ = true;  // the replica's transmission counter is fresh
+  // The QoS reservation follows the new path.
+  if (cfg_.model != SyncModel::kOcpn && header_.props.avg_bitrate_bps > 0) {
+    const auto rate = static_cast<std::int64_t>(
+        static_cast<double>(header_.props.avg_bitrate_bps) *
+        cfg_.channel_headroom * rate_);
+    if (auto ch = net_.reserve_channel(server_, host_, rate)) channel_ = *ch;
+  }
+  // ETPN: the clock discipline must track the new serving site.
+  if (cfg_.model == SyncModel::kEtpn) {
+    if (sync_timer_) {
+      net_.cancel(*sync_timer_);
+      sync_timer_.reset();
+    }
+    run_clock_sync();
+  }
+  // (The adopting edge emits the kSessionOpen event, exactly as it does on
+  // the kPlay path — one open event per session per site.)
+  // Rendering never stopped (the jitter buffer carried the handshake), so
+  // the failover episode is over the moment the session is adopted.
+  if (failover_span_ != 0 &&
+      (state_ == State::kPlaying || state_ == State::kPaused)) {
+    trace_->end_span(session_ctx_, failover_span_, "player.failover", host_,
+                     static_cast<std::int64_t>(server_));
+    failover_span_ = 0;
+  }
+  arm_failover_watchdog();
 }
 
 // --- clock synchronization (ETPN) ---------------------------------------------------
@@ -488,6 +645,9 @@ void Player::handle_data(const net::Datagram& p) {
   }
   ++packets_received_;
   m_packets_received_.inc();
+  if (static_cast<std::int64_t>(index) > max_index_seen_) {
+    max_index_seen_ = static_cast<std::int64_t>(index);
+  }
   if (expected_seq_reset_) {
     expected_seq_reset_ = false;
     last_seq_ = seq;
@@ -756,6 +916,74 @@ void Player::restore_sync_cursor(const PlayerSyncCursor& c) {
   }
 }
 
+// --- session snapshot (sync/migration surfaces) -------------------------------------
+
+PlayerReorderSnapshot Player::reorder_snapshot() const {
+  PlayerReorderSnapshot s;
+  s.held.reserve(reorder_.size());
+  for (const auto& [index, payload] : reorder_) {
+    s.held.emplace_back(index, payload.to_vector());
+  }
+  s.next_feed = next_feed_;
+  s.repair_total = repair_total_;
+  s.eos_received = eos_received_;
+  return s;
+}
+
+void Player::restore_reorder(const PlayerReorderSnapshot& s) {
+  reorder_.clear();
+  for (const auto& [index, bytes] : s.held) {
+    reorder_.emplace(index, net::Payload(bytes));
+  }
+  next_feed_ = s.next_feed;
+  repair_total_ = s.repair_total;
+  eos_received_ = s.eos_received;
+  // As if the held packets just arrived: feed whatever became contiguous and
+  // put the head-of-line hole back on the clock.
+  drain_reorder();
+  if (!reorder_.empty()) arm_hole_timer();
+}
+
+PlayerRepairSnapshot Player::repair_snapshot() const {
+  PlayerRepairSnapshot s;
+  s.received.assign(received_index_.begin(), received_index_.end());
+  std::sort(s.received.begin(), s.received.end());
+  s.nacks.assign(nack_attempts_.begin(), nack_attempts_.end());
+  std::sort(s.nacks.begin(), s.nacks.end());
+  s.highest_index = highest_index_;
+  s.max_index_seen = max_index_seen_;
+  s.repairs_requested = repairs_requested_;
+  s.repairs_received = repairs_received_;
+  return s;
+}
+
+void Player::restore_repair(const PlayerRepairSnapshot& s) {
+  received_index_.clear();
+  received_index_.insert(s.received.begin(), s.received.end());
+  nack_attempts_.clear();
+  nack_attempts_.insert(s.nacks.begin(), s.nacks.end());
+  highest_index_ = s.highest_index;
+  max_index_seen_ = s.max_index_seen;
+  repairs_requested_ = s.repairs_requested;
+  repairs_received_ = s.repairs_received;
+}
+
+PlayerSlideCacheSnapshot Player::slide_cache_snapshot() const {
+  PlayerSlideCacheSnapshot s;
+  for (const auto& [url, done] : prefetched_) {
+    if (done.has_value()) s.cached.push_back(url);
+  }
+  std::sort(s.cached.begin(), s.cached.end());
+  return s;
+}
+
+void Player::restore_slide_cache(const PlayerSlideCacheSnapshot& s) {
+  // Completion stamps do not migrate; what matters is "cached, appears
+  // instantly" — stamp them as of now.
+  const net::SimTime now = net_.now();
+  for (const auto& url : s.cached) prefetched_[url] = now;
+}
+
 void Player::arm_render_timer() {
   if (render_timer_) {
     net_.cancel(*render_timer_);
@@ -1011,6 +1239,7 @@ void Player::seek(net::SimDuration to) {
     ++stream_epoch_;
     expected_seq_reset_ = true;
     highest_index_ = -1;
+    max_index_seen_ = -1;
     received_index_.clear();
     nack_attempts_.clear();
     reorder_.clear();

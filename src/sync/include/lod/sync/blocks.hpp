@@ -43,4 +43,37 @@ void register_player_cursor_block(SessionState& s, std::uint32_t id,
                                   std::string name,
                                   streaming::PlayerSyncCursor* c);
 
+/// Register the player's reorder buffer (held packets + feed cursor).
+/// Loads go through `Player::restore_reorder`, which drains whatever became
+/// contiguous exactly as if the packets had just arrived.
+void register_player_reorder_block(SessionState& s, std::uint32_t id,
+                                   std::string name, streaming::Player* p);
+
+/// Register the player's pending NACK/repair bookkeeping.
+void register_player_repair_block(SessionState& s, std::uint32_t id,
+                                  std::string name, streaming::Player* p);
+
+/// Register the player's completed slide-cache references.
+void register_player_slide_cache_block(SessionState& s, std::uint32_t id,
+                                       std::string name, streaming::Player* p);
+
+/// Register the session's trace identity (trace id + root span), so a
+/// restored session keeps emitting spans under the original root.
+void register_player_trace_block(SessionState& s, std::uint32_t id,
+                                 std::string name, streaming::Player* p);
+
+/// Well-known block ids for a full player session image (the blocks
+/// `register_player_session_blocks` registers). Part of the wire contract:
+/// every site of a migrating session must agree on them.
+inline constexpr std::uint32_t kBlockPlayerCursor = 16;
+inline constexpr std::uint32_t kBlockPlayerReorder = 17;
+inline constexpr std::uint32_t kBlockPlayerRepair = 18;
+inline constexpr std::uint32_t kBlockPlayerSlideCache = 19;
+inline constexpr std::uint32_t kBlockPlayerTrace = 20;
+
+/// Register the complete migratable surface of one player under the
+/// well-known ids above: render cursor, reorder buffer, repair state, slide
+/// cache, trace context.
+void register_player_session_blocks(SessionState& s, streaming::Player* p);
+
 }  // namespace lod::sync

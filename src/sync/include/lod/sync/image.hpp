@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lod/streaming/player.hpp"
+#include "lod/sync/state.hpp"
+
+/// \file image.hpp
+/// `SessionImage`: the freeze-dried form of one lecture session, built for
+/// live migration (ROADMAP item 4). An image pairs a small self-describing
+/// envelope — what content, which server session, where the playhead is,
+/// under which trace — with a full 'LSST' serialization of the session's
+/// registered state blocks (`register_player_session_blocks`). The envelope
+/// lets an adopting site resume pacing without parsing the block payload;
+/// the payload lets a peer `SessionState` reconstruct the complete receive
+/// pipeline (reorder buffer, pending repairs, slide cache, trace identity).
+///
+/// The serialized form ('LSMI') ends in a FNV-1a checksum over everything
+/// before it, so a truncated or corrupted image fails parse loudly instead
+/// of restoring half a session.
+
+namespace lod::sync {
+
+/// 'LSMI' little-endian.
+constexpr std::uint32_t kSessionImageMagic = 0x494d534cu;
+constexpr std::uint16_t kSessionImageVersion = 1;
+
+/// One frozen session: envelope + full block-state payload.
+struct SessionImage {
+  std::string content;
+  std::uint64_t session_id{0};
+  std::int64_t position_us{0};
+  std::uint32_t stream_epoch{0};
+  std::uint64_t trace_id{0};
+  std::uint64_t root_span{0};
+  /// Full 'LSST' image of the session's registered blocks.
+  std::vector<std::byte> state;
+};
+
+/// Freeze \p p: refresh \p s (which must have the player's blocks
+/// registered) and capture envelope + full state payload.
+SessionImage capture_session_image(SessionState& s,
+                                   const streaming::Player& p);
+
+/// Thaw an image into \p s (and through it, into whatever providers its
+/// blocks are registered against). Returns the block-level apply outcome;
+/// the envelope is the caller's to act on (reopen, re-pace, adopt).
+SessionState::ApplyResult restore_session_image(SessionState& s,
+                                                const SessionImage& img);
+
+/// Wire codec. `parse_image` throws std::runtime_error on bad magic,
+/// unsupported version, or checksum mismatch (and std::out_of_range on
+/// truncation, like every codec in the stack).
+std::vector<std::byte> serialize_image(const SessionImage& img);
+SessionImage parse_image(std::span<const std::byte> bytes);
+
+/// Install the migration seam: the player's `/edge/migrate` handshake will
+/// ship `serialize_image(capture_session_image(s, p))` as its state blob.
+/// Both \p p and \p s are borrowed and must outlive the session.
+void attach_migration_image(streaming::Player& p, SessionState& s);
+
+}  // namespace lod::sync

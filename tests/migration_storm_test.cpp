@@ -1,0 +1,53 @@
+#include "lod/lod/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lod/obs/export.hpp"
+
+/// The migration storm: a failover-heavy LoadGen workload with
+/// `migrate_on_failover` on, so the flaky-edge kill makes every in-flight
+/// failover session attempt the freeze → ship image → resume handshake at
+/// (nearly) the same instant. Exercises concurrent adoption on the stable
+/// edge and the cold-replica fallback under load; runs under the TSan
+/// preset and a CI timeout guard.
+
+namespace lod::lod {
+namespace {
+
+WorkloadSpec storm_spec() {
+  WorkloadSpec spec;
+  spec.sessions = 32;
+  spec.client_hosts = 8;
+  // Failover-heavy, with enough straight sessions that the stable edge is
+  // warm (a cold replica refuses adoption and forces the re-describe path).
+  spec.mix = {.straight = 0.3, .interactive = 0.0, .failover = 0.7,
+              .floor = 0.0};
+  spec.lecture_len = net::sec(8);
+  spec.arrival_window = net::sec(4);
+  spec.flaky_edge_up_for = net::sec(6);
+  spec.horizon = net::sec(120);
+  spec.migrate_on_failover = true;
+  return spec;
+}
+
+TEST(MigrationStorm, ConcurrentMigrationsAllFinishAndSomeAdopt) {
+  const auto r = LoadGen::run_sharded(storm_spec(), 2, 0x570F);
+  EXPECT_EQ(r.merged.counter("lod.loadgen.sessions"), 32u);
+  EXPECT_EQ(r.merged.counter("lod.loadgen.finished"), 32u);
+  EXPECT_GT(r.merged.counter("lod.loadgen.failovers"), 0u);
+  // The storm actually migrated (the stable edge was warm for at least the
+  // bulk of the simultaneous failovers).
+  EXPECT_GT(r.merged.counter("lod.loadgen.migrations"), 0u);
+  EXPECT_LE(r.merged.counter("lod.loadgen.migrations"),
+            r.merged.counter("lod.loadgen.failovers"));
+}
+
+TEST(MigrationStorm, StormIsDeterministicAcrossRuns) {
+  const auto spec = storm_spec();
+  const auto a = LoadGen::run_sharded(spec, 2, 0xBEE5);
+  const auto b = LoadGen::run_sharded(spec, 2, 0xBEE5);
+  EXPECT_EQ(obs::to_json(a.merged), obs::to_json(b.merged));
+}
+
+}  // namespace
+}  // namespace lod::lod
